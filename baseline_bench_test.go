@@ -1,0 +1,95 @@
+package repro
+
+// Comparative single-exchange benchmarks across every implemented protocol
+// on identical pre-synced databases: the wall-clock companion to the
+// counter-based experiment tables. The interesting comparison is the shape
+// across the N sub-benchmarks: dbvv stays flat; the per-item protocols grow.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline/agrawal"
+	"repro/internal/baseline/lotus"
+	"repro/internal/baseline/peritem"
+	"repro/internal/baseline/wuu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// exchanger is the slice of the System surface these benches need.
+type exchanger interface {
+	Update(node int, key string, value []byte) error
+	Exchange(recipient, source int) error
+}
+
+func seedExchanger(b *testing.B, sys exchanger, items int) {
+	b.Helper()
+	for i := 0; i < items; i++ {
+		if err := sys.Update(0, workload.Key(i), []byte("initial")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sys.Exchange(1, 0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSteadyStateExchange measures one anti-entropy exchange between
+// two already-identical replicas for every protocol, across database sizes.
+//
+// Reading the shapes: dbvv is flat (one DBVV comparison); peritem grows
+// linearly with N (every IVV compared); lotus hits its own O(1) fast path
+// here because nothing changed since ITS last propagation — the Θ(N) Lotus
+// case needs an indirect sync and is measured by BenchmarkE1 and E3;
+// wuu's log is empty after GC so only its time table moves; agrawal never
+// truncates without a vector exchange, so it rescans and resends its whole
+// retained log every time (linear in N).
+func BenchmarkSteadyStateExchange(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		builders := map[string]func() exchanger{
+			"dbvv":    func() exchanger { return sim.NewCoreSystem(2) },
+			"peritem": func() exchanger { return peritem.New(2) },
+			"lotus":   func() exchanger { return lotus.New(2) },
+			"wuu":     func() exchanger { return wuu.New(2) },
+			"agrawal": func() exchanger { return agrawal.New(2) },
+		}
+		for _, name := range []string{"dbvv", "peritem", "lotus", "wuu", "agrawal"} {
+			b.Run(fmt.Sprintf("%s/N=%d", name, n), func(b *testing.B) {
+				sys := builders[name]()
+				seedExchanger(b, sys, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sys.Exchange(1, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDirtyExchange measures one exchange with 32 freshly changed
+// items per iteration — the paper's target regime (few changed items,
+// large database).
+func BenchmarkDirtyExchange(b *testing.B) {
+	const n, m = 10000, 32
+	builders := map[string]func() exchanger{
+		"dbvv":    func() exchanger { return sim.NewCoreSystem(2) },
+		"peritem": func() exchanger { return peritem.New(2) },
+		"lotus":   func() exchanger { return lotus.New(2) },
+	}
+	for _, name := range []string{"dbvv", "peritem", "lotus"} {
+		b.Run(name, func(b *testing.B) {
+			sys := builders[name]()
+			seedExchanger(b, sys, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < m; j++ {
+					sys.Update(0, workload.Key((i*m+j)%n), []byte("changed"))
+				}
+				sys.Exchange(1, 0)
+			}
+		})
+	}
+}

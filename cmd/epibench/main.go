@@ -1,0 +1,56 @@
+// Command epibench regenerates the experiment tables of EXPERIMENTS.md —
+// one table per quantitative claim of the paper (see DESIGN.md for the
+// experiment index).
+//
+// Usage:
+//
+//	epibench                 # run every experiment, full sweeps
+//	epibench -quick          # shrunken sweeps (seconds instead of minutes)
+//	epibench -exp e1,e4      # run a subset
+//	epibench -markdown       # emit EXPERIMENTS.md-ready markdown
+//	epibench -csv            # emit CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast run")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of terminal tables")
+	csv := flag.Bool("csv", false, "emit CSV instead of terminal tables")
+	exp := flag.String("exp", "", "comma-separated experiment ids (e.g. e1,e4); empty runs all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		if id = strings.TrimSpace(strings.ToLower(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	ran := 0
+	for _, t := range experiments.All(*quick) {
+		if len(want) > 0 && !want[strings.ToLower(t.ID)] {
+			continue
+		}
+		ran++
+		switch {
+		case *markdown:
+			fmt.Println(t.Markdown())
+		case *csv:
+			fmt.Println(t.CSV())
+		default:
+			fmt.Println(t.Render())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "epibench: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,108 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The simplest deployment: two replicas, one update, one anti-entropy
+// session. The second session finds nothing to do — detected with a single
+// database-version-vector comparison, not an item scan.
+func Example() {
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2)
+
+	a.Update("greeting", repro.Set([]byte("hello, epidemic world")))
+
+	fmt.Println("first session shipped data:", repro.AntiEntropy(b, a))
+	fmt.Println("second session shipped data:", repro.AntiEntropy(b, a))
+
+	v, _ := b.Read("greeting")
+	fmt.Printf("b reads: %s\n", v)
+	// Output:
+	// first session shipped data: true
+	// second session shipped data: false
+	// b reads: hello, epidemic world
+}
+
+// Out-of-bound copying fetches one hot item immediately, outside the
+// anti-entropy schedule, without touching the replica's propagation state.
+func ExampleReplica_CopyOutOfBound() {
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2)
+	a.Update("price", repro.Set([]byte("99.80")))
+
+	b.CopyOutOfBound("price", a)
+	v, _ := b.Read("price")
+	fmt.Printf("b sees the fresh price: %s\n", v)
+	fmt.Println("b's DBVV is untouched:", b.DBVV())
+	// Output:
+	// b sees the fresh price: 99.80
+	// b's DBVV is untouched: <0,0>
+}
+
+// Concurrent updates to the same item at different replicas are detected
+// as a conflict; neither copy is overwritten.
+func ExampleWithConflictHandler() {
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2, repro.WithConflictHandler(func(c repro.Conflict) {
+		fmt.Printf("conflict detected on %q\n", c.Key)
+	}))
+
+	a.Update("doc", repro.Set([]byte("version A")))
+	b.Update("doc", repro.Set([]byte("version B")))
+	repro.AntiEntropy(b, a)
+
+	v, _ := b.Read("doc")
+	fmt.Printf("b keeps its own copy: %s\n", v)
+	// Output:
+	// conflict detected on "doc"
+	// b keeps its own copy: version B
+}
+
+// Delta propagation ships the latest update as a small operation when the
+// recipient is exactly one update behind — useful for small edits of large
+// values.
+func ExampleWithDeltaPropagation() {
+	a := repro.NewReplica(0, 2, repro.WithDeltaPropagation())
+	b := repro.NewReplica(1, 2, repro.WithDeltaPropagation())
+
+	a.Update("doc", repro.Set(make([]byte, 4096))) // a large document
+	repro.AntiEntropy(b, a)
+
+	a.Update("doc", repro.Append([]byte("!"))) // a one-byte edit
+	repro.AntiEntropy(b, a)                    // ships the op, not 4 KiB
+
+	m := a.Metrics()
+	fmt.Println("deltas shipped:", m.DeltasSent > 0)
+	v, _ := b.Read("doc")
+	fmt.Println("b's copy length:", len(v))
+	// Output:
+	// deltas shipped: true
+	// b's copy length: 4097
+}
+
+// Grow admits a new server to a running system; the wider version vectors
+// spread to the other replicas on their next sessions.
+func ExampleGrow() {
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2)
+	a.Update("x", repro.Set([]byte("v")))
+	repro.AntiEntropy(b, a)
+
+	repro.Grow(a, 3)            // admit server 2
+	c := repro.NewReplica(2, 3) // the new server is born at the new width
+	repro.AntiEntropy(c, a)     // and catches up by ordinary anti-entropy
+
+	c.Update("y", repro.Set([]byte("from the newcomer")))
+	repro.AntiEntropy(a, c) // a pulls the newcomer's update...
+	repro.AntiEntropy(b, a) // ...and b grows as the 3-wide session arrives
+
+	fmt.Println("b's server count:", b.Servers())
+	v, _ := b.Read("y")
+	fmt.Printf("b has the newcomer's data: %s\n", v)
+	// Output:
+	// b's server count: 3
+	// b has the newcomer's data: from the newcomer
+}

@@ -1,0 +1,86 @@
+// Dialup: the paper's motivating deployment (§1) — a disconnected laptop
+// that synchronizes "during the next dial-up session".
+//
+// An office server carries a database of 5,000 documents. A laptop holds a
+// full replica and goes offline for a work day; meanwhile the office
+// applies a trickle of edits. When the laptop dials in, one anti-entropy
+// session ships exactly the edited documents — cost proportional to the
+// day's edits, not to the database size — and multiple updates to the same
+// document are bundled into a single transfer.
+//
+// Run with: go run ./examples/dialup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+const (
+	documents = 5000
+	dayEdits  = 120 // edits per office day, hitting ~60 distinct documents
+	days      = 5
+)
+
+func main() {
+	office := repro.NewReplica(0, 2)
+	laptop := repro.NewReplica(1, 2)
+
+	// Initial provisioning: load the database at the office, first sync.
+	for i := 0; i < documents; i++ {
+		must(office.Update(doc(i), repro.Set([]byte("initial revision"))))
+	}
+	repro.AntiEntropy(laptop, office)
+	fmt.Printf("provisioned %d documents to the laptop\n\n", documents)
+
+	rng := rand.New(rand.NewSource(1))
+	for day := 1; day <= days; day++ {
+		// Laptop is offline; the office edits a small working set. Some
+		// documents are edited repeatedly — the log vector keeps only the
+		// latest record per document.
+		edited := map[string]bool{}
+		for e := 0; e < dayEdits; e++ {
+			d := doc(rng.Intn(documents) % (documents / 10)) // hot tenth
+			edited[d] = true
+			must(office.Update(d, repro.Set(fmt.Appendf(nil, "day-%d rev-%d", day, e))))
+		}
+
+		// Evening dial-up: one pull.
+		before := office.Metrics()
+		shipped := repro.AntiEntropy(laptop, office)
+		session := office.Metrics().Diff(before)
+
+		fmt.Printf("day %d dial-up: %d distinct documents edited (of %d total)\n",
+			day, len(edited), documents)
+		fmt.Printf("  shipped=%v items-sent=%d log-records-sent=%d bytes=%d\n",
+			shipped, session.ItemsSent, session.LogRecordsSent, session.BytesSent)
+		if int(session.ItemsSent) != len(edited) {
+			log.Fatalf("expected exactly the edited documents to ship: %d != %d",
+				session.ItemsSent, len(edited))
+		}
+
+		// A second dial-up the same evening finds nothing to do — detected
+		// with a single DBVV comparison, not a 5,000-document scan.
+		before = office.Metrics()
+		repro.AntiEntropy(laptop, office)
+		noop := office.Metrics().Diff(before)
+		fmt.Printf("  redundant dial-up: dbvv-comparisons=%d items-examined=%d (O(1) no-op)\n",
+			noop.DBVVComparisons, noop.ItemsExamined)
+	}
+
+	if ok, why := repro.Converged(office, laptop); !ok {
+		log.Fatalf("laptop diverged: %s", why)
+	}
+	fmt.Println("\nlaptop fully consistent with the office after every dial-up")
+}
+
+func doc(i int) string { return fmt.Sprintf("doc/%05d", i) }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

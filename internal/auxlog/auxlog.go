@@ -1,0 +1,205 @@
+// Package auxlog implements the auxiliary log AUX_i of §4.4.
+//
+// The auxiliary log stores the updates a node applies to out-of-bound data
+// items. Unlike regular log-vector records, auxiliary records carry enough
+// information to *re-do* the update — the operation itself and the IVV the
+// auxiliary copy had immediately before the update — because intra-node
+// propagation (Fig. 4) replays them against the regular copy once it
+// catches up. Auxiliary records are never sent between nodes.
+//
+// The paper requires Earliest(x) — the earliest record referring to item x —
+// in constant time, and constant-time removal of a record from the middle
+// of the log (§4.4). We satisfy both with a global doubly-linked list in
+// arrival order plus, per item, a second doubly-linked chain threaded
+// through the same records, with a map from item to that chain's ends.
+package auxlog
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// Record is one auxiliary log entry (m, x, v_i(x), op): the node-local
+// arrival sequence m, the item name, the IVV the auxiliary copy had at the
+// time the update was applied (excluding the update), and the redo-able
+// operation.
+type Record struct {
+	Seq uint64
+	Key string
+	Pre vv.VV // auxiliary IVV before the update
+	Op  op.Op
+
+	prev, next         *Record // global arrival order
+	prevSame, nextSame *Record // per-item chain
+}
+
+// Next returns the record after r in global arrival order, or nil.
+func (r *Record) Next() *Record { return r.next }
+
+// NextSame returns the next record referring to the same item, or nil.
+func (r *Record) NextSame() *Record { return r.nextSame }
+
+type keyChain struct {
+	first, last *Record
+}
+
+// Log is a node's auxiliary log. The zero value is not usable; call New.
+type Log struct {
+	head, tail *Record
+	chains     map[string]*keyChain
+	size       int
+	nextSeq    uint64
+}
+
+// New returns an empty auxiliary log.
+func New() *Log {
+	return &Log{chains: make(map[string]*keyChain)}
+}
+
+// Len returns the number of records in the log.
+func (l *Log) Len() int { return l.size }
+
+// LenFor returns the number of records referring to key.
+func (l *Log) LenFor(key string) int {
+	n := 0
+	for r := l.Earliest(key); r != nil; r = r.nextSame {
+		n++
+	}
+	return n
+}
+
+// Head returns the oldest record overall, or nil.
+func (l *Log) Head() *Record { return l.head }
+
+// Append adds a record for an update to item key whose auxiliary copy had
+// version vector pre (cloned) before operation o was applied. O(1).
+func (l *Log) Append(key string, pre vv.VV, o op.Op) *Record {
+	l.nextSeq++
+	rec := &Record{Seq: l.nextSeq, Key: key, Pre: pre.Clone(), Op: o.Clone()}
+
+	rec.prev = l.tail
+	if l.tail != nil {
+		l.tail.next = rec
+	} else {
+		l.head = rec
+	}
+	l.tail = rec
+
+	ch := l.chains[key]
+	if ch == nil {
+		ch = &keyChain{}
+		l.chains[key] = ch
+	}
+	rec.prevSame = ch.last
+	if ch.last != nil {
+		ch.last.nextSame = rec
+	} else {
+		ch.first = rec
+	}
+	ch.last = rec
+
+	l.size++
+	return rec
+}
+
+// Earliest returns the earliest record referring to key, or nil. O(1) — the
+// Earliest(x) function required by §4.4.
+func (l *Log) Earliest(key string) *Record {
+	if ch := l.chains[key]; ch != nil {
+		return ch.first
+	}
+	return nil
+}
+
+// Remove unlinks rec from the log. O(1). Removing a record twice or a
+// record from another log corrupts nothing but panics in invariant checks;
+// callers only remove records they just obtained from Earliest.
+func (l *Log) Remove(rec *Record) {
+	// Global chain.
+	if rec.prev != nil {
+		rec.prev.next = rec.next
+	} else {
+		l.head = rec.next
+	}
+	if rec.next != nil {
+		rec.next.prev = rec.prev
+	} else {
+		l.tail = rec.prev
+	}
+	// Per-item chain.
+	ch := l.chains[rec.Key]
+	if rec.prevSame != nil {
+		rec.prevSame.nextSame = rec.nextSame
+	} else if ch != nil {
+		ch.first = rec.nextSame
+	}
+	if rec.nextSame != nil {
+		rec.nextSame.prevSame = rec.prevSame
+	} else if ch != nil {
+		ch.last = rec.prevSame
+	}
+	if ch != nil && ch.first == nil {
+		delete(l.chains, rec.Key)
+	}
+	rec.prev, rec.next, rec.prevSame, rec.nextSame = nil, nil, nil, nil
+	l.size--
+}
+
+// CheckInvariants verifies list structure: global order by Seq ascending,
+// per-item chains consistent with the global list, size exact. For tests.
+func (l *Log) CheckInvariants() error {
+	n := 0
+	perKey := make(map[string]int)
+	var prev *Record
+	for rec := l.head; rec != nil; rec = rec.next {
+		n++
+		if n > l.size {
+			return fmt.Errorf("auxlog: list longer than size %d (cycle?)", l.size)
+		}
+		if rec.prev != prev {
+			return fmt.Errorf("auxlog: broken prev link at seq %d", rec.Seq)
+		}
+		if prev != nil && rec.Seq <= prev.Seq {
+			return fmt.Errorf("auxlog: seq order violated: %d after %d", rec.Seq, prev.Seq)
+		}
+		perKey[rec.Key]++
+		prev = rec
+	}
+	if n != l.size {
+		return fmt.Errorf("auxlog: size %d but %d records linked", l.size, n)
+	}
+	if l.tail != prev {
+		return fmt.Errorf("auxlog: stale tail pointer")
+	}
+	for key, want := range perKey {
+		got := 0
+		var prevSame *Record
+		for rec := l.Earliest(key); rec != nil; rec = rec.nextSame {
+			got++
+			if rec.Key != key {
+				return fmt.Errorf("auxlog: chain for %q contains record for %q", key, rec.Key)
+			}
+			if rec.prevSame != prevSame {
+				return fmt.Errorf("auxlog: broken prevSame link in chain %q", key)
+			}
+			if prevSame != nil && rec.Seq <= prevSame.Seq {
+				return fmt.Errorf("auxlog: chain %q out of order", key)
+			}
+			prevSame = rec
+		}
+		if got != want {
+			return fmt.Errorf("auxlog: chain %q has %d records, global list has %d", key, got, want)
+		}
+		if ch := l.chains[key]; ch == nil || ch.last != prevSame {
+			return fmt.Errorf("auxlog: stale chain tail for %q", key)
+		}
+	}
+	for key := range l.chains {
+		if perKey[key] == 0 {
+			return fmt.Errorf("auxlog: empty chain retained for %q", key)
+		}
+	}
+	return nil
+}

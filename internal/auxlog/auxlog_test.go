@@ -1,0 +1,177 @@
+package auxlog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+func check(t *testing.T, l *Log) {
+	t.Helper()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAndEarliest(t *testing.T) {
+	l := New()
+	l.Append("x", vv.VV{1, 0}, op.NewSet([]byte("a")))
+	l.Append("y", vv.VV{0, 1}, op.NewSet([]byte("b")))
+	l.Append("x", vv.VV{2, 0}, op.NewSet([]byte("c")))
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	e := l.Earliest("x")
+	if e == nil || !e.Pre.Equal(vv.VV{1, 0}) {
+		t.Fatalf("Earliest(x) = %+v, want pre <1,0>", e)
+	}
+	if got := l.Earliest("y"); got == nil || string(got.Op.Data) != "b" {
+		t.Errorf("Earliest(y) = %+v", got)
+	}
+	if l.Earliest("ghost") != nil {
+		t.Error("Earliest of absent key != nil")
+	}
+	check(t, l)
+}
+
+func TestEarliestAdvancesOnRemove(t *testing.T) {
+	l := New()
+	l.Append("x", vv.VV{1}, op.NewSet([]byte("1")))
+	l.Append("x", vv.VV{2}, op.NewSet([]byte("2")))
+	l.Append("x", vv.VV{3}, op.NewSet([]byte("3")))
+
+	for want := 1; want <= 3; want++ {
+		e := l.Earliest("x")
+		if e == nil || e.Pre[0] != uint64(want) {
+			t.Fatalf("Earliest = %+v, want pre <%d>", e, want)
+		}
+		l.Remove(e)
+		check(t, l)
+	}
+	if l.Earliest("x") != nil || l.Len() != 0 {
+		t.Error("log not drained")
+	}
+}
+
+func TestRemoveMiddleRecord(t *testing.T) {
+	l := New()
+	r1 := l.Append("x", vv.VV{1}, op.NewSet(nil))
+	r2 := l.Append("y", vv.VV{1}, op.NewSet(nil))
+	r3 := l.Append("x", vv.VV{2}, op.NewSet(nil))
+	_ = r1
+	l.Remove(r2) // middle of global list
+	check(t, l)
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	if l.Earliest("y") != nil {
+		t.Error("removed record still reachable")
+	}
+	// x's chain intact.
+	if e := l.Earliest("x"); e != r1 || e.NextSame() != r3 {
+		t.Error("per-item chain broken by unrelated removal")
+	}
+}
+
+func TestRemoveMiddleOfItemChain(t *testing.T) {
+	l := New()
+	r1 := l.Append("x", vv.VV{1}, op.NewSet(nil))
+	r2 := l.Append("x", vv.VV{2}, op.NewSet(nil))
+	r3 := l.Append("x", vv.VV{3}, op.NewSet(nil))
+	l.Remove(r2)
+	check(t, l)
+	if e := l.Earliest("x"); e != r1 {
+		t.Fatalf("Earliest changed: %+v", e)
+	}
+	if r1.NextSame() != r3 {
+		t.Error("chain not relinked across removed record")
+	}
+}
+
+func TestLenFor(t *testing.T) {
+	l := New()
+	l.Append("x", vv.VV{1}, op.NewSet(nil))
+	l.Append("x", vv.VV{2}, op.NewSet(nil))
+	l.Append("y", vv.VV{1}, op.NewSet(nil))
+	if got := l.LenFor("x"); got != 2 {
+		t.Errorf("LenFor(x) = %d, want 2", got)
+	}
+	if got := l.LenFor("ghost"); got != 0 {
+		t.Errorf("LenFor(ghost) = %d, want 0", got)
+	}
+}
+
+func TestRecordsAreDeepCopies(t *testing.T) {
+	l := New()
+	pre := vv.VV{1, 2}
+	o := op.NewSet([]byte("data"))
+	rec := l.Append("x", pre, o)
+	pre.Inc(0)
+	o.Data[0] = 'Z'
+	if !rec.Pre.Equal(vv.VV{1, 2}) {
+		t.Error("record shares Pre storage with caller")
+	}
+	if string(rec.Op.Data) != "data" {
+		t.Error("record shares Op data with caller")
+	}
+}
+
+func TestGlobalOrderAcrossKeys(t *testing.T) {
+	l := New()
+	l.Append("a", vv.VV{1}, op.NewSet(nil))
+	l.Append("b", vv.VV{1}, op.NewSet(nil))
+	l.Append("a", vv.VV{2}, op.NewSet(nil))
+	var seqs []uint64
+	for r := l.Head(); r != nil; r = r.Next() {
+		seqs = append(seqs, r.Seq)
+	}
+	if len(seqs) != 3 || seqs[0] >= seqs[1] || seqs[1] >= seqs[2] {
+		t.Errorf("global order broken: %v", seqs)
+	}
+}
+
+func TestRandomizedAppendRemove(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	l := New()
+	keys := []string{"a", "b", "c", "d"}
+	live := 0
+	for step := 0; step < 3000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(3) == 0 {
+			if e := l.Earliest(k); e != nil {
+				l.Remove(e)
+				live--
+			}
+		} else {
+			l.Append(k, vv.VV{uint64(step)}, op.NewAppend([]byte{byte(step)}))
+			live++
+		}
+		if step%111 == 0 {
+			check(t, l)
+		}
+	}
+	if l.Len() != live {
+		t.Fatalf("Len = %d, want %d", l.Len(), live)
+	}
+	check(t, l)
+}
+
+func TestDrainEverything(t *testing.T) {
+	l := New()
+	keys := []string{"a", "b", "c"}
+	for i := 0; i < 30; i++ {
+		l.Append(keys[i%3], vv.VV{uint64(i)}, op.NewSet(nil))
+	}
+	for _, k := range keys {
+		for e := l.Earliest(k); e != nil; e = l.Earliest(k) {
+			l.Remove(e)
+		}
+	}
+	if l.Len() != 0 || l.Head() != nil {
+		t.Error("log not fully drained")
+	}
+	check(t, l)
+}

@@ -1,0 +1,55 @@
+package auxlog
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// BenchmarkAppend measures auxiliary-log appends: O(1) regardless of log
+// size, per §4.4's requirements.
+func BenchmarkAppend(b *testing.B) {
+	l := New()
+	pre := vv.New(4)
+	o := op.NewAppend([]byte("x"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append("item", pre, o)
+	}
+}
+
+// BenchmarkEarliest measures the Earliest(x) lookup the paper requires to
+// be constant time, at several log sizes.
+func BenchmarkEarliest(b *testing.B) {
+	for _, size := range []int{10, 10000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			l := New()
+			pre := vv.New(2)
+			o := op.NewSet(nil)
+			for i := 0; i < size; i++ {
+				l.Append(fmt.Sprintf("k%d", i%10), pre, o)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if l.Earliest("k5") == nil {
+					b.Fatal("missing chain")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendRemoveCycle measures the replay loop's footprint: append a
+// record, find it, remove it.
+func BenchmarkAppendRemoveCycle(b *testing.B) {
+	l := New()
+	pre := vv.New(2)
+	o := op.NewAppend([]byte("1"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append("hot", pre, o)
+		l.Remove(l.Earliest("hot"))
+	}
+}

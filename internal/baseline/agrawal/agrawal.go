@@ -1,0 +1,234 @@
+// Package agrawal models Agrawal & Malpani's dissemination protocol (The
+// Computer Journal 1991), the §8.3 related work that "decouples sending
+// update logs from sending version vector information. Thus, separate
+// policies can be used to schedule both types of exchanges."
+//
+// Each node keeps a full update log and, per peer, its (possibly stale)
+// knowledge of that peer's version vector. A *log exchange* pushes the
+// updates the source believes the recipient lacks, judged against that
+// stale knowledge — cheap to schedule aggressively, but redundant traffic
+// grows as knowledge staleness grows. A *vector exchange* refreshes the
+// knowledge (and drives log truncation) without moving data. The paper's
+// point stands here too: whatever the schedule split, every log exchange
+// scans the retained update log, so overhead is linear in retained updates
+// — the cost its DBVV protocol avoids.
+package agrawal
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/vv"
+)
+
+type update struct {
+	origin int
+	seq    uint64 // origin-local sequence
+	key    string
+	value  []byte
+}
+
+type itemState struct {
+	value  []byte
+	origin int
+	seq    uint64
+}
+
+type node struct {
+	items map[string]*itemState
+	log   []update
+	have  vv.VV   // own knowledge: have[j] = # of j's updates applied
+	known []vv.VV // known[p] = last version vector received from peer p
+	met   metrics.Counters
+}
+
+// System is a set of replicas running decoupled log/vector dissemination.
+// Not safe for concurrent use.
+type System struct {
+	n     int
+	nodes []*node
+}
+
+// New returns a system of n empty replicas.
+func New(n int) *System {
+	s := &System{n: n, nodes: make([]*node, n)}
+	for i := range s.nodes {
+		known := make([]vv.VV, n)
+		for p := range known {
+			known[p] = vv.New(n)
+		}
+		s.nodes[i] = &node{
+			items: make(map[string]*itemState),
+			have:  vv.New(n),
+			known: known,
+		}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "agrawal-malpani" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+// Update applies a whole-value write at the given node.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("agrawal: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	no.have.Inc(nd)
+	u := update{origin: nd, seq: no.have[nd], key: key, value: append([]byte(nil), value...)}
+	no.log = append(no.log, u)
+	no.apply(u)
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+func (no *node) apply(u update) {
+	it := no.items[u.key]
+	if it == nil {
+		it = &itemState{}
+		no.items[u.key] = it
+	}
+	// Last-writer-wins on (seq, origin): deterministic convergence for the
+	// single-writer workloads the experiments run, plus a tiebreak.
+	if u.seq > it.seq || (u.seq == it.seq && u.origin > it.origin) {
+		it.value = append([]byte(nil), u.value...)
+		it.seq = u.seq
+		it.origin = u.origin
+	}
+}
+
+// Exchange is the *log* exchange: the source pushes every retained update
+// it cannot prove (from its possibly stale knowledge) the recipient has.
+// Implements the common System surface so the simulator can drive it.
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("agrawal: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+	src.met.Messages++
+
+	believed := src.known[recipient]
+	sent := 0
+	for _, u := range src.log {
+		src.met.SeqComparisons++ // full log scan: linear in retained updates
+		if u.seq <= believed.Get(u.origin) {
+			continue
+		}
+		sent++
+		src.met.LogRecordsSent++
+		src.met.BytesSent += uint64(len(u.key)) + uint64(len(u.value)) + 16
+		if u.seq <= dst.have.Get(u.origin) {
+			continue // redundant: stale knowledge made us resend
+		}
+		// Per-origin order holds within the log, so applying in scan order
+		// preserves the prefix property per origin.
+		dst.log = append(dst.log, u)
+		dst.have[u.origin] = u.seq
+		dst.apply(u)
+		dst.met.ItemsCopied++
+	}
+	if sent == 0 {
+		src.met.PropagationNoops++
+	}
+	dst.met.Messages++
+	return nil
+}
+
+// ExchangeVV is the decoupled *vector* exchange: the recipient learns the
+// source's version vector (no data moves), refreshing the knowledge the
+// log exchange schedules against and enabling log truncation.
+func (s *System) ExchangeVV(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("agrawal: self VV exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	dst.known[source] = src.have.Clone()
+	// The source symmetric-learns the recipient too (a vector exchange is a
+	// small bidirectional message pair).
+	src.known[recipient] = dst.have.Clone()
+	src.met.Messages++
+	dst.met.Messages++
+	src.met.BytesSent += uint64(8 * s.n)
+	dst.met.BytesSent += uint64(8 * s.n)
+	dst.met.DBVVComparisons++
+	s.truncate(src)
+	s.truncate(dst)
+	return nil
+}
+
+// truncate drops log entries every peer is known to have.
+func (s *System) truncate(no *node) {
+	kept := no.log[:0]
+	for _, u := range no.log {
+		needed := false
+		for p := 0; p < s.n; p++ {
+			if no.known[p].Get(u.origin) < u.seq && no.have.Get(u.origin) >= u.seq {
+				// Some peer is not known to have it.
+				if p != indexOf(s.nodes, no) {
+					needed = true
+					break
+				}
+			}
+		}
+		if needed {
+			kept = append(kept, u)
+		}
+	}
+	no.log = kept
+}
+
+func indexOf(nodes []*node, target *node) int {
+	for i, n := range nodes {
+		if n == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// LogLen returns the number of retained update records at a node.
+func (s *System) LogLen(nd int) int { return len(s.nodes[nd].log) }
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum over all nodes.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Converged reports whether all replicas hold identical values.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil || string(ot.value) != string(it.value) {
+				return false, fmt.Sprintf("item %q differs at node %d", key, i+1)
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,135 @@
+package agrawal
+
+import "testing"
+
+func TestUpdateAndRead(t *testing.T) {
+	s := New(2)
+	if err := s.Update(0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Read(0, "x"); !ok || string(v) != "v" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if err := s.Update(5, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := s.Exchange(1, 1); err == nil {
+		t.Error("self exchange accepted")
+	}
+	if err := s.ExchangeVV(0, 0); err == nil {
+		t.Error("self VV exchange accepted")
+	}
+}
+
+func TestLogExchangeDelivers(t *testing.T) {
+	s := New(3)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 1) // logs forward transitively
+	for nd := 0; nd < 3; nd++ {
+		if v, _ := s.Read(nd, "x"); string(v) != "v" {
+			t.Errorf("node %d = %q", nd, v)
+		}
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestStaleKnowledgeCausesRedundantResend(t *testing.T) {
+	// Without a vector exchange, node 0 never learns that node 1 received
+	// the updates, so every log exchange resends everything.
+	s := New(2)
+	for i := 0; i < 20; i++ {
+		s.Update(0, "x", []byte{byte(i)})
+	}
+	s.Exchange(1, 0)
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // same updates again: all redundant
+	d := s.TotalMetrics().Diff(base)
+	if d.LogRecordsSent != 20 {
+		t.Errorf("redundant resend = %d records, want 20", d.LogRecordsSent)
+	}
+	if d.ItemsCopied != 0 {
+		t.Errorf("redundant records were applied: %d", d.ItemsCopied)
+	}
+}
+
+func TestVectorExchangeStopsResend(t *testing.T) {
+	// The decoupled vector exchange refreshes knowledge; subsequent log
+	// exchanges go quiet.
+	s := New(2)
+	for i := 0; i < 20; i++ {
+		s.Update(0, "x", []byte{byte(i)})
+	}
+	s.Exchange(1, 0)
+	s.ExchangeVV(0, 1) // node 0 learns node 1's vector
+	base := s.TotalMetrics()
+	s.Exchange(1, 0)
+	d := s.TotalMetrics().Diff(base)
+	if d.LogRecordsSent != 0 {
+		t.Errorf("post-VV exchange resent %d records", d.LogRecordsSent)
+	}
+	if d.PropagationNoops != 1 {
+		t.Errorf("noops = %d", d.PropagationNoops)
+	}
+}
+
+func TestVectorExchangeEnablesTruncation(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 10; i++ {
+		s.Update(0, "x", []byte{byte(i)})
+	}
+	if got := s.LogLen(0); got != 10 {
+		t.Fatalf("log = %d", got)
+	}
+	s.Exchange(1, 0)
+	s.ExchangeVV(0, 1) // both learn; everything is everywhere
+	if got := s.LogLen(0); got != 0 {
+		t.Errorf("node 0 log = %d after full knowledge, want truncation to 0", got)
+	}
+}
+
+func TestLogScanCostLinearInRetained(t *testing.T) {
+	// Every log exchange scans the whole retained log — the §8.3 overhead
+	// the paper contrasts with its n·N-bounded structure.
+	const U = 100
+	s := New(3) // node 2 lags: log cannot truncate
+	for i := 0; i < U; i++ {
+		s.Update(0, "x", []byte{byte(i)})
+	}
+	s.Exchange(1, 0)
+	s.ExchangeVV(0, 1)
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // no data moves, but the scan still pays U
+	d := s.TotalMetrics().Diff(base)
+	if d.SeqComparisons < U {
+		t.Errorf("log scan = %d comparisons, want >= %d", d.SeqComparisons, U)
+	}
+}
+
+func TestSeparateSchedulesConverge(t *testing.T) {
+	// Aggressive log exchanges, rare vector exchanges — the decoupling the
+	// §8.3 text highlights — still converges.
+	const n = 4
+	s := New(n)
+	for i := 0; i < n; i++ {
+		s.Update(i, "k"+string(rune('0'+i)), []byte{byte(i)})
+	}
+	for round := 0; round < 6; round++ {
+		for r := 0; r < n; r++ {
+			s.Exchange(r, (r+1)%n)
+		}
+		if round%3 == 2 { // vector exchange on a slower schedule
+			for r := 0; r < n; r++ {
+				s.ExchangeVV(r, (r+2)%n)
+			}
+		}
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	if s.Name() != "agrawal-malpani" || s.Servers() != n {
+		t.Error("identity accessors wrong")
+	}
+}

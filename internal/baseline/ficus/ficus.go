@@ -1,0 +1,197 @@
+// Package ficus models the Ficus replicated file system's propagation
+// split, discussed in §8.3: anti-entropy is divided into an *update
+// notification* process — each node periodically pushes the items it
+// updated locally to all other nodes, attempted only once, with no
+// indirect forwarding — and a *reconciliation* process that periodically
+// compares the version vectors of every item pair-wise to catch whatever
+// notification missed.
+//
+// Notification handles the common case cheaply; reconciliation is the
+// correctness backstop, and it is exactly the Θ(N)-per-session scan whose
+// cost the paper's protocol replaces ("our approach would still be
+// beneficial by improving performance of update propagation when it does
+// run", §8.3). Experiment E14 measures that backstop against the DBVV
+// protocol with notification losses injected.
+package ficus
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/vv"
+)
+
+type item struct {
+	value []byte
+	ivv   vv.VV
+}
+
+type node struct {
+	items   map[string]*item
+	pending map[string]bool // locally updated, not yet notified
+	met     metrics.Counters
+}
+
+// System is a set of replicas running Ficus-style notification plus
+// reconciliation. Not safe for concurrent use.
+type System struct {
+	n         int
+	nodes     []*node
+	conflicts int
+}
+
+// New returns a system of n empty replicas.
+func New(n int) *System {
+	s := &System{n: n, nodes: make([]*node, n)}
+	for i := range s.nodes {
+		s.nodes[i] = &node{
+			items:   make(map[string]*item),
+			pending: make(map[string]bool),
+		}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "ficus" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+// Update applies a whole-value write at the given node and queues the item
+// for the next notification round.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("ficus: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	it := no.items[key]
+	if it == nil {
+		it = &item{ivv: vv.New(s.n)}
+		no.items[key] = it
+	}
+	it.value = append([]byte(nil), value...)
+	it.ivv.Inc(nd)
+	no.pending[key] = true
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+// Notify performs one update-notification round at the given node: every
+// pending locally-updated item is pushed once to every reachable peer.
+// down[p] peers miss the notification permanently — it is attempted only
+// once (§8.3), which is exactly the gap reconciliation must close.
+func (s *System) Notify(nd int, down func(peer int) bool) {
+	src := s.nodes[nd]
+	for key := range src.pending {
+		sit := src.items[key]
+		for p := 0; p < s.n; p++ {
+			if p == nd || (down != nil && down(p)) {
+				continue
+			}
+			dst := s.nodes[p]
+			src.met.Messages++
+			src.met.ItemsSent++
+			src.met.BytesSent += uint64(len(key)) + uint64(len(sit.value)) + uint64(8*s.n)
+			s.adopt(dst, key, sit)
+		}
+		delete(src.pending, key)
+	}
+}
+
+// adopt installs a copy at dst when it dominates (the Ficus version-vector
+// rule); concurrent vectors are conflicts for its resolver.
+func (s *System) adopt(dst *node, key string, sit *item) {
+	dit := dst.items[key]
+	var local vv.VV
+	if dit != nil {
+		local = dit.ivv
+	} else {
+		local = vv.New(s.n)
+	}
+	dst.met.IVVComparisons++
+	switch sit.ivv.Compare(local) {
+	case vv.Dominates:
+		if dit == nil {
+			dit = &item{ivv: vv.New(s.n)}
+			dst.items[key] = dit
+		}
+		dit.value = append([]byte(nil), sit.value...)
+		dit.ivv = sit.ivv.Clone()
+		dst.met.ItemsCopied++
+	case vv.Concurrent:
+		dst.met.ConflictsDetected++
+		s.conflicts++
+	}
+}
+
+// Exchange is the *reconciliation* pass (the common System surface): the
+// recipient compares every item's version vector against the source's and
+// pulls dominated copies — Θ(N) per session regardless of how much
+// notification already delivered.
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("ficus: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+	src.met.Messages++
+	copied := dst.met.ItemsCopied
+	for key, sit := range src.items {
+		src.met.ItemsExamined++
+		dst.met.ItemsExamined++
+		src.met.BytesSent += uint64(len(key)) + uint64(8*s.n)
+		s.adopt(dst, key, sit)
+	}
+	if dst.met.ItemsCopied == copied {
+		dst.met.PropagationNoops++
+	}
+	dst.met.Messages++
+	return nil
+}
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// Pending returns how many locally-updated items await notification at a
+// node.
+func (s *System) Pending(nd int) int { return len(s.nodes[nd].pending) }
+
+// Conflicts returns the number of conflicting adoptions observed.
+func (s *System) Conflicts() int { return s.conflicts }
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum over all nodes.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Converged reports whether all replicas hold identical items.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil || !it.ivv.Equal(ot.ivv) || string(it.value) != string(ot.value) {
+				return false, fmt.Sprintf("item %q differs at node %d", key, i+1)
+			}
+		}
+	}
+	return true, ""
+}

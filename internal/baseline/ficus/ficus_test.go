@@ -1,0 +1,111 @@
+package ficus
+
+import "testing"
+
+func TestUpdateAndNotify(t *testing.T) {
+	s := New(3)
+	if err := s.Update(0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pending(0) != 1 {
+		t.Fatalf("pending = %d", s.Pending(0))
+	}
+	s.Notify(0, nil)
+	if s.Pending(0) != 0 {
+		t.Errorf("pending after notify = %d", s.Pending(0))
+	}
+	for nd := 0; nd < 3; nd++ {
+		if v, _ := s.Read(nd, "x"); string(v) != "v" {
+			t.Errorf("node %d = %q", nd, v)
+		}
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+	if err := s.Update(9, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := s.Exchange(1, 1); err == nil {
+		t.Error("self exchange accepted")
+	}
+}
+
+func TestNotificationAttemptedOnlyOnce(t *testing.T) {
+	// §8.3: "This notification is attempted only once, and no indirect
+	// copying occurs." A down peer misses the update permanently until
+	// reconciliation runs.
+	s := New(3)
+	s.Update(0, "x", []byte("v"))
+	s.Notify(0, func(peer int) bool { return peer == 2 }) // node 2 down
+	if _, ok := s.Read(2, "x"); ok {
+		t.Fatal("down node received the notification")
+	}
+	// Even repeated notify rounds carry nothing: the item is no longer
+	// pending.
+	s.Notify(0, nil)
+	if _, ok := s.Read(2, "x"); ok {
+		t.Fatal("second notify re-pushed a consumed notification")
+	}
+	// And node 1 does NOT forward (no indirect copying by notification).
+	s.Notify(1, nil)
+	if _, ok := s.Read(2, "x"); ok {
+		t.Fatal("indirect notification occurred")
+	}
+	// Reconciliation closes the gap.
+	if err := s.Exchange(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read(2, "x"); string(v) != "v" {
+		t.Errorf("reconciliation failed: %q", v)
+	}
+}
+
+func TestReconciliationIsThetaN(t *testing.T) {
+	const N = 400
+	s := New(2)
+	for i := 0; i < N; i++ {
+		s.Update(0, key(i), []byte("v"))
+	}
+	s.Notify(0, nil) // everything already delivered
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // reconciliation between identical replicas
+	d := s.TotalMetrics().Diff(base)
+	if d.ItemsExamined < 2*N {
+		t.Errorf("reconciliation examined %d, want >= %d (both sides, every item)", d.ItemsExamined, 2*N)
+	}
+	if d.ItemsCopied != 0 {
+		t.Errorf("reconciliation copied %d items between identical replicas", d.ItemsCopied)
+	}
+	if d.PropagationNoops != 1 {
+		t.Errorf("noops = %d", d.PropagationNoops)
+	}
+}
+
+func TestConflictSurfacedNotOverwritten(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("a"))
+	s.Update(1, "x", []byte("b"))
+	s.Notify(0, nil)
+	if s.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d", s.Conflicts())
+	}
+	if v, _ := s.Read(1, "x"); string(v) != "b" {
+		t.Errorf("conflicting copy overwritten: %q", v)
+	}
+}
+
+func TestOlderNotificationIgnored(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v1"))
+	s.Notify(0, nil)
+	s.Update(1, "x", []byte("v2")) // node 1 ahead now
+	s.Update(0, "y", []byte("w"))
+	s.Exchange(1, 0) // reconciliation: node 0's x is older, must not win
+	if v, _ := s.Read(1, "x"); string(v) != "v2" {
+		t.Errorf("older copy adopted: %q", v)
+	}
+}
+
+func key(i int) string {
+	return "k" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}

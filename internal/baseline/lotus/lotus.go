@@ -1,0 +1,228 @@
+// Package lotus models the Lotus Notes replication protocol as described in
+// §8.1 of the paper: per-item sequence numbers (no version vectors) plus,
+// at every server, the time of the last update propagation to each other
+// server.
+//
+// The model reproduces the behaviours the paper analyzes:
+//
+//   - A session is resolved in O(1) only when *nothing* in the source
+//     database changed since the last propagation to this recipient. If
+//     anything changed — even if the recipient already has it via an
+//     indirect path — the source scans every item's modification time
+//     (Θ(N) work), ships a modified-items list, and the recipient performs
+//     per-entry work, all of which can be pure overhead.
+//   - Conflicting copies are mis-ordered: the copy with the larger sequence
+//     number silently overwrites the other, losing an update instead of
+//     declaring a conflict (the paper's correctness criticism, §8.1).
+//
+// Timestamps are logical: a per-system Lamport-style counter advanced on
+// every update and session, standing in for the wall-clock times Lotus
+// compares. This preserves the ordering behaviour the analysis depends on.
+package lotus
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+type item struct {
+	value   []byte
+	seq     uint64 // Lotus per-item sequence number: updates seen by this copy
+	modTime uint64 // local logical time of last modification (update or adoption)
+}
+
+type node struct {
+	items     map[string]*item
+	dbModTime uint64   // max modTime over all items: O(1) "anything changed?" check
+	lastProp  []uint64 // lastProp[r]: logical time of last propagation to server r
+	met       metrics.Counters
+}
+
+// System is a set of replicas running Lotus Notes-style replication. Not
+// safe for concurrent use.
+type System struct {
+	n     int
+	nodes []*node
+	clock uint64 // global logical clock
+}
+
+// New returns a system of n empty replicas.
+func New(n int) *System {
+	s := &System{n: n, nodes: make([]*node, n)}
+	for i := range s.nodes {
+		s.nodes[i] = &node{
+			items:    make(map[string]*item),
+			lastProp: make([]uint64, n),
+		}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "lotus" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+func (s *System) tick() uint64 {
+	s.clock++
+	return s.clock
+}
+
+// Update applies a whole-value write at the given node, incrementing the
+// item's sequence number and stamping its modification time.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("lotus: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	it := no.items[key]
+	if it == nil {
+		it = &item{}
+		no.items[key] = it
+	}
+	it.value = append([]byte(nil), value...)
+	it.seq++
+	it.modTime = s.tick()
+	if it.modTime > no.dbModTime {
+		no.dbModTime = it.modTime
+	}
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+// Exchange performs one replication session from source to recipient
+// (§8.1):
+//
+//  1. The source checks whether any item changed since the last propagation
+//     to this recipient (O(1) via the database modification time). If not,
+//     the session ends.
+//  2. Otherwise the source scans every item (Θ(N)), builds the list of
+//     items modified since the last propagation, and ships the list
+//     (name + sequence number per entry).
+//  3. The recipient compares every entry's sequence number against its own
+//     copy and pulls the items whose source sequence number is greater —
+//     even when the "newer" copy is actually a conflicting one.
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("lotus: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+	src.met.Messages++ // session open / "anything new?" probe
+
+	since := src.lastProp[recipient]
+	src.met.SeqComparisons++ // dbModTime vs lastProp: the O(1) happy path
+	if src.dbModTime <= since {
+		src.met.PropagationNoops++
+		src.met.BytesSent += 16
+		return nil
+	}
+
+	// Θ(N) scan: compare every item's modification time with `since`.
+	type entry struct {
+		key string
+		seq uint64
+	}
+	var list []entry
+	for key, it := range src.items {
+		src.met.ItemsExamined++
+		src.met.SeqComparisons++
+		if it.modTime > since {
+			list = append(list, entry{key: key, seq: it.seq})
+		}
+	}
+	src.met.Messages++
+	for _, e := range list {
+		src.met.LogRecordsSent++
+		src.met.BytesSent += uint64(len(e.key)) + 8
+	}
+
+	// Recipient-side per-entry work.
+	copied := 0
+	for _, e := range list {
+		dst.met.ItemsExamined++
+		dst.met.SeqComparisons++
+		dit := dst.items[e.key]
+		var localSeq uint64
+		if dit != nil {
+			localSeq = dit.seq
+		}
+		if e.seq > localSeq {
+			sit := src.items[e.key]
+			src.met.ItemsSent++
+			src.met.BytesSent += uint64(len(e.key)) + uint64(len(sit.value)) + 8
+			if dit == nil {
+				dit = &item{}
+				dst.items[e.key] = dit
+			}
+			// Mis-ordering hazard: this adoption is unconditional on the
+			// update *history*; a conflicting copy with a larger sequence
+			// number silently wins (§8.1).
+			dit.value = append([]byte(nil), sit.value...)
+			dit.seq = sit.seq
+			dit.modTime = s.tick()
+			if dit.modTime > dst.dbModTime {
+				dst.dbModTime = dit.modTime
+			}
+			dst.met.ItemsCopied++
+			copied++
+		}
+	}
+	if copied == 0 {
+		dst.met.PropagationNoops++
+	}
+	dst.met.Messages++
+	src.lastProp[recipient] = s.tick()
+	return nil
+}
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// Seq returns the Lotus sequence number of the node's copy of key.
+func (s *System) Seq(nd int, key string) uint64 {
+	if it := s.nodes[nd].items[key]; it != nil {
+		return it.seq
+	}
+	return 0
+}
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum of all nodes' counters.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Converged reports whether all replicas hold identical values. Lotus has
+// no inter-copy consistency metadata beyond sequence numbers, so only
+// values and sequence numbers are compared.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil || ot.seq != it.seq || string(ot.value) != string(it.value) {
+				return false, fmt.Sprintf("item %q differs at node %d", key, i+1)
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,144 @@
+package lotus
+
+import "testing"
+
+func TestUpdateAndRead(t *testing.T) {
+	s := New(2)
+	if err := s.Update(0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Read(0, "x"); !ok || string(v) != "v" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if s.Seq(0, "x") != 1 {
+		t.Errorf("Seq = %d, want 1", s.Seq(0, "x"))
+	}
+	if s.Seq(1, "x") != 0 {
+		t.Errorf("remote Seq = %d, want 0", s.Seq(1, "x"))
+	}
+	if err := s.Update(5, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestExchangePropagates(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v"))
+	if err := s.Exchange(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read(1, "x"); string(v) != "v" {
+		t.Errorf("x = %q", v)
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestNoChangeFastPath(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // nothing changed at source since last propagation
+	d := s.TotalMetrics().Diff(base)
+	if d.ItemsExamined != 0 {
+		t.Errorf("fast path examined %d items, want 0", d.ItemsExamined)
+	}
+	if d.SeqComparisons != 1 {
+		t.Errorf("fast path comparisons = %d, want 1", d.SeqComparisons)
+	}
+	if d.PropagationNoops != 1 {
+		t.Errorf("noops = %d", d.PropagationNoops)
+	}
+}
+
+func TestIndirectCopyDefeatsFastPath(t *testing.T) {
+	// §8.1: after both nodes sync via a third party (here: a receives b's
+	// data), the source's database modification time has advanced even
+	// though the recipient already has everything — Lotus scans all N
+	// items and ships a redundant list.
+	const N = 200
+	s := New(3)
+	for i := 0; i < N; i++ {
+		s.Update(0, key(i), []byte("v"))
+	}
+	s.Exchange(1, 0) // b gets everything directly
+	s.Exchange(2, 0) // c gets everything
+	s.Update(2, "extra", []byte("w"))
+	s.Exchange(1, 2) // b gets extra from c
+	s.Exchange(0, 2) // a gets extra from c; a's replica == b's replica now
+
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // identical replicas, but a's db changed since last prop to b
+	d := s.TotalMetrics().Diff(base)
+	if d.ItemsExamined < N {
+		t.Errorf("identical-replica session examined %d items, want >= %d (the Θ(N) overhead)", d.ItemsExamined, N)
+	}
+	if d.ItemsSent != 0 {
+		t.Errorf("shipped %d items between identical replicas", d.ItemsSent)
+	}
+}
+
+func TestConflictMisordered(t *testing.T) {
+	// §8.1: i makes two updates, j makes one conflicting update; i's copy
+	// has the larger sequence number and silently overwrites j's. No
+	// conflict is declared and j's update is lost.
+	s := New(2)
+	s.Update(0, "x", []byte("i-1"))
+	s.Update(0, "x", []byte("i-2")) // seq 2 at node 0
+	s.Update(1, "x", []byte("j-1")) // seq 1 at node 1, conflicting
+
+	s.Exchange(1, 0)
+	if v, _ := s.Read(1, "x"); string(v) != "i-2" {
+		t.Fatalf("node 1 value = %q, want the silent overwrite to i-2", v)
+	}
+	if got := s.TotalMetrics().ConflictsDetected; got != 0 {
+		t.Errorf("Lotus model declared %d conflicts; the protocol cannot detect them", got)
+	}
+}
+
+func TestAdoptedItemsPropagateOnward(t *testing.T) {
+	s := New(3)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 1) // node 1 forwards what it adopted
+	if v, _ := s.Read(2, "x"); string(v) != "v" {
+		t.Errorf("forwarding failed: %q", v)
+	}
+}
+
+func TestSelfExchangeRejected(t *testing.T) {
+	s := New(2)
+	if err := s.Exchange(0, 0); err == nil {
+		t.Error("self exchange accepted")
+	}
+}
+
+func TestOlderCopyNotAdopted(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v1"))
+	s.Exchange(1, 0)
+	s.Update(1, "x", []byte("v2")) // recipient ahead now (seq 2)
+	s.Update(0, "y", []byte("w"))  // force non-noop session
+	s.Exchange(1, 0)
+	if v, _ := s.Read(1, "x"); string(v) != "v2" {
+		t.Errorf("older copy adopted: %q", v)
+	}
+}
+
+func key(i int) string { return "k" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

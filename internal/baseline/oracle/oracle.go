@@ -1,0 +1,184 @@
+// Package oracle models the Oracle 7 Symmetric Replication approach as
+// described in §8.2 of the paper: every server keeps track of the updates
+// it performs and periodically ships them to all other servers; recipients
+// never forward.
+//
+// In the absence of failures this is efficient — only the data that needs
+// propagating is shipped and no comparison of replica control state is ever
+// performed. The weakness the paper analyzes is failure during propagation:
+// if the originator crashes after pushing to only some servers, the others
+// stay obsolete until the originator is repaired, because nobody forwards.
+// Experiment E4 reproduces exactly this.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+type update struct {
+	key   string
+	value []byte
+	seq   uint64 // origin-local sequence number
+}
+
+type item struct {
+	value []byte
+	// seen[origin] = highest origin sequence number applied, for idempotence.
+}
+
+type node struct {
+	items map[string]*item
+	seen  []uint64 // per-origin high-water mark of applied updates
+
+	ownLog []update // updates originated here, in order
+	sent   []int    // sent[r]: prefix of ownLog already pushed to server r
+
+	met metrics.Counters
+}
+
+// System is a set of replicas running originator-push replication. Not safe
+// for concurrent use.
+type System struct {
+	n     int
+	nodes []*node
+}
+
+// New returns a system of n empty replicas.
+func New(n int) *System {
+	s := &System{n: n, nodes: make([]*node, n)}
+	for i := range s.nodes {
+		s.nodes[i] = &node{
+			items: make(map[string]*item),
+			seen:  make([]uint64, n),
+			sent:  make([]int, n),
+		}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "oracle-push" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+// Update applies a whole-value write at the given node and queues it for
+// push to every other server.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("oracle: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	it := no.items[key]
+	if it == nil {
+		it = &item{}
+		no.items[key] = it
+	}
+	it.value = append([]byte(nil), value...)
+	no.seen[nd]++
+	no.ownLog = append(no.ownLog, update{
+		key:   key,
+		value: append([]byte(nil), value...),
+		seq:   no.seen[nd],
+	})
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+// Exchange pushes the source's *own* pending updates to the recipient. No
+// forwarding: updates the source received from third parties never travel.
+// No replica control state is compared — the defining property (and
+// vulnerability) of the approach.
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("oracle: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+	pending := src.ownLog[src.sent[recipient]:]
+	if len(pending) == 0 {
+		src.met.PropagationNoops++
+		return nil
+	}
+	src.met.Messages++
+	for _, u := range pending {
+		src.met.LogRecordsSent++
+		src.met.ItemsSent++
+		src.met.BytesSent += uint64(len(u.key)) + uint64(len(u.value)) + 8
+		if u.seq <= dst.seen[source] {
+			continue // already delivered (should not happen with exact cursors)
+		}
+		it := dst.items[u.key]
+		if it == nil {
+			it = &item{}
+			dst.items[u.key] = it
+		}
+		it.value = append([]byte(nil), u.value...)
+		dst.seen[source] = u.seq
+		dst.met.ItemsCopied++
+	}
+	dst.met.Messages++
+	src.sent[recipient] = len(src.ownLog)
+	return nil
+}
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// Pending returns how many of source's own updates have not yet been pushed
+// to recipient. Used by failure experiments to observe lasting staleness.
+func (s *System) Pending(source, recipient int) int {
+	src := s.nodes[source]
+	return len(src.ownLog) - src.sent[recipient]
+}
+
+// Stale reports how many updates originated at `origin` the given node has
+// not seen.
+func (s *System) Stale(nd, origin int) uint64 {
+	return s.nodes[origin].seen[origin] - s.nodes[nd].seen[origin]
+}
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum of all nodes' counters.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Converged reports whether all replicas hold identical values and have
+// seen the same update prefixes from every origin.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		for origin := 0; origin < s.n; origin++ {
+			if no.seen[origin] != first.seen[origin] {
+				return false, fmt.Sprintf("node %d saw %d updates from %d, node 0 saw %d",
+					i+1, no.seen[origin], origin, first.seen[origin])
+			}
+		}
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil || string(ot.value) != string(it.value) {
+				return false, fmt.Sprintf("item %q differs at node %d", key, i+1)
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,133 @@
+package oracle
+
+import "testing"
+
+func TestUpdateAndRead(t *testing.T) {
+	s := New(3)
+	if err := s.Update(0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Read(0, "x"); !ok || string(v) != "v" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if err := s.Update(7, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestPushDeliversOwnUpdates(t *testing.T) {
+	s := New(3)
+	s.Update(0, "x", []byte("v1"))
+	s.Update(0, "y", []byte("v2"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 0)
+	if ok, why := s.Converged(); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	if s.Pending(0, 1) != 0 || s.Pending(0, 2) != 0 {
+		t.Error("pending queues not drained")
+	}
+}
+
+func TestNoForwarding(t *testing.T) {
+	// Node 1 receives node 0's update, then pushes to node 2 — but only its
+	// own updates travel, so node 2 stays stale. The §8.2 vulnerability.
+	s := New(3)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 1) // node 1 has nothing of its own to push
+	if _, ok := s.Read(2, "x"); ok {
+		t.Fatal("forwarding occurred; the model must not forward")
+	}
+	if got := s.Stale(2, 0); got != 1 {
+		t.Errorf("node 2 staleness vs origin 0 = %d, want 1", got)
+	}
+}
+
+func TestOriginatorFailureLeavesLastingStaleness(t *testing.T) {
+	// Originator pushes to half the nodes, then "crashes" (no more
+	// exchanges from it). No amount of peer-to-peer exchange helps.
+	const n = 6
+	s := New(n)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 0)
+	// crash: node 0 stops pushing. Everyone else gossips for many rounds.
+	for round := 0; round < 20; round++ {
+		for r := 1; r < n; r++ {
+			for src := 1; src < n; src++ {
+				if src != r {
+					s.Exchange(r, src)
+				}
+			}
+		}
+	}
+	for nd := 3; nd < n; nd++ {
+		if got := s.Stale(nd, 0); got != 1 {
+			t.Errorf("node %d staleness = %d, want 1 (stale until originator repairs)", nd, got)
+		}
+	}
+	// Repair: node 0 resumes its pushes and the system converges.
+	for r := 1; r < n; r++ {
+		s.Exchange(r, 0)
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged after repair: %s", why)
+	}
+}
+
+func TestNoopPushCostsNothing(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	base := s.TotalMetrics()
+	s.Exchange(1, 0)
+	d := s.TotalMetrics().Diff(base)
+	if d.ItemsExamined != 0 || d.IVVComparisons != 0 || d.SeqComparisons != 0 {
+		t.Errorf("noop push performed comparison work: %v", d)
+	}
+	if d.PropagationNoops != 1 {
+		t.Errorf("noops = %d, want 1", d.PropagationNoops)
+	}
+}
+
+func TestRecordsShippedLinearInUpdates(t *testing.T) {
+	// Oracle ships update records, not items: 50 updates to one item ship
+	// 50 records (contrast with the paper's 1).
+	s := New(2)
+	for i := 0; i < 50; i++ {
+		s.Update(0, "hot", []byte{byte(i)})
+	}
+	s.Exchange(1, 0)
+	if got := s.TotalMetrics().LogRecordsSent; got != 50 {
+		t.Errorf("records sent = %d, want 50", got)
+	}
+}
+
+func TestSelfExchangeRejected(t *testing.T) {
+	s := New(2)
+	if err := s.Exchange(1, 1); err == nil {
+		t.Error("self exchange accepted")
+	}
+}
+
+func TestCursorAdvancesPerRecipient(t *testing.T) {
+	s := New(3)
+	s.Update(0, "x", []byte("v1"))
+	s.Exchange(1, 0)
+	s.Update(0, "x", []byte("v2"))
+	if s.Pending(0, 1) != 1 || s.Pending(0, 2) != 2 {
+		t.Errorf("pending = %d/%d, want 1/2", s.Pending(0, 1), s.Pending(0, 2))
+	}
+	s.Exchange(2, 0)
+	if v, _ := s.Read(2, "x"); string(v) != "v2" {
+		t.Errorf("node 2 = %q", v)
+	}
+}
+
+func TestNameServers(t *testing.T) {
+	s := New(4)
+	if s.Name() != "oracle-push" || s.Servers() != 4 {
+		t.Error("identity accessors wrong")
+	}
+}

@@ -1,0 +1,181 @@
+// Package peritem implements the classic per-item version-vector
+// anti-entropy protocol the paper takes as its point of departure (§1, §3,
+// §8.3): Locus/Ficus-style reconciliation where every anti-entropy session
+// compares the version vectors of *every* data item pair-wise.
+//
+// The protocol is correct — it detects conflicts and never loses updates —
+// but its overhead is Θ(N) per session in the total number of data items N,
+// which is exactly the scalability problem the paper's DBVV protocol
+// removes. It is the primary baseline for experiments E1 and E2.
+package peritem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/vv"
+)
+
+type item struct {
+	value []byte
+	ivv   vv.VV
+}
+
+type node struct {
+	items map[string]*item
+	met   metrics.Counters
+}
+
+// System is a set of replicas running per-item version-vector anti-entropy.
+// It is not safe for concurrent use; the simulator serializes access.
+type System struct {
+	n         int
+	nodes     []*node
+	conflicts int
+}
+
+// New returns a system of n empty replicas.
+func New(n int) *System {
+	s := &System{n: n, nodes: make([]*node, n)}
+	for i := range s.nodes {
+		s.nodes[i] = &node{items: make(map[string]*item)}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "per-item-vv" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+// Update applies a whole-value write at the given node.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("peritem: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	it := no.items[key]
+	if it == nil {
+		it = &item{ivv: vv.New(s.n)}
+		no.items[key] = it
+	}
+	it.value = append([]byte(nil), value...)
+	it.ivv.Inc(nd)
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+// Exchange performs one anti-entropy session: recipient pulls from source.
+// The source ships the version vectors of all its items; the recipient
+// compares every one against its own copy and pulls the items whose source
+// vector dominates. Cost is Θ(N) in comparisons, examined items and control
+// bytes even when the replicas are identical.
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("peritem: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+
+	// Source ships (key, IVV) for every item: the per-item control message.
+	src.met.Messages++
+	for key := range src.items {
+		src.met.ItemsExamined++
+		src.met.BytesSent += uint64(len(key)) + uint64(8*s.n)
+	}
+
+	copied := 0
+	for key, sit := range src.items {
+		dst.met.ItemsExamined++
+		dst.met.IVVComparisons++
+		dit := dst.items[key]
+		var localIVV vv.VV
+		if dit != nil {
+			localIVV = dit.ivv
+		} else {
+			localIVV = vv.New(s.n)
+		}
+		switch sit.ivv.Compare(localIVV) {
+		case vv.Dominates:
+			// Pull the item (second message leg, charged to the source).
+			src.met.ItemsSent++
+			src.met.BytesSent += uint64(len(key)) + uint64(len(sit.value)) + uint64(8*s.n)
+			if dit == nil {
+				dit = &item{ivv: vv.New(s.n)}
+				dst.items[key] = dit
+			}
+			dit.value = append([]byte(nil), sit.value...)
+			dit.ivv = sit.ivv.Clone()
+			dst.met.ItemsCopied++
+			copied++
+		case vv.Concurrent:
+			dst.met.ConflictsDetected++
+			s.conflicts++
+		}
+	}
+	if copied == 0 {
+		dst.met.PropagationNoops++
+	}
+	dst.met.Messages++
+	return nil
+}
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum of all nodes' counters.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Conflicts returns the number of conflicting item pairs observed.
+func (s *System) Conflicts() int { return s.conflicts }
+
+// Converged reports whether all replicas hold identical items.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil {
+				return false, fmt.Sprintf("item %q missing at node %d", key, i+1)
+			}
+			if !it.ivv.Equal(ot.ivv) {
+				return false, fmt.Sprintf("item %q IVVs differ: %v vs %v", key, it.ivv, ot.ivv)
+			}
+			if string(it.value) != string(ot.value) {
+				return false, fmt.Sprintf("item %q values differ", key)
+			}
+		}
+	}
+	return true, ""
+}
+
+// Keys returns node 0's item keys, sorted; for tests.
+func (s *System) Keys() []string {
+	keys := make([]string, 0, len(s.nodes[0].items))
+	for k := range s.nodes[0].items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,132 @@
+package peritem
+
+import "testing"
+
+func TestUpdateAndRead(t *testing.T) {
+	s := New(3)
+	if err := s.Update(0, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Read(0, "x")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if _, ok := s.Read(1, "x"); ok {
+		t.Error("update leaked to another node")
+	}
+	if err := s.Update(9, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestExchangePropagates(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v"))
+	s.Update(0, "y", []byte("w"))
+	if err := s.Exchange(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read(1, "x"); string(v) != "v" {
+		t.Errorf("x = %q", v)
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestExchangeCostLinearInTotalItems(t *testing.T) {
+	// The defining Θ(N) behaviour: even between identical replicas, every
+	// item is examined.
+	const N = 500
+	s := New(2)
+	for i := 0; i < N; i++ {
+		s.Update(0, key(i), []byte("v"))
+	}
+	s.Exchange(1, 0)
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // identical replicas now
+	d := s.TotalMetrics().Diff(base)
+	if d.IVVComparisons != N {
+		t.Errorf("IVV comparisons = %d, want %d even when identical", d.IVVComparisons, N)
+	}
+	if d.ItemsSent != 0 {
+		t.Errorf("items sent = %d between identical replicas", d.ItemsSent)
+	}
+	if d.PropagationNoops != 1 {
+		t.Errorf("noops = %d", d.PropagationNoops)
+	}
+}
+
+func TestConflictDetected(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("a"))
+	s.Update(1, "x", []byte("b"))
+	s.Exchange(1, 0)
+	if s.Conflicts() != 1 {
+		t.Errorf("conflicts = %d, want 1", s.Conflicts())
+	}
+	// Neither copy overwritten.
+	if v, _ := s.Read(1, "x"); string(v) != "b" {
+		t.Errorf("conflicting copy overwritten: %q", v)
+	}
+}
+
+func TestTransitiveConvergence(t *testing.T) {
+	s := New(3)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 1)
+	if v, _ := s.Read(2, "x"); string(v) != "v" {
+		t.Errorf("relay failed: %q", v)
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestSelfExchangeRejected(t *testing.T) {
+	s := New(2)
+	if err := s.Exchange(1, 1); err == nil {
+		t.Error("self exchange accepted")
+	}
+}
+
+func TestNameServersKeys(t *testing.T) {
+	s := New(4)
+	if s.Name() != "per-item-vv" || s.Servers() != 4 {
+		t.Error("identity accessors wrong")
+	}
+	s.Update(0, "b", nil)
+	s.Update(0, "a", nil)
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestNewerLocalCopySurvives(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("old"))
+	s.Exchange(1, 0)
+	s.Update(1, "x", []byte("newer"))
+	s.Exchange(1, 0) // source copy is older now
+	if v, _ := s.Read(1, "x"); string(v) != "newer" {
+		t.Errorf("older copy overwrote newer: %q", v)
+	}
+}
+
+func key(i int) string { return "k" + string(rune('a'+i%26)) + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

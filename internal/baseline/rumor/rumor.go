@@ -1,0 +1,226 @@
+// Package rumor implements rumor mongering from Demers et al. (PODC 1987)
+// — reference [4] of the paper, the foundational epidemic work whose
+// anti-entropy variant the paper's protocol improves.
+//
+// With rumor mongering, a node that learns a new update treats it as a hot
+// rumor and pushes it to randomly chosen peers; when it pushes to a peer
+// that already knew the rumor, it loses interest with probability 1/k.
+// Spreading is fast and cheap, but probabilistic: with some residual
+// probability a rumor dies out before reaching every node, which is why
+// Demers (and every practical system since) back rumor mongering with
+// periodic anti-entropy. The paper's contribution makes exactly that
+// backing anti-entropy cheap; this baseline exists so experiments can show
+// the two mechanisms composing (rumors for speed, DBVV anti-entropy for
+// certainty).
+//
+// Updates are identified by (origin, seq); items converge by last-writer-
+// wins on that pair, which suffices for the single-writer workloads the
+// experiments run.
+package rumor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+)
+
+type update struct {
+	origin int
+	seq    uint64
+	key    string
+	value  []byte
+}
+
+func (u update) id() [2]uint64 { return [2]uint64{uint64(u.origin), u.seq} }
+
+type itemState struct {
+	value  []byte
+	origin int
+	seq    uint64
+}
+
+type node struct {
+	items map[string]*itemState
+	seen  map[[2]uint64]bool
+	hot   []update // rumors this node is still actively spreading
+	nseq  uint64
+	met   metrics.Counters
+}
+
+// System is a set of replicas spreading updates by rumor mongering. Not
+// safe for concurrent use.
+type System struct {
+	n     int
+	k     float64 // lose-interest parameter: 1/k probability per stale push
+	nodes []*node
+	rng   *rand.Rand
+}
+
+// New returns a system of n replicas with lose-interest parameter k
+// (Demers' classic choice is k=1 or 2) and a deterministic seed.
+func New(n int, k float64, seed int64) *System {
+	if k < 1 {
+		k = 1
+	}
+	s := &System{n: n, k: k, nodes: make([]*node, n), rng: rand.New(rand.NewSource(seed))}
+	for i := range s.nodes {
+		s.nodes[i] = &node{
+			items: make(map[string]*itemState),
+			seen:  make(map[[2]uint64]bool),
+		}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "rumor-mongering" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+// Update applies a whole-value write at the given node; the update becomes
+// a hot rumor there.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("rumor: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	no.nseq++
+	u := update{origin: nd, seq: no.nseq<<8 | uint64(nd), key: key,
+		value: append([]byte(nil), value...)}
+	no.apply(u)
+	no.seen[u.id()] = true
+	no.hot = append(no.hot, u)
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+func (no *node) apply(u update) {
+	it := no.items[u.key]
+	if it == nil {
+		it = &itemState{}
+		no.items[u.key] = it
+	}
+	if u.seq > it.seq || (u.seq == it.seq && u.origin > it.origin) {
+		it.value = append([]byte(nil), u.value...)
+		it.seq = u.seq
+		it.origin = u.origin
+	}
+}
+
+// Exchange pushes the source's hot rumors to the recipient. Rumors the
+// recipient already knew make the source lose interest with probability
+// 1/k. (Schedule-compatible with the other baselines: the simulator's
+// round drives who pushes to whom.)
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("rumor: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+	if len(src.hot) == 0 {
+		src.met.PropagationNoops++
+		return nil
+	}
+	src.met.Messages++
+	kept := src.hot[:0]
+	for _, u := range src.hot {
+		src.met.LogRecordsSent++
+		src.met.BytesSent += uint64(len(u.key)) + uint64(len(u.value)) + 16
+		if dst.seen[u.id()] {
+			// Peer already knew: lose interest with probability 1/k.
+			if s.rng.Float64() < 1/s.k {
+				continue
+			}
+		} else {
+			dst.seen[u.id()] = true
+			dst.apply(u)
+			dst.hot = append(dst.hot, u)
+			dst.met.ItemsCopied++
+		}
+		kept = append(kept, u)
+	}
+	src.hot = kept
+	dst.met.Messages++
+	return nil
+}
+
+// HotCount returns how many rumors a node is still spreading.
+func (s *System) HotCount(nd int) int { return len(s.nodes[nd].hot) }
+
+// ActiveRumors returns the total hot rumors across all nodes — zero once
+// the epidemic has died out.
+func (s *System) ActiveRumors() int {
+	total := 0
+	for _, no := range s.nodes {
+		total += len(no.hot)
+	}
+	return total
+}
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum over all nodes.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Residue returns the fraction of nodes that never learned the update with
+// the given key's latest value at node `origin` — Demers' s (susceptible)
+// measure, evaluated per key.
+func (s *System) Residue(key string) float64 {
+	var newest *itemState
+	for _, no := range s.nodes {
+		it := no.items[key]
+		if it == nil {
+			continue
+		}
+		if newest == nil || it.seq > newest.seq {
+			newest = it
+		}
+	}
+	if newest == nil {
+		return 1
+	}
+	missing := 0
+	for _, no := range s.nodes {
+		it := no.items[key]
+		if it == nil || it.seq != newest.seq {
+			missing++
+		}
+	}
+	return float64(missing) / float64(s.n)
+}
+
+// Converged reports whether all replicas hold identical values.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil || string(ot.value) != string(it.value) {
+				return false, fmt.Sprintf("item %q differs at node %d", key, i+1)
+			}
+		}
+	}
+	return true, ""
+}

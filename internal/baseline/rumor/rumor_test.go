@@ -1,0 +1,134 @@
+package rumor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUpdateAndRead(t *testing.T) {
+	s := New(3, 1, 1)
+	if err := s.Update(0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Read(0, "x"); !ok || string(v) != "v" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if s.HotCount(0) != 1 {
+		t.Errorf("HotCount = %d", s.HotCount(0))
+	}
+	if err := s.Update(5, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := s.Exchange(1, 1); err == nil {
+		t.Error("self exchange accepted")
+	}
+}
+
+func TestRumorSpreads(t *testing.T) {
+	s := New(3, 2, 1)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 1) // node 1 forwards the rumor it just caught
+	for nd := 0; nd < 3; nd++ {
+		if v, _ := s.Read(nd, "x"); string(v) != "v" {
+			t.Errorf("node %d = %q", nd, v)
+		}
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestRumorsDieOut(t *testing.T) {
+	// With k=1, pushing a known rumor always kills interest: after enough
+	// exchanges between two fully-informed nodes, no rumors remain active.
+	s := New(2, 1, 7)
+	s.Update(0, "x", []byte("v"))
+	for i := 0; i < 20 && s.ActiveRumors() > 0; i++ {
+		s.Exchange(1, 0)
+		s.Exchange(0, 1)
+	}
+	if got := s.ActiveRumors(); got != 0 {
+		t.Errorf("active rumors = %d, want extinction", got)
+	}
+	// Dead rumors mean no more traffic.
+	base := s.TotalMetrics()
+	s.Exchange(1, 0)
+	d := s.TotalMetrics().Diff(base)
+	if d.LogRecordsSent != 0 {
+		t.Errorf("extinct epidemic still sent %d records", d.LogRecordsSent)
+	}
+	if d.PropagationNoops != 1 {
+		t.Errorf("noops = %d", d.PropagationNoops)
+	}
+}
+
+func TestResidueCanStrandNodes(t *testing.T) {
+	// Demers' residue: with aggressive lose-interest (k=1) and random
+	// pushing, some run strands at least one node before extinction —
+	// demonstrating why rumor mongering needs backing anti-entropy.
+	stranded := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		const n = 12
+		s := New(n, 1, int64(trial))
+		rng := rand.New(rand.NewSource(int64(trial) * 7))
+		s.Update(0, "x", []byte("v"))
+		for s.ActiveRumors() > 0 {
+			// Each node holding rumors pushes to one random peer.
+			for nd := 0; nd < n; nd++ {
+				if s.HotCount(nd) == 0 {
+					continue
+				}
+				peer := rng.Intn(n - 1)
+				if peer >= nd {
+					peer++
+				}
+				s.Exchange(peer, nd)
+			}
+		}
+		if s.Residue("x") > 0 {
+			stranded++
+		}
+	}
+	if stranded == 0 {
+		t.Skip("no trial stranded a node; residue is probabilistic (seed-dependent)")
+	}
+	t.Logf("%d/%d trials left residue — the gap anti-entropy closes", stranded, trials)
+}
+
+func TestResidueZeroWhenAllInformed(t *testing.T) {
+	s := New(3, 2, 3)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 0)
+	if got := s.Residue("x"); got != 0 {
+		t.Errorf("Residue = %v, want 0", got)
+	}
+	if got := s.Residue("never-updated"); got != 1 {
+		t.Errorf("Residue of unknown key = %v, want 1", got)
+	}
+}
+
+func TestLastWriterWinsDeterministic(t *testing.T) {
+	s := New(2, 2, 5)
+	s.Update(0, "x", []byte("a"))
+	s.Update(1, "x", []byte("b"))
+	s.Exchange(1, 0)
+	s.Exchange(0, 1)
+	v0, _ := s.Read(0, "x")
+	v1, _ := s.Read(1, "x")
+	if string(v0) != string(v1) {
+		t.Fatalf("diverged: %q vs %q", v0, v1)
+	}
+}
+
+func TestKFloor(t *testing.T) {
+	s := New(2, 0, 1) // k < 1 clamps to 1
+	if s.k != 1 {
+		t.Errorf("k = %v, want clamp to 1", s.k)
+	}
+	if s.Name() != "rumor-mongering" || s.Servers() != 2 {
+		t.Error("identity accessors wrong")
+	}
+}

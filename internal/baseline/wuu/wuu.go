@@ -1,0 +1,247 @@
+// Package wuu implements Wuu & Bernstein's replicated-log gossip protocol
+// (PODC 1984), one of the version-vector-based anti-entropy protocols the
+// paper compares against in §8.3.
+//
+// Every node keeps a full log of update events and a two-dimensional time
+// table TT, where TT[k][j] is this node's knowledge of how many of server
+// j's updates server k has received. A gossip message from source to
+// recipient carries every log event the source cannot prove the recipient
+// has, plus the source's time table. Events known by all servers are
+// garbage-collected.
+//
+// The contrasts the paper draws (and experiments E2/E6 measure):
+//
+//   - each gossip scans the whole log to select events — overhead linear in
+//     the number of retained update records, not in the items to copy;
+//   - the log is bounded only by garbage collection progress: while any
+//     server lags (or is down), the log grows with the number of updates U,
+//     whereas the paper's log vector is bounded by n·N always.
+//
+// Convergence of concurrent writes uses last-writer-wins on (Lamport
+// timestamp, origin), which makes replicas deterministic without the
+// conflict detection the paper's protocol provides.
+package wuu
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+type event struct {
+	origin  int
+	seq     uint64 // origin-local sequence number
+	lamport uint64
+	key     string
+	value   []byte
+}
+
+type itemState struct {
+	value   []byte
+	lamport uint64
+	origin  int
+}
+
+type node struct {
+	items   map[string]*itemState
+	log     []event
+	tt      [][]uint64 // tt[k][j]: node's view of how many j-updates k has
+	lamport uint64
+	met     metrics.Counters
+}
+
+// System is a set of replicas running Wuu-Bernstein log gossip. Not safe
+// for concurrent use.
+type System struct {
+	n     int
+	nodes []*node
+}
+
+// New returns a system of n empty replicas.
+func New(n int) *System {
+	s := &System{n: n, nodes: make([]*node, n)}
+	for i := range s.nodes {
+		tt := make([][]uint64, n)
+		for k := range tt {
+			tt[k] = make([]uint64, n)
+		}
+		s.nodes[i] = &node{items: make(map[string]*itemState), tt: tt}
+	}
+	return s
+}
+
+// Name identifies the protocol in experiment tables.
+func (s *System) Name() string { return "wuu-bernstein" }
+
+// Servers returns the number of replicas.
+func (s *System) Servers() int { return s.n }
+
+// Update applies a whole-value write at the given node and appends the
+// event to its log.
+func (s *System) Update(nd int, key string, value []byte) error {
+	if nd < 0 || nd >= s.n {
+		return fmt.Errorf("wuu: node %d out of range", nd)
+	}
+	no := s.nodes[nd]
+	no.lamport++
+	no.tt[nd][nd]++
+	ev := event{
+		origin:  nd,
+		seq:     no.tt[nd][nd],
+		lamport: no.lamport,
+		key:     key,
+		value:   append([]byte(nil), value...),
+	}
+	no.log = append(no.log, ev)
+	no.apply(ev)
+	no.met.UpdatesApplied++
+	no.met.UpdatesRegular++
+	return nil
+}
+
+// apply installs an event into the item map under last-writer-wins on
+// (lamport, origin).
+func (no *node) apply(ev event) {
+	it := no.items[ev.key]
+	if it == nil {
+		it = &itemState{}
+		no.items[ev.key] = it
+	}
+	if ev.lamport > it.lamport || (ev.lamport == it.lamport && ev.origin > it.origin) {
+		it.value = append([]byte(nil), ev.value...)
+		it.lamport = ev.lamport
+		it.origin = ev.origin
+	}
+}
+
+// Exchange performs one gossip: the source sends every log event it cannot
+// prove the recipient already has, plus its time table; the recipient
+// applies unseen events, merges the tables and garbage-collects.
+func (s *System) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("wuu: self exchange at node %d", recipient)
+	}
+	src, dst := s.nodes[source], s.nodes[recipient]
+	src.met.Propagations++
+	src.met.Messages++
+
+	// Select events: full log scan (the linear-in-records overhead).
+	var batch []event
+	for _, ev := range src.log {
+		src.met.SeqComparisons++
+		if src.tt[recipient][ev.origin] < ev.seq {
+			batch = append(batch, ev)
+			src.met.LogRecordsSent++
+			src.met.BytesSent += uint64(len(ev.key)) + uint64(len(ev.value)) + 24
+		}
+	}
+	// Time table travels with every gossip.
+	src.met.BytesSent += uint64(8 * s.n * s.n)
+
+	if len(batch) == 0 {
+		src.met.PropagationNoops++
+	}
+
+	// Recipient applies events it has not yet seen.
+	for _, ev := range batch {
+		dst.met.SeqComparisons++
+		if ev.seq <= dst.tt[recipient][ev.origin] {
+			continue
+		}
+		dst.log = append(dst.log, ev)
+		if ev.lamport > dst.lamport {
+			dst.lamport = ev.lamport
+		}
+		dst.apply(ev)
+		dst.tt[recipient][ev.origin] = ev.seq
+		dst.met.ItemsCopied++
+	}
+
+	// Merge time tables: recipient's own row takes the component-wise max of
+	// both nodes' direct rows; every other row takes the max entry-wise.
+	for j := 0; j < s.n; j++ {
+		if src.tt[source][j] > dst.tt[recipient][j] {
+			dst.tt[recipient][j] = src.tt[source][j]
+		}
+	}
+	for k := 0; k < s.n; k++ {
+		for j := 0; j < s.n; j++ {
+			if src.tt[k][j] > dst.tt[k][j] {
+				dst.tt[k][j] = src.tt[k][j]
+			}
+		}
+	}
+	dst.met.Messages++
+
+	// Exchanges are synchronous and reliable in this model, so the source
+	// learns what the recipient now has (the acknowledgement half of a
+	// two-phase gossip) and both sides garbage-collect.
+	for j := 0; j < s.n; j++ {
+		if dst.tt[recipient][j] > src.tt[recipient][j] {
+			src.tt[recipient][j] = dst.tt[recipient][j]
+		}
+	}
+	dst.gc(s.n)
+	src.gc(s.n)
+	return nil
+}
+
+// gc discards log events that, according to the time table, every server
+// has received.
+func (no *node) gc(n int) {
+	kept := no.log[:0]
+	for _, ev := range no.log {
+		minSeen := ^uint64(0)
+		for k := 0; k < n; k++ {
+			if no.tt[k][ev.origin] < minSeen {
+				minSeen = no.tt[k][ev.origin]
+			}
+		}
+		if ev.seq > minSeen {
+			kept = append(kept, ev)
+		}
+	}
+	no.log = kept
+}
+
+// Read returns the value at the given node.
+func (s *System) Read(nd int, key string) ([]byte, bool) {
+	it := s.nodes[nd].items[key]
+	if it == nil {
+		return nil, false
+	}
+	return append([]byte(nil), it.value...), true
+}
+
+// LogLen returns the number of retained log events at a node — the growth
+// that experiment E6 contrasts with the paper's n·N bound.
+func (s *System) LogLen(nd int) int { return len(s.nodes[nd].log) }
+
+// NodeMetrics returns one node's overhead counters.
+func (s *System) NodeMetrics(nd int) metrics.Counters { return s.nodes[nd].met }
+
+// TotalMetrics returns the sum of all nodes' counters.
+func (s *System) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, no := range s.nodes {
+		total.Add(&no.met)
+	}
+	return total
+}
+
+// Converged reports whether all replicas hold identical values.
+func (s *System) Converged() (bool, string) {
+	first := s.nodes[0]
+	for i, no := range s.nodes[1:] {
+		if len(no.items) != len(first.items) {
+			return false, fmt.Sprintf("node %d has %d items, node 0 has %d", i+1, len(no.items), len(first.items))
+		}
+		for key, it := range first.items {
+			ot := no.items[key]
+			if ot == nil || string(ot.value) != string(it.value) {
+				return false, fmt.Sprintf("item %q differs at node %d", key, i+1)
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,132 @@
+package wuu
+
+import "testing"
+
+func TestUpdateAndRead(t *testing.T) {
+	s := New(2)
+	if err := s.Update(0, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Read(0, "x"); !ok || string(v) != "v" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if err := s.Update(3, "x", nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestGossipDelivers(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	if v, _ := s.Read(1, "x"); string(v) != "v" {
+		t.Errorf("x = %q", v)
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestTransitiveGossip(t *testing.T) {
+	s := New(3)
+	s.Update(0, "x", []byte("v"))
+	s.Exchange(1, 0)
+	s.Exchange(2, 1) // log forwarding: node 2 learns via node 1
+	if v, _ := s.Read(2, "x"); string(v) != "v" {
+		t.Errorf("relay failed: %q", v)
+	}
+}
+
+func TestGarbageCollectionAfterFullKnowledge(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 10; i++ {
+		s.Update(0, "x", []byte{byte(i)})
+	}
+	s.Exchange(1, 0) // node 1 learns everything and knows node 0 has it
+	if got := s.LogLen(1); got != 0 {
+		t.Errorf("node 1 log = %d events, want 0 after GC", got)
+	}
+	// Node 0 does not yet know node 1 received the events.
+	s.Exchange(0, 1) // time-table gossip back
+	if got := s.LogLen(0); got != 0 {
+		t.Errorf("node 0 log = %d events after ack gossip, want 0", got)
+	}
+}
+
+func TestLogGrowsWhileNodeLags(t *testing.T) {
+	// With a lagging third node, events cannot be collected: retained log
+	// grows with U (contrast with the paper's n·N bound, experiment E6).
+	const U = 100
+	s := New(3)
+	for i := 0; i < U; i++ {
+		s.Update(0, "hot", []byte{byte(i)})
+		s.Exchange(1, 0)
+	}
+	if got := s.LogLen(0); got < U {
+		t.Errorf("log = %d events, want >= %d while node 2 lags", got, U)
+	}
+}
+
+func TestGossipCostScansWholeLog(t *testing.T) {
+	const U = 200
+	s := New(3)
+	for i := 0; i < U; i++ {
+		s.Update(0, "x", []byte{byte(i)})
+	}
+	s.Exchange(1, 0)
+	base := s.TotalMetrics()
+	s.Exchange(1, 0) // nothing new, but the whole log is still scanned
+	d := s.TotalMetrics().Diff(base)
+	if d.SeqComparisons < U {
+		t.Errorf("redundant gossip scanned %d records, want >= %d", d.SeqComparisons, U)
+	}
+	if d.LogRecordsSent != 0 {
+		t.Errorf("redundant gossip sent %d records", d.LogRecordsSent)
+	}
+}
+
+func TestConcurrentWritesConvergeDeterministically(t *testing.T) {
+	s := New(2)
+	s.Update(0, "x", []byte("a"))
+	s.Update(1, "x", []byte("b"))
+	s.Exchange(1, 0)
+	s.Exchange(0, 1)
+	v0, _ := s.Read(0, "x")
+	v1, _ := s.Read(1, "x")
+	if string(v0) != string(v1) {
+		t.Fatalf("replicas diverged: %q vs %q", v0, v1)
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestSelfExchangeRejected(t *testing.T) {
+	s := New(2)
+	if err := s.Exchange(0, 0); err == nil {
+		t.Error("self exchange accepted")
+	}
+}
+
+func TestNameServers(t *testing.T) {
+	s := New(5)
+	if s.Name() != "wuu-bernstein" || s.Servers() != 5 {
+		t.Error("identity accessors wrong")
+	}
+}
+
+func TestManyNodesConverge(t *testing.T) {
+	const n = 5
+	s := New(n)
+	for i := 0; i < n; i++ {
+		s.Update(i, "k"+string(rune('0'+i)), []byte{byte(i)})
+	}
+	for round := 0; round < n; round++ {
+		for r := 0; r < n; r++ {
+			s.Exchange(r, (r+1)%n)
+		}
+	}
+	if ok, why := s.Converged(); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}

@@ -1,0 +1,232 @@
+// Package cluster runs live replica nodes: each node is a core.Replica
+// served over TCP (internal/transport) plus a background anti-entropy loop
+// that periodically pulls from a randomly chosen peer — the deployment
+// shape the paper assumes (§1: "update propagation can be done at a
+// convenient time").
+//
+// Nodes are independent OS processes in a real deployment; here they share
+// a process but communicate exclusively through TCP, so the same code runs
+// distributed unchanged.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/op"
+	"repro/internal/transport"
+)
+
+// Config configures one node.
+type Config struct {
+	// ID is this server's identifier, 0 <= ID < Servers.
+	ID int
+	// Servers is the replication factor n.
+	Servers int
+	// Addr is the TCP listen address; "127.0.0.1:0" picks a free port.
+	Addr string
+	// Interval is the anti-entropy period. Zero disables the background
+	// loop (sessions can still be triggered with PullOnce).
+	Interval time.Duration
+	// Seed makes peer selection deterministic; 0 uses the ID.
+	Seed int64
+	// DataDir, when non-empty, makes the node durable: protocol actions are
+	// write-ahead logged under this directory and the node recovers its
+	// state on restart.
+	DataDir string
+	// DurableOptions tunes the durable layer when DataDir is set.
+	DurableOptions durable.Options
+}
+
+// Node is one live server: a replica, its TCP server and its anti-entropy
+// scheduler.
+type Node struct {
+	cfg     Config
+	replica *core.Replica
+	dur     *durable.Replica // non-nil when DataDir is set
+	server  *transport.Server
+
+	mu    sync.Mutex
+	peers []string
+
+	stop chan struct{}
+	done chan struct{}
+	rng  *rand.Rand
+}
+
+// Start creates the replica, begins serving, and (when configured with an
+// interval) starts the anti-entropy loop.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Servers <= 0 || cfg.ID < 0 || cfg.ID >= cfg.Servers {
+		return nil, fmt.Errorf("cluster: invalid id %d of %d", cfg.ID, cfg.Servers)
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.ID + 1)
+	}
+	n := &Node{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	if cfg.DataDir != "" {
+		d, err := durable.Open(cfg.DataDir, cfg.ID, cfg.Servers, cfg.DurableOptions)
+		if err != nil {
+			return nil, err
+		}
+		n.dur = d
+		n.replica = d.Core()
+	} else {
+		n.replica = core.NewReplica(cfg.ID, cfg.Servers)
+	}
+	srv, err := transport.Listen(n.replica, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	n.server = srv
+	go n.loop()
+	return n, nil
+}
+
+// Replica exposes the node's replica for local operations.
+func (n *Node) Replica() *core.Replica { return n.replica }
+
+// Addr returns the node's TCP address.
+func (n *Node) Addr() string { return n.server.Addr() }
+
+// SetPeers installs the addresses the anti-entropy loop pulls from.
+func (n *Node) SetPeers(addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers = append([]string(nil), addrs...)
+}
+
+// Update applies a user update locally (write-ahead logged when the node
+// is durable).
+func (n *Node) Update(key string, o op.Op) error {
+	if n.dur != nil {
+		return n.dur.Update(key, o)
+	}
+	return n.replica.Update(key, o)
+}
+
+// Read returns the node's current value for key.
+func (n *Node) Read(key string) ([]byte, bool) { return n.replica.Read(key) }
+
+// PullOnce performs one anti-entropy session against a random peer,
+// returning the peer pulled from ("" when no peers are configured).
+func (n *Node) PullOnce() (string, error) {
+	n.mu.Lock()
+	if len(n.peers) == 0 {
+		n.mu.Unlock()
+		return "", nil
+	}
+	peer := n.peers[n.rng.Intn(len(n.peers))]
+	n.mu.Unlock()
+	_, err := n.PullFrom(peer)
+	return peer, err
+}
+
+// PullFrom performs one anti-entropy session against a specific address.
+func (n *Node) PullFrom(addr string) (bool, error) {
+	if n.dur != nil {
+		return n.dur.PullFrom(addr)
+	}
+	return transport.Pull(n.replica, addr)
+}
+
+// FetchOOB copies one item out-of-bound from a specific peer.
+func (n *Node) FetchOOB(addr, key string) (bool, error) {
+	if n.dur != nil {
+		return n.dur.FetchOOB(addr, key)
+	}
+	return transport.FetchOOB(n.replica, addr, key)
+}
+
+// Close stops the anti-entropy loop and the server, snapshotting durable
+// state.
+func (n *Node) Close() error {
+	close(n.stop)
+	<-n.done
+	err := n.server.Close()
+	if n.dur != nil {
+		if derr := n.dur.Close(); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+func (n *Node) loop() {
+	defer close(n.done)
+	if n.cfg.Interval <= 0 {
+		<-n.stop
+		return
+	}
+	ticker := time.NewTicker(n.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			// Peer failures are expected in an epidemic system; the next
+			// tick simply tries another peer.
+			_, _ = n.PullOnce()
+		}
+	}
+}
+
+// StartCluster starts n nodes on loopback with full-mesh peering. Intervals
+// of zero leave scheduling to the caller.
+func StartCluster(n int, interval time.Duration) ([]*Node, error) {
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node, err := Start(Config{ID: i, Servers: n, Interval: interval})
+		if err != nil {
+			for _, prev := range nodes[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = node
+	}
+	for i, node := range nodes {
+		var peers []string
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, other.Addr())
+			}
+		}
+		node.SetPeers(peers)
+	}
+	return nodes, nil
+}
+
+// CloseAll closes every node, returning the first error.
+func CloseAll(nodes []*Node) error {
+	var first error
+	for _, n := range nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Converged reports whether all nodes' replicas are identical.
+func Converged(nodes []*Node) (bool, string) {
+	replicas := make([]*core.Replica, len(nodes))
+	for i, n := range nodes {
+		replicas[i] = n.Replica()
+	}
+	return core.Converged(replicas...)
+}

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/op"
+)
+
+func startDurableNode(t *testing.T, dir string, id, servers int) *Node {
+	t.Helper()
+	n, err := Start(Config{
+		ID: id, Servers: servers, DataDir: dir,
+		DurableOptions: durable.Options{NoSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDurableNodeSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	// A volatile peer holds the other replica.
+	peer, err := Start(Config{ID: 0, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	for i := 0; i < 30; i++ {
+		peer.Update("k"+string(rune('a'+i%10)), op.NewSet([]byte{byte(i)}))
+	}
+
+	node := startDurableNode(t, dir, 1, 2)
+	if _, err := node.PullFrom(peer.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Update("local", op.NewSet([]byte("mine"))); err != nil {
+		t.Fatal(err)
+	}
+	want := node.Replica().Snapshot()
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the same directory: state must be identical.
+	node = startDurableNode(t, dir, 1, 2)
+	defer node.Close()
+	if ok, why := want.Equivalent(node.Replica().Snapshot()); !ok {
+		t.Fatalf("restart lost state: %s", why)
+	}
+	// And the node keeps working: push the local update back to the peer.
+	if _, err := peer.PullFrom(node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := peer.Read("local"); string(v) != "mine" {
+		t.Errorf("peer.local = %q", v)
+	}
+	if ok, why := Converged([]*Node{peer, node}); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestDurableNodeBackgroundLoop(t *testing.T) {
+	dir := t.TempDir()
+	peer, err := Start(Config{ID: 0, Servers: 2, Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+
+	node, err := Start(Config{
+		ID: 1, Servers: 2, Interval: 2 * time.Millisecond,
+		DataDir:        dir,
+		DurableOptions: durable.Options{NoSync: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	peer.SetPeers([]string{node.Addr()})
+	node.SetPeers([]string{peer.Addr()})
+
+	peer.Update("x", op.NewSet([]byte("via-loop")))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := node.Read("x"); ok && string(v) == "via-loop" {
+			if err := node.Replica().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("durable node's background loop never pulled the update")
+}
+
+func TestDurableNodeOOB(t *testing.T) {
+	dir := t.TempDir()
+	peer, err := Start(Config{ID: 0, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	peer.Update("hot", op.NewSet([]byte("fresh")))
+
+	node := startDurableNode(t, dir, 1, 2)
+	adopted, err := node.FetchOOB(peer.Addr(), "hot")
+	if err != nil || !adopted {
+		t.Fatalf("FetchOOB = %v/%v", adopted, err)
+	}
+	if err := node.Update("hot", op.NewAppend([]byte("+note"))); err != nil {
+		t.Fatal(err)
+	}
+	node.Close() // clean close snapshots
+
+	node = startDurableNode(t, dir, 1, 2)
+	defer node.Close()
+	v, _ := node.Read("hot")
+	if string(v) != "fresh+note" {
+		t.Fatalf("restored OOB state = %q", v)
+	}
+	if node.Replica().AuxCopies() != 1 {
+		t.Error("aux copy lost across restart")
+	}
+}
+
+func TestMixedDurableVolatileCluster(t *testing.T) {
+	dir := t.TempDir()
+	volatileA, err := Start(Config{ID: 0, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer volatileA.Close()
+	volatileB, err := Start(Config{ID: 1, Servers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer volatileB.Close()
+	durableC := startDurableNode(t, dir, 2, 3)
+	defer durableC.Close()
+
+	volatileA.Update("a", op.NewSet([]byte("1")))
+	volatileB.Update("b", op.NewSet([]byte("2")))
+	durableC.Update("c", op.NewSet([]byte("3")))
+
+	nodes := []*Node{volatileA, volatileB, durableC}
+	for round := 0; round < 4; round++ {
+		for i, n := range nodes {
+			if _, err := n.PullFrom(nodes[(i+1)%3].Addr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ok, why := Converged(nodes); !ok {
+		t.Fatalf("mixed cluster not converged: %s", why)
+	}
+	for _, n := range nodes {
+		if err := n.Replica().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/op"
+)
+
+func deltaPair(t *testing.T) (*Replica, *Replica) {
+	t.Helper()
+	return NewReplica(0, 2, WithDeltaPropagation()), NewReplica(1, 2, WithDeltaPropagation())
+}
+
+func TestDeltaShipsOpInsteadOfValue(t *testing.T) {
+	a, b := deltaPair(t)
+	big := bytes.Repeat([]byte("x"), 4096)
+	mustUpdate(t, a, "doc", string(big))
+	AntiEntropy(b, a) // first transfer: full value (b starts from zero... )
+
+	// One small append on a large value: the session must ship the op.
+	if err := a.Update("doc", op.NewAppend([]byte("!"))); err != nil {
+		t.Fatal(err)
+	}
+	base := a.Metrics()
+	bBase := b.Metrics()
+	AntiEntropy(b, a)
+	d := a.Metrics().Diff(base)
+	if d.DeltasSent != 1 {
+		t.Fatalf("deltas sent = %d, want 1", d.DeltasSent)
+	}
+	if d.BytesSent > 200 {
+		t.Errorf("session bytes = %d, want tiny op-sized transfer (value is 4KiB)", d.BytesSent)
+	}
+	v, _ := b.Read("doc")
+	if len(v) != 4097 || v[4096] != '!' {
+		t.Fatalf("delta application produced wrong value (len %d)", len(v))
+	}
+	if bm := b.Metrics().Diff(bBase); bm.DeltasApplied != 1 {
+		t.Errorf("deltas applied = %d", bm.DeltasApplied)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, a, b)
+}
+
+func TestDeltaFallsBackWhenTwoBehind(t *testing.T) {
+	a, b := deltaPair(t)
+	mustUpdate(t, a, "x", "v1")
+	AntiEntropy(b, a)
+	// Two updates: only the latest delta is retained, so b (two behind)
+	// must fetch the full copy in a second round.
+	mustUpdate(t, a, "x", "v2")
+	mustUpdate(t, a, "x", "v3")
+
+	req := b.PropagationRequest()
+	p := a.BuildPropagation(req)
+	need := b.NeedFull(p)
+	if len(need) != 1 || need[0] != "x" {
+		t.Fatalf("NeedFull = %v, want [x]", need)
+	}
+	// ApplyPropagation must commit nothing and echo the need.
+	if got := b.ApplyPropagation(p); len(got) != 1 {
+		t.Fatalf("ApplyPropagation = %v", got)
+	}
+	if v, _ := b.Read("x"); string(v) != "v1" {
+		t.Fatalf("probe mutated state: %q", v)
+	}
+	items := a.BuildItems(need)
+	b.ApplyPropagationWithItems(p, items)
+	if v, _ := b.Read("x"); string(v) != "v3" {
+		t.Fatalf("after fetch round: %q", v)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, a, b)
+
+	// Or simply via AntiEntropy, which runs both rounds.
+	mustUpdate(t, a, "x", "v4")
+	mustUpdate(t, a, "x", "v5")
+	AntiEntropy(b, a)
+	if v, _ := b.Read("x"); string(v) != "v5" {
+		t.Fatalf("AntiEntropy two-round: %q", v)
+	}
+	if a.Metrics().FullFetches == 0 {
+		t.Error("no full fetches counted")
+	}
+}
+
+func TestDeltaRelayForwardsRetainedDelta(t *testing.T) {
+	// a -> b -> c: b applies a's delta and retains it, so it can forward
+	// the same delta to c.
+	reps := []*Replica{
+		NewReplica(0, 3, WithDeltaPropagation()),
+		NewReplica(1, 3, WithDeltaPropagation()),
+		NewReplica(2, 3, WithDeltaPropagation()),
+	}
+	mustUpdate(t, reps[0], "x", "base")
+	AntiEntropy(reps[1], reps[0])
+	AntiEntropy(reps[2], reps[0])
+
+	if err := reps[0].Update("x", op.NewAppend([]byte("+d"))); err != nil {
+		t.Fatal(err)
+	}
+	AntiEntropy(reps[1], reps[0]) // b applies the delta
+	base := reps[1].Metrics()
+	AntiEntropy(reps[2], reps[1]) // c pulls from b: the delta must forward
+	d := reps[1].Metrics().Diff(base)
+	if d.DeltasSent != 1 {
+		t.Errorf("relay did not forward the delta: %v", d)
+	}
+	if v, _ := reps[2].Read("x"); string(v) != "base+d" {
+		t.Errorf("c.x = %q", v)
+	}
+	if ok, why := Converged(reps...); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, reps...)
+}
+
+func TestDeltaModeMixedWithFullMode(t *testing.T) {
+	// A delta-mode source talking to a full-mode recipient works: the
+	// recipient handles delta payloads regardless of its own mode.
+	a := NewReplica(0, 2, WithDeltaPropagation())
+	b := NewReplica(1, 2) // full mode
+	mustUpdate(t, a, "x", "v1")
+	AntiEntropy(b, a)
+	mustUpdate(t, a, "x", "v2")
+	AntiEntropy(b, a) // ships a delta; b applies it without retaining
+	if v, _ := b.Read("x"); string(v) != "v2" {
+		t.Fatalf("b.x = %q", v)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, a, b)
+}
+
+func TestDeltaConflictStillDetected(t *testing.T) {
+	a, b := deltaPair(t)
+	mustUpdate(t, a, "x", "seed")
+	AntiEntropy(b, a)
+	mustUpdate(t, a, "x", "a-version")
+	mustUpdate(t, b, "x", "b-version")
+	AntiEntropy(b, a)
+	if len(b.Conflicts()) != 1 {
+		t.Fatalf("conflicts = %v", b.Conflicts())
+	}
+	if v, _ := b.Read("x"); string(v) != "b-version" {
+		t.Errorf("conflicting copy overwritten: %q", v)
+	}
+}
+
+func TestDeltaEquivalentToFullMode(t *testing.T) {
+	// The same single-writer workload driven through full-mode and
+	// delta-mode systems must converge to identical item states.
+	run := func(delta bool) []Snapshot {
+		var opts []Option
+		if delta {
+			opts = append(opts, WithDeltaPropagation())
+		}
+		n := 3
+		reps := make([]*Replica, n)
+		for i := range reps {
+			reps[i] = NewReplica(i, n, opts...)
+		}
+		rng := rand.New(rand.NewSource(77))
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				item := rng.Intn(6)
+				reps[item%n].Update(key(item), op.NewAppend([]byte{byte(step)}))
+			default:
+				r, s := rng.Intn(n), rng.Intn(n)
+				if r != s {
+					AntiEntropy(reps[r], reps[s])
+				}
+			}
+		}
+		for round := 0; round < n+1; round++ {
+			for i := range reps {
+				AntiEntropy(reps[i], reps[(i+1)%n])
+			}
+		}
+		snaps := make([]Snapshot, n)
+		for i, r := range reps {
+			if err := r.CheckInvariants(); err != nil {
+				panic(err)
+			}
+			snaps[i] = r.Snapshot()
+		}
+		return snaps
+	}
+	full := run(false)
+	delta := run(true)
+	for i := range full {
+		if ok, why := full[i].Equivalent(delta[i]); !ok {
+			t.Fatalf("node %d: delta mode diverged from full mode: %s", i, why)
+		}
+	}
+}
+
+func TestDeltaRandomizedConvergence(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		n := 3 + rng.Intn(3)
+		reps := make([]*Replica, n)
+		for i := range reps {
+			reps[i] = NewReplica(i, n, WithDeltaPropagation())
+		}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				item := rng.Intn(8)
+				reps[item%n].Update(key(item), op.NewAppend([]byte{byte(step)}))
+			default:
+				r, s := rng.Intn(n), rng.Intn(n)
+				if r != s {
+					AntiEntropy(reps[r], reps[s])
+				}
+			}
+			if step%29 == 0 {
+				for _, r := range reps {
+					if err := r.CheckInvariants(); err != nil {
+						t.Fatalf("trial %d step %d: %v", trial, step, err)
+					}
+				}
+			}
+		}
+		for round := 0; round < n+1; round++ {
+			for i := range reps {
+				AntiEntropy(reps[i], reps[(i+1)%n])
+			}
+		}
+		if ok, why := Converged(reps...); !ok {
+			t.Fatalf("trial %d: %s", trial, why)
+		}
+		for _, r := range reps {
+			if len(r.Conflicts()) != 0 {
+				t.Fatalf("trial %d: spurious conflicts %v", trial, r.Conflicts())
+			}
+			checkAll(t, r)
+		}
+	}
+}
+
+func TestDeltaStatePersists(t *testing.T) {
+	a, b := deltaPair(t)
+	mustUpdate(t, a, "x", "v1")
+	AntiEntropy(b, a)
+	mustUpdate(t, a, "x", "v2") // a retains a delta
+
+	restored := roundTripState(t, a)
+	base := restored.Metrics()
+	AntiEntropy(b, restored)
+	d := restored.Metrics().Diff(base)
+	if d.DeltasSent != 1 {
+		t.Errorf("restored replica lost its retained delta (sent %d)", d.DeltasSent)
+	}
+	if v, _ := b.Read("x"); string(v) != "v2" {
+		t.Errorf("b.x = %q", v)
+	}
+}
+
+func TestDeltaWithOOBAndIntraNode(t *testing.T) {
+	// Intra-node replay in delta mode retains the replayed op as a delta.
+	a, b := deltaPair(t)
+	mustUpdate(t, a, "x", "base")
+	b.CopyOutOfBound("x", a)
+	if err := b.Update("x", op.NewAppend([]byte("+aux"))); err != nil {
+		t.Fatal(err)
+	}
+	AntiEntropy(b, a) // catch up + replay; b's regular copy now newest
+
+	base := b.Metrics()
+	AntiEntropy(a, b) // a pulls b's replayed update: should ship as delta
+	d := b.Metrics().Diff(base)
+	if d.DeltasSent != 1 {
+		t.Errorf("replayed update not shipped as delta: %v", d)
+	}
+	if v, _ := a.Read("x"); string(v) != "base+aux" {
+		t.Errorf("a.x = %q", v)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, a, b)
+}
+
+func TestDeltaDepthChainAppliesWhenSeveralBehind(t *testing.T) {
+	// With depth 4, a recipient three updates behind still gets ops.
+	a := NewReplica(0, 2, WithDeltaPropagationDepth(4))
+	b := NewReplica(1, 2, WithDeltaPropagationDepth(4))
+	mustUpdate(t, a, "x", "base")
+	AntiEntropy(b, a)
+	for i := 0; i < 3; i++ {
+		if err := a.Update("x", op.NewAppend([]byte{'0' + byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := a.Metrics()
+	AntiEntropy(b, a)
+	d := a.Metrics().Diff(base)
+	if d.DeltasSent != 1 {
+		t.Fatalf("chain not shipped: %v", d)
+	}
+	if d.FullFetches != 0 {
+		t.Fatalf("fetch round ran despite chain depth: %v", d)
+	}
+	if v, _ := b.Read("x"); string(v) != "base012" {
+		t.Fatalf("b.x = %q", v)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, a, b)
+}
+
+func TestDeltaDepthExceededFallsBack(t *testing.T) {
+	// Five updates with depth 4: the chain no longer reaches the
+	// recipient's state, so the fetch round engages.
+	a := NewReplica(0, 2, WithDeltaPropagationDepth(4))
+	b := NewReplica(1, 2, WithDeltaPropagationDepth(4))
+	mustUpdate(t, a, "x", "base")
+	AntiEntropy(b, a)
+	for i := 0; i < 5; i++ {
+		a.Update("x", op.NewAppend([]byte{'0' + byte(i)}))
+	}
+	AntiEntropy(b, a)
+	if a.Metrics().FullFetches != 1 {
+		t.Fatalf("full fetches = %d, want 1", a.Metrics().FullFetches)
+	}
+	if v, _ := b.Read("x"); string(v) != "base01234" {
+		t.Fatalf("b.x = %q", v)
+	}
+	checkAll(t, a, b)
+}
+
+func TestDeltaChainPartialSuffix(t *testing.T) {
+	// b is one behind, the chain holds three: only the matching suffix
+	// applies, not the whole chain.
+	a := NewReplica(0, 2, WithDeltaPropagationDepth(3))
+	b := NewReplica(1, 2, WithDeltaPropagationDepth(3))
+	mustUpdate(t, a, "x", "s")
+	a.Update("x", op.NewAppend([]byte("1")))
+	AntiEntropy(b, a) // b at "s1"
+	a.Update("x", op.NewAppend([]byte("2")))
+	AntiEntropy(b, a) // chain covers s->1->2; b needs only the "2" suffix
+	if v, _ := b.Read("x"); string(v) != "s12" {
+		t.Fatalf("b.x = %q", v)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	checkAll(t, a, b)
+}
+
+func TestDeltaChainForwardsThroughRelay(t *testing.T) {
+	reps := []*Replica{
+		NewReplica(0, 3, WithDeltaPropagationDepth(4)),
+		NewReplica(1, 3, WithDeltaPropagationDepth(4)),
+		NewReplica(2, 3, WithDeltaPropagationDepth(4)),
+	}
+	mustUpdate(t, reps[0], "x", "base")
+	for _, r := range reps[1:] {
+		AntiEntropy(r, reps[0])
+	}
+	reps[0].Update("x", op.NewAppend([]byte("1")))
+	reps[0].Update("x", op.NewAppend([]byte("2")))
+	AntiEntropy(reps[1], reps[0]) // b applies the 2-chain
+	base := reps[1].Metrics()
+	AntiEntropy(reps[2], reps[1]) // b forwards the retained chain to c
+	if d := reps[1].Metrics().Diff(base); d.DeltasSent != 1 {
+		t.Fatalf("relay did not forward the chain: %v", d)
+	}
+	if v, _ := reps[2].Read("x"); string(v) != "base12" {
+		t.Fatalf("c.x = %q", v)
+	}
+	checkAll(t, reps...)
+}
+
+func TestDeltaChainPersistsAcrossSnapshots(t *testing.T) {
+	a := NewReplica(0, 2, WithDeltaPropagationDepth(3))
+	b := NewReplica(1, 2, WithDeltaPropagationDepth(3))
+	mustUpdate(t, a, "x", "v")
+	AntiEntropy(b, a)
+	a.Update("x", op.NewAppend([]byte("1")))
+	a.Update("x", op.NewAppend([]byte("2")))
+
+	restored := roundTripState(t, a)
+	base := restored.Metrics()
+	AntiEntropy(b, restored)
+	if d := restored.Metrics().Diff(base); d.DeltasSent != 1 || d.FullFetches != 0 {
+		t.Fatalf("restored chain unusable: %v", d)
+	}
+	if v, _ := b.Read("x"); string(v) != "v12" {
+		t.Fatalf("b.x = %q", v)
+	}
+	checkAll(t, restored, b)
+}

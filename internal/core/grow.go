@@ -1,0 +1,53 @@
+package core
+
+// Server-set growth. The paper fixes the set of servers "to simplify the
+// presentation" (§2); this file implements the natural extension. Version
+// vectors treat missing components as zero, so admitting server n (ids stay
+// dense) only requires each existing replica to extend its DBVV and add an
+// empty log component for the new origin — no data movement, no history
+// rewriting. The new server starts as an empty replica with the new count
+// and catches up through ordinary anti-entropy.
+//
+// Growth spreads epidemically: Grow is called administratively on at least
+// one replica (and is how the new server is born), and every replica that
+// later receives a propagation message mentioning more origins grows
+// automatically. Shrinking (removing servers) would require vector
+// compaction and is out of scope, as in the paper.
+
+// Grow raises this replica's server count to n (no-op when already at least
+// n). Existing item vectors stay short — missing components are implicitly
+// zero — and extend lazily as updates touch them.
+func (r *Replica) Grow(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.growLocked(n)
+}
+
+// growLocked extends the replica to n servers. Caller holds the lock.
+func (r *Replica) growLocked(n int) {
+	if n <= r.n {
+		return
+	}
+	r.n = n
+	r.dbvv = r.dbvv.Extended(n)
+	r.logs.Grow(n)
+	r.store.Grow(n)
+}
+
+// maybeGrowFor inspects an incoming propagation message and grows the
+// replica when the message mentions more origin servers than it knows —
+// the epidemic spread of an administrative Grow. Caller holds the lock.
+func (r *Replica) maybeGrowFor(p *Propagation) {
+	need := len(p.Tails)
+	for _, payload := range p.Items {
+		if l := payload.IVV.Len(); l > need {
+			need = l
+		}
+		if l := payload.Pre.Len(); l > need {
+			need = l
+		}
+	}
+	if need > r.n {
+		r.growLocked(need)
+	}
+}

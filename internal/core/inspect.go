@@ -1,0 +1,208 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/store"
+	"repro/internal/vv"
+)
+
+// ItemState is a point-in-time copy of one data item's replica state, for
+// tests, tools and the simulator.
+type ItemState struct {
+	Key      string
+	Value    []byte
+	IVV      vv.VV
+	HasAux   bool
+	AuxValue []byte
+	AuxIVV   vv.VV
+}
+
+// Snapshot is a deep copy of a replica's externally observable state.
+type Snapshot struct {
+	ID         int
+	DBVV       vv.VV
+	Items      []ItemState // sorted by key
+	LogRecords int
+	AuxRecords int
+}
+
+// Snapshot captures the replica's current state.
+func (r *Replica) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		ID:         r.id,
+		DBVV:       r.dbvv.Clone(),
+		LogRecords: r.logs.Len(),
+		AuxRecords: r.aux.Len(),
+	}
+	r.store.ForEach(func(it *store.Item) {
+		is := ItemState{
+			Key:   it.Key,
+			Value: store.CloneBytes(it.Value),
+			IVV:   it.IVV.Clone(),
+		}
+		if it.Aux != nil {
+			is.HasAux = true
+			is.AuxValue = store.CloneBytes(it.Aux.Value)
+			is.AuxIVV = it.Aux.IVV.Clone()
+		}
+		s.Items = append(s.Items, is)
+	})
+	sort.Slice(s.Items, func(i, j int) bool { return s.Items[i].Key < s.Items[j].Key })
+	return s
+}
+
+// ItemIVV returns the regular copy's version vector for key. It implements
+// history.Inspector for the test oracle.
+func (r *Replica) ItemIVV(key string) (vv.VV, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.store.Get(key)
+	if it == nil {
+		return nil, false
+	}
+	return it.IVV.Clone(), true
+}
+
+// ItemValue returns the regular copy's value for key (unlike Read, it never
+// consults the auxiliary copy). It implements history.Inspector.
+func (r *Replica) ItemValue(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.store.Get(key)
+	if it == nil {
+		return nil, false
+	}
+	return store.CloneBytes(it.Value), true
+}
+
+// CheckInvariants verifies the replica's structural and protocol
+// invariants. It is the oracle the test suite and simulator rely on:
+//
+//  1. DBVV accounting: V_i equals the component-wise sum of all item IVVs —
+//     the property that makes DBVV comparison equivalent to comparing every
+//     item at once (§4.1).
+//  2. Log structure: every component is a well-formed list sorted by
+//     sequence number with exact per-item pointers (§4.2, Fig. 1).
+//  3. Log coverage: the newest record in L_ik has Seq <= V_i[k] — the node
+//     never logs an update it has not counted.
+//  4. IsSelected flags are all clear outside SendPropagation (§6).
+//  5. Auxiliary log structure is well-formed, and every auxiliary record
+//     refers to an item that still has an auxiliary copy.
+func (r *Replica) CheckInvariants() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// 1. DBVV == sum of item IVVs.
+	sum := vv.New(r.n)
+	selectedLeak := ""
+	staleDelta := ""
+	r.store.ForEach(func(it *store.Item) {
+		for l := 0; l < r.n; l++ {
+			sum[l] += it.IVV.Get(l)
+		}
+		if it.Selected() {
+			selectedLeak = it.Key
+		}
+		if len(it.Deltas) > 0 && !store.ChainValid(it.Deltas, it.IVV) {
+			staleDelta = it.Key
+		}
+	})
+	if staleDelta != "" {
+		return fmt.Errorf("core: node %d retains a stale delta chain for %q", r.id, staleDelta)
+	}
+	if !sum.Equal(r.dbvv) {
+		return fmt.Errorf("core: node %d DBVV %v != sum of item IVVs %v", r.id, r.dbvv, sum)
+	}
+	if selectedLeak != "" {
+		return fmt.Errorf("core: node %d leaked IsSelected flag on %q", r.id, selectedLeak)
+	}
+
+	// 2 + 3. Log structure and coverage.
+	if err := r.logs.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: node %d: %w", r.id, err)
+	}
+	// Log coverage holds only while no conflict has been declared: the
+	// conflict purge of Fig. 3 suspends the guarantee for the affected
+	// items until manual resolution (§5.1).
+	if r.met.ConflictsDetected == 0 {
+		for k := 0; k < r.n; k++ {
+			if tail := r.logs.Component(k).Tail(); tail != nil && tail.Seq > r.dbvv[k] {
+				return fmt.Errorf("core: node %d log[%d] tail seq %d exceeds DBVV %d",
+					r.id, k, tail.Seq, r.dbvv[k])
+			}
+		}
+	}
+
+	// 5. Auxiliary log.
+	if err := r.aux.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: node %d: %w", r.id, err)
+	}
+	for rec := r.aux.Head(); rec != nil; rec = rec.Next() {
+		it := r.store.Get(rec.Key)
+		if it == nil || it.Aux == nil {
+			return fmt.Errorf("core: node %d aux record for %q without auxiliary copy", r.id, rec.Key)
+		}
+	}
+	return nil
+}
+
+// Equivalent reports whether two snapshots describe identical database
+// replicas: equal DBVVs and, for every item, equal regular values and IVVs.
+// Auxiliary state is ignored — convergence is a property of regular copies.
+func (a Snapshot) Equivalent(b Snapshot) (bool, string) {
+	if !a.DBVV.Equal(b.DBVV) {
+		return false, fmt.Sprintf("DBVV differ: node %d %v vs node %d %v", a.ID, a.DBVV, b.ID, b.DBVV)
+	}
+	// Items materialize lazily; an item absent on one side must be in the
+	// initial (zero) state on the other.
+	ai, bi := indexItems(a.Items), indexItems(b.Items)
+	for key, x := range ai {
+		y, ok := bi[key]
+		if !ok {
+			if x.IVV.Sum() != 0 || len(x.Value) != 0 {
+				return false, fmt.Sprintf("item %q present only at node %d", key, a.ID)
+			}
+			continue
+		}
+		if !x.IVV.Equal(y.IVV) {
+			return false, fmt.Sprintf("item %q IVV differ: %v vs %v", key, x.IVV, y.IVV)
+		}
+		if !bytes.Equal(x.Value, y.Value) {
+			return false, fmt.Sprintf("item %q values differ: %q vs %q", key, x.Value, y.Value)
+		}
+	}
+	for key, y := range bi {
+		if _, ok := ai[key]; !ok && (y.IVV.Sum() != 0 || len(y.Value) != 0) {
+			return false, fmt.Sprintf("item %q present only at node %d", key, b.ID)
+		}
+	}
+	return true, ""
+}
+
+func indexItems(items []ItemState) map[string]ItemState {
+	m := make(map[string]ItemState, len(items))
+	for _, it := range items {
+		m[it.Key] = it
+	}
+	return m
+}
+
+// Converged reports whether all replicas are pairwise equivalent; on
+// failure it describes the first difference found.
+func Converged(replicas ...*Replica) (bool, string) {
+	if len(replicas) < 2 {
+		return true, ""
+	}
+	first := replicas[0].Snapshot()
+	for _, r := range replicas[1:] {
+		if ok, why := first.Equivalent(r.Snapshot()); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/store"
+	"repro/internal/vv"
+)
+
+// OOBReply carries one data item served out-of-bound: the source's
+// auxiliary copy if it has one (never older than its regular copy, §5.2),
+// otherwise the regular copy. Found is false when the source has never
+// seen the item, in which case the other fields are zero.
+type OOBReply struct {
+	Key   string
+	Value []byte
+	IVV   vv.VV
+	Found bool
+}
+
+// WireSize estimates the reply's serialized size.
+func (o OOBReply) WireSize() uint64 {
+	return uint64(len(o.Key)) + uint64(len(o.Value)) + uint64(8*o.IVV.Len()) + 8
+}
+
+// ServeOOB handles an out-of-bound request for key at the source node
+// (§5.2): it returns the auxiliary copy when present, else the regular
+// copy, with the matching IVV. No log records travel with the reply and no
+// source state changes. O(1) beyond accessing the item itself (§6).
+func (r *Replica) ServeOOB(key string) OOBReply {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.Messages++
+	it := r.store.Get(key)
+	if it == nil {
+		reply := OOBReply{Key: key}
+		r.met.BytesSent += reply.WireSize()
+		return reply
+	}
+	reply := OOBReply{
+		Key:   key,
+		Value: store.CloneBytes(it.CurrentValue()),
+		IVV:   it.CurrentIVV().Clone(),
+		Found: true,
+	}
+	r.met.BytesSent += reply.WireSize()
+	return reply
+}
+
+// ApplyOOB installs an out-of-bound reply at the requesting node (§5.2).
+// The received IVV is compared against the local auxiliary IVV if an
+// auxiliary copy exists, else the regular IVV:
+//
+//   - received dominates: the data is adopted as the new auxiliary copy and
+//     auxiliary IVV. The DBVV, the log vector and the auxiliary log are all
+//     left untouched — out-of-bound data lives entirely in the parallel
+//     auxiliary structures.
+//   - received equal or dominated: the local copy is at least as new; no
+//     action.
+//   - concurrent: inconsistency between copies of the item is declared.
+//
+// It returns true when the reply was adopted.
+func (r *Replica) ApplyOOB(reply OOBReply, source int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.OOBRequests++
+	if !reply.Found {
+		return false
+	}
+	it := r.store.Ensure(reply.Key)
+	local := it.CurrentIVV()
+	r.met.IVVComparisons++
+	switch reply.IVV.Compare(local) {
+	case vv.Dominates:
+		it.Aux = &store.AuxCopy{
+			Value: store.CloneBytes(reply.Value),
+			IVV:   reply.IVV.Clone(),
+		}
+		r.met.OOBAdopted++
+		return true
+	case vv.Concurrent:
+		r.declareConflict(Conflict{
+			Key:    reply.Key,
+			Local:  local.Clone(),
+			Remote: reply.IVV.Clone(),
+			Source: source,
+			Stage:  "oob",
+		})
+		return false
+	default:
+		// Equal or dominated: received data is not newer; take no action.
+		return false
+	}
+}
+
+// CopyOutOfBound performs a complete out-of-bound copy of key from source
+// to recipient r, returning true if a newer copy was adopted. Like
+// AntiEntropy it takes the two locks one at a time.
+func (r *Replica) CopyOutOfBound(key string, source *Replica) bool {
+	reply := source.ServeOOB(key)
+	return r.ApplyOOB(reply, source.ID())
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+func TestOOBCopyAdoptsNewerData(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "hot", "fresh")
+
+	if !b.CopyOutOfBound("hot", a) {
+		t.Fatal("OOB copy not adopted")
+	}
+	// User reads see the auxiliary copy immediately.
+	if got := readString(t, b, "hot"); got != "fresh" {
+		t.Errorf("b.hot = %q", got)
+	}
+	// But regular structures are untouched: DBVV zero, no log records.
+	if b.DBVV().Sum() != 0 {
+		t.Errorf("OOB copy modified DBVV: %v", b.DBVV())
+	}
+	if b.LogRecords() != 0 {
+		t.Errorf("OOB copy appended %d log records", b.LogRecords())
+	}
+	if b.AuxCopies() != 1 {
+		t.Errorf("aux copies = %d, want 1", b.AuxCopies())
+	}
+	checkAll(t, a, b)
+}
+
+func TestOOBCopyOfMissingItem(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	if b.CopyOutOfBound("ghost", a) {
+		t.Error("adopted a copy of an item the source never had")
+	}
+	if b.Items() != 0 {
+		t.Error("missing-item OOB created local state")
+	}
+}
+
+func TestOOBCopyOlderDataIgnored(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "v1")
+	AntiEntropy(b, a) // b now has v1 as regular data
+	mustUpdate(t, b, "x", "v2-local")
+
+	// a's copy is now older than b's; the reply must be ignored.
+	if b.CopyOutOfBound("x", a) {
+		t.Error("adopted an older copy")
+	}
+	if got := readString(t, b, "x"); got != "v2-local" {
+		t.Errorf("b.x = %q", got)
+	}
+	if b.AuxCopies() != 0 {
+		t.Error("ignored OOB reply still created an aux copy")
+	}
+	checkAll(t, a, b)
+}
+
+func TestOOBEqualDataIgnored(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "v")
+	AntiEntropy(b, a)
+	if b.CopyOutOfBound("x", a) {
+		t.Error("adopted an equal copy")
+	}
+	if b.AuxCopies() != 0 {
+		t.Error("equal OOB reply created an aux copy")
+	}
+}
+
+func TestOOBConflictDetected(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "a-ver")
+	mustUpdate(t, b, "x", "b-ver")
+	if b.CopyOutOfBound("x", a) {
+		t.Error("adopted a conflicting copy")
+	}
+	cs := b.Conflicts()
+	if len(cs) != 1 || cs[0].Stage != "oob" {
+		t.Fatalf("conflicts = %+v, want one oob conflict", cs)
+	}
+	checkAll(t, a, b)
+}
+
+func TestUpdateGoesToAuxCopyWhenPresent(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "base")
+	b.CopyOutOfBound("x", a)
+
+	if err := b.Update("x", op.NewAppend([]byte("+local"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := readString(t, b, "x"); got != "base+local" {
+		t.Errorf("b.x = %q", got)
+	}
+	// The update went to the aux copy: one aux log record, DBVV untouched.
+	if b.AuxRecords() != 1 {
+		t.Errorf("aux records = %d, want 1", b.AuxRecords())
+	}
+	if b.DBVV().Sum() != 0 {
+		t.Errorf("aux update modified DBVV: %v", b.DBVV())
+	}
+	m := b.Metrics()
+	if m.UpdatesAuxiliary != 1 || m.UpdatesRegular != 0 {
+		t.Errorf("update counters = aux %d / reg %d", m.UpdatesAuxiliary, m.UpdatesRegular)
+	}
+	checkAll(t, a, b)
+}
+
+func TestIntraNodePropagationReplaysAuxUpdates(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "base")
+	b.CopyOutOfBound("x", a)
+	if err := b.Update("x", op.NewAppend([]byte("+u1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Update("x", op.NewAppend([]byte("+u2"))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Regular propagation brings b's regular copy of x up to a's state;
+	// intra-node propagation then replays both aux updates.
+	AntiEntropy(b, a)
+
+	if b.AuxRecords() != 0 {
+		t.Errorf("aux records = %d, want 0 after replay", b.AuxRecords())
+	}
+	if b.AuxCopies() != 0 {
+		t.Errorf("aux copy not discarded after catch-up")
+	}
+	if got := readString(t, b, "x"); got != "base+u1+u2" {
+		t.Errorf("b.x = %q", got)
+	}
+	// The replayed updates are new updates by b: DBVV[1] = 2.
+	if got := b.DBVV(); !got.Equal(vv.VV{1, 2}) {
+		t.Errorf("b DBVV = %v, want <1,2>", got)
+	}
+	m := b.Metrics()
+	if m.AuxOpsReplayed != 2 || m.AuxCopiesFreed != 1 {
+		t.Errorf("replayed/freed = %d/%d, want 2/1", m.AuxOpsReplayed, m.AuxCopiesFreed)
+	}
+	checkAll(t, a, b)
+
+	// And the replayed updates propagate back to a as ordinary updates.
+	AntiEntropy(a, b)
+	if got := readString(t, a, "x"); got != "base+u1+u2" {
+		t.Errorf("a.x = %q after back-propagation", got)
+	}
+	if ok, why := Converged(a, b); !ok {
+		t.Errorf("not converged: %s", why)
+	}
+}
+
+func TestIntraNodeWaitsWhenRegularCopyBehind(t *testing.T) {
+	// b OOB-copies x after a made TWO updates, then updates locally. The
+	// regular copy reaches only a's first update via a stale propagation;
+	// the aux record's pre-IVV dominates, so replay must wait.
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "v1")
+	req := b.PropagationRequest()
+	stale := a.BuildPropagation(req) // snapshot at v1
+	mustUpdate(t, a, "x", "v2")
+	b.CopyOutOfBound("x", a) // aux copy at v2
+	if err := b.Update("x", op.NewAppend([]byte("+b"))); err != nil {
+		t.Fatal(err)
+	}
+
+	b.ApplyPropagation(stale) // regular copy now at v1 only
+	if b.AuxRecords() != 1 {
+		t.Errorf("aux record replayed prematurely: %d left", b.AuxRecords())
+	}
+	if got := readString(t, b, "x"); got != "v2+b" {
+		t.Errorf("user view = %q, want aux value v2+b", got)
+	}
+
+	// Catching the regular copy up to v2 releases the replay.
+	AntiEntropy(b, a)
+	if b.AuxRecords() != 0 || b.AuxCopies() != 0 {
+		t.Errorf("aux state not drained: %d records, %d copies", b.AuxRecords(), b.AuxCopies())
+	}
+	if got := readString(t, b, "x"); got != "v2+b" {
+		t.Errorf("b.x = %q", got)
+	}
+	checkAll(t, a, b)
+}
+
+func TestAuxCopyDiscardedWithoutLocalUpdates(t *testing.T) {
+	// OOB copy with no local updates: when the regular copy catches up, the
+	// aux copy is discarded with nothing to replay.
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "v")
+	b.CopyOutOfBound("x", a)
+	if b.AuxCopies() != 1 {
+		t.Fatal("no aux copy created")
+	}
+	AntiEntropy(b, a)
+	if b.AuxCopies() != 0 {
+		t.Error("aux copy not discarded after regular catch-up")
+	}
+	if got := readString(t, b, "x"); got != "v" {
+		t.Errorf("b.x = %q", got)
+	}
+	m := b.Metrics()
+	if m.AuxCopiesFreed != 1 || m.AuxOpsReplayed != 0 {
+		t.Errorf("freed/replayed = %d/%d, want 1/0", m.AuxCopiesFreed, m.AuxOpsReplayed)
+	}
+	checkAll(t, a, b)
+}
+
+func TestServeOOBPrefersAuxCopy(t *testing.T) {
+	// The source's aux copy is never older than its regular copy, so OOB
+	// requests are served from it (§5.2).
+	a, b, c := NewReplica(0, 3), NewReplica(1, 3), NewReplica(2, 3)
+	mustUpdate(t, a, "x", "v1")
+	b.CopyOutOfBound("x", a)
+	if err := b.Update("x", op.NewAppend([]byte("+b"))); err != nil {
+		t.Fatal(err)
+	}
+	// c OOB-copies from b and must see b's aux value, not b's (empty)
+	// regular copy.
+	if !c.CopyOutOfBound("x", b) {
+		t.Fatal("c did not adopt b's aux copy")
+	}
+	if got := readString(t, c, "x"); got != "v1+b" {
+		t.Errorf("c.x = %q, want v1+b", got)
+	}
+	checkAll(t, a, b, c)
+}
+
+func TestOOBChainThenConvergence(t *testing.T) {
+	// Full scenario: OOB chain a->b->c with local updates at each hop, then
+	// regular anti-entropy everywhere; all replicas must converge and all
+	// auxiliary state must drain.
+	a, b, c := NewReplica(0, 3), NewReplica(1, 3), NewReplica(2, 3)
+	mustUpdate(t, a, "x", "r")
+	b.CopyOutOfBound("x", a)
+	if err := b.Update("x", op.NewAppend([]byte("b"))); err != nil {
+		t.Fatal(err)
+	}
+	c.CopyOutOfBound("x", b)
+	if err := c.Update("x", op.NewAppend([]byte("c"))); err != nil {
+		t.Fatal(err)
+	}
+
+	reps := []*Replica{a, b, c}
+	for round := 0; round < 6; round++ {
+		for i := range reps {
+			AntiEntropy(reps[i], reps[(i+1)%3])
+			for _, r := range reps {
+				r.RunIntraNodePropagation()
+			}
+		}
+	}
+	for _, r := range reps {
+		if r.AuxRecords() != 0 || r.AuxCopies() != 0 {
+			t.Errorf("node %d aux state not drained: %d recs %d copies",
+				r.ID(), r.AuxRecords(), r.AuxCopies())
+		}
+	}
+	if ok, why := Converged(a, b, c); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	if got := readString(t, a, "x"); got != "rbc" {
+		t.Errorf("final value = %q, want rbc", got)
+	}
+	checkAll(t, a, b, c)
+}
+
+func TestOOBReplaceAuxWithNewerOOB(t *testing.T) {
+	// Second OOB copy of the same item overwrites the aux copy when newer;
+	// the aux log is left untouched (§5.2).
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "v1")
+	b.CopyOutOfBound("x", a)
+	mustUpdate(t, a, "x", "v2")
+	if !b.CopyOutOfBound("x", a) {
+		t.Fatal("newer OOB copy not adopted")
+	}
+	if got := readString(t, b, "x"); got != "v2" {
+		t.Errorf("b.x = %q, want v2", got)
+	}
+	if b.AuxCopies() != 1 {
+		t.Errorf("aux copies = %d, want 1", b.AuxCopies())
+	}
+	checkAll(t, a, b)
+}
+
+func TestRegularPropagationIgnoresPriorOOB(t *testing.T) {
+	// §5.1: "if i had previously copied a newer version of data item x from
+	// j out of bound and its regular copy of x is still old, x will be
+	// copied again during update propagation."
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "v")
+	b.CopyOutOfBound("x", a)
+
+	base := a.Metrics()
+	AntiEntropy(b, a)
+	d := a.Metrics().Diff(base)
+	if d.ItemsSent != 1 {
+		t.Errorf("items sent = %d, want 1: OOB must not reduce propagation work", d.ItemsSent)
+	}
+	checkAll(t, a, b)
+}
+
+func TestOOBWireSize(t *testing.T) {
+	r := OOBReply{Key: "ab", Value: []byte("xyz"), IVV: vv.New(2), Found: true}
+	// 2 + 3 + 16 + 8 = 29
+	if got := r.WireSize(); got != 29 {
+		t.Errorf("WireSize = %d, want 29", got)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/auxlog"
+	"repro/internal/logvec"
+	"repro/internal/op"
+	"repro/internal/store"
+	"repro/internal/vv"
+)
+
+// Snapshot/restore of complete replica state. A replica's protocol state —
+// DBVV, item IVVs, log vector, auxiliary structures — must survive restarts
+// byte-exactly: a replica that forgot its version vectors would either
+// re-fetch the whole database or, worse, mis-order updates. The encoding is
+// gob with a versioned header, written atomically by callers (write to a
+// temporary file, rename).
+
+const (
+	persistMagic   = 0x45504944 // "EPID"
+	persistVersion = 1
+)
+
+type persistItem struct {
+	Key      string
+	Value    []byte
+	IVV      vv.VV
+	HasAux   bool
+	AuxValue []byte
+	AuxIVV   vv.VV
+
+	Deltas []persistDelta
+}
+
+type persistDelta struct {
+	Op     op.Op
+	Pre    vv.VV
+	Origin int
+}
+
+type persistLogRec struct {
+	Key string
+	Seq uint64
+}
+
+type persistAuxRec struct {
+	Key string
+	Pre vv.VV
+	Op  op.Op
+}
+
+type persistState struct {
+	Magic   uint32
+	Version uint16
+	ID      int
+	N       int
+	DBVV    vv.VV
+	Items   []persistItem
+	Logs    [][]persistLogRec // indexed by origin, oldest first
+	Aux     []persistAuxRec   // global arrival order, oldest first
+	Delta   bool              // record-shipping mode enabled
+}
+
+// WriteState serializes the replica's complete protocol state to w. The
+// replica remains usable; the snapshot is consistent (taken under the
+// replica lock).
+func (r *Replica) WriteState(w io.Writer) error {
+	r.mu.Lock()
+	st := persistState{
+		Magic:   persistMagic,
+		Version: persistVersion,
+		ID:      r.id,
+		N:       r.n,
+		DBVV:    r.dbvv.Clone(),
+		Logs:    make([][]persistLogRec, r.n),
+		Delta:   r.deltaMode,
+	}
+	r.store.ForEach(func(it *store.Item) {
+		pi := persistItem{
+			Key:   it.Key,
+			Value: store.CloneBytes(it.Value),
+			IVV:   it.IVV.Clone(),
+		}
+		if it.Aux != nil {
+			pi.HasAux = true
+			pi.AuxValue = store.CloneBytes(it.Aux.Value)
+			pi.AuxIVV = it.Aux.IVV.Clone()
+		}
+		for _, d := range it.Deltas {
+			pi.Deltas = append(pi.Deltas, persistDelta{
+				Op: d.Op.Clone(), Pre: d.Pre.Clone(), Origin: d.Origin,
+			})
+		}
+		st.Items = append(st.Items, pi)
+	})
+	for k := 0; k < r.n; k++ {
+		comp := r.logs.Component(k)
+		recs := make([]persistLogRec, 0, comp.Len())
+		for rec := comp.Head(); rec != nil; rec = rec.Next() {
+			recs = append(recs, persistLogRec{Key: rec.Key, Seq: rec.Seq})
+		}
+		st.Logs[k] = recs
+	}
+	for rec := r.aux.Head(); rec != nil; rec = rec.Next() {
+		st.Aux = append(st.Aux, persistAuxRec{Key: rec.Key, Pre: rec.Pre.Clone(), Op: rec.Op.Clone()})
+	}
+	r.mu.Unlock()
+
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// ReadState reconstructs a replica from a snapshot written by WriteState.
+// Options (conflict handlers) are applied as in NewReplica.
+func ReadState(rd io.Reader, opts ...Option) (*Replica, error) {
+	var st persistState
+	if err := gob.NewDecoder(rd).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decode snapshot: %w", err)
+	}
+	if st.Magic != persistMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %#x", st.Magic)
+	}
+	if st.Version != persistVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", st.Version)
+	}
+	if st.N <= 0 || st.ID < 0 || st.ID >= st.N {
+		return nil, fmt.Errorf("core: snapshot has invalid identity %d of %d", st.ID, st.N)
+	}
+	if len(st.Logs) != st.N {
+		return nil, fmt.Errorf("core: snapshot has %d log components for %d servers", len(st.Logs), st.N)
+	}
+
+	r := NewReplica(st.ID, st.N, opts...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	r.deltaMode = r.deltaMode || st.Delta
+	r.dbvv = st.DBVV.Clone()
+	if r.dbvv.Len() != st.N {
+		return nil, fmt.Errorf("core: snapshot DBVV has %d components for %d servers", r.dbvv.Len(), st.N)
+	}
+	for _, pi := range st.Items {
+		it := r.store.Ensure(pi.Key)
+		it.Value = store.CloneBytes(pi.Value)
+		it.IVV = pi.IVV.Clone()
+		if pi.HasAux {
+			it.Aux = &store.AuxCopy{
+				Value: store.CloneBytes(pi.AuxValue),
+				IVV:   pi.AuxIVV.Clone(),
+			}
+		}
+		for _, d := range pi.Deltas {
+			it.Deltas = append(it.Deltas, store.Delta{
+				Op: d.Op.Clone(), Pre: d.Pre.Clone(), Origin: d.Origin,
+			})
+		}
+	}
+	r.logs = logvec.NewVector(st.N)
+	for k, recs := range st.Logs {
+		comp := r.logs.Component(k)
+		for _, rec := range recs {
+			comp.Add(rec.Key, rec.Seq)
+		}
+	}
+	r.aux = auxlog.New()
+	for _, rec := range st.Aux {
+		r.aux.Append(rec.Key, rec.Pre, rec.Op)
+	}
+	return r, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/workload"
+)
+
+func populatedReplica(b *testing.B, items int) *Replica {
+	b.Helper()
+	r := NewReplica(0, 3)
+	for i := 0; i < items; i++ {
+		if err := r.Update(workload.Key(i), op.NewSet(make([]byte, 64))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkWriteState measures full-state snapshot serialization, the
+// periodic cost of the durable layer.
+func BenchmarkWriteState(b *testing.B) {
+	for _, items := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			r := populatedReplica(b, items)
+			var buf bytes.Buffer
+			r.WriteState(&buf)
+			b.SetBytes(int64(buf.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := r.WriteState(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadState measures recovery-time snapshot deserialization.
+func BenchmarkReadState(b *testing.B) {
+	for _, items := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			r := populatedReplica(b, items)
+			var buf bytes.Buffer
+			if err := r.WriteState(&buf); err != nil {
+				b.Fatal(err)
+			}
+			data := buf.Bytes()
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReadState(bytes.NewReader(data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/op"
+)
+
+func roundTripState(t *testing.T, r *Replica) *Replica {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteState(&buf); err != nil {
+		t.Fatalf("WriteState: %v", err)
+	}
+	restored, err := ReadState(&buf)
+	if err != nil {
+		t.Fatalf("ReadState: %v", err)
+	}
+	return restored
+}
+
+func TestPersistEmptyReplica(t *testing.T) {
+	r := NewReplica(1, 3)
+	restored := roundTripState(t, r)
+	if restored.ID() != 1 || restored.Servers() != 3 {
+		t.Errorf("identity = %d/%d", restored.ID(), restored.Servers())
+	}
+	if ok, why := r.Snapshot().Equivalent(restored.Snapshot()); !ok {
+		t.Errorf("not equivalent: %s", why)
+	}
+	checkAll(t, restored)
+}
+
+func TestPersistWithUpdatesAndLogs(t *testing.T) {
+	r := NewReplica(0, 2)
+	for i := 0; i < 50; i++ {
+		mustUpdate(t, r, key(i%10), "v")
+	}
+	restored := roundTripState(t, r)
+	if ok, why := r.Snapshot().Equivalent(restored.Snapshot()); !ok {
+		t.Fatalf("not equivalent: %s", why)
+	}
+	if restored.LogRecords() != r.LogRecords() {
+		t.Errorf("log records = %d, want %d", restored.LogRecords(), r.LogRecords())
+	}
+	checkAll(t, restored)
+
+	// The restored replica must behave identically in a session.
+	b := NewReplica(1, 2)
+	AntiEntropy(b, restored)
+	if ok, why := Converged(restored, b); !ok {
+		t.Errorf("restored replica broken in propagation: %s", why)
+	}
+}
+
+func TestPersistWithAuxState(t *testing.T) {
+	a, b := NewReplica(0, 2), NewReplica(1, 2)
+	mustUpdate(t, a, "x", "base")
+	b.CopyOutOfBound("x", a)
+	if err := b.Update("x", op.NewAppend([]byte("+pending"))); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := roundTripState(t, b)
+	if restored.AuxCopies() != 1 || restored.AuxRecords() != 1 {
+		t.Fatalf("aux state lost: copies=%d records=%d", restored.AuxCopies(), restored.AuxRecords())
+	}
+	if v, _ := restored.Read("x"); string(v) != "base+pending" {
+		t.Errorf("restored user view = %q", v)
+	}
+	checkAll(t, restored)
+
+	// Intra-node propagation must still drain after restore.
+	AntiEntropy(restored, a)
+	if restored.AuxRecords() != 0 || restored.AuxCopies() != 0 {
+		t.Error("aux state did not drain after restore")
+	}
+	if v, _ := restored.Read("x"); string(v) != "base+pending" {
+		t.Errorf("final value = %q", v)
+	}
+}
+
+func TestPersistAfterRandomizedRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	reps := makeReplicas(3)
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(3) {
+		case 0:
+			i := rng.Intn(9)
+			mustUpdate(t, reps[i%3], key(i), "v")
+		default:
+			a, b := rng.Intn(3), rng.Intn(3)
+			if a != b {
+				AntiEntropy(reps[a], reps[b])
+			}
+		}
+	}
+	for _, r := range reps {
+		restored := roundTripState(t, r)
+		if ok, why := r.Snapshot().Equivalent(restored.Snapshot()); !ok {
+			t.Fatalf("node %d: %s", r.ID(), why)
+		}
+		checkAll(t, restored)
+	}
+}
+
+func TestReadStateRejectsGarbage(t *testing.T) {
+	if _, err := ReadState(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadState(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadStateRejectsBadHeader(t *testing.T) {
+	r := NewReplica(0, 2)
+	var buf bytes.Buffer
+	if err := r.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a corrupted magic by decoding into the private struct
+	// is overkill; instead corrupt the stream after the gob type header so
+	// decode fails structurally.
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xFF
+	if _, err := ReadState(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+}
+
+func TestPersistPreservesMetricsIndependence(t *testing.T) {
+	// Metrics are operational, not state: a restored replica starts with
+	// zero counters.
+	r := NewReplica(0, 2)
+	mustUpdate(t, r, "x", "v")
+	restored := roundTripState(t, r)
+	if restored.Metrics().UpdatesApplied != 0 {
+		t.Error("metrics survived restore; they should reset")
+	}
+}

@@ -1,0 +1,583 @@
+package core
+
+import (
+	"repro/internal/logvec"
+	"repro/internal/op"
+	"repro/internal/store"
+	"repro/internal/vv"
+)
+
+// TailRecord is one log record shipped during propagation: item Key was
+// updated by the origin server owning the enclosing tail, and Seq is the
+// origin's update sequence number (§4.2). Constant size per record.
+type TailRecord struct {
+	Key string
+	Seq uint64
+}
+
+// ItemPayload carries one data item from source to recipient. Only regular
+// copies travel in propagation (§5.1). Two representations exist:
+//
+//   - full (IsDelta false): the item's value and IVV, adopted wholesale —
+//     the paper's presentation context;
+//   - delta (IsDelta true): a bounded chain of the most recent updates as
+//     redo-able operations — the record-shipping variant (§2). A recipient
+//     whose copy sits anywhere on the chain's path applies the matching
+//     suffix; recipients further behind fetch the full copy in a second
+//     round.
+type ItemPayload struct {
+	Key   string
+	Value []byte
+	IVV   vv.VV
+
+	// IsDelta marks a record-shipping payload: Chain holds the retained
+	// updates oldest first, Pre is the vector before the first of them and
+	// IVV the vector after the last. A recipient whose copy sits anywhere
+	// on that path applies the matching suffix.
+	IsDelta bool
+	Chain   []DeltaLink
+	Pre     vv.VV
+}
+
+// DeltaLink is one update of a shipped delta chain.
+type DeltaLink struct {
+	Op     op.Op
+	Origin int
+}
+
+// Propagation is the reply message of SendPropagation (Fig. 2): the tail
+// vector D (one tail of records per origin server) and the item set S with
+// per-item IVVs. A nil Propagation means "you-are-current".
+type Propagation struct {
+	Source int
+	Tails  [][]TailRecord // indexed by origin server k
+	Items  []ItemPayload
+}
+
+// WireSize estimates the serialized size in bytes: per record the key plus
+// an 8-byte sequence number, per item the key, value and an n-component
+// vector, plus a small fixed header.
+func (p *Propagation) WireSize() uint64 {
+	if p == nil {
+		return 16 // "you-are-current" message
+	}
+	size := uint64(16)
+	for _, tail := range p.Tails {
+		for _, rec := range tail {
+			size += uint64(len(rec.Key)) + 8
+		}
+	}
+	for _, it := range p.Items {
+		size += it.wireSize()
+	}
+	return size
+}
+
+func (it ItemPayload) wireSize() uint64 {
+	if it.IsDelta {
+		size := uint64(len(it.Key)) + uint64(8*(it.IVV.Len()+it.Pre.Len())) + 4
+		for _, link := range it.Chain {
+			size += uint64(link.Op.WireSize()) + 2
+		}
+		return size
+	}
+	return uint64(len(it.Key)) + uint64(len(it.Value)) + uint64(8*it.IVV.Len()) + 4
+}
+
+// RecordCount returns the total number of tail records shipped.
+func (p *Propagation) RecordCount() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, tail := range p.Tails {
+		n += len(tail)
+	}
+	return n
+}
+
+// PropagationRequest begins an update-propagation session at the recipient:
+// it returns the recipient's DBVV to be sent to the source (step 1, §5.1).
+func (r *Replica) PropagationRequest() vv.VV {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.Propagations++
+	r.met.Messages++
+	r.met.BytesSent += uint64(8 * r.n)
+	return r.dbvv.Clone()
+}
+
+// BuildPropagation is the source side of SendPropagation (Fig. 2). Given
+// the recipient's DBVV it either reports that the recipient is current
+// (nil, detected in O(1) by a single DBVV comparison) or returns the tail
+// vector D and item set S.
+//
+// Cost: O(1) when no propagation is needed; otherwise O(n·m) where m is the
+// number of items shipped — records are extracted from suffixes of the
+// per-origin logs and the item-set union is computed with the IsSelected
+// flags (§6), so no per-database-item work is ever done.
+func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	r.met.DBVVComparisons++
+	if recipientDBVV.DominatesOrEqual(r.dbvv) {
+		// "you-are-current": recipient needs nothing from us.
+		r.met.PropagationNoops++
+		r.met.Messages++
+		r.met.BytesSent += 16
+		return nil
+	}
+
+	p := &Propagation{Source: r.id, Tails: make([][]TailRecord, r.n)}
+	var selected []*store.Item
+	for k := 0; k < r.n; k++ {
+		if r.dbvv[k] <= recipientDBVV.Get(k) {
+			continue // D_k = NULL
+		}
+		floor := recipientDBVV.Get(k)
+		tail := make([]TailRecord, 0, 8)
+		r.logs.Component(k).TailAfter(floor, func(rec *logvec.Record) {
+			tail = append(tail, TailRecord{Key: rec.Key, Seq: rec.Seq})
+			it := r.store.Get(rec.Key)
+			if it == nil {
+				// A log record always refers to an item this node has
+				// (records register local or adopted updates); absence is a
+				// protocol bug surfaced defensively.
+				r.met.AnomaliesIgnored++
+				return
+			}
+			r.met.ItemsExamined++
+			if !it.Selected() {
+				it.SetSelected(true)
+				selected = append(selected, it)
+			}
+		})
+		p.Tails[k] = tail
+		r.met.LogRecordsSent += uint64(len(tail))
+	}
+
+	p.Items = make([]ItemPayload, 0, len(selected))
+	for _, it := range selected {
+		it.SetSelected(false) // flip flags back (§6)
+		if r.deltaMode && store.ChainValid(it.Deltas, it.IVV) {
+			// Ship the delta form only when it is actually smaller than the
+			// value it reconstructs — a chain that still contains a
+			// whole-value Set is no cheaper than the value itself. Below the
+			// floor the representation choice is immaterial (vector overhead
+			// dominates either way), so deltas always ship there.
+			chainBytes := 0
+			for _, d := range it.Deltas {
+				chainBytes += d.Op.WireSize() + 2
+			}
+			if len(it.Value) <= deltaSizeFloor || chainBytes < len(it.Value) {
+				chain := make([]DeltaLink, len(it.Deltas))
+				for i, d := range it.Deltas {
+					chain[i] = DeltaLink{Op: d.Op.Clone(), Origin: d.Origin}
+				}
+				p.Items = append(p.Items, ItemPayload{
+					Key:     it.Key,
+					IVV:     it.IVV.Clone(),
+					IsDelta: true,
+					Chain:   chain,
+					Pre:     it.Deltas[0].Pre.Clone(),
+				})
+				r.met.DeltasSent++
+				continue
+			}
+		}
+		p.Items = append(p.Items, ItemPayload{
+			Key:   it.Key,
+			Value: store.CloneBytes(it.Value),
+			IVV:   it.IVV.Clone(),
+		})
+	}
+	r.met.ItemsSent += uint64(len(p.Items))
+	r.met.Messages++
+	r.met.BytesSent += p.WireSize()
+	return p
+}
+
+// BuildItems serves full copies of the named items — the second round of a
+// delta-mode session, requested by a recipient too far behind to apply some
+// shipped deltas.
+func (r *Replica) BuildItems(keys []string) []ItemPayload {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	items := make([]ItemPayload, 0, len(keys))
+	for _, key := range keys {
+		it := r.store.Get(key)
+		if it == nil {
+			continue
+		}
+		payload := ItemPayload{
+			Key:   it.Key,
+			Value: store.CloneBytes(it.Value),
+			IVV:   it.IVV.Clone(),
+		}
+		items = append(items, payload)
+		r.met.ItemsSent++
+		r.met.BytesSent += payload.wireSize()
+	}
+	r.met.Messages++
+	r.met.FullFetches += uint64(len(items))
+	return items
+}
+
+// NeedFull is the read-only probe of a delta-mode session: it returns the
+// keys of shipped deltas this replica cannot apply directly (its copy is
+// more than one update behind), for which full copies must be fetched with
+// BuildItems before committing via ApplyPropagationWithItems. It returns
+// nil for whole-item sessions.
+func (r *Replica) NeedFull(p *Propagation) []string {
+	if p == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.needFullLocked(p)
+}
+
+func (r *Replica) needFullLocked(p *Propagation) []string {
+	var need []string
+	for _, payload := range p.Items {
+		if !payload.IsDelta {
+			continue
+		}
+		var local vv.VV
+		if it := r.store.Get(payload.Key); it != nil {
+			local = it.IVV
+		} else {
+			local = vv.New(r.n)
+		}
+		if payload.IVV.Compare(local) == vv.Dominates && chainSuffixAt(payload, local) < 0 {
+			need = append(need, payload.Key)
+		}
+	}
+	return need
+}
+
+// chainSuffixAt returns the index into payload.Chain from which the chain
+// applies to a copy at `local` (len(Chain) means "already at the post
+// state"), or -1 when local lies nowhere on the chain's path.
+func chainSuffixAt(payload ItemPayload, local vv.VV) int {
+	state := payload.Pre.Clone()
+	if local.Equal(state) {
+		return 0
+	}
+	for i, link := range payload.Chain {
+		state.Inc(link.Origin)
+		if local.Equal(state) {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// ApplyPropagation is the recipient side: AcceptPropagation (Fig. 3)
+// followed by IntraNodePropagation (Fig. 4) for the items copied. A nil
+// Propagation (the "you-are-current" reply) is a no-op.
+//
+// For every shipped item the recipient compares IVVs: a dominating remote
+// copy is adopted (and the DBVV advanced per maintenance rule 3, §4.1); a
+// concurrent one is declared in conflict and its log records purged from
+// the tails. Remaining tail records are appended with AddLogRecord.
+//
+// In delta mode a session may ship deltas this replica cannot apply (it is
+// more than one update behind). ApplyPropagation then commits NOTHING and
+// returns the keys needing full copies: partial application would punch
+// holes in the per-origin prefix ordering the correctness proof relies on.
+// The caller fetches those copies (BuildItems at the source) and commits
+// with ApplyPropagationWithItems; AntiEntropy does this automatically. The
+// return value is always nil for whole-item sessions.
+//
+// The paper proves the remote IVV can never be dominated by the local one
+// within a session; under concurrent sessions a fresher copy may have
+// arrived between request and apply, so equal or dominated payloads are
+// skipped (their log records are filtered out by the recipient's
+// pre-session DBVV, which already covers them).
+func (r *Replica) ApplyPropagation(p *Propagation) []string {
+	if p == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if need := r.needFullLocked(p); len(need) > 0 {
+		return need
+	}
+	r.applySessionLocked(p, nil)
+	return nil
+}
+
+// ApplyPropagationWithItems commits a delta-mode session together with the
+// full copies fetched for its inapplicable deltas. It always commits; a
+// delta that still cannot apply and has no fetched replacement (possible
+// only under a rare interleaving with concurrent sessions) is skipped with
+// its log records, which the next session repairs.
+func (r *Replica) ApplyPropagationWithItems(p *Propagation, items []ItemPayload) {
+	if p == nil {
+		return
+	}
+	extras := make(map[string]ItemPayload, len(items))
+	for _, it := range items {
+		extras[it.Key] = it
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applySessionLocked(p, extras)
+}
+
+// applySessionLocked is the committing pass shared by ApplyPropagation and
+// ApplyPropagationWithItems. Caller holds the lock.
+func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPayload) {
+	// A message mentioning more origin servers than we know means the
+	// server set has grown; extend our state first.
+	r.maybeGrowFor(p)
+
+	// DBVV snapshot before any adoption: the filter that decides which tail
+	// records this node genuinely lacked at session start.
+	pre := r.dbvv.Clone()
+
+	conflicting := make(map[string]bool)
+	var copied []*store.Item
+	for _, payload := range p.Items {
+		if payload.IsDelta {
+			if full, ok := extras[payload.Key]; ok {
+				payload = full // fetched replacement: treat as whole-item
+			}
+		}
+		it := r.store.Ensure(payload.Key)
+		r.met.IVVComparisons++
+		switch payload.IVV.Compare(it.IVV) {
+		case vv.Dominates:
+			if payload.IsDelta {
+				start := chainSuffixAt(payload, it.IVV)
+				if start < 0 {
+					// Inapplicable and not fetched: a concurrent session
+					// moved this copy between probe and commit. Skip the
+					// item and purge its records; the next session ships
+					// it again.
+					r.met.AnomaliesIgnored++
+					conflicting[payload.Key] = true
+					continue
+				}
+				newVal := it.Value
+				applyErr := false
+				for _, link := range payload.Chain[start:] {
+					var err error
+					newVal, err = link.Op.Apply(newVal)
+					if err != nil {
+						applyErr = true
+						break
+					}
+				}
+				if applyErr {
+					r.met.AnomaliesIgnored++
+					conflicting[payload.Key] = true
+					continue
+				}
+				per, _ := it.IVV.Delta(payload.IVV)
+				for l, d := range per {
+					r.dbvv[l] += d
+				}
+				it.Value = newVal
+				it.IVV = payload.IVV.Clone()
+				if r.deltaMode {
+					// Retain the whole chain (bounded by our own depth)
+					// for forwarding to nodes behind us.
+					it.Deltas = it.Deltas[:0]
+					state := payload.Pre.Clone()
+					for _, link := range payload.Chain {
+						it.Deltas = append(it.Deltas, store.Delta{
+							Op:     link.Op.Clone(),
+							Pre:    state.Clone(),
+							Origin: link.Origin,
+						})
+						state.Inc(link.Origin)
+					}
+					if over := len(it.Deltas) - r.deltaDepth; over > 0 {
+						it.Deltas = append(it.Deltas[:0], it.Deltas[over:]...)
+					}
+					trimUneconomicPrefix(it, len(newVal))
+				}
+				r.met.ItemsCopied++
+				r.met.DeltasApplied++
+				copied = append(copied, it)
+				continue
+			}
+			// Adopt the newer copy; advance DBVV by the extra updates the
+			// new copy has seen (rule 3).
+			per, _ := it.IVV.Delta(payload.IVV)
+			for l, d := range per {
+				r.dbvv[l] += d
+			}
+			it.Value = store.CloneBytes(payload.Value)
+			it.IVV = payload.IVV.Clone()
+			it.Deltas = nil // a wholesale adoption invalidates any retained chain
+			r.met.ItemsCopied++
+			copied = append(copied, it)
+		case vv.Concurrent:
+			r.declareConflict(Conflict{
+				Key:    payload.Key,
+				Local:  it.IVV.Clone(),
+				Remote: payload.IVV.Clone(),
+				Source: p.Source,
+				Stage:  "accept",
+			})
+			conflicting[payload.Key] = true
+		case vv.Equal:
+			// Already obtained via a concurrent session; nothing to do.
+		case vv.DominatedBy:
+			// Impossible within a session (§5.1 note 2); reachable only
+			// through interleaving with another session that delivered a
+			// newer copy first.
+			r.met.AnomaliesIgnored++
+		}
+	}
+
+	// Append tails, oldest record first, skipping records covered by the
+	// pre-session DBVV and records referring to conflicting items (Fig. 3).
+	for k, tail := range p.Tails {
+		comp := r.logs.Component(k)
+		for _, rec := range tail {
+			if rec.Seq <= pre.Get(k) || conflicting[rec.Key] {
+				continue
+			}
+			// While no conflict has ever been declared, incoming records
+			// always extend the component (every retained record's Seq is
+			// covered by the pre-session DBVV). After a conflict the purge
+			// above legitimately leaves the DBVV behind the log tail —
+			// guarantees for the conflicting item are suspended until
+			// manual resolution (§5.1) — so an older record may reappear
+			// here; drop it rather than corrupt the component's order.
+			if t := comp.Tail(); t != nil && rec.Seq < t.Seq {
+				r.met.AnomaliesIgnored++
+				continue
+			}
+			comp.Add(rec.Key, rec.Seq)
+			r.met.LogRecordsApplied++
+		}
+	}
+
+	// Step 3: intra-node propagation over the items just copied.
+	for _, it := range copied {
+		r.intraNodePropagate(it)
+	}
+}
+
+// RunIntraNodePropagation runs the intra-node procedure over every item
+// holding an auxiliary copy. The paper runs it after AcceptPropagation for
+// the copied items and notes it executes in the background (§6); this
+// entry point is that background sweep.
+func (r *Replica) RunIntraNodePropagation() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var auxItems []*store.Item
+	r.store.ForEach(func(it *store.Item) {
+		if it.Aux != nil {
+			auxItems = append(auxItems, it)
+		}
+	})
+	for _, it := range auxItems {
+		r.intraNodePropagate(it)
+	}
+}
+
+// intraNodePropagate is Fig. 4 for a single item. Caller holds the lock.
+//
+// While the earliest auxiliary record for the item carries exactly the
+// regular copy's IVV, its operation is replayed against the regular copy as
+// a fresh local update (IVV, DBVV and L_ii all advance). When the auxiliary
+// log holds no more records for the item and the regular copy has caught up
+// with (or passed) the auxiliary copy, the auxiliary copy is discarded.
+func (r *Replica) intraNodePropagate(it *store.Item) {
+	if it.Aux == nil {
+		return
+	}
+	for {
+		e := r.aux.Earliest(it.Key)
+		if e == nil {
+			r.met.IVVComparisons++
+			if it.IVV.DominatesOrEqual(it.Aux.IVV) {
+				it.Aux = nil
+				r.met.AuxCopiesFreed++
+			}
+			return
+		}
+		r.met.IVVComparisons++
+		switch it.IVV.Compare(e.Pre) {
+		case vv.Equal:
+			newVal, err := e.Op.Apply(it.Value)
+			if err != nil {
+				// Ops are validated at Update time; failure here indicates
+				// corruption. Drop the record defensively.
+				r.met.AnomaliesIgnored++
+				r.aux.Remove(e)
+				continue
+			}
+			if r.deltaMode {
+				r.retainDelta(it, store.Delta{Op: e.Op.Clone(), Pre: it.IVV.Clone(), Origin: r.id}, len(newVal))
+			}
+			it.Value = newVal
+			it.IVV = it.IVV.Extended(r.id + 1)
+			it.IVV.Inc(r.id)
+			r.dbvv.Inc(r.id)
+			r.logs.Component(r.id).Add(it.Key, r.dbvv[r.id])
+			r.aux.Remove(e)
+			r.met.AuxOpsReplayed++
+		case vv.Concurrent:
+			r.declareConflict(Conflict{
+				Key:    it.Key,
+				Local:  it.IVV.Clone(),
+				Remote: e.Pre.Clone(),
+				Source: -1,
+				Stage:  "intra-node",
+			})
+			return
+		default:
+			// e.Pre dominates the regular IVV: wait for more propagation.
+			// (The regular IVV can never dominate an auxiliary record's
+			// vector, §5.1.)
+			return
+		}
+	}
+}
+
+// AntiEntropy performs one complete update-propagation session: recipient
+// pulls from source. It returns true if the session shipped data and false
+// if the recipient was already current. In delta mode a second round
+// fetches full copies for the deltas the recipient cannot apply. The two
+// replicas' locks are taken one at a time, never together, so concurrent
+// sessions over any pairing schedule cannot deadlock.
+func AntiEntropy(recipient, source *Replica) bool {
+	req := recipient.PropagationRequest()
+	p := source.BuildPropagation(req)
+	if p == nil {
+		return false
+	}
+	need := recipient.ApplyPropagation(p)
+	if len(need) == 0 {
+		return true // committed in one pass
+	}
+	// Delta mode, second round: fetch full copies. Concurrent sessions can
+	// make further deltas inapplicable between probe and commit; re-probe a
+	// bounded number of times so the commit (almost) never has to skip an
+	// item. The commit's skip fallback remains the final guard.
+	have := make(map[string]bool)
+	var items []ItemPayload
+	for attempt := 0; attempt < 3 && len(need) > 0; attempt++ {
+		fetched := source.BuildItems(need)
+		items = append(items, fetched...)
+		for _, it := range fetched {
+			have[it.Key] = true
+		}
+		need = need[:0]
+		for _, key := range recipient.NeedFull(p) {
+			if !have[key] {
+				need = append(need, key)
+			}
+		}
+	}
+	recipient.ApplyPropagationWithItems(p, items)
+	return true
+}

@@ -1,0 +1,309 @@
+// Package core implements the epidemic update-propagation protocol of
+// Rabinovich, Gehani & Kononov (EDBT 1996): database version vectors
+// (DBVV) over per-item version vectors (IVV), the bounded log vector, the
+// SendPropagation / AcceptPropagation procedures (Figs. 2-3), intra-node
+// propagation for out-of-bound data (Fig. 4), and out-of-bound copying
+// itself (§5.2).
+//
+// A Replica is one server's state for one replicated database. All methods
+// are safe for concurrent use; a single mutex serializes each node's
+// actions, matching the paper's atomic-node-action model (§2.1). Update
+// propagation between two replicas is a three-step exchange (request,
+// build, apply) that never holds two replicas' locks at once, so any
+// pairing schedule — including the live TCP cluster — is deadlock-free.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/auxlog"
+	"repro/internal/logvec"
+	"repro/internal/metrics"
+	"repro/internal/op"
+	"repro/internal/store"
+	"repro/internal/vv"
+)
+
+// Conflict describes a detected inconsistency between two replicas of a
+// data item (correctness criterion 1, §2.1).
+type Conflict struct {
+	Key    string
+	Local  vv.VV  // the detecting node's vector for the item
+	Remote vv.VV  // the other vector involved
+	Source int    // node the other copy came from (-1 for intra-node)
+	Stage  string // where detected: "accept", "oob", "intra-node"
+}
+
+// String renders the conflict for logs.
+func (c Conflict) String() string {
+	return fmt.Sprintf("conflict on %q at stage %s: local %v vs remote %v (source %d)",
+		c.Key, c.Stage, c.Local, c.Remote, c.Source)
+}
+
+// ConflictHandler is invoked, with the replica lock held, whenever the
+// protocol declares two copies inconsistent. The paper leaves resolution to
+// the application (often manual, §2); the default handler records the
+// conflict for retrieval via Conflicts.
+type ConflictHandler func(Conflict)
+
+// Option configures a Replica at construction.
+type Option func(*Replica)
+
+// WithConflictHandler installs h in place of the default conflict recorder.
+func WithConflictHandler(h ConflictHandler) Option {
+	return func(r *Replica) { r.onConflict = h }
+}
+
+// WithDeltaPropagation enables the record-shipping propagation variant the
+// paper sketches as the alternative to whole-item copying (§2): each
+// replica retains the most recent update to every item as a redo-able
+// operation, and propagation ships that operation — typically much smaller
+// than the value — whenever the recipient is exactly one update behind.
+// Recipients that are further behind fetch the full copies in a second
+// round (see AntiEntropy). All correctness properties are unchanged; only
+// the payload representation differs.
+func WithDeltaPropagation() Option { return WithDeltaPropagationDepth(1) }
+
+// WithDeltaPropagationDepth enables record-shipping with a retained chain
+// of up to depth recent updates per item: recipients up to depth updates
+// behind apply the matching chain suffix instead of fetching the full
+// value. Depth 1 is WithDeltaPropagation; larger depths trade a little
+// memory for a higher delta hit rate under sparse gossip (experiment E11).
+func WithDeltaPropagationDepth(depth int) Option {
+	return func(r *Replica) {
+		if depth < 1 {
+			depth = 1
+		}
+		r.deltaMode = true
+		r.deltaDepth = depth
+	}
+}
+
+// Replica is one node's replica of the whole database plus all protocol
+// state: DBVV, log vector, auxiliary log and metrics.
+type Replica struct {
+	mu sync.Mutex
+
+	id int // this server's identifier, 0 <= id < n
+	n  int // number of servers replicating the database
+
+	dbvv  vv.VV          // database version vector V_i (§4.1)
+	store *store.Store   // data items with IVVs and aux copies
+	logs  *logvec.Vector // log vector L_i (§4.2)
+	aux   *auxlog.Log    // auxiliary log AUX_i (§4.4)
+
+	met        metrics.Counters
+	onConflict ConflictHandler
+	conflicts  []Conflict
+
+	// deltaMode enables record-shipping propagation (WithDeltaPropagation);
+	// deltaDepth bounds the retained per-item delta chain.
+	deltaMode  bool
+	deltaDepth int
+}
+
+// NewReplica returns the initial replica state for server id of n servers:
+// empty database, zero DBVV, empty logs.
+func NewReplica(id, n int, opts ...Option) *Replica {
+	if n <= 0 || id < 0 || id >= n {
+		panic(fmt.Sprintf("core: invalid replica id %d of %d", id, n))
+	}
+	r := &Replica{
+		id:    id,
+		n:     n,
+		dbvv:  vv.New(n),
+		store: store.New(n),
+		logs:  logvec.NewVector(n),
+		aux:   auxlog.New(),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.onConflict == nil {
+		r.onConflict = func(c Conflict) { r.conflicts = append(r.conflicts, c) }
+	}
+	return r
+}
+
+// ID returns the server identifier.
+func (r *Replica) ID() int { return r.id }
+
+// Servers returns the replication factor n.
+func (r *Replica) Servers() int { return r.n }
+
+// Update applies a user update to data item key (§5.3). If the item has an
+// auxiliary copy the update goes to it: the operation is appended to the
+// auxiliary log with the pre-update auxiliary IVV, then the auxiliary IVV's
+// own component is incremented. Otherwise the update goes to the regular
+// copy: the regular IVV and the DBVV own components are incremented and a
+// log record (key, V_ii) is appended to L_ii.
+func (r *Replica) Update(key string, o op.Op) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	it := r.store.Ensure(key)
+	r.met.UpdatesApplied++
+	if it.Aux != nil {
+		newVal, err := o.Apply(it.Aux.Value)
+		if err != nil {
+			return err
+		}
+		r.aux.Append(key, it.Aux.IVV, o)
+		it.Aux.Value = newVal
+		it.Aux.IVV = it.Aux.IVV.Extended(r.id + 1)
+		it.Aux.IVV.Inc(r.id)
+		r.met.UpdatesAuxiliary++
+		return nil
+	}
+	newVal, err := o.Apply(it.Value)
+	if err != nil {
+		return err
+	}
+	if r.deltaMode {
+		r.retainDelta(it, store.Delta{Op: o.Clone(), Pre: it.IVV.Clone(), Origin: r.id}, len(newVal))
+	}
+	it.Value = newVal
+	it.IVV = it.IVV.Extended(r.id + 1)
+	it.IVV.Inc(r.id)
+	r.dbvv.Inc(r.id)
+	r.logs.Component(r.id).Add(key, r.dbvv[r.id])
+	r.met.UpdatesRegular++
+	return nil
+}
+
+// retainDelta appends one delta to the item's chain, dropping the oldest
+// entries beyond the configured depth. A delta that does not link onto the
+// existing chain (possible after a wholesale adoption cleared it) starts a
+// fresh chain. Prefix entries that make the chain as expensive as the value
+// itself (e.g. a whole-value Set) are trimmed eagerly — they could never
+// ship as a delta anyway, and keeping them blocks the cheap suffix. Caller
+// holds the lock; valueLen is the post-update value size.
+func (r *Replica) retainDelta(it *store.Item, d store.Delta, valueLen int) {
+	if len(it.Deltas) > 0 {
+		last := it.Deltas[len(it.Deltas)-1]
+		if !last.Post().Equal(d.Pre) {
+			it.Deltas = it.Deltas[:0]
+		}
+	}
+	it.Deltas = append(it.Deltas, d)
+	if over := len(it.Deltas) - r.deltaDepth; over > 0 {
+		it.Deltas = append(it.Deltas[:0], it.Deltas[over:]...)
+	}
+	trimUneconomicPrefix(it, valueLen)
+}
+
+// deltaSizeFloor is the value size below which the delta-vs-full choice is
+// immaterial (vector overhead dominates either way): deltas always ship and
+// chains are never trimmed for economy.
+const deltaSizeFloor = 64
+
+// trimUneconomicPrefix drops chain-front deltas while the chain costs at
+// least as much on the wire as the value it reconstructs, keeping at least
+// one entry. Values at or below deltaSizeFloor are exempt.
+func trimUneconomicPrefix(it *store.Item, valueLen int) {
+	if valueLen <= deltaSizeFloor {
+		return
+	}
+	chainBytes := 0
+	for _, d := range it.Deltas {
+		chainBytes += d.Op.WireSize() + 2
+	}
+	for len(it.Deltas) > 1 && chainBytes >= valueLen {
+		chainBytes -= it.Deltas[0].Op.WireSize() + 2
+		it.Deltas = append(it.Deltas[:0], it.Deltas[1:]...)
+	}
+}
+
+// Read returns the value user operations observe for key — the auxiliary
+// copy if one exists, else the regular copy — and whether the item exists
+// at this replica. The returned slice is an independent copy.
+func (r *Replica) Read(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.store.Get(key)
+	if it == nil {
+		return nil, false
+	}
+	return store.CloneBytes(it.CurrentValue()), true
+}
+
+// ReadIVV returns the version vector matching Read's value.
+func (r *Replica) ReadIVV(key string) (vv.VV, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.store.Get(key)
+	if it == nil {
+		return nil, false
+	}
+	return it.CurrentIVV().Clone(), true
+}
+
+// DBVV returns a copy of the database version vector V_i.
+func (r *Replica) DBVV() vv.VV {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dbvv.Clone()
+}
+
+// Metrics returns a snapshot of the replica's overhead counters.
+func (r *Replica) Metrics() metrics.Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.met
+}
+
+// ResetMetrics zeroes the replica's overhead counters.
+func (r *Replica) ResetMetrics() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.Reset()
+}
+
+// Conflicts returns the conflicts recorded by the default handler.
+func (r *Replica) Conflicts() []Conflict {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Conflict, len(r.conflicts))
+	copy(out, r.conflicts)
+	return out
+}
+
+// Items returns the number of data items present at this replica.
+func (r *Replica) Items() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Len()
+}
+
+// LogRecords returns the total number of regular log records held — bounded
+// by n·N regardless of update volume (§4.2).
+func (r *Replica) LogRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.logs.Len()
+}
+
+// AuxRecords returns the number of auxiliary log records pending replay.
+func (r *Replica) AuxRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aux.Len()
+}
+
+// AuxCopies returns the number of items currently holding auxiliary copies.
+func (r *Replica) AuxCopies() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.AuxCount()
+}
+
+// declareConflict records a conflict and invokes the handler. Caller holds
+// the lock.
+func (r *Replica) declareConflict(c Conflict) {
+	r.met.ConflictsDetected++
+	r.onConflict(c)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/workload"
+)
+
+// TestConcurrentSessionsStress exercises the lock discipline: many
+// goroutines concurrently update, run anti-entropy in arbitrary directions,
+// copy out-of-bound and sweep intra-node propagation. No deadlock (the
+// three-step session never holds two locks), no data race (run under
+// -race), invariants intact afterwards, and a final quiescent drain
+// converges.
+func TestConcurrentSessionsStress(t *testing.T) {
+	const n = 4
+	const perWorker = 200
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = NewReplica(i, n)
+	}
+
+	var wg sync.WaitGroup
+	// One updater per node: single-writer per item namespace, so the run
+	// is conflict-free by construction.
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("n%d-item%d", node, i%7)
+				if err := reps[node].Update(key, op.NewAppend([]byte{byte(i)})); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(node)
+	}
+	// Gossiping workers hammering sessions in all directions.
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := (w + i) % n
+				s := (w + i + 1 + i%(n-1)) % n
+				if r != s {
+					AntiEntropy(reps[r], reps[s])
+				}
+			}
+		}(w)
+	}
+	// OOB workers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker/2; i++ {
+				r := (w + i) % n
+				s := (r + 1) % n
+				reps[r].CopyOutOfBound(fmt.Sprintf("n%d-item%d", s, i%7), reps[s])
+				reps[r].RunIntraNodePropagation()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, r := range reps {
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("after stress: %v", err)
+		}
+	}
+	// Quiescent drain: no more updates, so ring rounds must converge.
+	for round := 0; round < 4*n; round++ {
+		for i := range reps {
+			AntiEntropy(reps[i], reps[(i+1)%n])
+		}
+		for _, r := range reps {
+			r.RunIntraNodePropagation()
+		}
+	}
+	if ok, why := Converged(reps...); !ok {
+		t.Fatalf("no convergence after drain: %s", why)
+	}
+	for _, r := range reps {
+		if len(r.Conflicts()) != 0 {
+			t.Fatalf("conflicts under single-writer keys: %v", r.Conflicts())
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentDeltaModeStress repeats the stress under delta propagation,
+// which adds the two-round fetch path to the interleavings.
+func TestConcurrentDeltaModeStress(t *testing.T) {
+	const n = 3
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = NewReplica(i, n, WithDeltaPropagation())
+	}
+	var wg sync.WaitGroup
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				key := workload.Key(node*10 + i%5)
+				if err := reps[node].Update(key, op.NewAppend([]byte{byte(i)})); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					AntiEntropy(reps[node], reps[(node+1)%n])
+				}
+			}
+		}(node)
+	}
+	wg.Wait()
+	for round := 0; round < 4*n; round++ {
+		for i := range reps {
+			AntiEntropy(reps[i], reps[(i+1)%n])
+		}
+	}
+	if ok, why := Converged(reps...); !ok {
+		t.Fatalf("no convergence: %s", why)
+	}
+	for _, r := range reps {
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

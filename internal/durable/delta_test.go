@@ -1,0 +1,79 @@
+package durable
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+func TestDurableDeltaSessionRecovers(t *testing.T) {
+	dir := t.TempDir()
+	src := core.NewReplica(0, 2, core.WithDeltaPropagation())
+	src.Update("x", op.NewSet([]byte("v1")))
+
+	opts := Options{NoSync: true, SnapshotEvery: 1 << 30,
+		CoreOptions: []core.Option{core.WithDeltaPropagation()}}
+	d, err := Open(dir, 1, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AntiEntropyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	// Force the two-round path: recipient falls two behind.
+	src.Update("x", op.NewSet([]byte("v2")))
+	src.Update("x", op.NewSet([]byte("v3")))
+	if _, err := d.AntiEntropyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Core().Snapshot()
+	d.CloseWithoutSnapshot() // crash: replay must include the fetched items
+
+	d2, err := Open(dir, 1, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if ok, why := want.Equivalent(d2.Core().Snapshot()); !ok {
+		t.Fatalf("recovery diverged: %s", why)
+	}
+	v, _ := d2.Core().Read("x")
+	if string(v) != "v3" {
+		t.Fatalf("recovered value = %q", v)
+	}
+	if err := d2.Core().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableApplyPropagationRefusesIncompleteSession(t *testing.T) {
+	src := core.NewReplica(0, 2, core.WithDeltaPropagation())
+	src.Update("x", op.NewSet([]byte("v1")))
+
+	dir := t.TempDir()
+	opts := Options{NoSync: true, CoreOptions: []core.Option{core.WithDeltaPropagation()}}
+	d, err := Open(dir, 1, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.AntiEntropyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	src.Update("x", op.NewSet([]byte("v2")))
+	src.Update("x", op.NewSet([]byte("v3")))
+	p := src.BuildPropagation(d.Core().PropagationRequest())
+	if err := d.ApplyPropagation(p); err == nil {
+		t.Fatal("incomplete delta session accepted without items")
+	}
+	// The correct path works.
+	items := src.BuildItems(d.Core().NeedFull(p))
+	if err := d.ApplyPropagationWithItems(p, items); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Core().Read("x")
+	if string(v) != "v3" {
+		t.Fatalf("value = %q", v)
+	}
+}

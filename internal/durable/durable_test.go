@@ -1,0 +1,224 @@
+package durable
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+func mustOpen(t *testing.T, dir string, id, n int, opts Options) *Replica {
+	t.Helper()
+	d, err := Open(dir, id, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFreshOpenAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 2, Options{NoSync: true})
+	if err := d.Update("x", op.NewSet([]byte("v1"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpen(t, dir, 0, 2, Options{NoSync: true})
+	defer d2.Close()
+	v, ok := d2.Core().Read("x")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("after reopen: %q/%v", v, ok)
+	}
+	if err := d2.Core().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryFromWALOnly(t *testing.T) {
+	// No clean shutdown: state must come back from snapshot + WAL replay.
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 2, Options{NoSync: true, SnapshotEvery: 1 << 30})
+	for i := 0; i < 25; i++ {
+		if err := d.Update("k"+string(rune('a'+i%5)), op.NewAppend([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := d.Core().Snapshot()
+	if d.WALRecords() != 25 {
+		t.Fatalf("wal records = %d", d.WALRecords())
+	}
+	d.CloseWithoutSnapshot() // crash
+
+	d2 := mustOpen(t, dir, 0, 2, Options{NoSync: true})
+	defer d2.Close()
+	if ok, why := want.Equivalent(d2.Core().Snapshot()); !ok {
+		t.Fatalf("recovered state differs: %s", why)
+	}
+	if err := d2.Core().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryWithPropagationsAndOOB(t *testing.T) {
+	dir := t.TempDir()
+	src := core.NewReplica(0, 2)
+	for i := 0; i < 10; i++ {
+		src.Update("item"+string(rune('0'+i)), op.NewSet([]byte{byte(i)}))
+	}
+
+	d := mustOpen(t, dir, 1, 2, Options{NoSync: true, SnapshotEvery: 1 << 30})
+	if _, err := d.AntiEntropyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	src.Update("hot", op.NewSet([]byte("fresh")))
+	reply := src.ServeOOB("hot")
+	if adopted, err := d.ApplyOOB(reply, 0); err != nil || !adopted {
+		t.Fatalf("ApplyOOB = %v/%v", adopted, err)
+	}
+	if err := d.Update("hot", op.NewAppend([]byte("+local"))); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Core().Snapshot()
+	d.CloseWithoutSnapshot() // crash with aux state pending
+
+	d2 := mustOpen(t, dir, 1, 2, Options{NoSync: true})
+	defer d2.Close()
+	got := d2.Core().Snapshot()
+	if ok, why := want.Equivalent(got); !ok {
+		t.Fatalf("recovered state differs: %s", why)
+	}
+	if d2.Core().AuxCopies() != 1 || d2.Core().AuxRecords() != 1 {
+		t.Fatalf("aux state lost in recovery: %d/%d",
+			d2.Core().AuxCopies(), d2.Core().AuxRecords())
+	}
+	v, _ := d2.Core().Read("hot")
+	if string(v) != "fresh+local" {
+		t.Fatalf("hot = %q", v)
+	}
+	// The recovered replica still drains its aux state via propagation.
+	if _, err := d2.AntiEntropyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Core().AuxRecords() != 0 {
+		t.Error("aux records did not drain after recovery")
+	}
+}
+
+func TestAutomaticSnapshotResetsWAL(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 1, Options{NoSync: true, SnapshotEvery: 10})
+	defer d.Close()
+	for i := 0; i < 25; i++ {
+		if err := d.Update("x", op.NewAppend([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.WALRecords(); got >= 10 {
+		t.Errorf("wal records = %d, snapshot should have reset it below 10", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Errorf("snapshot file missing: %v", err)
+	}
+}
+
+func TestIdentityMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 2, Options{NoSync: true})
+	d.Update("x", op.NewSet([]byte("v")))
+	d.Close()
+
+	if _, err := Open(dir, 1, 2, Options{NoSync: true}); err == nil {
+		t.Error("wrong id accepted")
+	}
+	if _, err := Open(dir, 0, 3, Options{NoSync: true}); err == nil {
+		t.Error("wrong n accepted")
+	}
+}
+
+func TestInvalidUpdateNotLogged(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 1, Options{NoSync: true})
+	defer d.Close()
+	if err := d.Update("x", op.Op{Kind: op.Kind(99)}); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+	if d.WALRecords() != 0 {
+		t.Error("invalid op reached the WAL")
+	}
+}
+
+func TestNilPropagationIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 2, Options{NoSync: true})
+	defer d.Close()
+	if err := d.ApplyPropagation(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.WALRecords() != 0 {
+		t.Error("nil propagation logged")
+	}
+}
+
+func TestRandomizedCrashRecoveryConvergence(t *testing.T) {
+	// A durable replica crash-recovers at random points during a gossip
+	// run; the system must still converge and validate.
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	peers := []*core.Replica{core.NewReplica(0, 3), core.NewReplica(1, 3)}
+	d := mustOpen(t, dir, 2, 3, Options{NoSync: true, SnapshotEvery: 7})
+
+	val := byte(0)
+	for step := 0; step < 200; step++ {
+		switch rng.Intn(6) {
+		case 0:
+			val++
+			peers[0].Update("p0", op.NewSet([]byte{val}))
+		case 1:
+			val++
+			peers[1].Update("p1", op.NewSet([]byte{val}))
+		case 2:
+			val++
+			if err := d.Update("d", op.NewSet([]byte{val})); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			core.AntiEntropy(peers[0], peers[1])
+			core.AntiEntropy(peers[1], peers[0])
+		case 4:
+			if _, err := d.AntiEntropyFrom(peers[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+			core.AntiEntropy(peers[rng.Intn(2)], d.Core())
+		case 5: // crash + recover
+			if rng.Intn(2) == 0 {
+				d.CloseWithoutSnapshot()
+			} else {
+				if err := d.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d = mustOpen(t, dir, 2, 3, Options{NoSync: true, SnapshotEvery: 7})
+		}
+		if err := d.Core().CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// Final drain.
+	for i := 0; i < 6; i++ {
+		d.AntiEntropyFrom(peers[0])
+		d.AntiEntropyFrom(peers[1])
+		core.AntiEntropy(peers[0], d.Core())
+		core.AntiEntropy(peers[1], peers[0])
+		core.AntiEntropy(peers[0], peers[1])
+	}
+	if ok, why := core.Converged(peers[0], peers[1], d.Core()); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	d.Close()
+}

@@ -1,0 +1,37 @@
+package durable
+
+import (
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// PullFrom durably performs one anti-entropy session against the replica
+// server at addr: the propagation message (and any second-round full
+// copies) is written to the WAL before it is applied, so a crash between
+// receive and apply replays it on recovery. Returns whether data shipped.
+func (d *Replica) PullFrom(addr string) (bool, error) {
+	p, err := transport.PullSession(addr, d.replica.ID(), d.replica.PropagationRequest())
+	if err != nil {
+		return false, err
+	}
+	if p == nil {
+		return false, nil
+	}
+	var items []core.ItemPayload
+	if need := d.replica.NeedFull(p); len(need) > 0 {
+		items, err = transport.FetchItems(addr, d.replica.ID(), need)
+		if err != nil {
+			return false, err
+		}
+	}
+	return true, d.ApplyPropagationWithItems(p, items)
+}
+
+// FetchOOB durably copies one item out-of-bound from the server at addr.
+func (d *Replica) FetchOOB(addr, key string) (bool, error) {
+	reply, err := transport.RequestOOB(addr, d.replica.ID(), key)
+	if err != nil {
+		return false, err
+	}
+	return d.ApplyOOB(reply, -1)
+}

@@ -1,0 +1,145 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/transport"
+)
+
+func startSource(t *testing.T, opts ...core.Option) (*core.Replica, string) {
+	t.Helper()
+	src := core.NewReplica(0, 2, opts...)
+	srv, err := transport.Listen(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return src, srv.Addr()
+}
+
+func TestPullFromOverTCP(t *testing.T) {
+	src, addr := startSource(t)
+	for i := 0; i < 10; i++ {
+		src.Update("k"+string(rune('0'+i)), op.NewSet([]byte{byte(i)}))
+	}
+	d := mustOpen(t, t.TempDir(), 1, 2, Options{NoSync: true})
+	defer d.Close()
+
+	shipped, err := d.PullFrom(addr)
+	if err != nil || !shipped {
+		t.Fatalf("PullFrom = %v/%v", shipped, err)
+	}
+	if ok, why := core.Converged(src, d.Core()); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	// Current replica: second pull is a no-op.
+	shipped, err = d.PullFrom(addr)
+	if err != nil || shipped {
+		t.Fatalf("second PullFrom = %v/%v, want no-op", shipped, err)
+	}
+}
+
+func TestPullFromDeltaFetchRound(t *testing.T) {
+	src, addr := startSource(t, core.WithDeltaPropagation())
+	opts := Options{NoSync: true, SnapshotEvery: 1 << 30,
+		CoreOptions: []core.Option{core.WithDeltaPropagation()}}
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 1, 2, opts)
+
+	src.Update("x", op.NewSet([]byte("v1")))
+	if _, err := d.PullFrom(addr); err != nil {
+		t.Fatal(err)
+	}
+	src.Update("x", op.NewSet([]byte("v2")))
+	src.Update("x", op.NewSet([]byte("v3"))) // two behind: fetch round
+	if _, err := d.PullFrom(addr); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Core().Read("x")
+	if string(v) != "v3" {
+		t.Fatalf("after delta pull: %q", v)
+	}
+	want := d.Core().Snapshot()
+	d.CloseWithoutSnapshot() // crash: the fetched items must replay
+
+	d2 := mustOpen(t, dir, 1, 2, opts)
+	defer d2.Close()
+	if ok, why := want.Equivalent(d2.Core().Snapshot()); !ok {
+		t.Fatalf("recovery diverged: %s", why)
+	}
+}
+
+func TestFetchOOBOverTCPDurable(t *testing.T) {
+	src, addr := startSource(t)
+	src.Update("hot", op.NewSet([]byte("fresh")))
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 1, 2, Options{NoSync: true, SnapshotEvery: 1 << 30})
+
+	adopted, err := d.FetchOOB(addr, "hot")
+	if err != nil || !adopted {
+		t.Fatalf("FetchOOB = %v/%v", adopted, err)
+	}
+	d.CloseWithoutSnapshot() // crash: OOB adoption must replay from WAL
+
+	d2 := mustOpen(t, dir, 1, 2, Options{NoSync: true})
+	defer d2.Close()
+	v, _ := d2.Core().Read("hot")
+	if string(v) != "fresh" {
+		t.Fatalf("recovered OOB value = %q", v)
+	}
+	if d2.Core().AuxCopies() != 1 {
+		t.Error("aux copy lost in WAL-only recovery")
+	}
+}
+
+func TestPullFromDeadAddress(t *testing.T) {
+	d := mustOpen(t, t.TempDir(), 1, 2, Options{NoSync: true})
+	defer d.Close()
+	if _, err := d.PullFrom("127.0.0.1:1"); err == nil {
+		t.Error("PullFrom dead address succeeded")
+	}
+	if _, err := d.FetchOOB("127.0.0.1:1", "x"); err == nil {
+		t.Error("FetchOOB dead address succeeded")
+	}
+}
+
+func TestSnapshotFailurePropagates(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 1, Options{NoSync: true})
+	d.Update("x", op.NewSet([]byte("v")))
+	// Squat a directory on the snapshot temp path so os.Create fails
+	// (chmod-based denial does not bind when tests run as root).
+	blocker := filepath.Join(dir, snapshotFile+".tmp")
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Snapshot(); err == nil {
+		t.Error("Snapshot with blocked temp path succeeded")
+	}
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Errorf("snapshot missing after recovery of permissions: %v", err)
+	}
+}
+
+func TestOpenRejectsCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 1, Options{NoSync: true})
+	d.Update("x", op.NewSet([]byte("v")))
+	d.Close()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, 0, 1, Options{NoSync: true}); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/op"
+	"repro/internal/workload"
+)
+
+// E11DeltaPropagation measures the record-shipping variant the paper
+// sketches as the alternative to whole-item copying (§2): with frequent
+// gossip a recipient is usually exactly one update behind per item, so
+// shipping the update operation instead of the whole value cuts bytes by
+// roughly the value-size/op-size ratio; with infrequent gossip recipients
+// fall further behind and the variant degrades gracefully to full copies
+// via the second-round fetch.
+func E11DeltaPropagation(quick bool) Table {
+	valueSize := 4096
+	updatesPerRound := 20
+	rounds := 40
+	if quick {
+		rounds = 15
+	}
+	t := Table{
+		ID:    "E11",
+		Title: fmt.Sprintf("record-shipping vs whole-item copying (%dB values, small ops)", valueSize),
+		Claim: "update propagation can be done by either copying the entire data item, or by obtaining and applying log records for missing updates; the ideas are applicable to both (§2)",
+		Columns: []string{"gossip every", "mode", "bytes", "deltas", "full fetches",
+			"delta hit %"},
+		Notes: "frequent gossip: deltas carry almost all updates and bytes collapse; sparse gossip: fallback fetches dominate and both modes ship full values.",
+	}
+
+	type variant struct {
+		name string
+		opts []core.Option
+	}
+	variants := []variant{
+		{"whole-item", nil},
+		{"delta k=1", []core.Option{core.WithDeltaPropagation()}},
+		{"delta k=8", []core.Option{core.WithDeltaPropagationDepth(8)}},
+	}
+	for _, every := range []int{1, 5} { // gossip after every update vs every 5th
+		for _, vr := range variants {
+			opts := vr.opts
+			a := core.NewReplica(0, 2, opts...)
+			b := core.NewReplica(1, 2, opts...)
+			g := workload.New(workload.Config{Items: 25, ValueSize: valueSize, Seed: 9})
+			// Seed full values everywhere.
+			for i := 0; i < 25; i++ {
+				a.Update(workload.Key(i), op.NewSet(g.Value()))
+			}
+			core.AntiEntropy(b, a)
+			a.ResetMetrics()
+			b.ResetMetrics()
+
+			u := 0
+			for round := 0; round < rounds; round++ {
+				for j := 0; j < updatesPerRound; j++ {
+					// Small in-place edit of a large value.
+					a.Update(workload.Key(g.NextIndex()), op.NewWriteAt(16, []byte("edit")))
+					u++
+					if u%every == 0 {
+						core.AntiEntropy(b, a)
+					}
+				}
+			}
+			core.AntiEntropy(b, a)
+
+			var m metrics.Counters
+			am, bm := a.Metrics(), b.Metrics()
+			m.Add(&am)
+			m.Add(&bm)
+			hit := 0.0
+			if m.ItemsCopied > 0 {
+				hit = 100 * float64(m.DeltasApplied) / float64(m.ItemsCopied)
+			}
+			mode := vr.name
+			label := "every update"
+			if every != 1 {
+				label = fmt.Sprintf("every %d updates", every)
+			}
+			t.Rows = append(t.Rows, []string{
+				label, mode, Cell(m.BytesSent), Cell(m.DeltasApplied),
+				Cell(m.FullFetches), fmt.Sprintf("%.0f", hit),
+			})
+		}
+	}
+	return t
+}

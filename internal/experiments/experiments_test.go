@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cellUint parses a numeric cell.
+func cellUint(t *testing.T, s string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestE1ShapeFlatVsLinear(t *testing.T) {
+	tab := E1IdenticalReplicas(true)
+	if len(tab.Rows) < 2 {
+		t.Fatal("need at least two sweep points")
+	}
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	nFirst, nLast := cellUint(t, first[0]), cellUint(t, last[0])
+	growth := float64(nLast) / float64(nFirst)
+
+	// dbvv comparisons flat at 1 at every N.
+	for _, row := range tab.Rows {
+		if got := cellUint(t, row[1]); got != 1 {
+			t.Errorf("N=%s: dbvv comparisons = %d, want 1", row[0], got)
+		}
+		if got := cellUint(t, row[2]); got != 0 {
+			t.Errorf("N=%s: dbvv examined = %d, want 0", row[0], got)
+		}
+	}
+	// Baselines grow proportionally with N.
+	for _, col := range []int{3, 5} {
+		ratio := float64(cellUint(t, last[col])) / float64(cellUint(t, first[col]))
+		if ratio < growth*0.8 {
+			t.Errorf("column %q did not grow with N: ratio %.1f, N grew %.1fx",
+				tab.Columns[col], ratio, growth)
+		}
+	}
+}
+
+func TestE2ShapeIndependentOfN(t *testing.T) {
+	tab := E2PropagationCostVsN(true)
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	// dbvv examined identical across N.
+	if first[1] != last[1] || first[2] != last[2] || first[3] != last[3] {
+		t.Errorf("dbvv cost varies with N: %v vs %v", first, last)
+	}
+	// per-item examined grows.
+	if cellUint(t, last[4]) <= cellUint(t, first[4]) {
+		t.Error("per-item cost did not grow with N")
+	}
+}
+
+func TestE2bShapeLinearInM(t *testing.T) {
+	tab := E2bPropagationCostVsM(true)
+	for _, row := range tab.Rows {
+		m := cellUint(t, row[0])
+		if got := cellUint(t, row[1]); got != m {
+			t.Errorf("m=%d: examined = %d, want exactly m", m, got)
+		}
+		if got := cellUint(t, row[2]); got != m {
+			t.Errorf("m=%d: items sent = %d, want exactly m", m, got)
+		}
+	}
+}
+
+func TestE3ShapeConstantVsLinear(t *testing.T) {
+	tab := E3IndirectPropagation(true)
+	var dbvv, lotus []string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "dbvv":
+			dbvv = row
+		case "lotus":
+			lotus = row
+		}
+	}
+	if dbvv == nil || lotus == nil {
+		t.Fatal("missing protocol rows")
+	}
+	if got := cellUint(t, dbvv[1]); got != 1 {
+		t.Errorf("dbvv comparisons = %d, want 1", got)
+	}
+	if got := cellUint(t, lotus[2]); got < 1000 {
+		t.Errorf("lotus examined = %d, want >= N", got)
+	}
+	// Neither ships items (replicas are identical).
+	if cellUint(t, dbvv[5]) != 0 || cellUint(t, lotus[5]) != 0 {
+		t.Error("identical replicas shipped items")
+	}
+}
+
+func TestE4ShapeOracleStuckDbvvConverges(t *testing.T) {
+	tab := E4OriginatorFailure()
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.HasPrefix(last[1], "2/") {
+		t.Errorf("oracle final freshness = %s, want stuck at 2", last[1])
+	}
+	parts := strings.Split(last[2], "/")
+	if parts[0] != parts[1] {
+		t.Errorf("dbvv final freshness = %s, want all live nodes fresh", last[2])
+	}
+}
+
+func TestE5ShapeConstantOOBAndLinearReplay(t *testing.T) {
+	tab := E5OutOfBound(true)
+	var bytesSeen string
+	for _, row := range tab.Rows {
+		if bytesSeen == "" {
+			bytesSeen = row[2]
+		} else if row[2] != bytesSeen {
+			t.Errorf("oob bytes vary: %s vs %s", row[2], bytesSeen)
+		}
+		k := cellUint(t, row[1])
+		if got := cellUint(t, row[3]); got != k {
+			t.Errorf("k=%d: replayed = %d, want k", k, got)
+		}
+		if got := cellUint(t, row[4]); got != 1 {
+			t.Errorf("k=%d: aux freed = %d, want 1", k, got)
+		}
+	}
+}
+
+func TestE6ShapeBoundedVsGrowing(t *testing.T) {
+	tab := E6LogBound(true)
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	bound := cellUint(t, first[2])
+	for _, row := range tab.Rows {
+		if got := cellUint(t, row[1]); got > bound {
+			t.Errorf("U=%s: dbvv log %d exceeds bound %d", row[0], got, bound)
+		}
+	}
+	if first[1] != last[1] {
+		t.Errorf("dbvv log changed with U: %s vs %s (expected plateau)", first[1], last[1])
+	}
+	if cellUint(t, last[3]) <= cellUint(t, first[3]) {
+		t.Error("wuu log did not grow with U")
+	}
+}
+
+func TestE7ShapeRecordsStayM(t *testing.T) {
+	tab := E7ServerSweep(true)
+	for _, row := range tab.Rows {
+		if got := cellUint(t, row[2]); got != 128 {
+			t.Errorf("n=%s: records = %d, want 128", row[0], got)
+		}
+	}
+}
+
+func TestE8ShapeAllConverge(t *testing.T) {
+	tab := E8ConvergenceRounds(true)
+	for _, row := range tab.Rows {
+		if row[3] != "true" {
+			t.Errorf("n=%s did not converge", row[0])
+		}
+		n := cellUint(t, row[0])
+		rounds := cellUint(t, row[1])
+		if rounds > 4*n {
+			t.Errorf("n=%d: %d rounds, improbably slow for epidemic gossip", n, rounds)
+		}
+	}
+}
+
+func TestE9ShapeFalseSharingOnlyWhenCoarse(t *testing.T) {
+	tab := E9FalseSharing()
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "whole database":
+			if cellUint(t, row[2]) == 0 {
+				t.Error("coarse granule produced no false-sharing conflict")
+			}
+			if row[3] != "false" {
+				t.Error("coarse granule converged despite conflict")
+			}
+		case "per item":
+			if cellUint(t, row[2]) != 0 {
+				t.Error("item granule produced a spurious conflict")
+			}
+			if row[3] != "true" {
+				t.Error("item granule did not converge")
+			}
+		}
+	}
+}
+
+func TestE10ShapeLostUpdateVsDetected(t *testing.T) {
+	tab := E10LotusConflict()
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "lotus":
+			if row[2] != "true" || row[3] != "false" {
+				t.Errorf("lotus row = %v, want lost update and no detection", row)
+			}
+		case "dbvv":
+			if row[2] != "false" || row[3] != "true" {
+				t.Errorf("dbvv row = %v, want preserved copy and detection", row)
+			}
+		}
+	}
+}
+
+func TestE11ShapeDeltaSavesBytes(t *testing.T) {
+	tab := E11DeltaPropagation(true)
+	byKey := map[string]uint64{}
+	for _, row := range tab.Rows {
+		byKey[row[0]+"/"+row[1]] = cellUint(t, row[2])
+	}
+	full, k1 := byKey["every update/whole-item"], byKey["every update/delta k=1"]
+	if full == 0 || k1 == 0 {
+		t.Fatalf("missing rows: %v", byKey)
+	}
+	if k1*5 > full {
+		t.Errorf("delta k=1 bytes %d not substantially below whole-item %d", k1, full)
+	}
+	// Under sparse gossip the deeper chain must beat k=1 on bytes.
+	k1s, k8s := byKey["every 5 updates/delta k=1"], byKey["every 5 updates/delta k=8"]
+	if k8s == 0 || k1s == 0 {
+		t.Fatalf("missing sparse rows: %v", byKey)
+	}
+	if k8s > byKey["every 5 updates/whole-item"] {
+		t.Errorf("delta k=8 bytes %d exceed whole-item %d", k8s, byKey["every 5 updates/whole-item"])
+	}
+	// Delta rows must show delta traffic; whole-item rows none.
+	for _, row := range tab.Rows {
+		applied := cellUint(t, row[3])
+		if strings.HasPrefix(row[1], "delta") && applied == 0 {
+			t.Errorf("delta row shipped no deltas: %v", row)
+		}
+		if row[1] == "whole-item" && applied != 0 {
+			t.Errorf("whole-item row shipped deltas: %v", row)
+		}
+	}
+}
+
+func TestE12ShapeBackstopClosesResidue(t *testing.T) {
+	tab := E12RumorBackstop(true)
+	for _, row := range tab.Rows {
+		// The core-system mirror converged or the backstop copied items;
+		// either way most sessions at caught-up nodes were O(1) no-ops.
+		noops := cellUint(t, row[4])
+		if noops == 0 {
+			t.Errorf("k=%s: no O(1) no-op sessions recorded", row[0])
+		}
+	}
+}
+
+func TestE13ShapeTokensPreventConflicts(t *testing.T) {
+	tab := E13TokenDiscipline(true)
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "token":
+			if cellUint(t, row[3]) != 0 {
+				t.Errorf("token mode declared conflicts: %v", row)
+			}
+			if row[4] != "true" {
+				t.Errorf("token mode did not converge: %v", row)
+			}
+			if cellUint(t, row[2]) == 0 {
+				t.Errorf("token mode recorded no denials under contention: %v", row)
+			}
+		case "optimistic":
+			if cellUint(t, row[3]) == 0 {
+				t.Errorf("optimistic contended workload produced no conflicts: %v", row)
+			}
+			if cellUint(t, row[2]) != 0 {
+				t.Errorf("optimistic mode denied writes: %v", row)
+			}
+		}
+	}
+}
+
+func TestE14ShapeFicusExaminesEverything(t *testing.T) {
+	tab := E14FicusReconciliation(true)
+	var ficusRow, dbvvRow []string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "ficus reconciliation":
+			ficusRow = row
+		case "dbvv":
+			dbvvRow = row
+		}
+	}
+	if ficusRow == nil || dbvvRow == nil {
+		t.Fatal("missing rows")
+	}
+	// Both repaired the same number of missed items...
+	if ficusRow[3] != dbvvRow[3] {
+		t.Errorf("repair mismatch: ficus copied %s, dbvv copied %s", ficusRow[3], dbvvRow[3])
+	}
+	// ...but Ficus examined the whole database while dbvv examined only
+	// the missed items.
+	if cellUint(t, ficusRow[1]) < 500 {
+		t.Errorf("ficus examined %s items, want >= N", ficusRow[1])
+	}
+	if got := cellUint(t, dbvvRow[1]); got > 2*cellUint(t, dbvvRow[3]) {
+		t.Errorf("dbvv examined %d, want proportional to copied %s", got, dbvvRow[3])
+	}
+}
+
+func TestAllQuickRuns(t *testing.T) {
+	tables := All(true)
+	if len(tables) != 15 {
+		t.Fatalf("All returned %d tables, want 15", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		if tab.ID == "" || len(tab.Rows) == 0 || len(tab.Columns) == 0 {
+			t.Errorf("table %q malformed", tab.ID)
+		}
+		if seen[tab.ID] {
+			t.Errorf("duplicate table id %q", tab.ID)
+		}
+		seen[tab.ID] = true
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Errorf("%s: row width %d != %d columns", tab.ID, len(row), len(tab.Columns))
+			}
+		}
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	tab := Table{
+		ID: "EX", Title: "title", Claim: "claim",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   "note",
+	}
+	r := tab.Render()
+	for _, want := range []string{"EX", "title", "claim", "a", "2", "note"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render missing %q:\n%s", want, r)
+		}
+	}
+	m := tab.Markdown()
+	if !strings.Contains(m, "| a | b |") || !strings.Contains(m, "| 1 | 2 |") {
+		t.Errorf("Markdown malformed:\n%s", m)
+	}
+}

@@ -1,0 +1,106 @@
+// Package experiments implements the reproduction harness: one function per
+// experiment in DESIGN.md's index (E1-E10), each regenerating a table that
+// checks a quantitative claim of the paper. cmd/epibench prints the tables;
+// EXPERIMENTS.md records paper-claim vs. measured; the test suite asserts
+// the shapes (who wins, what scales with what).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim quotes the paper claim under test.
+	Claim string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes carries interpretation for EXPERIMENTS.md.
+	Notes string
+}
+
+// Render formats the table for terminals.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "   claim: %s\n\n", t.Claim)
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "\n   %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// CSV formats the table as RFC-4180-ish CSV with an id/title comment line.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s: %s\n", t.ID, t.Title)
+	sb.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			cells[i] = c
+		}
+		sb.WriteString(strings.Join(cells, ",") + "\n")
+	}
+	return sb.String()
+}
+
+// Markdown formats the table as GitHub-flavoured markdown for
+// EXPERIMENTS.md.
+func (t Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "*Paper claim:* %s\n\n", t.Claim)
+	sb.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sb.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "\n%s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Cell formats any value for a table cell.
+func Cell(v interface{}) string { return fmt.Sprintf("%v", v) }
+
+// All runs every experiment and returns the tables in order. The quick flag
+// shrinks sweeps for fast runs (CI, tests); the full sweep matches
+// EXPERIMENTS.md.
+func All(quick bool) []Table {
+	return []Table{
+		E1IdenticalReplicas(quick),
+		E2PropagationCostVsN(quick),
+		E2bPropagationCostVsM(quick),
+		E3IndirectPropagation(quick),
+		E4OriginatorFailure(),
+		E5OutOfBound(quick),
+		E6LogBound(quick),
+		E7ServerSweep(quick),
+		E8ConvergenceRounds(quick),
+		E9FalseSharing(),
+		E10LotusConflict(),
+		E11DeltaPropagation(quick),
+		E12RumorBackstop(quick),
+		E13TokenDiscipline(quick),
+		E14FicusReconciliation(quick),
+	}
+}

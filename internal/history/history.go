@@ -1,0 +1,195 @@
+// Package history is the correctness oracle for the test suite and the
+// simulator: a global, omniscient record of every user update ever
+// performed, against which replica states are validated.
+//
+// The paper's correctness criteria (§2.1) are stated in terms of update
+// histories: a replica is *older* than another iff its history is a proper
+// prefix; replicas are *inconsistent* iff each reflects an update the other
+// does not. Version vectors summarize those histories (Theorem 3): per
+// origin, a replica holding v[k] = u reflects exactly the first u updates
+// made at server k. The Tracker records the ground truth — which update was
+// the u-th at server k, and to which item — so a validator can check that a
+// replica's version vectors are *honest*: that the value a replica holds is
+// exactly the one produced by the updates its IVV claims.
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/vv"
+)
+
+// Update is one recorded user update.
+type Update struct {
+	Origin int    // server that performed it
+	Seq    uint64 // per-origin, per-item sequence: the IVV component value after it
+	Key    string
+	Value  []byte // the item value immediately after the update at the origin
+}
+
+// Tracker records every update in the system, keyed by (item, origin,
+// per-item seq). It is the test-side ground truth; replicas never see it.
+// Not safe for concurrent use — tests drive protocols single-threaded.
+type Tracker struct {
+	// updates[key][origin] is the ordered list of that origin's updates to
+	// the item; index i holds the update with per-item seq i+1.
+	updates map[string][][]Update
+	n       int
+}
+
+// NewTracker returns a tracker for n servers.
+func NewTracker(n int) *Tracker {
+	return &Tracker{updates: make(map[string][][]Update), n: n}
+}
+
+// RecordUpdate registers a user update: origin applied an operation to key
+// producing value. Must be called in the order the origin executed them.
+func (t *Tracker) RecordUpdate(origin int, key string, value []byte) {
+	perOrigin := t.updates[key]
+	if perOrigin == nil {
+		perOrigin = make([][]Update, t.n)
+		t.updates[key] = perOrigin
+	}
+	seq := uint64(len(perOrigin[origin]) + 1)
+	perOrigin[origin] = append(perOrigin[origin], Update{
+		Origin: origin,
+		Seq:    seq,
+		Key:    key,
+		Value:  append([]byte(nil), value...),
+	})
+}
+
+// Count returns how many updates origin has performed on key.
+func (t *Tracker) Count(origin int, key string) uint64 {
+	if perOrigin := t.updates[key]; perOrigin != nil {
+		return uint64(len(perOrigin[origin]))
+	}
+	return 0
+}
+
+// TotalCount returns the total updates performed on key across all origins.
+func (t *Tracker) TotalCount(key string) uint64 {
+	var total uint64
+	if perOrigin := t.updates[key]; perOrigin != nil {
+		for _, ups := range perOrigin {
+			total += uint64(len(ups))
+		}
+	}
+	return total
+}
+
+// GlobalIVV returns the item version vector of a replica that has seen
+// every update to key — the vector all replicas must converge to.
+func (t *Tracker) GlobalIVV(key string) vv.VV {
+	v := vv.New(t.n)
+	if perOrigin := t.updates[key]; perOrigin != nil {
+		for origin, ups := range perOrigin {
+			v[origin] = uint64(len(ups))
+		}
+	}
+	return v
+}
+
+// Keys returns every item ever updated.
+func (t *Tracker) Keys() []string {
+	keys := make([]string, 0, len(t.updates))
+	for k := range t.updates {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// ValidateIVV checks that an item replica's version vector is consistent
+// with the ground truth: no component may claim more updates than the
+// origin ever performed (an IVV must describe a subset of real history).
+func (t *Tracker) ValidateIVV(key string, ivv vv.VV) error {
+	for origin := 0; origin < t.n; origin++ {
+		if claimed, real := ivv.Get(origin), t.Count(origin, key); claimed > real {
+			return fmt.Errorf("history: item %q claims %d updates from origin %d, only %d ever happened",
+				key, claimed, origin, real)
+		}
+	}
+	return nil
+}
+
+// ValidateFinalValue checks a fully-converged replica's value for key: a
+// replica whose IVV equals the global IVV must hold the value of the
+// *last* update applied at whichever origin performed it. With
+// single-writer items (one origin per key, the conflict-free regime used by
+// the convergence tests) that value is unique; with multiple writers the
+// final value must match one of the origins' last writes (whole-item
+// copying: the adopted copy is some origin's).
+func (t *Tracker) ValidateFinalValue(key string, ivv vv.VV, value []byte) error {
+	global := t.GlobalIVV(key)
+	if !ivv.Equal(global) {
+		return fmt.Errorf("history: item %q IVV %v has not converged to global %v", key, ivv, global)
+	}
+	perOrigin := t.updates[key]
+	if perOrigin == nil {
+		if len(value) != 0 {
+			return fmt.Errorf("history: item %q was never updated but holds %q", key, value)
+		}
+		return nil
+	}
+	writers := 0
+	var lastSingle []byte
+	anyMatch := false
+	for _, ups := range perOrigin {
+		if len(ups) == 0 {
+			continue
+		}
+		writers++
+		last := ups[len(ups)-1].Value
+		lastSingle = last
+		if string(last) == string(value) {
+			anyMatch = true
+		}
+	}
+	switch {
+	case writers == 0:
+		if len(value) != 0 {
+			return fmt.Errorf("history: item %q was never updated but holds %q", key, value)
+		}
+	case writers == 1:
+		if string(value) != string(lastSingle) {
+			return fmt.Errorf("history: item %q = %q, want last single-writer value %q",
+				key, value, lastSingle)
+		}
+	default:
+		if !anyMatch {
+			return fmt.Errorf("history: item %q = %q matches no origin's last write", key, value)
+		}
+	}
+	return nil
+}
+
+// Inspector is the surface a replica must expose for validation.
+type Inspector interface {
+	// ItemIVV returns the replica's regular IVV for key (nil, false when
+	// the item is absent — equivalent to the zero vector).
+	ItemIVV(key string) (vv.VV, bool)
+	// ItemValue returns the replica's regular value for key.
+	ItemValue(key string) ([]byte, bool)
+}
+
+// ValidateReplica checks every tracked item at one replica: its IVV must
+// describe a subset of real history, and if it has converged (IVV equals
+// the global vector) its value must be a real final value.
+func (t *Tracker) ValidateReplica(r Inspector) error {
+	for _, key := range t.Keys() {
+		ivv, ok := r.ItemIVV(key)
+		if !ok {
+			continue // never materialized: implicitly the zero vector
+		}
+		if err := t.ValidateIVV(key, ivv); err != nil {
+			return err
+		}
+		if ivv.Equal(t.GlobalIVV(key)) {
+			value, _ := r.ItemValue(key)
+			if err := t.ValidateFinalValue(key, ivv, value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package logvec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAdd measures AddLogRecord: O(1) regardless of component size.
+func BenchmarkAdd(b *testing.B) {
+	for _, items := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			c := NewComponent()
+			seq := uint64(0)
+			for i := 0; i < items; i++ {
+				seq++
+				c.Add(itoa(i), seq)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq++
+				c.Add(itoa(i%items), seq)
+			}
+		})
+	}
+}
+
+// BenchmarkTailAfter measures suffix extraction of m records from a large
+// component: linear in m, not in component length (DESIGN.md ablation
+// partner of BenchmarkAblationTailScan).
+func BenchmarkTailAfter(b *testing.B) {
+	const items = 100000
+	for _, m := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			c := buildComponent(items)
+			floor := uint64(items - m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := c.TailAfter(floor, nil); got != m {
+					b.Fatalf("visited %d, want %d", got, m)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTailScan is the design ablation: extracting the same
+// tail by scanning the component from the head, as a protocol without the
+// m-ascending ordering guarantee would have to. Compare with
+// BenchmarkTailAfter — the naive scan is linear in the component length.
+func BenchmarkAblationTailScan(b *testing.B) {
+	const items = 100000
+	for _, m := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			c := buildComponent(items)
+			floor := uint64(items - m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := 0
+				for rec := c.Head(); rec != nil; rec = rec.Next() {
+					if rec.Seq > floor {
+						got++
+					}
+				}
+				if got != m {
+					b.Fatalf("visited %d, want %d", got, m)
+				}
+			}
+		})
+	}
+}
+
+func buildComponent(items int) *Component {
+	c := NewComponent()
+	for i := 0; i < items; i++ {
+		c.Add(itoa(i), uint64(i+1))
+	}
+	return c
+}

@@ -1,0 +1,309 @@
+package logvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func collect(c *Component) []Record {
+	var out []Record
+	for r := c.Head(); r != nil; r = r.Next() {
+		out = append(out, Record{Key: r.Key, Seq: r.Seq})
+	}
+	return out
+}
+
+func check(t *testing.T, c *Component) {
+	t.Helper()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddLogRecordAppends(t *testing.T) {
+	c := NewComponent()
+	c.Add("y", 1)
+	c.Add("x", 3)
+	c.Add("z", 4)
+	got := collect(c)
+	want := []Record{{Key: "y", Seq: 1}, {Key: "x", Seq: 3}, {Key: "z", Seq: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("records = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	check(t, c)
+}
+
+func TestAddLogRecordSupersedes(t *testing.T) {
+	// Figure 1: adding (x,5) to [y:1, x:3, z:4] yields [y:1, z:4, x:5].
+	c := NewComponent()
+	c.Add("y", 1)
+	c.Add("x", 3)
+	c.Add("z", 4)
+	c.Add("x", 5)
+	got := collect(c)
+	want := []Record{{Key: "y", Seq: 1}, {Key: "z", Seq: 4}, {Key: "x", Seq: 5}}
+	if len(got) != 3 {
+		t.Fatalf("records = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+	check(t, c)
+}
+
+func TestAtMostOneRecordPerItem(t *testing.T) {
+	c := NewComponent()
+	for seq := uint64(1); seq <= 1000; seq++ {
+		c.Add("hot", seq)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after 1000 updates to one item", c.Len())
+	}
+	if rec := c.Lookup("hot"); rec == nil || rec.Seq != 1000 {
+		t.Errorf("Lookup = %+v, want seq 1000", rec)
+	}
+	check(t, c)
+}
+
+func TestSupersedeHeadAndTail(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 3) // supersede head
+	check(t, c)
+	c.Add("a", 4) // supersede tail
+	check(t, c)
+	got := collect(c)
+	if len(got) != 2 || got[0].Key != "b" || got[1] != (Record{Key: "a", Seq: 4}) {
+		t.Errorf("records = %v", got)
+	}
+}
+
+func TestSupersedeSingleRecord(t *testing.T) {
+	c := NewComponent()
+	c.Add("only", 1)
+	c.Add("only", 2)
+	if c.Head() != c.Tail() || c.Head().Seq != 2 {
+		t.Errorf("single-record supersede broken: %v", collect(c))
+	}
+	check(t, c)
+}
+
+func TestAddEqualSeqAllowed(t *testing.T) {
+	// Equal sequence numbers arise when a tail and a concurrent session
+	// race; order must still hold.
+	c := NewComponent()
+	c.Add("a", 5)
+	c.Add("b", 5)
+	check(t, c)
+}
+
+func TestAddOutOfOrderPanics(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Add did not panic")
+		}
+	}()
+	c.Add("b", 4)
+}
+
+func TestRemove(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("c", 3)
+	if !c.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if c.Remove("b") {
+		t.Error("second Remove(b) = true")
+	}
+	if c.Remove("ghost") {
+		t.Error("Remove of absent key = true")
+	}
+	got := collect(c)
+	if len(got) != 2 || got[0].Key != "a" || got[1].Key != "c" {
+		t.Errorf("records = %v", got)
+	}
+	check(t, c)
+}
+
+func TestRemoveAll(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Remove("a")
+	c.Remove("b")
+	if c.Len() != 0 || c.Head() != nil || c.Tail() != nil {
+		t.Error("component not empty after removing all")
+	}
+	check(t, c)
+	c.Add("c", 3) // must still work after emptying
+	check(t, c)
+}
+
+func TestTailAfter(t *testing.T) {
+	c := NewComponent()
+	for i := uint64(1); i <= 10; i++ {
+		c.Add("k"+string(rune('0'+i)), i)
+	}
+	var seqs []uint64
+	n := c.TailAfter(7, func(r *Record) { seqs = append(seqs, r.Seq) })
+	if n != 3 {
+		t.Fatalf("TailAfter(7) visited %d, want 3", n)
+	}
+	for i, want := range []uint64{8, 9, 10} {
+		if seqs[i] != want {
+			t.Errorf("seqs[%d] = %d, want %d (oldest first)", i, seqs[i], want)
+		}
+	}
+}
+
+func TestTailAfterBoundaries(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 5)
+	c.Add("b", 9)
+	if n := c.TailAfter(9, nil); n != 0 {
+		t.Errorf("TailAfter(9) = %d, want 0", n)
+	}
+	if n := c.TailAfter(100, nil); n != 0 {
+		t.Errorf("TailAfter(100) = %d, want 0", n)
+	}
+	if n := c.TailAfter(0, nil); n != 2 {
+		t.Errorf("TailAfter(0) = %d, want 2", n)
+	}
+	empty := NewComponent()
+	if n := empty.TailAfter(0, nil); n != 0 {
+		t.Errorf("empty TailAfter = %d, want 0", n)
+	}
+}
+
+func TestLookupPointersExact(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 3)
+	if rec := c.Lookup("a"); rec == nil || rec.Seq != 3 {
+		t.Errorf("Lookup(a) = %+v", rec)
+	}
+	if rec := c.Lookup("missing"); rec != nil {
+		t.Errorf("Lookup(missing) = %+v, want nil", rec)
+	}
+}
+
+func TestRecordNavigation(t *testing.T) {
+	c := NewComponent()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	h := c.Head()
+	if h.Prev() != nil || h.Next() == nil || h.Next().Prev() != h {
+		t.Error("record navigation links broken")
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if v.Servers() != 3 {
+		t.Fatalf("Servers = %d", v.Servers())
+	}
+	v.Component(0).Add("x", 1)
+	v.Component(1).Add("x", 1)
+	v.Component(1).Add("y", 2)
+	if v.Len() != 3 {
+		t.Errorf("Len = %d, want 3", v.Len())
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorRemoveKey(t *testing.T) {
+	v := NewVector(3)
+	v.Component(0).Add("x", 1)
+	v.Component(1).Add("x", 4)
+	v.Component(2).Add("y", 2)
+	if n := v.RemoveKey("x"); n != 2 {
+		t.Errorf("RemoveKey(x) = %d, want 2", n)
+	}
+	if v.Len() != 1 {
+		t.Errorf("Len = %d, want 1", v.Len())
+	}
+	if n := v.RemoveKey("x"); n != 0 {
+		t.Errorf("second RemoveKey(x) = %d, want 0", n)
+	}
+}
+
+func TestBoundedByItemCountRandomized(t *testing.T) {
+	// §4.2: the log never exceeds one record per item per origin, no matter
+	// how many updates occur.
+	rng := rand.New(rand.NewSource(42))
+	const items = 25
+	c := NewComponent()
+	seq := uint64(0)
+	for u := 0; u < 5000; u++ {
+		seq++
+		c.Add("item-"+string(rune('a'+rng.Intn(items))), seq)
+	}
+	if c.Len() > items {
+		t.Fatalf("Len = %d, exceeds item count %d", c.Len(), items)
+	}
+	check(t, c)
+}
+
+func TestRandomizedOpsKeepInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewComponent()
+	seq := uint64(0)
+	keys := []string{"a", "b", "c", "d", "e"}
+	for step := 0; step < 2000; step++ {
+		if rng.Intn(4) == 0 {
+			c.Remove(keys[rng.Intn(len(keys))])
+		} else {
+			seq++
+			c.Add(keys[rng.Intn(len(keys))], seq)
+		}
+		if step%97 == 0 {
+			check(t, c)
+		}
+	}
+	check(t, c)
+}
+
+func TestTailAfterCostIsSuffixLocal(t *testing.T) {
+	// Build a big component; a small tail must not visit old records.
+	c := NewComponent()
+	for i := uint64(1); i <= 100000; i++ {
+		c.Add("k"+itoa(int(i)), i)
+	}
+	visited := 0
+	c.TailAfter(99995, func(*Record) { visited++ })
+	if visited != 5 {
+		t.Errorf("visited = %d, want 5", visited)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,178 @@
+// Package metrics provides the overhead accounting used to reproduce the
+// paper's performance claims (§6, §8). Every protocol implementation in
+// this repository — the core DBVV protocol and each baseline — charges its
+// work to a Counters value, so experiments can compare *what scales with
+// what* (per-item work vs. per-copied-item work vs. constant work) rather
+// than only wall-clock time.
+//
+// Counters are not synchronized; each replica owns one and the replica's
+// lock covers it. Use Add to aggregate across replicas after the fact.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters accumulates protocol overhead. Field groups follow the cost
+// terms of §6:
+//
+//   - vector/sequence comparisons: the version-information comparison work
+//     that classic anti-entropy performs per item and the paper's protocol
+//     performs per database (DBVV) plus per copied item (IVV);
+//   - items examined: items whose per-item control state was touched during
+//     an anti-entropy session (the Θ(N) term of Lotus and per-item VV
+//     protocols, the O(m) term of the paper's protocol);
+//   - network terms: messages, items and log records shipped, total bytes.
+type Counters struct {
+	// Comparison work.
+	DBVVComparisons uint64 // whole-database vector comparisons
+	IVVComparisons  uint64 // per-item vector comparisons
+	SeqComparisons  uint64 // scalar sequence-number/timestamp comparisons
+
+	// Per-item control work during anti-entropy.
+	ItemsExamined uint64 // items whose control state was inspected
+	ItemsSent     uint64 // item payloads shipped source -> recipient
+	ItemsCopied   uint64 // item payloads adopted by the recipient
+
+	// Log traffic.
+	LogRecordsSent    uint64 // regular log records shipped
+	LogRecordsApplied uint64 // records appended to the recipient's log vector
+
+	// Message traffic.
+	Messages  uint64 // protocol messages of any kind
+	BytesSent uint64 // estimated wire bytes across all messages
+
+	// Session outcomes.
+	Propagations     uint64 // anti-entropy sessions attempted
+	PropagationNoops uint64 // sessions resolved "you-are-current"
+
+	// Correctness events.
+	ConflictsDetected uint64 // inconsistency declarations
+	AnomaliesIgnored  uint64 // defensive: states the paper proves unreachable
+
+	// Out-of-bound machinery.
+	OOBRequests      uint64 // out-of-bound copies requested
+	OOBAdopted       uint64 // out-of-bound copies adopted as auxiliary data
+	AuxOpsReplayed   uint64 // auxiliary log records re-applied to regular copies
+	AuxCopiesFreed   uint64 // auxiliary copies discarded after catch-up
+	UpdatesApplied   uint64 // user updates executed
+	UpdatesRegular   uint64 // ... against regular copies
+	UpdatesAuxiliary uint64 // ... against auxiliary copies
+
+	// Record-shipping (delta) propagation variant.
+	DeltasSent    uint64 // delta payloads shipped instead of full values
+	DeltasApplied uint64 // delta payloads applied at recipients
+	FullFetches   uint64 // full copies served in second-round fetches
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.DBVVComparisons += o.DBVVComparisons
+	c.IVVComparisons += o.IVVComparisons
+	c.SeqComparisons += o.SeqComparisons
+	c.ItemsExamined += o.ItemsExamined
+	c.ItemsSent += o.ItemsSent
+	c.ItemsCopied += o.ItemsCopied
+	c.LogRecordsSent += o.LogRecordsSent
+	c.LogRecordsApplied += o.LogRecordsApplied
+	c.Messages += o.Messages
+	c.BytesSent += o.BytesSent
+	c.Propagations += o.Propagations
+	c.PropagationNoops += o.PropagationNoops
+	c.ConflictsDetected += o.ConflictsDetected
+	c.AnomaliesIgnored += o.AnomaliesIgnored
+	c.OOBRequests += o.OOBRequests
+	c.OOBAdopted += o.OOBAdopted
+	c.AuxOpsReplayed += o.AuxOpsReplayed
+	c.AuxCopiesFreed += o.AuxCopiesFreed
+	c.UpdatesApplied += o.UpdatesApplied
+	c.UpdatesRegular += o.UpdatesRegular
+	c.UpdatesAuxiliary += o.UpdatesAuxiliary
+	c.DeltasSent += o.DeltasSent
+	c.DeltasApplied += o.DeltasApplied
+	c.FullFetches += o.FullFetches
+}
+
+// Diff returns c - base, the overhead incurred since base was snapshotted.
+// All counters are monotone, so the subtraction never underflows when base
+// is an earlier snapshot of the same counters.
+func (c Counters) Diff(base Counters) Counters {
+	d := c
+	d.DBVVComparisons -= base.DBVVComparisons
+	d.IVVComparisons -= base.IVVComparisons
+	d.SeqComparisons -= base.SeqComparisons
+	d.ItemsExamined -= base.ItemsExamined
+	d.ItemsSent -= base.ItemsSent
+	d.ItemsCopied -= base.ItemsCopied
+	d.LogRecordsSent -= base.LogRecordsSent
+	d.LogRecordsApplied -= base.LogRecordsApplied
+	d.Messages -= base.Messages
+	d.BytesSent -= base.BytesSent
+	d.Propagations -= base.Propagations
+	d.PropagationNoops -= base.PropagationNoops
+	d.ConflictsDetected -= base.ConflictsDetected
+	d.AnomaliesIgnored -= base.AnomaliesIgnored
+	d.OOBRequests -= base.OOBRequests
+	d.OOBAdopted -= base.OOBAdopted
+	d.AuxOpsReplayed -= base.AuxOpsReplayed
+	d.AuxCopiesFreed -= base.AuxCopiesFreed
+	d.UpdatesApplied -= base.UpdatesApplied
+	d.UpdatesRegular -= base.UpdatesRegular
+	d.UpdatesAuxiliary -= base.UpdatesAuxiliary
+	d.DeltasSent -= base.DeltasSent
+	d.DeltasApplied -= base.DeltasApplied
+	d.FullFetches -= base.FullFetches
+	return d
+}
+
+// Comparisons returns all version-information comparison work combined —
+// the paper's primary overhead measure.
+func (c Counters) Comparisons() uint64 {
+	return c.DBVVComparisons + c.IVVComparisons + c.SeqComparisons
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// String renders the non-zero counters compactly, for logs and test output.
+func (c Counters) String() string {
+	type field struct {
+		name string
+		v    uint64
+	}
+	fields := []field{
+		{"dbvv-cmp", c.DBVVComparisons},
+		{"ivv-cmp", c.IVVComparisons},
+		{"seq-cmp", c.SeqComparisons},
+		{"items-examined", c.ItemsExamined},
+		{"items-sent", c.ItemsSent},
+		{"items-copied", c.ItemsCopied},
+		{"log-recs-sent", c.LogRecordsSent},
+		{"log-recs-applied", c.LogRecordsApplied},
+		{"messages", c.Messages},
+		{"bytes", c.BytesSent},
+		{"propagations", c.Propagations},
+		{"noops", c.PropagationNoops},
+		{"conflicts", c.ConflictsDetected},
+		{"anomalies", c.AnomaliesIgnored},
+		{"oob-req", c.OOBRequests},
+		{"oob-adopted", c.OOBAdopted},
+		{"aux-replayed", c.AuxOpsReplayed},
+		{"aux-freed", c.AuxCopiesFreed},
+		{"updates", c.UpdatesApplied},
+		{"deltas-sent", c.DeltasSent},
+		{"deltas-applied", c.DeltasApplied},
+		{"full-fetches", c.FullFetches},
+	}
+	var parts []string
+	for _, f := range fields {
+		if f.v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.name, f.v))
+		}
+	}
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

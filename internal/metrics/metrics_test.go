@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Counters {
+	return Counters{
+		DBVVComparisons: 1, IVVComparisons: 2, SeqComparisons: 3,
+		ItemsExamined: 4, ItemsSent: 5, ItemsCopied: 6,
+		LogRecordsSent: 7, LogRecordsApplied: 8,
+		Messages: 9, BytesSent: 10,
+		Propagations: 11, PropagationNoops: 12,
+		ConflictsDetected: 13, AnomaliesIgnored: 14,
+		OOBRequests: 15, OOBAdopted: 16,
+		AuxOpsReplayed: 17, AuxCopiesFreed: 18,
+		UpdatesApplied: 19, UpdatesRegular: 20, UpdatesAuxiliary: 21,
+	}
+}
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a, b := sample(), sample()
+	a.Add(&b)
+	if a.DBVVComparisons != 2 || a.UpdatesAuxiliary != 42 || a.BytesSent != 20 {
+		t.Errorf("Add missed fields: %+v", a)
+	}
+	// Every field must have doubled.
+	d := a.Diff(sample())
+	if d != sample() {
+		t.Errorf("Add did not double all fields: diff %+v", d)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	base := sample()
+	cur := sample()
+	cur.Add(&base) // cur = 2*base
+	d := cur.Diff(base)
+	if d != sample() {
+		t.Errorf("Diff = %+v, want the original sample", d)
+	}
+}
+
+func TestDiffFromZero(t *testing.T) {
+	c := sample()
+	if c.Diff(Counters{}) != c {
+		t.Error("Diff from zero should be identity")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	c := Counters{DBVVComparisons: 10, IVVComparisons: 20, SeqComparisons: 30}
+	if got := c.Comparisons(); got != 60 {
+		t.Errorf("Comparisons = %d, want 60", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := sample()
+	c.Reset()
+	if c != (Counters{}) {
+		t.Errorf("Reset left %+v", c)
+	}
+}
+
+func TestStringNonZeroOnly(t *testing.T) {
+	c := Counters{DBVVComparisons: 3, BytesSent: 100}
+	s := c.String()
+	if !strings.Contains(s, "dbvv-cmp=3") || !strings.Contains(s, "bytes=100") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Contains(s, "ivv-cmp") {
+		t.Errorf("String includes zero field: %q", s)
+	}
+}
+
+func TestStringEmpty(t *testing.T) {
+	if got := (Counters{}).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+package multidb
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+func set(v string) op.Op { return op.NewSet([]byte(v)) }
+
+func TestAttachAndUpdate(t *testing.T) {
+	s := NewServer(0)
+	if _, err := s.Attach("crm", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Attach("crm", 2); err == nil {
+		t.Error("duplicate attach accepted")
+	}
+	if _, err := s.Attach("tiny", 0); err == nil {
+		t.Error("attach with id >= n accepted")
+	}
+	if err := s.Update("crm", "lead", set("alice")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Read("crm", "lead")
+	if !ok || string(v) != "alice" {
+		t.Fatalf("Read = %q/%v", v, ok)
+	}
+	if err := s.Update("ghost", "k", set("v")); err == nil {
+		t.Error("update to missing database accepted")
+	}
+	if _, ok := s.Read("ghost", "k"); ok {
+		t.Error("read from missing database succeeded")
+	}
+}
+
+func TestIndependentProtocolInstances(t *testing.T) {
+	a, b := NewServer(0), NewServer(1)
+	for _, name := range []string{"crm", "wiki"} {
+		if _, err := a.Attach(name, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Attach(name, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Update("crm", "x", set("crm-data"))
+
+	stats := AntiEntropy(b, a)
+	if stats.Databases != 2 || stats.Shipped != 1 || stats.Skipped != 1 {
+		t.Fatalf("stats = %+v, want 1 shipped (crm) and 1 O(1)-skipped (wiki)", stats)
+	}
+	if v, _ := b.Read("crm", "x"); string(v) != "crm-data" {
+		t.Errorf("crm data = %q", v)
+	}
+	// The wiki replica's session was a constant-time no-op.
+	wiki := b.Database("wiki")
+	if m := wiki.Metrics(); m.ItemsExamined != 0 {
+		t.Errorf("cold database examined %d items", m.ItemsExamined)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnsharedDatabasesSkipped(t *testing.T) {
+	a, b := NewServer(0), NewServer(1)
+	a.Attach("shared", 2)
+	b.Attach("shared", 2)
+	b.Attach("only-b", 2)
+	stats := AntiEntropy(b, a)
+	if stats.Missing != 1 || stats.Databases != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestDifferentReplicationFactors(t *testing.T) {
+	// "big" is replicated on 3 servers, "small" on 2; server 2 carries only
+	// "big".
+	servers := []*Server{NewServer(0), NewServer(1), NewServer(2)}
+	for _, s := range servers {
+		if _, err := s.Attach("big", 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	servers[0].Attach("small", 2)
+	servers[1].Attach("small", 2)
+
+	servers[0].Update("big", "b", set("big-data"))
+	servers[0].Update("small", "s", set("small-data"))
+	AntiEntropy(servers[1], servers[0])
+	AntiEntropy(servers[2], servers[1])
+	if v, _ := servers[2].Read("big", "b"); string(v) != "big-data" {
+		t.Errorf("big relay = %q", v)
+	}
+	if v, _ := servers[1].Read("small", "s"); string(v) != "small-data" {
+		t.Errorf("small = %q", v)
+	}
+	if _, ok := servers[2].Read("small", "s"); ok {
+		t.Error("server 2 has data of a database it does not carry")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	s := NewServer(0)
+	s.Attach("db", 1)
+	if !s.Detach("db") {
+		t.Fatal("Detach failed")
+	}
+	if s.Detach("db") {
+		t.Error("second Detach succeeded")
+	}
+	if got := len(s.Databases()); got != 0 {
+		t.Errorf("Databases = %d", got)
+	}
+}
+
+func TestAttachRestored(t *testing.T) {
+	s := NewServer(1)
+	r := core.NewReplica(1, 3)
+	r.Update("k", set("v"))
+	if err := s.AttachRestored("db", r); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read("db", "k"); string(v) != "v" {
+		t.Errorf("restored read = %q", v)
+	}
+	wrong := core.NewReplica(0, 3)
+	if err := s.AttachRestored("other", wrong); err == nil {
+		t.Error("mismatched replica id accepted")
+	}
+	if err := s.AttachRestored("db", r); err == nil {
+		t.Error("duplicate AttachRestored accepted")
+	}
+}
+
+func TestDatabasesSorted(t *testing.T) {
+	s := NewServer(0)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		s.Attach(name, 1)
+	}
+	names := s.Databases()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Databases = %v", names)
+		}
+	}
+}
+
+func TestTotalMetricsAcrossDatabases(t *testing.T) {
+	s := NewServer(0)
+	s.Attach("a", 1)
+	s.Attach("b", 1)
+	s.Update("a", "k", set("1"))
+	s.Update("b", "k", set("2"))
+	if got := s.TotalMetrics().UpdatesApplied; got != 2 {
+		t.Errorf("TotalMetrics updates = %d", got)
+	}
+}

@@ -1,0 +1,131 @@
+package multidb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/transport"
+)
+
+func TestPullAllOverTCP(t *testing.T) {
+	// Two hosts, two databases each, replicated over real sockets.
+	hostA, hostB := NewServer(0), NewServer(1)
+	for _, name := range []string{"crm", "wiki"} {
+		if _, err := hostA.Attach(name, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := hostB.Attach(name, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := hostA.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hostA.Update("crm", "lead", op.NewSet([]byte("alice")))
+	hostA.Update("wiki", "page", op.NewSet([]byte("content")))
+
+	stats, err := hostB.PullAll(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shipped != 2 || stats.Skipped != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if v, _ := hostB.Read("crm", "lead"); string(v) != "alice" {
+		t.Errorf("crm = %q", v)
+	}
+	if v, _ := hostB.Read("wiki", "page"); string(v) != "content" {
+		t.Errorf("wiki = %q", v)
+	}
+
+	// Second pull: both databases resolve "you-are-current" in O(1).
+	stats, err = hostB.PullAll(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shipped != 0 || stats.Skipped != 2 {
+		t.Fatalf("redundant pull stats = %+v", stats)
+	}
+	if err := hostB.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPullAllUnknownDatabase(t *testing.T) {
+	hostA, hostB := NewServer(0), NewServer(1)
+	hostA.Attach("shared", 2)
+	hostB.Attach("shared", 2)
+	hostB.Attach("only-b", 2)
+	hostB.Update("only-b", "k", op.NewSet([]byte("v")))
+	hostB.Update("shared", "s", op.NewSet([]byte("w"))) // force non-noop path
+
+	srv, err := hostA.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	_, err = hostB.PullAll(srv.Addr())
+	if err == nil || !strings.Contains(err.Error(), "only-b") {
+		t.Fatalf("expected unknown-database error, got %v", err)
+	}
+}
+
+func TestSingleDBServerRejectsNamedRequests(t *testing.T) {
+	r := core.NewReplica(0, 2)
+	srv, err := transport.Listen(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := transport.PullSessionDB(srv.Addr(), "crm", 1, core.NewReplica(1, 2).PropagationRequest()); err == nil {
+		t.Error("named request accepted by single-database server")
+	}
+}
+
+func TestMultiServerRejectsUnnamedRequests(t *testing.T) {
+	host := NewServer(0)
+	host.Attach("db", 2)
+	srv, err := host.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	b := core.NewReplica(1, 2)
+	if _, err := transport.PullSession(srv.Addr(), 1, b.PropagationRequest()); err == nil {
+		t.Error("unnamed request accepted by multi-database server")
+	}
+}
+
+func TestPullAllDeltaMode(t *testing.T) {
+	hostA, hostB := NewServer(0), NewServer(1)
+	hostA.Attach("db", 2, core.WithDeltaPropagation())
+	hostB.Attach("db", 2, core.WithDeltaPropagation())
+	srv, err := hostA.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hostA.Update("db", "x", op.NewSet([]byte("v1")))
+	if _, err := hostB.PullAll(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// Two updates: the fetch round runs over TCP with the DB name.
+	hostA.Update("db", "x", op.NewSet([]byte("v2")))
+	hostA.Update("db", "x", op.NewSet([]byte("v3")))
+	if _, err := hostB.PullAll(srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := hostB.Read("db", "x"); string(v) != "v3" {
+		t.Fatalf("after delta pull: %q", v)
+	}
+	if err := hostB.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

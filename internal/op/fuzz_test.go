@@ -1,0 +1,68 @@
+package op
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the Op decoder: it must never
+// panic, and anything it accepts must re-encode to an equivalent Op.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(NewSet([]byte("seed")).Marshal(nil))
+	f.Add(NewWriteAt(5, []byte("abc")).Marshal(nil))
+	f.Add(NewAppend(nil).Marshal(nil))
+	f.Add(NewDelete().Marshal(nil))
+	f.Add([]byte{255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, n, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("accepted invalid op: %v", err)
+		}
+		// Round trip.
+		re, n2, err := Unmarshal(o.Marshal(nil))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 <= 0 || re.Kind != o.Kind || re.Offset != o.Offset || !bytes.Equal(re.Data, o.Data) {
+			t.Fatalf("round trip mismatch: %v vs %v", o, re)
+		}
+		// Applying must not panic and must leave the input untouched.
+		in := []byte("some base value")
+		saved := append([]byte(nil), in...)
+		if _, err := o.Apply(in); err != nil {
+			t.Fatalf("accepted op failed to apply: %v", err)
+		}
+		if !bytes.Equal(in, saved) {
+			t.Fatal("Apply mutated its input")
+		}
+	})
+}
+
+// FuzzApplySequence applies two decoded ops in sequence and checks
+// determinism — the property whole-item copy convergence relies on.
+func FuzzApplySequence(f *testing.F) {
+	f.Add(NewSet([]byte("a")).Marshal(nil), NewAppend([]byte("b")).Marshal(nil))
+	f.Fuzz(func(t *testing.T, d1, d2 []byte) {
+		o1, _, err1 := Unmarshal(d1)
+		o2, _, err2 := Unmarshal(d2)
+		if err1 != nil || err2 != nil {
+			return
+		}
+		run := func() []byte {
+			v := []byte("start")
+			v, _ = o1.Apply(v)
+			v, _ = o2.Apply(v)
+			return v
+		}
+		if !bytes.Equal(run(), run()) {
+			t.Fatal("op application is nondeterministic")
+		}
+	})
+}

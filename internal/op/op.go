@@ -1,0 +1,203 @@
+// Package op defines the update operations the replicated database applies
+// to data-item values.
+//
+// The EDBT'96 protocol propagates updates between nodes by whole-item
+// copying, so regular log records never carry redo information. Redo
+// information is needed in exactly one place: the auxiliary log (§4.4),
+// whose records must be able to re-apply a user update to the regular copy
+// of an out-of-bound item during intra-node propagation (Fig. 4). An Op is
+// that redo record: a small, self-contained description of a byte-level
+// mutation ("the byte range of the update and the new value of data in the
+// range", §4.4).
+package op
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies the mutation an Op performs.
+type Kind uint8
+
+// Supported operation kinds.
+const (
+	// Set replaces the entire item value with Data.
+	Set Kind = iota
+	// WriteAt overwrites len(Data) bytes starting at Offset, extending the
+	// value with zero bytes first if it is shorter than Offset+len(Data).
+	WriteAt
+	// Append appends Data to the current value.
+	Append
+	// Delete empties the value (a zero-length item remains present; the
+	// paper's model has a fixed item set, so deletion is truncation).
+	Delete
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Set:
+		return "set"
+	case WriteAt:
+		return "write-at"
+	case Append:
+		return "append"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Op is a redo-able update operation on a single data item's value.
+// The zero value is a Set to the empty value.
+type Op struct {
+	Kind   Kind
+	Offset int    // used by WriteAt
+	Data   []byte // payload for Set, WriteAt, Append
+}
+
+// NewSet returns an Op replacing the whole value with data.
+func NewSet(data []byte) Op { return Op{Kind: Set, Data: data} }
+
+// NewWriteAt returns an Op overwriting bytes [off, off+len(data)).
+func NewWriteAt(off int, data []byte) Op { return Op{Kind: WriteAt, Offset: off, Data: data} }
+
+// NewAppend returns an Op appending data to the value.
+func NewAppend(data []byte) Op { return Op{Kind: Append, Data: data} }
+
+// NewDelete returns an Op truncating the value to zero length.
+func NewDelete() Op { return Op{Kind: Delete} }
+
+// ErrInvalidOp reports an Op that cannot be applied (offset out of range or
+// unknown kind).
+var ErrInvalidOp = errors.New("op: invalid operation")
+
+// MaxWriteOffset bounds WriteAt offsets. Applying a WriteAt allocates a
+// value at least Offset bytes long, so an unbounded offset decoded from an
+// untrusted peer would be a memory-exhaustion vector (found by
+// FuzzUnmarshal). 1 GiB comfortably exceeds any sane item size.
+const MaxWriteOffset = 1 << 30
+
+// Validate reports whether the Op is well-formed.
+func (o Op) Validate() error {
+	switch o.Kind {
+	case Set, Append, Delete:
+		return nil
+	case WriteAt:
+		if o.Offset < 0 {
+			return fmt.Errorf("%w: negative WriteAt offset %d", ErrInvalidOp, o.Offset)
+		}
+		if o.Offset > MaxWriteOffset {
+			return fmt.Errorf("%w: WriteAt offset %d exceeds limit %d", ErrInvalidOp, o.Offset, MaxWriteOffset)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrInvalidOp, uint8(o.Kind))
+	}
+}
+
+// Apply executes the operation against value and returns the new value.
+// The input slice is never modified; the result may share no storage with
+// it. Apply of an invalid Op returns the input unchanged along with an
+// error.
+func (o Op) Apply(value []byte) ([]byte, error) {
+	if err := o.Validate(); err != nil {
+		return value, err
+	}
+	switch o.Kind {
+	case Set:
+		out := make([]byte, len(o.Data))
+		copy(out, o.Data)
+		return out, nil
+	case Append:
+		out := make([]byte, 0, len(value)+len(o.Data))
+		out = append(out, value...)
+		out = append(out, o.Data...)
+		return out, nil
+	case Delete:
+		return []byte{}, nil
+	case WriteAt:
+		end := o.Offset + len(o.Data)
+		n := len(value)
+		if end > n {
+			n = end
+		}
+		out := make([]byte, n)
+		copy(out, value)
+		copy(out[o.Offset:], o.Data)
+		return out, nil
+	}
+	return value, fmt.Errorf("%w: unreachable kind %d", ErrInvalidOp, uint8(o.Kind))
+}
+
+// Clone returns a deep copy of the Op.
+func (o Op) Clone() Op {
+	c := o
+	if o.Data != nil {
+		c.Data = make([]byte, len(o.Data))
+		copy(c.Data, o.Data)
+	}
+	return c
+}
+
+// WireSize estimates the bytes this Op occupies in a serialized message:
+// one byte of kind, a varint-ish 4 bytes of offset, and the payload. Used
+// by the metrics layer for network accounting.
+func (o Op) WireSize() int { return 1 + 4 + len(o.Data) }
+
+// String renders the Op compactly for logs and test failures.
+func (o Op) String() string {
+	switch o.Kind {
+	case WriteAt:
+		return fmt.Sprintf("write-at(%d,%q)", o.Offset, o.Data)
+	case Delete:
+		return "delete()"
+	default:
+		return fmt.Sprintf("%s(%q)", o.Kind, o.Data)
+	}
+}
+
+// Marshal appends a compact binary encoding of the Op to buf and returns
+// the extended slice. The encoding is: kind (1 byte), offset (uvarint),
+// len(Data) (uvarint), Data.
+func (o Op) Marshal(buf []byte) []byte {
+	buf = append(buf, byte(o.Kind))
+	buf = binary.AppendUvarint(buf, uint64(o.Offset))
+	buf = binary.AppendUvarint(buf, uint64(len(o.Data)))
+	return append(buf, o.Data...)
+}
+
+// Unmarshal decodes an Op from the front of buf, returning the Op and the
+// number of bytes consumed.
+func Unmarshal(buf []byte) (Op, int, error) {
+	if len(buf) < 1 {
+		return Op{}, 0, fmt.Errorf("op: short buffer")
+	}
+	o := Op{Kind: Kind(buf[0])}
+	i := 1
+	off, n := binary.Uvarint(buf[i:])
+	if n <= 0 {
+		return Op{}, 0, fmt.Errorf("op: bad offset varint")
+	}
+	i += n
+	o.Offset = int(off)
+	ln, n := binary.Uvarint(buf[i:])
+	if n <= 0 {
+		return Op{}, 0, fmt.Errorf("op: bad length varint")
+	}
+	i += n
+	if uint64(len(buf)-i) < ln {
+		return Op{}, 0, fmt.Errorf("op: truncated payload: want %d bytes, have %d", ln, len(buf)-i)
+	}
+	if ln > 0 {
+		o.Data = make([]byte, ln)
+		copy(o.Data, buf[i:i+int(ln)])
+	}
+	i += int(ln)
+	if err := o.Validate(); err != nil {
+		return Op{}, 0, err
+	}
+	return o, i, nil
+}

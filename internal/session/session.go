@@ -1,0 +1,168 @@
+// Package session layers the session guarantees of Terry et al. (PDIS
+// 1994), discussed in the paper's related work (§8.3), on top of the
+// epidemic protocol. A client that switches between replicas of a weakly
+// consistent database can demand per-session ordering properties:
+//
+//   - ReadYourWrites: reads observe every write of this session;
+//   - MonotonicReads: reads never observe a state older than a previous read;
+//   - MonotonicWrites: writes are accepted only where the session's earlier
+//     writes are already reflected;
+//   - WritesFollowReads: writes are accepted only where the state the
+//     session has read is already reflected.
+//
+// The implementation follows [14]'s database-granularity approach: a
+// session carries two version vectors at DBVV granularity — what it has
+// read and what it has written — and a replica qualifies for an operation
+// when its DBVV dominates the relevant session vector. The epidemic
+// protocol's anti-entropy is what makes a lagging replica qualify later.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// Guarantee is a bit set of session guarantees.
+type Guarantee uint8
+
+// The four guarantees of Terry et al.; Causal is their conjunction.
+const (
+	ReadYourWrites Guarantee = 1 << iota
+	MonotonicReads
+	MonotonicWrites
+	WritesFollowReads
+
+	Causal = ReadYourWrites | MonotonicReads | MonotonicWrites | WritesFollowReads
+)
+
+// String names the guarantee set.
+func (g Guarantee) String() string {
+	if g == 0 {
+		return "none"
+	}
+	if g == Causal {
+		return "causal"
+	}
+	out := ""
+	add := func(bit Guarantee, name string) {
+		if g&bit != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += name
+		}
+	}
+	add(ReadYourWrites, "RYW")
+	add(MonotonicReads, "MR")
+	add(MonotonicWrites, "MW")
+	add(WritesFollowReads, "WFR")
+	return out
+}
+
+// ErrNotCurrent reports that the chosen replica is not yet current enough
+// for the session's guarantees; the caller should retry at another replica
+// or after anti-entropy has run.
+var ErrNotCurrent = errors.New("session: replica not current enough for session guarantees")
+
+// Session is one client's ordering context across replicas. Not safe for
+// concurrent use — a session is a single client's thread of activity.
+type Session struct {
+	guarantees Guarantee
+	readVV     vv.VV // least upper bound of the DBVVs this session has read from
+	writeVV    vv.VV // least upper bound of the DBVVs covering this session's writes
+}
+
+// New returns a fresh session with the given guarantees over a database
+// replicated on n servers.
+func New(guarantees Guarantee, n int) *Session {
+	return &Session{guarantees: guarantees, readVV: vv.New(n), writeVV: vv.New(n)}
+}
+
+// Guarantees returns the session's guarantee set.
+func (s *Session) Guarantees() Guarantee { return s.guarantees }
+
+// ReadVV returns a copy of the session's read vector.
+func (s *Session) ReadVV() vv.VV { return s.readVV.Clone() }
+
+// WriteVV returns a copy of the session's write vector.
+func (s *Session) WriteVV() vv.VV { return s.writeVV.Clone() }
+
+// qualifies reports whether a replica with the given DBVV can serve the
+// session for the needed vectors.
+func qualifies(dbvv vv.VV, required ...vv.VV) error {
+	for _, req := range required {
+		if !dbvv.DominatesOrEqual(req) {
+			return fmt.Errorf("%w: replica DBVV %v lacks %v", ErrNotCurrent, dbvv, req)
+		}
+	}
+	return nil
+}
+
+// Read performs a session read of key at the replica. It fails with
+// ErrNotCurrent when the replica is too stale for the session's read
+// guarantees; on success the session's read vector advances.
+func (s *Session) Read(r *core.Replica, key string) ([]byte, error) {
+	dbvv := r.DBVV()
+	var need []vv.VV
+	if s.guarantees&ReadYourWrites != 0 {
+		need = append(need, s.writeVV)
+	}
+	if s.guarantees&MonotonicReads != 0 {
+		need = append(need, s.readVV)
+	}
+	if err := qualifies(dbvv, need...); err != nil {
+		return nil, err
+	}
+	v, _ := r.Read(key)
+	s.readVV.Merge(dbvv)
+	return v, nil
+}
+
+// Write performs a session write of key at the replica. It fails with
+// ErrNotCurrent when the replica does not yet reflect the state the
+// session's write guarantees require; on success the session's write
+// vector advances to cover the new write.
+func (s *Session) Write(r *core.Replica, key string, o op.Op) error {
+	dbvv := r.DBVV()
+	var need []vv.VV
+	if s.guarantees&MonotonicWrites != 0 {
+		need = append(need, s.writeVV)
+	}
+	if s.guarantees&WritesFollowReads != 0 {
+		need = append(need, s.readVV)
+	}
+	if err := qualifies(dbvv, need...); err != nil {
+		return err
+	}
+	if err := r.Update(key, o); err != nil {
+		return err
+	}
+	// The write is covered by the replica's DBVV after the update.
+	s.writeVV.Merge(r.DBVV())
+	return nil
+}
+
+// TryReplicas runs fn against each replica in order until one satisfies the
+// session (fn returns nil) and reports which index served it. It returns
+// the last error when none qualifies.
+func TryReplicas(replicas []*core.Replica, fn func(*core.Replica) error) (int, error) {
+	var lastErr error
+	for i, r := range replicas {
+		if err := fn(r); err != nil {
+			if errors.Is(err, ErrNotCurrent) {
+				lastErr = err
+				continue
+			}
+			return i, err
+		}
+		return i, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNotCurrent
+	}
+	return -1, lastErr
+}

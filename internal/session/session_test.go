@@ -1,0 +1,208 @@
+package session
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+func set(v string) op.Op { return op.NewSet([]byte(v)) }
+
+func pair(t *testing.T) (*core.Replica, *core.Replica) {
+	t.Helper()
+	return core.NewReplica(0, 2), core.NewReplica(1, 2)
+}
+
+func TestReadYourWrites(t *testing.T) {
+	a, b := pair(t)
+	s := New(ReadYourWrites, 2)
+
+	if err := s.Write(a, "x", set("mine")); err != nil {
+		t.Fatal(err)
+	}
+	// Reading at the stale replica b must be refused.
+	if _, err := s.Read(b, "x"); !errors.Is(err, ErrNotCurrent) {
+		t.Fatalf("stale read err = %v, want ErrNotCurrent", err)
+	}
+	// At the replica that has the write it succeeds.
+	v, err := s.Read(a, "x")
+	if err != nil || string(v) != "mine" {
+		t.Fatalf("Read = %q/%v", v, err)
+	}
+	// After anti-entropy b qualifies.
+	core.AntiEntropy(b, a)
+	if v, err := s.Read(b, "x"); err != nil || string(v) != "mine" {
+		t.Fatalf("post-AE Read = %q/%v", v, err)
+	}
+}
+
+func TestMonotonicReads(t *testing.T) {
+	a, b := pair(t)
+	a.Update("x", set("v1"))
+	core.AntiEntropy(b, a)
+	a.Update("x", set("v2"))
+
+	s := New(MonotonicReads, 2)
+	if _, err := s.Read(a, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// b is behind what the session has read: refuse.
+	if _, err := s.Read(b, "x"); !errors.Is(err, ErrNotCurrent) {
+		t.Fatalf("regressing read err = %v", err)
+	}
+	core.AntiEntropy(b, a)
+	if v, err := s.Read(b, "x"); err != nil || string(v) != "v2" {
+		t.Fatalf("Read after catch-up = %q/%v", v, err)
+	}
+}
+
+func TestMonotonicWrites(t *testing.T) {
+	a, b := pair(t)
+	s := New(MonotonicWrites, 2)
+	if err := s.Write(a, "x", set("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Writing at b before it has the first write would break write order.
+	if err := s.Write(b, "x", set("second")); !errors.Is(err, ErrNotCurrent) {
+		t.Fatalf("out-of-order write err = %v", err)
+	}
+	core.AntiEntropy(b, a)
+	if err := s.Write(b, "x", set("second")); err != nil {
+		t.Fatalf("in-order write at caught-up replica: %v", err)
+	}
+	// The two writes are ordered, not conflicting: full sync converges
+	// without conflicts.
+	core.AntiEntropy(a, b)
+	if len(a.Conflicts())+len(b.Conflicts()) != 0 {
+		t.Error("ordered session writes produced conflicts")
+	}
+	if ok, why := core.Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	if v, _ := a.Read("x"); string(v) != "second" {
+		t.Errorf("final value = %q", v)
+	}
+}
+
+func TestWritesFollowReads(t *testing.T) {
+	a, b := pair(t)
+	a.Update("article", set("draft"))
+
+	s := New(WritesFollowReads, 2)
+	if _, err := s.Read(a, "article"); err != nil {
+		t.Fatal(err)
+	}
+	// A reply written at b must not be orderable before the article it
+	// responds to.
+	if err := s.Write(b, "reply", set("looks good")); !errors.Is(err, ErrNotCurrent) {
+		t.Fatalf("WFR violation err = %v", err)
+	}
+	core.AntiEntropy(b, a)
+	if err := s.Write(b, "reply", set("looks good")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoGuaranteesNeverRefuses(t *testing.T) {
+	a, b := pair(t)
+	s := New(0, 2)
+	if err := s.Write(a, "x", set("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(b, "x"); err != nil {
+		t.Fatalf("guarantee-free read refused: %v", err)
+	}
+}
+
+func TestCausalCombines(t *testing.T) {
+	a, b := pair(t)
+	s := New(Causal, 2)
+	if err := s.Write(a, "x", set("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(b, "x"); !errors.Is(err, ErrNotCurrent) {
+		t.Fatal("causal session read stale replica")
+	}
+	core.AntiEntropy(b, a)
+	if _, err := s.Read(b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(b, "y", set("w")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionsAreIndependent(t *testing.T) {
+	a, b := pair(t)
+	s1 := New(ReadYourWrites, 2)
+	s2 := New(ReadYourWrites, 2)
+	if err := s1.Write(a, "x", set("v")); err != nil {
+		t.Fatal(err)
+	}
+	// s2 never wrote anything; it may read anywhere.
+	if _, err := s2.Read(b, "x"); err != nil {
+		t.Fatalf("independent session blocked: %v", err)
+	}
+}
+
+func TestTryReplicas(t *testing.T) {
+	a, b := pair(t)
+	s := New(ReadYourWrites, 2)
+	if err := s.Write(a, "x", set("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Ordered [stale, fresh]: must pick index 1.
+	idx, err := TryReplicas([]*core.Replica{b, a}, func(r *core.Replica) error {
+		_, err := s.Read(r, "x")
+		return err
+	})
+	if err != nil || idx != 1 {
+		t.Fatalf("TryReplicas = %d/%v", idx, err)
+	}
+	// No replica qualifies.
+	s2 := New(MonotonicReads, 2)
+	s2.readVV[0] = 99
+	idx, err = TryReplicas([]*core.Replica{a, b}, func(r *core.Replica) error {
+		_, err := s2.Read(r, "x")
+		return err
+	})
+	if idx != -1 || !errors.Is(err, ErrNotCurrent) {
+		t.Fatalf("TryReplicas with none qualifying = %d/%v", idx, err)
+	}
+}
+
+func TestGuaranteeString(t *testing.T) {
+	cases := map[Guarantee]string{
+		0:                                   "none",
+		ReadYourWrites:                      "RYW",
+		ReadYourWrites | MonotonicReads:     "RYW+MR",
+		Causal:                              "causal",
+		MonotonicWrites | WritesFollowReads: "MW+WFR",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("Guarantee(%d).String() = %q, want %q", g, got, want)
+		}
+	}
+}
+
+func TestVectorsAdvanceMonotonically(t *testing.T) {
+	a, _ := pair(t)
+	s := New(Causal, 2)
+	for i := 0; i < 5; i++ {
+		if err := s.Write(a, "x", set("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(a, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.WriteVV().Get(0); got != 5 {
+		t.Errorf("write vector = %v", s.WriteVV())
+	}
+	if !s.ReadVV().DominatesOrEqual(s.WriteVV()) {
+		t.Error("read vector fell behind write vector within one replica")
+	}
+}

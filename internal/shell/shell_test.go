@@ -1,0 +1,160 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func newShell(t *testing.T, n int) *Shell {
+	t.Helper()
+	nodes, err := cluster.StartCluster(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.CloseAll(nodes) })
+	return New(nodes)
+}
+
+func exec(t *testing.T, s *Shell, line string) string {
+	t.Helper()
+	out, err := s.Exec(line)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", line, err)
+	}
+	return out
+}
+
+func execErr(t *testing.T, s *Shell, line string) error {
+	t.Helper()
+	_, err := s.Exec(line)
+	if err == nil {
+		t.Fatalf("Exec(%q) succeeded, want error", line)
+	}
+	return err
+}
+
+func TestPutGetAppendDel(t *testing.T) {
+	s := newShell(t, 2)
+	exec(t, s, "put color deep blue")
+	if got := exec(t, s, "get color"); got != `"deep blue"` {
+		t.Errorf("get = %s", got)
+	}
+	exec(t, s, "append color -ish")
+	if got := exec(t, s, "get color"); got != `"deep blue-ish"` {
+		t.Errorf("after append = %s", got)
+	}
+	exec(t, s, "del color")
+	if got := exec(t, s, "get color"); got != `""` {
+		t.Errorf("after del = %s", got)
+	}
+	if got := exec(t, s, "get ghost"); got != "(absent)" {
+		t.Errorf("absent get = %s", got)
+	}
+}
+
+func TestNodeSwitchAndPrompt(t *testing.T) {
+	s := newShell(t, 3)
+	if s.Prompt() != "node0> " {
+		t.Errorf("prompt = %q", s.Prompt())
+	}
+	exec(t, s, "node 2")
+	if s.Active() != 2 || s.Prompt() != "node2> " {
+		t.Errorf("active = %d prompt = %q", s.Active(), s.Prompt())
+	}
+	execErr(t, s, "node 9")
+	execErr(t, s, "node abc")
+	execErr(t, s, "node")
+}
+
+func TestPullMovesData(t *testing.T) {
+	s := newShell(t, 2)
+	exec(t, s, "put x v1")
+	exec(t, s, "node 1")
+	if got := exec(t, s, "get x"); got != "(absent)" {
+		t.Fatalf("node 1 already has x: %s", got)
+	}
+	if got := exec(t, s, "pull 0"); got != "data shipped" {
+		t.Errorf("pull = %s", got)
+	}
+	if got := exec(t, s, "get x"); got != `"v1"` {
+		t.Errorf("after pull = %s", got)
+	}
+	// Second pull is the O(1) no-op.
+	if got := exec(t, s, "pull 0"); !strings.Contains(got, "you-are-current") {
+		t.Errorf("redundant pull = %s", got)
+	}
+	execErr(t, s, "pull 1") // self
+	execErr(t, s, "pull 7") // out of range
+}
+
+func TestOOBCommand(t *testing.T) {
+	s := newShell(t, 2)
+	exec(t, s, "put hot fresh")
+	exec(t, s, "node 1")
+	if got := exec(t, s, "oob hot 0"); !strings.Contains(got, "adopted") {
+		t.Errorf("oob = %s", got)
+	}
+	if got := exec(t, s, "get hot"); got != `"fresh"` {
+		t.Errorf("after oob = %s", got)
+	}
+	if got := exec(t, s, "oob hot 0"); !strings.Contains(got, "nothing adopted") {
+		t.Errorf("redundant oob = %s", got)
+	}
+	execErr(t, s, "oob hot 1")
+	execErr(t, s, "oob hot")
+}
+
+func TestSyncConverges(t *testing.T) {
+	s := newShell(t, 3)
+	exec(t, s, "put a 1")
+	exec(t, s, "node 1")
+	exec(t, s, "put b 2")
+	exec(t, s, "node 2")
+	exec(t, s, "put c 3")
+	out := exec(t, s, "sync")
+	if !strings.Contains(out, "converged") {
+		t.Fatalf("sync = %s", out)
+	}
+	if got := exec(t, s, "get a"); got != `"1"` {
+		t.Errorf("node 2 missing a: %s", got)
+	}
+	status := exec(t, s, "status")
+	if !strings.Contains(status, "all replicas converged") {
+		t.Errorf("status = %s", status)
+	}
+	if strings.Contains(status, "VIOLATION") {
+		t.Errorf("status reports invariant violation: %s", status)
+	}
+}
+
+func TestKeysAndStats(t *testing.T) {
+	s := newShell(t, 1)
+	if got := exec(t, s, "keys"); got != "(empty)" {
+		t.Errorf("keys = %s", got)
+	}
+	exec(t, s, "put b 2")
+	exec(t, s, "put a 1")
+	if got := exec(t, s, "keys"); got != "a\nb" {
+		t.Errorf("keys = %q", got)
+	}
+	stats := exec(t, s, "stats")
+	if !strings.Contains(stats, "updates=2") {
+		t.Errorf("stats = %s", stats)
+	}
+}
+
+func TestHelpUnknownEmpty(t *testing.T) {
+	s := newShell(t, 1)
+	if got := exec(t, s, "help"); !strings.Contains(got, "pull <i>") {
+		t.Errorf("help = %s", got)
+	}
+	if got := exec(t, s, "   "); got != "" {
+		t.Errorf("blank line output = %q", got)
+	}
+	execErr(t, s, "frobnicate")
+	execErr(t, s, "put onlykey")
+	execErr(t, s, "get")
+	execErr(t, s, "del")
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPartitionBlocksCrossTraffic(t *testing.T) {
+	const n = 6
+	sys := NewCoreSystem(n)
+	s := New(sys, 5)
+	s.Partition([]int{0, 1, 2}, []int{3, 4, 5})
+
+	sys.Update(0, "left", []byte("L"))
+	sys.Update(3, "right", []byte("R"))
+	for i := 0; i < 20; i++ {
+		s.Step(RandomPeer)
+	}
+	// Within partitions everything spread; across, nothing.
+	for _, node := range []int{0, 1, 2} {
+		if v, ok := sys.Read(node, "left"); !ok || string(v) != "L" {
+			t.Errorf("node %d missing left-side data", node)
+		}
+		if _, ok := sys.Read(node, "right"); ok {
+			t.Errorf("node %d received data across the partition", node)
+		}
+	}
+	for _, node := range []int{3, 4, 5} {
+		if v, ok := sys.Read(node, "right"); !ok || string(v) != "R" {
+			t.Errorf("node %d missing right-side data", node)
+		}
+		if _, ok := sys.Read(node, "left"); ok {
+			t.Errorf("node %d received data across the partition", node)
+		}
+	}
+	if ok, _ := sys.Converged(); ok {
+		t.Fatal("partitioned system reported converged")
+	}
+
+	// Heal: the two sides merge (disjoint item sets: no conflicts).
+	s.Heal()
+	if _, ok := s.RunUntilConverged(RandomPeer, 50); !ok {
+		_, why := sys.Converged()
+		t.Fatalf("no convergence after heal: %s", why)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionRingAndBroadcastRespectGroups(t *testing.T) {
+	const n = 4
+	for _, sched := range []Schedule{Ring, Broadcast} {
+		sys := NewCoreSystem(n)
+		s := New(sys, 1)
+		s.Partition([]int{0, 1}, []int{2, 3})
+		sys.Update(0, "x", []byte("v"))
+		for i := 0; i < 10; i++ {
+			s.Step(sched)
+		}
+		if _, ok := sys.Read(2, "x"); ok {
+			t.Errorf("%v leaked across partition", sched)
+		}
+		if v, ok := sys.Read(1, "x"); !ok || string(v) != "v" {
+			t.Errorf("%v did not spread within partition", sched)
+		}
+	}
+}
+
+func TestPartitionUnlistedNodesGroupTogether(t *testing.T) {
+	const n = 5
+	sys := NewCoreSystem(n)
+	s := New(sys, 2)
+	s.Partition([]int{0, 1}) // 2,3,4 form the implicit remainder partition
+	sys.Update(2, "x", []byte("v"))
+	for i := 0; i < 10; i++ {
+		s.Step(RandomPeer)
+	}
+	for _, node := range []int{3, 4} {
+		if v, ok := sys.Read(node, "x"); !ok || string(v) != "v" {
+			t.Errorf("remainder partition node %d missing data", node)
+		}
+	}
+	if _, ok := sys.Read(0, "x"); ok {
+		t.Error("data leaked into the listed partition")
+	}
+}
+
+func TestDivergenceDuringPartitionHealsWithoutFalseConflicts(t *testing.T) {
+	// Both sides keep updating (disjoint single-writer items) while split;
+	// after heal everything merges conflict-free — the paper's
+	// "propagate during the next dial-up" deployment at partition scale.
+	const n = 6
+	sys := NewCoreSystem(n)
+	s := New(sys, 9)
+	s.Partition([]int{0, 1, 2}, []int{3, 4, 5})
+	for round := 0; round < 15; round++ {
+		for node := 0; node < n; node++ {
+			sys.Update(node, workload.Key(node), []byte{byte(round)})
+		}
+		s.Step(RandomPeer)
+	}
+	s.Heal()
+	if _, ok := s.RunUntilConverged(RandomPeer, 60); !ok {
+		_, why := sys.Converged()
+		t.Fatalf("no convergence after heal: %s", why)
+	}
+	for i := 0; i < n; i++ {
+		if got := len(sys.Replica(i).Conflicts()); got != 0 {
+			t.Errorf("node %d declared %d false conflicts", i, got)
+		}
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedNodeHasNoPeers(t *testing.T) {
+	sys := NewCoreSystem(3)
+	s := New(sys, 1)
+	s.Partition([]int{0}, []int{1, 2})
+	sys.Update(0, "x", []byte("v"))
+	if sessions := s.Step(RandomPeer); sessions > 2 {
+		t.Errorf("sessions = %d; isolated node should find no peer", sessions)
+	}
+	if _, ok := sys.Read(1, "x"); ok {
+		t.Error("isolated node's data leaked")
+	}
+}
+
+func TestConvergenceUnderMessageLoss(t *testing.T) {
+	// Epidemic anti-entropy tolerates lost sessions: with 40% of scheduled
+	// sessions dropped, convergence still happens, just in more rounds.
+	const n = 8
+	sys := NewCoreSystem(n)
+	s := New(sys, 11)
+	s.SetLoss(0.4)
+	for i := 0; i < 20; i++ {
+		sys.Update(i%n, workload.Key(i), []byte{byte(i)})
+	}
+	rounds, ok := s.RunUntilConverged(RandomPeer, 400)
+	if !ok {
+		_, why := sys.Converged()
+		t.Fatalf("no convergence under loss: %s", why)
+	}
+	t.Logf("converged in %d rounds at 40%% loss", rounds)
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalLossBlocksEverything(t *testing.T) {
+	sys := NewCoreSystem(3)
+	s := New(sys, 1)
+	s.SetLoss(1)
+	sys.Update(0, "x", []byte("v"))
+	for i := 0; i < 10; i++ {
+		if got := s.Step(RandomPeer); got != 0 {
+			t.Fatalf("round %d ran %d sessions at 100%% loss", i, got)
+		}
+	}
+	if _, ok := sys.Read(1, "x"); ok {
+		t.Fatal("data moved despite total loss")
+	}
+	// SetLoss clamps its argument.
+	s.SetLoss(-3)
+	if s.loss != 0 {
+		t.Errorf("loss = %v, want clamp to 0", s.loss)
+	}
+	s.SetLoss(7)
+	if s.loss != 1 {
+		t.Errorf("loss = %v, want clamp to 1", s.loss)
+	}
+}

@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Schedule selects the propagation sessions of one simulated round.
+type Schedule int
+
+// Available gossip schedules.
+const (
+	// RandomPeer: every live node pulls from one uniformly chosen live peer
+	// — the classic epidemic schedule; convergence in O(log n) expected
+	// rounds.
+	RandomPeer Schedule = iota
+	// Ring: node i pulls from node (i+1) mod n; deterministic, convergence
+	// in at most n-1 rounds.
+	Ring
+	// Broadcast: every live source pushes to every live recipient — the
+	// schedule matching originator-push systems; one round suffices absent
+	// failures.
+	Broadcast
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case RandomPeer:
+		return "random-peer"
+	case Ring:
+		return "ring"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Sim drives a System over rounds of a gossip schedule with optional node
+// failures and network partitions. Deterministic under its seed.
+type Sim struct {
+	sys   System
+	rng   *rand.Rand
+	down  []bool
+	group []int   // partition group per node; sessions stay within a group
+	loss  float64 // probability a scheduled session is lost entirely
+	round int
+}
+
+// New returns a simulator over sys, deterministic under seed.
+func New(sys System, seed int64) *Sim {
+	return &Sim{
+		sys:   sys,
+		rng:   rand.New(rand.NewSource(seed)),
+		down:  make([]bool, sys.Servers()),
+		group: make([]int, sys.Servers()),
+	}
+}
+
+// Partition splits the network: groups[i] lists the nodes of partition i.
+// Sessions are only scheduled between nodes of the same partition. Nodes
+// absent from every group land in an implicit extra partition together.
+func (s *Sim) Partition(groups ...[]int) {
+	extra := len(groups)
+	for i := range s.group {
+		s.group[i] = extra
+	}
+	for g, nodes := range groups {
+		for _, node := range nodes {
+			s.group[node] = g
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (s *Sim) Heal() {
+	for i := range s.group {
+		s.group[i] = 0
+	}
+}
+
+// connected reports whether two nodes may hold a session.
+func (s *Sim) connected(a, b int) bool { return s.group[a] == s.group[b] }
+
+// SetLoss makes each scheduled session fail (be dropped before any message
+// moves) with probability p. Epidemic protocols tolerate this: the next
+// round simply schedules new sessions.
+func (s *Sim) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s.loss = p
+}
+
+// exchange runs one session unless the loss model drops it.
+func (s *Sim) exchange(recipient, source int) bool {
+	if s.loss > 0 && s.rng.Float64() < s.loss {
+		return false
+	}
+	return s.sys.Exchange(recipient, source) == nil
+}
+
+// System returns the simulated system.
+func (s *Sim) System() System { return s.sys }
+
+// Round returns the number of completed rounds.
+func (s *Sim) Round() int { return s.round }
+
+// Crash marks a node down: it neither initiates nor serves sessions.
+func (s *Sim) Crash(node int) { s.down[node] = true }
+
+// Recover marks a node up again.
+func (s *Sim) Recover(node int) { s.down[node] = false }
+
+// Alive reports whether a node is up.
+func (s *Sim) Alive(node int) bool { return !s.down[node] }
+
+// AliveCount returns the number of live nodes.
+func (s *Sim) AliveCount() int {
+	n := 0
+	for _, d := range s.down {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Step runs one round of the given schedule and returns the number of
+// sessions performed.
+func (s *Sim) Step(sched Schedule) int {
+	n := s.sys.Servers()
+	sessions := 0
+	switch sched {
+	case RandomPeer:
+		for r := 0; r < n; r++ {
+			if s.down[r] {
+				continue
+			}
+			src := s.randomLivePeer(r)
+			if src < 0 {
+				continue
+			}
+			if s.exchange(r, src) {
+				sessions++
+			}
+		}
+	case Ring:
+		for r := 0; r < n; r++ {
+			if s.down[r] {
+				continue
+			}
+			src := (r + 1) % n
+			for src != r && (s.down[src] || !s.connected(r, src)) {
+				src = (src + 1) % n
+			}
+			if src == r {
+				continue
+			}
+			if s.exchange(r, src) {
+				sessions++
+			}
+		}
+	case Broadcast:
+		for src := 0; src < n; src++ {
+			if s.down[src] {
+				continue
+			}
+			for r := 0; r < n; r++ {
+				if r == src || s.down[r] || !s.connected(r, src) {
+					continue
+				}
+				if s.exchange(r, src) {
+					sessions++
+				}
+			}
+		}
+	}
+	s.round++
+	return sessions
+}
+
+func (s *Sim) randomLivePeer(self int) int {
+	n := s.sys.Servers()
+	alive := 0
+	for i := 0; i < n; i++ {
+		if i != self && !s.down[i] && s.connected(self, i) {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return -1
+	}
+	pick := s.rng.Intn(alive)
+	for i := 0; i < n; i++ {
+		if i == self || s.down[i] || !s.connected(self, i) {
+			continue
+		}
+		if pick == 0 {
+			return i
+		}
+		pick--
+	}
+	return -1
+}
+
+// RunUntilConverged steps the schedule until the system converges or
+// maxRounds elapse, returning the rounds used and whether convergence was
+// reached.
+func (s *Sim) RunUntilConverged(sched Schedule, maxRounds int) (rounds int, ok bool) {
+	for r := 1; r <= maxRounds; r++ {
+		s.Step(sched)
+		if converged, _ := s.sys.Converged(); converged {
+			return r, true
+		}
+	}
+	return maxRounds, false
+}
+
+// FreshCount returns how many live nodes hold exactly `want` for key — the
+// staleness probe for the failure experiments (E4).
+func (s *Sim) FreshCount(key string, want []byte) int {
+	fresh := 0
+	for node := 0; node < s.sys.Servers(); node++ {
+		if s.down[node] {
+			continue
+		}
+		if v, ok := s.sys.Read(node, key); ok && bytes.Equal(v, want) {
+			fresh++
+		}
+	}
+	return fresh
+}
+
+// RandomNode returns a uniformly chosen live node, or -1 when all are down.
+func (s *Sim) RandomNode() int {
+	n := s.sys.Servers()
+	alive := s.AliveCount()
+	if alive == 0 {
+		return -1
+	}
+	pick := s.rng.Intn(alive)
+	for i := 0; i < n; i++ {
+		if s.down[i] {
+			continue
+		}
+		if pick == 0 {
+			return i
+		}
+		pick--
+	}
+	return -1
+}

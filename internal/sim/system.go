@@ -1,0 +1,133 @@
+// Package sim provides a deterministic round-based multi-replica simulator
+// used by the experiment harness. It drives any protocol implementing the
+// System interface — the paper's DBVV protocol (via CoreSystem) and every
+// baseline in internal/baseline — over configurable gossip schedules, with
+// node failures, and measures rounds-to-convergence, staleness and
+// accumulated overhead.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/op"
+)
+
+// System is the protocol-agnostic surface the simulator drives. All
+// baseline packages implement it structurally; CoreSystem adapts the
+// paper's protocol.
+type System interface {
+	// Name identifies the protocol in experiment tables.
+	Name() string
+	// Servers returns the number of replicas.
+	Servers() int
+	// Update applies a whole-value write at the given node.
+	Update(node int, key string, value []byte) error
+	// Exchange performs one propagation session: recipient obtains updates
+	// from source (pull for epidemic protocols, push for originator-push).
+	Exchange(recipient, source int) error
+	// Read returns the node's current value for key.
+	Read(node int, key string) ([]byte, bool)
+	// NodeMetrics returns one node's accumulated overhead.
+	NodeMetrics(node int) metrics.Counters
+	// TotalMetrics returns the sum over all nodes.
+	TotalMetrics() metrics.Counters
+	// Converged reports whether all replicas are identical, with a reason
+	// when they are not.
+	Converged() (bool, string)
+}
+
+// CoreSystem adapts a set of core.Replica to the System interface.
+type CoreSystem struct {
+	replicas []*core.Replica
+	opts     []core.Option
+}
+
+// NewCoreSystem returns n fresh replicas of the paper's protocol.
+func NewCoreSystem(n int) *CoreSystem {
+	return NewCoreSystemWith(n)
+}
+
+// NewCoreSystemWith returns n fresh replicas constructed with the given
+// core options (e.g. core.WithDeltaPropagation()).
+func NewCoreSystemWith(n int, opts ...core.Option) *CoreSystem {
+	s := &CoreSystem{replicas: make([]*core.Replica, n), opts: opts}
+	for i := range s.replicas {
+		s.replicas[i] = core.NewReplica(i, n, opts...)
+	}
+	return s
+}
+
+// Name implements System.
+func (s *CoreSystem) Name() string {
+	if len(s.opts) > 0 {
+		return "dbvv*"
+	}
+	return "dbvv"
+}
+
+// Servers implements System.
+func (s *CoreSystem) Servers() int { return len(s.replicas) }
+
+// Replica exposes the underlying replica for protocol-specific operations
+// (out-of-bound copying, invariant checks).
+func (s *CoreSystem) Replica(i int) *core.Replica { return s.replicas[i] }
+
+// Update implements System using a whole-value Set operation.
+func (s *CoreSystem) Update(node int, key string, value []byte) error {
+	if node < 0 || node >= len(s.replicas) {
+		return fmt.Errorf("sim: node %d out of range", node)
+	}
+	return s.replicas[node].Update(key, op.NewSet(value))
+}
+
+// Exchange implements System with one anti-entropy session.
+func (s *CoreSystem) Exchange(recipient, source int) error {
+	if recipient == source {
+		return fmt.Errorf("sim: self exchange at node %d", recipient)
+	}
+	core.AntiEntropy(s.replicas[recipient], s.replicas[source])
+	return nil
+}
+
+// Read implements System.
+func (s *CoreSystem) Read(node int, key string) ([]byte, bool) {
+	return s.replicas[node].Read(key)
+}
+
+// NodeMetrics implements System.
+func (s *CoreSystem) NodeMetrics(node int) metrics.Counters {
+	return s.replicas[node].Metrics()
+}
+
+// TotalMetrics implements System.
+func (s *CoreSystem) TotalMetrics() metrics.Counters {
+	var total metrics.Counters
+	for _, r := range s.replicas {
+		m := r.Metrics()
+		total.Add(&m)
+	}
+	return total
+}
+
+// Converged implements System.
+func (s *CoreSystem) Converged() (bool, string) {
+	return core.Converged(s.replicas...)
+}
+
+// CopyOutOfBound performs an out-of-bound copy of key from source to
+// recipient — the core protocol's extension beyond the common surface.
+func (s *CoreSystem) CopyOutOfBound(recipient int, key string, source int) bool {
+	return s.replicas[recipient].CopyOutOfBound(key, s.replicas[source])
+}
+
+// CheckInvariants verifies every replica's protocol invariants.
+func (s *CoreSystem) CheckInvariants() error {
+	for _, r := range s.replicas {
+		if err := r.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

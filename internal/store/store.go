@@ -1,0 +1,196 @@
+// Package store implements a node's local database replica: a collection of
+// named data items, each carrying its item version vector (IVV), the
+// IsSelected flag used by SendPropagation's O(m) item-set computation (§6),
+// and — when the item has been copied out-of-bound — a parallel auxiliary
+// copy with its own auxiliary IVV (§4.3).
+//
+// The store is a single node's state; it performs no synchronization.
+// The owning replica (internal/core) serializes access.
+package store
+
+import (
+	"sort"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// AuxCopy is the parallel copy of an out-of-bound data item (§4.3). It has
+// its own value and version vector; user operations and out-of-bound
+// requests are served from it while the regular copy continues to take part
+// in scheduled update propagation.
+type AuxCopy struct {
+	Value []byte
+	IVV   vv.VV
+}
+
+// Delta retains the single most recent update to an item's regular copy as
+// a redo-able operation, for the record-shipping propagation variant the
+// paper sketches as the alternative to whole-item copying (§2, "obtaining
+// and applying log records for missing updates" — the Oracle approach). A
+// retained delta is valid only while the item's IVV is exactly Pre plus one
+// update by Origin; any other IVV movement (full adoption, further local
+// update) replaces or clears it.
+type Delta struct {
+	Op     op.Op
+	Pre    vv.VV // IVV immediately before the update
+	Origin int   // server that performed the update
+}
+
+// Valid reports whether the delta still describes the transition into ivv.
+func (d *Delta) Valid(ivv vv.VV) bool {
+	if d == nil {
+		return false
+	}
+	expected := d.Pre.Clone()
+	expected.Inc(d.Origin)
+	return expected.Equal(ivv)
+}
+
+// Post returns the vector the delta transitions into: Pre plus one update
+// by Origin.
+func (d Delta) Post() vv.VV {
+	p := d.Pre.Clone()
+	p.Inc(d.Origin)
+	return p
+}
+
+// ChainValid reports whether a delta chain is well-linked (each delta's Pre
+// is its predecessor's Post) and ends exactly at ivv.
+func ChainValid(chain []Delta, ivv vv.VV) bool {
+	if len(chain) == 0 {
+		return false
+	}
+	state := chain[0].Pre.Clone()
+	for _, d := range chain {
+		if !d.Pre.Equal(state) {
+			return false
+		}
+		state.Inc(d.Origin)
+	}
+	return state.Equal(ivv)
+}
+
+// Item is a single data item replica: the regular copy with its IVV, plus
+// an optional auxiliary copy. The selected flag implements the paper's
+// IsSelected bit; it is owned by SendPropagation and is always false
+// outside that procedure.
+type Item struct {
+	Key   string
+	Value []byte
+	IVV   vv.VV
+
+	// Aux is non-nil while the item has an out-of-bound auxiliary copy.
+	Aux *AuxCopy
+
+	// Deltas, when non-empty and chain-valid, retains the most recent
+	// updates (oldest first, bounded by the replica's configured depth) for
+	// the record-shipping propagation variant.
+	Deltas []Delta
+
+	selected bool
+}
+
+// Selected reports the IsSelected flag.
+func (it *Item) Selected() bool { return it.selected }
+
+// SetSelected sets the IsSelected flag.
+func (it *Item) SetSelected(v bool) { it.selected = v }
+
+// CurrentValue returns the value user operations observe: the auxiliary
+// copy if one exists, else the regular copy (§5.3).
+func (it *Item) CurrentValue() []byte {
+	if it.Aux != nil {
+		return it.Aux.Value
+	}
+	return it.Value
+}
+
+// CurrentIVV returns the version vector matching CurrentValue.
+func (it *Item) CurrentIVV() vv.VV {
+	if it.Aux != nil {
+		return it.Aux.IVV
+	}
+	return it.IVV
+}
+
+// Store is one node's replica of the whole database.
+type Store struct {
+	n     int // number of servers replicating the database
+	items map[string]*Item
+}
+
+// New returns an empty store for a database replicated across n servers.
+func New(n int) *Store {
+	return &Store{n: n, items: make(map[string]*Item)}
+}
+
+// Servers returns the number of servers n the store was created for.
+func (s *Store) Servers() int { return s.n }
+
+// Grow raises the server count; newly created items get version vectors of
+// the new length. Existing items keep their shorter vectors (missing
+// components are implicitly zero).
+func (s *Store) Grow(n int) {
+	if n > s.n {
+		s.n = n
+	}
+}
+
+// Len returns the number of data items present.
+func (s *Store) Len() int { return len(s.items) }
+
+// Get returns the item for key, or nil if the store has never seen it.
+func (s *Store) Get(key string) *Item { return s.items[key] }
+
+// Ensure returns the item for key, creating a fresh zero-valued item (empty
+// value, zero IVV) if it does not exist yet. The paper's model has a fixed
+// item universe; items materialize on first touch with the initial state
+// every node agrees on.
+func (s *Store) Ensure(key string) *Item {
+	if it, ok := s.items[key]; ok {
+		return it
+	}
+	it := &Item{Key: key, Value: []byte{}, IVV: vv.New(s.n)}
+	s.items[key] = it
+	return it
+}
+
+// Keys returns all item keys in sorted order. Intended for tests, snapshots
+// and tools — not used on protocol hot paths.
+func (s *Store) Keys() []string {
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ForEach calls fn for every item in unspecified order. Mutating the item
+// is allowed; adding or removing items is not.
+func (s *Store) ForEach(fn func(*Item)) {
+	for _, it := range s.items {
+		fn(it)
+	}
+}
+
+// AuxCount returns the number of items currently holding auxiliary copies.
+func (s *Store) AuxCount() int {
+	n := 0
+	for _, it := range s.items {
+		if it.Aux != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// CloneBytes returns an independent copy of b, normalizing nil to an empty
+// slice. Item values are always owned by their store; every value that
+// crosses a node boundary is cloned with this helper.
+func CloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/vv"
+)
+
+func TestEnsureCreatesZeroItem(t *testing.T) {
+	s := New(3)
+	it := s.Ensure("x")
+	if it.Key != "x" || len(it.Value) != 0 {
+		t.Errorf("item = %+v", it)
+	}
+	if !it.IVV.Equal(vv.New(3)) {
+		t.Errorf("IVV = %v, want zero", it.IVV)
+	}
+	if it.Aux != nil || it.Selected() {
+		t.Error("fresh item has aux copy or selected flag")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestEnsureIdempotent(t *testing.T) {
+	s := New(2)
+	a := s.Ensure("x")
+	a.Value = []byte("v")
+	b := s.Ensure("x")
+	if a != b {
+		t.Error("Ensure created a second item")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := New(2)
+	if s.Get("nope") != nil {
+		t.Error("Get of missing item != nil")
+	}
+}
+
+func TestServers(t *testing.T) {
+	if got := New(7).Servers(); got != 7 {
+		t.Errorf("Servers = %d", got)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New(2)
+	for _, k := range []string{"c", "a", "b"} {
+		s.Ensure(k)
+	}
+	keys := s.Keys()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v", keys)
+		}
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	s := New(2)
+	s.Ensure("a")
+	s.Ensure("b")
+	seen := map[string]bool{}
+	s.ForEach(func(it *Item) { seen[it.Key] = true })
+	if !seen["a"] || !seen["b"] || len(seen) != 2 {
+		t.Errorf("ForEach saw %v", seen)
+	}
+}
+
+func TestSelectedFlag(t *testing.T) {
+	s := New(2)
+	it := s.Ensure("x")
+	it.SetSelected(true)
+	if !it.Selected() {
+		t.Error("flag not set")
+	}
+	it.SetSelected(false)
+	if it.Selected() {
+		t.Error("flag not cleared")
+	}
+}
+
+func TestCurrentValuePrefersAux(t *testing.T) {
+	s := New(2)
+	it := s.Ensure("x")
+	it.Value = []byte("regular")
+	it.IVV = vv.VV{1, 0}
+	if string(it.CurrentValue()) != "regular" {
+		t.Error("CurrentValue without aux should be regular")
+	}
+	if !it.CurrentIVV().Equal(vv.VV{1, 0}) {
+		t.Error("CurrentIVV without aux should be regular IVV")
+	}
+	it.Aux = &AuxCopy{Value: []byte("aux"), IVV: vv.VV{2, 0}}
+	if string(it.CurrentValue()) != "aux" {
+		t.Error("CurrentValue with aux should be aux value")
+	}
+	if !it.CurrentIVV().Equal(vv.VV{2, 0}) {
+		t.Error("CurrentIVV with aux should be aux IVV")
+	}
+}
+
+func TestAuxCount(t *testing.T) {
+	s := New(2)
+	s.Ensure("a")
+	b := s.Ensure("b")
+	if s.AuxCount() != 0 {
+		t.Error("AuxCount != 0 initially")
+	}
+	b.Aux = &AuxCopy{Value: nil, IVV: vv.New(2)}
+	if s.AuxCount() != 1 {
+		t.Errorf("AuxCount = %d, want 1", s.AuxCount())
+	}
+}
+
+func TestCloneBytes(t *testing.T) {
+	in := []byte("abc")
+	out := CloneBytes(in)
+	out[0] = 'Z'
+	if in[0] != 'a' {
+		t.Error("CloneBytes shares storage")
+	}
+	if got := CloneBytes(nil); got == nil || len(got) != 0 {
+		t.Errorf("CloneBytes(nil) = %v, want empty non-nil", got)
+	}
+}
+
+func TestDeltaValidAndPost(t *testing.T) {
+	d := &Delta{Pre: vv.VV{1, 0}, Origin: 1}
+	if !d.Post().Equal(vv.VV{1, 1}) {
+		t.Errorf("Post = %v", d.Post())
+	}
+	if !d.Valid(vv.VV{1, 1}) {
+		t.Error("valid delta rejected")
+	}
+	if d.Valid(vv.VV{1, 2}) || d.Valid(vv.VV{2, 1}) {
+		t.Error("invalid transition accepted")
+	}
+	var nilDelta *Delta
+	if nilDelta.Valid(vv.VV{0, 0}) {
+		t.Error("nil delta valid")
+	}
+}
+
+func TestChainValid(t *testing.T) {
+	chain := []Delta{
+		{Pre: vv.VV{0, 0}, Origin: 0}, // -> <1,0>
+		{Pre: vv.VV{1, 0}, Origin: 1}, // -> <1,1>
+		{Pre: vv.VV{1, 1}, Origin: 0}, // -> <2,1>
+	}
+	if !ChainValid(chain, vv.VV{2, 1}) {
+		t.Error("well-linked chain rejected")
+	}
+	if ChainValid(chain, vv.VV{2, 2}) {
+		t.Error("chain accepted with wrong end state")
+	}
+	if ChainValid(nil, vv.VV{0, 0}) {
+		t.Error("empty chain valid")
+	}
+	broken := []Delta{
+		{Pre: vv.VV{0, 0}, Origin: 0},
+		{Pre: vv.VV{5, 5}, Origin: 1}, // does not link
+	}
+	if ChainValid(broken, vv.VV{5, 6}) {
+		t.Error("broken link accepted")
+	}
+}
+
+func TestStoreGrow(t *testing.T) {
+	s := New(2)
+	s.Grow(4)
+	if s.Servers() != 4 {
+		t.Errorf("Servers = %d", s.Servers())
+	}
+	s.Grow(3) // shrink ignored
+	if s.Servers() != 4 {
+		t.Errorf("Servers after shrink attempt = %d", s.Servers())
+	}
+	it := s.Ensure("fresh")
+	if it.IVV.Len() != 4 {
+		t.Errorf("new item vector len = %d, want grown width", it.IVV.Len())
+	}
+}

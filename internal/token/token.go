@@ -1,0 +1,126 @@
+// Package token implements the pessimistic replica-control option the
+// paper's system model allows (§2): "there is a unique token associated
+// with every data item, and a replica is required to acquire a token before
+// performing any updates." Under token discipline, conflicting updates to
+// multiple replicas cannot occur, so the epidemic protocol's conflict
+// branch is never taken.
+//
+// The Manager models the token service: it tracks, per item, which server
+// currently holds the token. Acquisition succeeds when the token is free or
+// already held by the requester; it is denied while another server holds
+// it. The service itself is a single authority (in a real deployment it
+// would be a token-passing protocol or a lock service); the property the
+// experiments need — at most one writer per item at a time — is identical.
+package token
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NoHolder is the holder value of an unheld token.
+const NoHolder = -1
+
+// Manager tracks token ownership for every data item. Safe for concurrent
+// use.
+type Manager struct {
+	mu      sync.Mutex
+	holders map[string]int
+
+	acquired  uint64
+	denied    uint64
+	released  uint64
+	transfers uint64
+}
+
+// NewManager returns a manager with all tokens free.
+func NewManager() *Manager {
+	return &Manager{holders: make(map[string]int)}
+}
+
+// Acquire attempts to take the token for key on behalf of node. It returns
+// true when the token was free or already held by node.
+func (m *Manager) Acquire(node int, key string) bool {
+	if node < 0 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	holder, held := m.holders[key]
+	if held && holder != node {
+		m.denied++
+		return false
+	}
+	if !held {
+		m.transfers++
+	}
+	m.holders[key] = node
+	m.acquired++
+	return true
+}
+
+// Release frees the token for key if node holds it, returning whether a
+// release happened.
+func (m *Manager) Release(node int, key string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if holder, held := m.holders[key]; held && holder == node {
+		delete(m.holders, key)
+		m.released++
+		return true
+	}
+	return false
+}
+
+// Steal forcibly moves the token for key to node regardless of the current
+// holder — the administrative transfer real systems provide for failed
+// holders. It returns the previous holder (NoHolder if it was free).
+func (m *Manager) Steal(node int, key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev, held := m.holders[key]
+	m.holders[key] = node
+	m.transfers++
+	if !held {
+		return NoHolder
+	}
+	return prev
+}
+
+// Holder returns the node currently holding key's token, or NoHolder.
+func (m *Manager) Holder(key string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if holder, held := m.holders[key]; held {
+		return holder
+	}
+	return NoHolder
+}
+
+// Held returns the number of currently held tokens.
+func (m *Manager) Held() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.holders)
+}
+
+// Stats describes the manager's activity.
+type Stats struct {
+	Acquired  uint64
+	Denied    uint64
+	Released  uint64
+	Transfers uint64
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Acquired: m.acquired, Denied: m.denied, Released: m.released, Transfers: m.transfers}
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("tokens{acquired=%d denied=%d released=%d transfers=%d}",
+		s.Acquired, s.Denied, s.Released, s.Transfers)
+}

@@ -1,0 +1,175 @@
+package token
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/op"
+)
+
+func TestAcquireFreeToken(t *testing.T) {
+	m := NewManager()
+	if !m.Acquire(0, "x") {
+		t.Fatal("acquire of free token failed")
+	}
+	if m.Holder("x") != 0 {
+		t.Errorf("holder = %d", m.Holder("x"))
+	}
+	if m.Held() != 1 {
+		t.Errorf("held = %d", m.Held())
+	}
+}
+
+func TestAcquireHeldTokenDenied(t *testing.T) {
+	m := NewManager()
+	m.Acquire(0, "x")
+	if m.Acquire(1, "x") {
+		t.Fatal("second node acquired a held token")
+	}
+	if got := m.Stats().Denied; got != 1 {
+		t.Errorf("denied = %d", got)
+	}
+}
+
+func TestReacquireByHolder(t *testing.T) {
+	m := NewManager()
+	m.Acquire(0, "x")
+	if !m.Acquire(0, "x") {
+		t.Error("holder re-acquire failed")
+	}
+}
+
+func TestReleaseAndReacquire(t *testing.T) {
+	m := NewManager()
+	m.Acquire(0, "x")
+	if !m.Release(0, "x") {
+		t.Fatal("release by holder failed")
+	}
+	if m.Holder("x") != NoHolder {
+		t.Error("token still held after release")
+	}
+	if !m.Acquire(1, "x") {
+		t.Error("acquire after release failed")
+	}
+}
+
+func TestReleaseByNonHolder(t *testing.T) {
+	m := NewManager()
+	m.Acquire(0, "x")
+	if m.Release(1, "x") {
+		t.Error("non-holder released the token")
+	}
+	if m.Release(0, "ghost") {
+		t.Error("release of unheld key succeeded")
+	}
+}
+
+func TestSteal(t *testing.T) {
+	m := NewManager()
+	m.Acquire(0, "x")
+	if prev := m.Steal(2, "x"); prev != 0 {
+		t.Errorf("Steal returned prev %d, want 0", prev)
+	}
+	if m.Holder("x") != 2 {
+		t.Errorf("holder after steal = %d", m.Holder("x"))
+	}
+	if prev := m.Steal(1, "free"); prev != NoHolder {
+		t.Errorf("Steal of free token returned %d", prev)
+	}
+}
+
+func TestAcquireNegativeNode(t *testing.T) {
+	m := NewManager()
+	if m.Acquire(-1, "x") {
+		t.Error("negative node acquired a token")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	m := NewManager()
+	m.Acquire(0, "x")
+	m.Acquire(1, "x")
+	m.Release(0, "x")
+	want := "tokens{acquired=1 denied=1 released=1 transfers=1}"
+	if got := m.Stats().String(); got != want {
+		t.Errorf("Stats = %q, want %q", got, want)
+	}
+}
+
+func TestConcurrentAcquireExclusive(t *testing.T) {
+	m := NewManager()
+	const goroutines = 16
+	var wins int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			if m.Acquire(node, "contested") {
+				mu.Lock()
+				wins++
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if wins != 1 {
+		t.Fatalf("%d goroutines acquired the same token", wins)
+	}
+}
+
+// TestTokenDisciplinePreventsConflicts is the §2 pessimistic-mode property:
+// when every update first acquires the item's token, the epidemic protocol
+// never declares a conflict, no matter how updates and propagation
+// interleave.
+func TestTokenDisciplinePreventsConflicts(t *testing.T) {
+	const n, steps = 4, 400
+	m := NewManager()
+	replicas := make([]*core.Replica, n)
+	for i := range replicas {
+		replicas[i] = core.NewReplica(i, n)
+	}
+	rng := rand.New(rand.NewSource(11))
+	keys := []string{"a", "b", "c"}
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			node := rng.Intn(n)
+			key := keys[rng.Intn(len(keys))]
+			if m.Acquire(node, key) {
+				if err := replicas[node].Update(key, op.NewAppend([]byte{byte(step)})); err != nil {
+					t.Fatal(err)
+				}
+				// A holder may only release after its update has reached
+				// every replica; model that by holding until fully
+				// propagated below, or release immediately after a full
+				// broadcast.
+				for r := 0; r < n; r++ {
+					if r != node {
+						core.AntiEntropy(replicas[r], replicas[node])
+					}
+				}
+				m.Release(node, key)
+			}
+		default:
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				core.AntiEntropy(replicas[a], replicas[b])
+			}
+		}
+	}
+	for _, r := range replicas {
+		if cs := r.Conflicts(); len(cs) != 0 {
+			t.Fatalf("conflict under token discipline: %v", cs)
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, why := core.Converged(replicas...); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+}

@@ -1,0 +1,338 @@
+// Package transport runs the protocol's two exchanges — update propagation
+// and out-of-bound copying — over real TCP connections with gob encoding.
+//
+// The wire protocol mirrors §5 exactly:
+//
+//	propagation:  recipient --(DBVV)--> source --(Propagation | current)--> recipient
+//	out-of-bound: recipient --(key)---> source --(OOBReply)--------------> recipient
+//
+// A Server owns the source side of both exchanges for one replica; a Client
+// owns the recipient side. One request/response pair per connection keeps
+// the protocol trivially correct under concurrent sessions; the live
+// cluster (internal/cluster) layers scheduling on top.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/vv"
+)
+
+// Request is the recipient-to-source message opening an exchange.
+type Request struct {
+	// Kind selects the exchange type.
+	Kind Kind
+	// From is the requesting server's id (for conflict attribution).
+	From int
+	// DB names the target database on a multi-database server; empty
+	// addresses the server's default replica.
+	DB string
+	// DBVV is the recipient's database version vector (propagation only).
+	DBVV vv.VV
+	// Key is the requested item (out-of-bound only).
+	Key string
+	// Keys are the items needing full copies (second-round fetch only).
+	Keys []string
+}
+
+// Kind selects the exchange a Request opens.
+type Kind uint8
+
+// Exchange kinds.
+const (
+	// KindPropagation opens an update-propagation session (§5.1).
+	KindPropagation Kind = iota + 1
+	// KindOOB requests an out-of-bound copy of one item (§5.2).
+	KindOOB
+	// KindFetch requests full copies of named items — the second round of
+	// a delta-mode propagation session.
+	KindFetch
+)
+
+// Response is the source-to-recipient reply.
+type Response struct {
+	// Current is true when the recipient's DBVV dominates or equals the
+	// source's: the "you-are-current" message of Fig. 2.
+	Current bool
+	// Prop carries the tail vector and item set when Current is false.
+	Prop *core.Propagation
+	// OOB carries the out-of-bound reply for KindOOB requests.
+	OOB *core.OOBReply
+	// Items carries the full copies for KindFetch requests.
+	Items []core.ItemPayload
+	// Err carries a server-side error description, empty on success.
+	Err string
+}
+
+// Resolver maps database names to replicas — the surface a multi-database
+// host (internal/multidb) exposes to the transport.
+type Resolver interface {
+	Database(name string) *core.Replica
+}
+
+// Server serves propagation and out-of-bound requests for one replica, or
+// for many databases when a Resolver is attached.
+type Server struct {
+	replica  *core.Replica
+	resolver Resolver
+	ln       net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving the replica on the listener. It returns
+// immediately; connections are handled on background goroutines until
+// Close.
+func NewServer(replica *core.Replica, ln net.Listener) *Server {
+	s := &Server{replica: replica, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience: listen on addr (e.g. "127.0.0.1:0") and serve.
+func Listen(replica *core.Replica, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return NewServer(replica, ln), nil
+}
+
+// ListenMulti serves every database of a multi-database host: requests
+// carry a DB name which the resolver maps to a replica.
+func ListenMulti(resolver Resolver, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{resolver: resolver, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	replica := s.replica
+	if req.DB != "" {
+		if s.resolver == nil {
+			_ = enc.Encode(&Response{Err: "server hosts a single database"})
+			return
+		}
+		replica = s.resolver.Database(req.DB)
+	} else if replica == nil && s.resolver != nil {
+		_ = enc.Encode(&Response{Err: "request must name a database"})
+		return
+	}
+	if replica == nil {
+		_ = enc.Encode(&Response{Err: fmt.Sprintf("unknown database %q", req.DB)})
+		return
+	}
+	var resp Response
+	switch req.Kind {
+	case KindPropagation:
+		p := replica.BuildPropagation(req.DBVV)
+		if p == nil {
+			resp.Current = true
+		} else {
+			resp.Prop = p
+		}
+	case KindOOB:
+		reply := replica.ServeOOB(req.Key)
+		resp.OOB = &reply
+	case KindFetch:
+		resp.Items = replica.BuildItems(req.Keys)
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
+	}
+	_ = enc.Encode(&resp)
+}
+
+// PullSession fetches the propagation message from the server at addr for
+// a recipient whose DBVV is dbvv. A nil message means the recipient is
+// current. Lower-level than Pull: callers that must interpose on the apply
+// step (e.g. durable replicas logging the session) drive the rounds
+// themselves with this and FetchItems.
+func PullSession(addr string, from int, dbvv vv.VV) (*core.Propagation, error) {
+	return PullSessionDB(addr, "", from, dbvv)
+}
+
+// PullSessionDB is PullSession against a named database of a
+// multi-database server.
+func PullSessionDB(addr, db string, from int, dbvv vv.VV) (*core.Propagation, error) {
+	var resp Response
+	err := roundTrip(addr, Request{Kind: KindPropagation, DB: db, From: from, DBVV: dbvv}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.Current {
+		return nil, nil
+	}
+	if resp.Prop == nil {
+		return nil, errors.New("transport: malformed propagation response")
+	}
+	return resp.Prop, nil
+}
+
+// FetchItems fetches full copies of the named items from the server at addr
+// — the second round of a delta-mode session.
+func FetchItems(addr string, from int, keys []string) ([]core.ItemPayload, error) {
+	return FetchItemsDB(addr, "", from, keys)
+}
+
+// FetchItemsDB is FetchItems against a named database of a multi-database
+// server.
+func FetchItemsDB(addr, db string, from int, keys []string) ([]core.ItemPayload, error) {
+	var resp Response
+	if err := roundTrip(addr, Request{Kind: KindFetch, DB: db, From: from, Keys: keys}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	return resp.Items, nil
+}
+
+// Pull performs one update-propagation session: recipient pulls from the
+// server at addr. It returns true when data was shipped, false when the
+// recipient was already current.
+func Pull(recipient *core.Replica, addr string) (bool, error) {
+	var resp Response
+	err := roundTrip(addr, Request{
+		Kind: KindPropagation,
+		From: recipient.ID(),
+		DBVV: recipient.PropagationRequest(),
+	}, &resp)
+	if err != nil {
+		return false, err
+	}
+	if resp.Err != "" {
+		return false, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.Current {
+		return false, nil
+	}
+	if resp.Prop == nil {
+		return false, errors.New("transport: malformed propagation response")
+	}
+	need := recipient.ApplyPropagation(resp.Prop)
+	if len(need) == 0 {
+		return true, nil
+	}
+	// Delta-mode second round: fetch the full copies, re-probing a bounded
+	// number of times in case concurrent sessions moved items underneath.
+	have := make(map[string]bool)
+	var items []core.ItemPayload
+	for attempt := 0; attempt < 3 && len(need) > 0; attempt++ {
+		fetched, err := FetchItems(addr, recipient.ID(), need)
+		if err != nil {
+			return false, err
+		}
+		items = append(items, fetched...)
+		for _, it := range fetched {
+			have[it.Key] = true
+		}
+		need = need[:0]
+		for _, key := range recipient.NeedFull(resp.Prop) {
+			if !have[key] {
+				need = append(need, key)
+			}
+		}
+	}
+	recipient.ApplyPropagationWithItems(resp.Prop, items)
+	return true, nil
+}
+
+// RequestOOB fetches an out-of-bound reply for key from the server at addr
+// without applying it. Callers that must interpose on the apply step use
+// this; others use FetchOOB.
+func RequestOOB(addr string, from int, key string) (core.OOBReply, error) {
+	var resp Response
+	err := roundTrip(addr, Request{Kind: KindOOB, From: from, Key: key}, &resp)
+	if err != nil {
+		return core.OOBReply{}, err
+	}
+	if resp.Err != "" {
+		return core.OOBReply{}, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.OOB == nil {
+		return core.OOBReply{}, errors.New("transport: malformed OOB response")
+	}
+	return *resp.OOB, nil
+}
+
+// FetchOOB performs one out-of-bound copy of key from the server at addr,
+// returning whether a newer copy was adopted.
+func FetchOOB(recipient *core.Replica, addr, key string) (bool, error) {
+	reply, err := RequestOOB(addr, recipient.ID(), key)
+	if err != nil {
+		return false, err
+	}
+	// Source id is not authenticated on the wire; attribute to -1. The
+	// conflict report's source field is advisory only.
+	return recipient.ApplyOOB(reply, -1), nil
+}
+
+func roundTrip(addr string, req Request, resp *Response) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return fmt.Errorf("transport: send request: %w", err)
+	}
+	if err := gob.NewDecoder(conn).Decode(resp); err != nil {
+		return fmt.Errorf("transport: read response: %w", err)
+	}
+	return nil
+}

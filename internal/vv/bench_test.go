@@ -1,0 +1,57 @@
+package vv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchVectors(n int) (VV, VV) {
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		a[i] = uint64(i * 3)
+		b[i] = uint64(i * 3)
+	}
+	b[n-1]++ // dominated by one component
+	return a, b
+}
+
+// BenchmarkCompare measures the DBVV comparison — the O(1)-per-session
+// operation the whole protocol leans on. "O(1)" is in the number of data
+// items; the comparison itself is linear in the (small, fixed) server
+// count n.
+func BenchmarkCompare(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := benchVectors(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if x.Compare(y) != DominatedBy {
+					b.Fatal("unexpected relation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMerge measures the component-wise max applied after obtaining
+// missing updates (§3).
+func BenchmarkMerge(b *testing.B) {
+	for _, n := range []int{2, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x, y := benchVectors(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Merge(y)
+			}
+		})
+	}
+}
+
+// BenchmarkDelta measures the DBVV rule-3 arithmetic (per-item adoption).
+func BenchmarkDelta(b *testing.B) {
+	x, y := benchVectors(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Delta(y)
+	}
+}

@@ -1,0 +1,53 @@
+package vv
+
+import "testing"
+
+// FuzzCompareAlgebra checks the comparison lattice laws on arbitrary
+// vectors: antisymmetry, merge dominance, and consistency between Compare
+// and the derived predicates.
+func FuzzCompareAlgebra(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{255}, []byte{255})
+	f.Fuzz(func(t *testing.T, xs, ys []byte) {
+		a := make(VV, len(xs))
+		for i, x := range xs {
+			a[i] = uint64(x)
+		}
+		b := make(VV, len(ys))
+		for i, y := range ys {
+			b[i] = uint64(y)
+		}
+
+		ab, ba := a.Compare(b), b.Compare(a)
+		inverse := map[Relation]Relation{
+			Equal: Equal, Dominates: DominatedBy,
+			DominatedBy: Dominates, Concurrent: Concurrent,
+		}
+		if ba != inverse[ab] {
+			t.Fatalf("antisymmetry violated: %v vs %v -> %v/%v", a, b, ab, ba)
+		}
+		if (ab == Equal) != a.Equal(b) {
+			t.Fatal("Equal predicate disagrees with Compare")
+		}
+		if (ab == Dominates) != a.Dominates(b) {
+			t.Fatal("Dominates predicate disagrees with Compare")
+		}
+		if (ab == Concurrent) != a.Concurrent(b) {
+			t.Fatal("Concurrent predicate disagrees with Compare")
+		}
+
+		m := a.Merged(b)
+		if !m.DominatesOrEqual(a) || !m.DominatesOrEqual(b) {
+			t.Fatalf("merge not an upper bound: %v ∨ %v = %v", a, b, m)
+		}
+		if !m.Equal(b.Merged(a)) {
+			t.Fatal("merge not commutative")
+		}
+		// Delta accounting: sum(a) + total(a→m) == sum(m).
+		_, total := a.Delta(m)
+		if a.Sum()+total != m.Sum() {
+			t.Fatalf("delta accounting broken: %d + %d != %d", a.Sum(), total, m.Sum())
+		}
+	})
+}

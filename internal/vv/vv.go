@@ -1,0 +1,227 @@
+// Package vv implements version vectors as introduced by Parker et al. for
+// the LOCUS system and used throughout Rabinovich, Gehani & Kononov's
+// EDBT'96 protocol, both at data-item granularity (IVV) and at database
+// granularity (DBVV).
+//
+// A version vector for a database replicated across n servers is a vector of
+// n non-negative counters. Component j counts the updates originated by
+// server j that are reflected in the vector's owner. Vectors form a lattice
+// under component-wise maximum; comparison yields one of four relations
+// (equal, dominates, dominated-by, concurrent/conflicting).
+//
+// Node identifiers are dense integers 0..n-1, mirroring the paper's fixed
+// server set assumption (§2). Vectors are plain slices for speed; all
+// mutating methods are on the owner's copy, and callers must synchronize
+// concurrent access themselves.
+package vv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Relation is the outcome of comparing two version vectors.
+type Relation int8
+
+// The four possible relations between two version vectors (§3,
+// corollaries 1-4 of Theorem 3).
+const (
+	// Equal means both vectors are component-wise identical; the replicas
+	// they describe are identical.
+	Equal Relation = iota
+	// Dominates means the receiver is component-wise >= the argument and
+	// strictly greater in at least one component: the receiver's replica is
+	// newer.
+	Dominates
+	// DominatedBy is the inverse of Dominates: the receiver's replica is
+	// older.
+	DominatedBy
+	// Concurrent means each vector exceeds the other in some component; the
+	// replicas are inconsistent (in conflict).
+	Concurrent
+)
+
+// String returns a human-readable name for the relation.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case Dominates:
+		return "dominates"
+	case DominatedBy:
+		return "dominated-by"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Relation(%d)", int8(r))
+	}
+}
+
+// VV is a version vector. The zero value of length n (all counters zero) is
+// the initial vector of every replica.
+type VV []uint64
+
+// New returns a zeroed version vector for n servers.
+func New(n int) VV { return make(VV, n) }
+
+// Len returns the number of components (servers).
+func (v VV) Len() int { return len(v) }
+
+// Extended returns v padded with zero components to length n (v itself when
+// already long enough). Used when the server set grows: missing components
+// are implicitly zero, and Extended materializes them before indexing.
+func (v VV) Extended(n int) VV {
+	if len(v) >= n {
+		return v
+	}
+	nv := make(VV, n)
+	copy(nv, v)
+	return nv
+}
+
+// Clone returns an independent copy of v.
+func (v VV) Clone() VV {
+	if v == nil {
+		return nil
+	}
+	c := make(VV, len(v))
+	copy(c, v)
+	return c
+}
+
+// Inc increments the component owned by node i, recording one more update
+// originated there. It panics if i is out of range, which always indicates
+// a programming error rather than a runtime condition.
+func (v VV) Inc(i int) { v[i]++ }
+
+// Get returns component i, treating out-of-range components as zero so that
+// vectors of different (growing) lengths still compare sensibly.
+func (v VV) Get(i int) uint64 {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Compare classifies the relation between v and o. Missing components (when
+// lengths differ) are treated as zero.
+func (v VV) Compare(o VV) Relation {
+	var less, greater bool
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		a, b := v.Get(i), o.Get(i)
+		switch {
+		case a < b:
+			less = true
+		case a > b:
+			greater = true
+		}
+		if less && greater {
+			return Concurrent
+		}
+	}
+	switch {
+	case less:
+		return DominatedBy
+	case greater:
+		return Dominates
+	default:
+		return Equal
+	}
+}
+
+// Equal reports whether v and o are component-wise identical.
+func (v VV) Equal(o VV) bool { return v.Compare(o) == Equal }
+
+// Dominates reports whether v strictly dominates o: v >= o component-wise
+// with at least one strict inequality.
+func (v VV) Dominates(o VV) bool { return v.Compare(o) == Dominates }
+
+// DominatesOrEqual reports whether v >= o component-wise.
+func (v VV) DominatesOrEqual(o VV) bool {
+	r := v.Compare(o)
+	return r == Dominates || r == Equal
+}
+
+// Concurrent reports whether v and o are inconsistent: each has seen an
+// update the other has not (corollary 4).
+func (v VV) Concurrent(o VV) bool { return v.Compare(o) == Concurrent }
+
+// Merge sets v to the component-wise maximum of v and o, the rule a node
+// applies after obtaining missing updates (§3). The receiver must be at
+// least as long as o.
+func (v VV) Merge(o VV) {
+	for i, b := range o {
+		if b > v[i] {
+			v[i] = b
+		}
+	}
+}
+
+// Merged returns a new vector that is the component-wise maximum of v and o.
+func (v VV) Merged(o VV) VV {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	m := make(VV, n)
+	for i := range m {
+		a, b := v.Get(i), o.Get(i)
+		if a >= b {
+			m[i] = a
+		} else {
+			m[i] = b
+		}
+	}
+	return m
+}
+
+// Delta returns the component-wise difference o-v restricted to components
+// where o exceeds v, together with the total surplus. This is the quantity
+// used by DBVV maintenance rule 3 (§4.1): when node i adopts a copy of x
+// from j, its DBVV component l grows by v_j[l](x)-v_i[l](x).
+//
+// Components where v exceeds o contribute zero (the protocol only copies
+// from strictly newer replicas, so this arises only with concurrent vectors,
+// which callers detect separately).
+func (v VV) Delta(o VV) (per []uint64, total uint64) {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	per = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if b, a := o.Get(i), v.Get(i); b > a {
+			per[i] = b - a
+			total += b - a
+		}
+	}
+	return per, total
+}
+
+// Sum returns the total number of updates reflected in v across all origins.
+func (v VV) Sum() uint64 {
+	var s uint64
+	for _, c := range v {
+		s += c
+	}
+	return s
+}
+
+// String renders the vector as "<c0,c1,...>".
+func (v VV) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, c := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(c, 10))
+	}
+	b.WriteByte('>')
+	return b.String()
+}

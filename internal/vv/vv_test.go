@@ -1,0 +1,273 @@
+package vv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZero(t *testing.T) {
+	v := New(4)
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if v.Get(i) != 0 {
+			t.Errorf("component %d = %d, want 0", i, v.Get(i))
+		}
+	}
+	if v.Sum() != 0 {
+		t.Errorf("Sum = %d, want 0", v.Sum())
+	}
+}
+
+func TestIncAndGet(t *testing.T) {
+	v := New(3)
+	v.Inc(1)
+	v.Inc(1)
+	v.Inc(2)
+	if got := v.Get(0); got != 0 {
+		t.Errorf("Get(0) = %d, want 0", got)
+	}
+	if got := v.Get(1); got != 2 {
+		t.Errorf("Get(1) = %d, want 2", got)
+	}
+	if got := v.Get(2); got != 1 {
+		t.Errorf("Get(2) = %d, want 1", got)
+	}
+	if got := v.Sum(); got != 3 {
+		t.Errorf("Sum = %d, want 3", got)
+	}
+}
+
+func TestGetOutOfRangeIsZero(t *testing.T) {
+	v := VV{5, 6}
+	if v.Get(-1) != 0 || v.Get(2) != 0 || v.Get(100) != 0 {
+		t.Error("out-of-range Get should be 0")
+	}
+}
+
+func TestCompareRelations(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VV
+		want Relation
+	}{
+		{"both empty", VV{}, VV{}, Equal},
+		{"identical", VV{1, 2, 3}, VV{1, 2, 3}, Equal},
+		{"dominates one comp", VV{2, 2, 3}, VV{1, 2, 3}, Dominates},
+		{"dominates all comps", VV{5, 5, 5}, VV{1, 2, 3}, Dominates},
+		{"dominated by", VV{1, 2, 3}, VV{1, 2, 4}, DominatedBy},
+		{"concurrent", VV{2, 0}, VV{0, 2}, Concurrent},
+		{"concurrent partial", VV{1, 2, 3}, VV{3, 2, 1}, Concurrent},
+		{"shorter equals padded", VV{1, 2}, VV{1, 2, 0}, Equal},
+		{"shorter dominated", VV{1, 2}, VV{1, 2, 1}, DominatedBy},
+		{"longer dominates", VV{1, 2, 1}, VV{1, 2}, Dominates},
+		{"zero vs zero different len", New(2), New(5), Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("%v.Compare(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	inverse := map[Relation]Relation{
+		Equal:       Equal,
+		Dominates:   DominatedBy,
+		DominatedBy: Dominates,
+		Concurrent:  Concurrent,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(6)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			a[i] = uint64(rng.Intn(4))
+			b[i] = uint64(rng.Intn(4))
+		}
+		if got, want := b.Compare(a), inverse[a.Compare(b)]; got != want {
+			t.Fatalf("a=%v b=%v: b.Compare(a)=%v, want inverse %v", a, b, got, want)
+		}
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	a, b := VV{2, 1}, VV{1, 1}
+	if !a.Dominates(b) || a.Equal(b) || a.Concurrent(b) {
+		t.Error("a should strictly dominate b")
+	}
+	if !a.DominatesOrEqual(b) || !a.DominatesOrEqual(a) {
+		t.Error("DominatesOrEqual should hold for dominating and equal vectors")
+	}
+	if b.DominatesOrEqual(a) {
+		t.Error("b must not dominate-or-equal a")
+	}
+	c := VV{0, 5}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Error("a and c should be concurrent")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := VV{1, 5, 0}, VV{3, 2, 0}
+	a.Merge(b)
+	want := VV{3, 5, 0}
+	if !a.Equal(want) {
+		t.Errorf("Merge = %v, want %v", a, want)
+	}
+	// b unchanged.
+	if !b.Equal(VV{3, 2, 0}) {
+		t.Errorf("Merge mutated argument: %v", b)
+	}
+}
+
+func TestMergedUnequalLengths(t *testing.T) {
+	a, b := VV{1, 5}, VV{3, 2, 7}
+	m := a.Merged(b)
+	want := VV{3, 5, 7}
+	if !m.Equal(want) {
+		t.Errorf("Merged = %v, want %v", m, want)
+	}
+}
+
+func TestMergedDominatesBoth(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := make(VV, len(xs))
+		for i, x := range xs {
+			a[i] = uint64(x)
+		}
+		b := make(VV, len(ys))
+		for i, y := range ys {
+			b[i] = uint64(y)
+		}
+		m := a.Merged(b)
+		return m.DominatesOrEqual(a) && m.DominatesOrEqual(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeIdempotentCommutativeAssociative(t *testing.T) {
+	gen := func(xs []uint8) VV {
+		v := make(VV, len(xs))
+		for i, x := range xs {
+			v[i] = uint64(x)
+		}
+		return v
+	}
+	idem := func(xs []uint8) bool {
+		a := gen(xs)
+		return a.Merged(a).Equal(a)
+	}
+	comm := func(xs, ys []uint8) bool {
+		a, b := gen(xs), gen(ys)
+		return a.Merged(b).Equal(b.Merged(a))
+	}
+	assoc := func(xs, ys, zs []uint8) bool {
+		a, b, c := gen(xs), gen(ys), gen(zs)
+		return a.Merged(b).Merged(c).Equal(a.Merged(b.Merged(c)))
+	}
+	for name, f := range map[string]interface{}{"idempotent": idem, "commutative": comm, "associative": assoc} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	a, b := VV{1, 4, 2}, VV{3, 4, 1}
+	per, total := a.Delta(b)
+	if total != 2 {
+		t.Errorf("total = %d, want 2", total)
+	}
+	if per[0] != 2 || per[1] != 0 || per[2] != 0 {
+		t.Errorf("per = %v, want [2 0 0]", per)
+	}
+}
+
+func TestDeltaFromZero(t *testing.T) {
+	a, b := New(3), VV{3, 0, 4}
+	per, total := a.Delta(b)
+	if total != 7 || per[0] != 3 || per[2] != 4 {
+		t.Errorf("Delta = %v/%d, want [3 0 4]/7", per, total)
+	}
+}
+
+func TestDeltaMatchesSumAfterAdoption(t *testing.T) {
+	// If b dominates-or-equals a, then Sum(a)+total == Sum(b): exactly the
+	// DBVV accounting invariant of maintenance rule 3.
+	f := func(xs []uint8, bumps []uint8) bool {
+		a := make(VV, len(xs))
+		for i, x := range xs {
+			a[i] = uint64(x)
+		}
+		b := a.Clone()
+		for _, k := range bumps {
+			if len(b) == 0 {
+				break
+			}
+			b[int(k)%len(b)]++
+		}
+		_, total := a.Delta(b)
+		return a.Sum()+total == b.Sum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := VV{1, 2}
+	c := a.Clone()
+	c.Inc(0)
+	if a[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if got := VV(nil).Clone(); got != nil {
+		t.Errorf("nil Clone = %v, want nil", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (VV{1, 0, 25}).String(); got != "<1,0,25>" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (VV{}).String(); got != "<>" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Equal: "equal", Dominates: "dominates",
+		DominatedBy: "dominated-by", Concurrent: "concurrent",
+		Relation(9): "Relation(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestTheorem3Corollary1(t *testing.T) {
+	// Equal vectors <=> replicas reflect the same update sets. We model the
+	// update sets directly: apply identical multisets of origin-increments
+	// in different orders and require equality.
+	a, b := New(4), New(4)
+	order1 := []int{0, 1, 1, 3, 2}
+	order2 := []int{3, 1, 0, 2, 1}
+	for _, i := range order1 {
+		a.Inc(i)
+	}
+	for _, i := range order2 {
+		b.Inc(i)
+	}
+	if !a.Equal(b) {
+		t.Errorf("same multiset of updates must give equal vectors: %v vs %v", a, b)
+	}
+}

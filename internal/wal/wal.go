@@ -1,0 +1,289 @@
+// Package wal implements a segmented write-ahead log: the durability
+// substrate under internal/durable. Every state-mutating protocol action is
+// appended (length- and CRC-framed) before it is applied, so a crashed
+// replica recovers by replaying the log over its last snapshot.
+//
+// Layout: a directory of segment files named wal-00000001.log,
+// wal-00000002.log, ... Records never span segments. A torn or corrupt
+// record (partial write at crash) terminates replay of its segment; the log
+// is truncated there on open, which matches the usual
+// last-write-may-be-lost contract of crash-consistent logs.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+const (
+	segmentPrefix = "wal-"
+	segmentSuffix = ".log"
+	headerSize    = 8 // uint32 length + uint32 crc32
+)
+
+// Options configures a WAL.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the active one exceeds
+	// this size. Zero means 4 MiB.
+	SegmentBytes int64
+	// NoSync skips fsync after appends (faster, loses the usual durability
+	// guarantee; useful for tests and benchmarks).
+	NoSync bool
+}
+
+// WAL is a segmented append-only log. Not safe for concurrent use; the
+// owning replica serializes access.
+type WAL struct {
+	dir  string
+	opts Options
+
+	active     *os.File
+	activeSize int64
+	activeSeq  uint64
+	records    int
+}
+
+// ErrCorrupt reports a framing violation detected mid-segment during
+// replay. Open handles tail corruption by truncation; Replay surfaces
+// corruption that truncation already removed only if the caller re-corrupts
+// the files underneath an open WAL.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Open opens (or creates) the log in dir, verifies and truncates a torn
+// tail, and positions for appending.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	w := &WAL{dir: dir, opts: opts}
+
+	segs, err := w.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.rotate(1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	// Recover every segment: count records, truncate the last at the first
+	// torn record.
+	for i, seq := range segs {
+		path := w.segmentPath(seq)
+		valid, n, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		w.records += n
+		if i == len(segs)-1 {
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: reopen %s: %w", path, err)
+			}
+			w.active = f
+			w.activeSize = valid
+			w.activeSeq = seq
+		}
+	}
+	return w, nil
+}
+
+// segmentPath returns the file path of segment seq.
+func (w *WAL) segmentPath(seq uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%s%08d%s", segmentPrefix, seq, segmentSuffix))
+}
+
+// segments returns the existing segment sequence numbers in order.
+func (w *WAL) segments() ([]uint64, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: readdir: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name, segmentPrefix+"%08d"+segmentSuffix, &seq); err != nil {
+			continue // foreign file; ignore
+		}
+		segs = append(segs, seq)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// scanSegment walks a segment and returns the byte offset of the last valid
+// record end and the number of valid records.
+func scanSegment(path string) (valid int64, records int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var header [headerSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			return valid, records, nil // clean EOF or torn header: stop here
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > 1<<30 {
+			return valid, records, nil // absurd length: torn/corrupt
+		}
+		if cap(buf) < int(length) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return valid, records, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(buf) != sum {
+			return valid, records, nil // corrupt payload
+		}
+		valid += headerSize + int64(length)
+		records++
+	}
+}
+
+func (w *WAL) rotate(seq uint64) error {
+	if w.active != nil {
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+	}
+	f, err := os.OpenFile(w.segmentPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment %d: %w", seq, err)
+	}
+	w.active = f
+	w.activeSize = 0
+	w.activeSeq = seq
+	return nil
+}
+
+// Append writes one record and (unless NoSync) syncs it to stable storage.
+func (w *WAL) Append(payload []byte) error {
+	if w.active == nil {
+		return errors.New("wal: closed")
+	}
+	if w.activeSize >= w.opts.SegmentBytes {
+		if err := w.rotate(w.activeSeq + 1); err != nil {
+			return err
+		}
+	}
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.active.Write(header[:]); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	if _, err := w.active.Write(payload); err != nil {
+		return fmt.Errorf("wal: write payload: %w", err)
+	}
+	w.activeSize += headerSize + int64(len(payload))
+	w.records++
+	if !w.opts.NoSync {
+		if err := w.active.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replay calls fn for every valid record in order, across all segments.
+// Replay of an open WAL sees everything appended so far.
+func (w *WAL) Replay(fn func(payload []byte) error) error {
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	var header [headerSize]byte
+	for _, seq := range segs {
+		f, err := os.Open(w.segmentPath(seq))
+		if err != nil {
+			return fmt.Errorf("wal: open segment %d: %w", seq, err)
+		}
+		for {
+			if _, err := io.ReadFull(f, header[:]); err != nil {
+				break
+			}
+			length := binary.LittleEndian.Uint32(header[0:4])
+			sum := binary.LittleEndian.Uint32(header[4:8])
+			if length > 1<<30 {
+				break
+			}
+			buf := make([]byte, length)
+			if _, err := io.ReadFull(f, buf); err != nil {
+				break
+			}
+			if crc32.ChecksumIEEE(buf) != sum {
+				break
+			}
+			if err := fn(buf); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Records returns the number of valid records currently in the log.
+func (w *WAL) Records() int { return w.records }
+
+// Reset discards all segments and starts a fresh one — called after a
+// snapshot has captured the state the log protected.
+func (w *WAL) Reset() error {
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	if w.active != nil {
+		if err := w.active.Close(); err != nil {
+			return fmt.Errorf("wal: close active: %w", err)
+		}
+		w.active = nil
+	}
+	for _, seq := range segs {
+		if err := os.Remove(w.segmentPath(seq)); err != nil {
+			return fmt.Errorf("wal: remove segment %d: %w", seq, err)
+		}
+	}
+	w.records = 0
+	return w.rotate(1)
+}
+
+// Close syncs and closes the active segment.
+func (w *WAL) Close() error {
+	if w.active == nil {
+		return nil
+	}
+	var firstErr error
+	if !w.opts.NoSync {
+		firstErr = w.active.Sync()
+	}
+	if err := w.active.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	w.active = nil
+	return firstErr
+}

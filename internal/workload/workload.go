@@ -1,0 +1,194 @@
+// Package workload generates the synthetic update streams the experiments
+// run on. The paper's target regime (§2) is: the fraction of items updated
+// between consecutive propagations is small, and few items are copied
+// out-of-bound. The generators let experiments set both knobs directly:
+// uniform, Zipf-skewed and hotspot distributions over a fixed item space,
+// deterministic under a seed so every run is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution selects item indices in [0, n).
+type Distribution interface {
+	// Pick returns an item index in [0, n).
+	Pick(rng *rand.Rand, n int) int
+	// String names the distribution for experiment tables.
+	String() string
+}
+
+// Uniform selects every item with equal probability.
+type Uniform struct{}
+
+// Pick implements Distribution.
+func (Uniform) Pick(rng *rand.Rand, n int) int { return rng.Intn(n) }
+
+// String implements Distribution.
+func (Uniform) String() string { return "uniform" }
+
+// Zipf selects items with Zipfian skew: item 0 most popular. S > 1 controls
+// the skew (typical 1.07-1.5).
+type Zipf struct {
+	S float64
+	z *rand.Zipf
+	n int
+}
+
+// Pick implements Distribution.
+func (z *Zipf) Pick(rng *rand.Rand, n int) int {
+	if z.z == nil || z.n != n {
+		s := z.S
+		if s <= 1 {
+			s = 1.1
+		}
+		z.z = rand.NewZipf(rng, s, 1, uint64(n-1))
+		z.n = n
+	}
+	return int(z.z.Uint64())
+}
+
+// String implements Distribution.
+func (z *Zipf) String() string { return fmt.Sprintf("zipf(%.2f)", z.S) }
+
+// Hotspot sends HotProb of the updates to the first HotFraction of the item
+// space, the rest uniformly over the remainder.
+type Hotspot struct {
+	HotFraction float64 // e.g. 0.1: first 10% of items are hot
+	HotProb     float64 // e.g. 0.9: 90% of updates hit the hot set
+}
+
+// Pick implements Distribution.
+func (h Hotspot) Pick(rng *rand.Rand, n int) int {
+	hot := int(float64(n) * h.HotFraction)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= n {
+		return rng.Intn(n)
+	}
+	if rng.Float64() < h.HotProb {
+		return rng.Intn(hot)
+	}
+	return hot + rng.Intn(n-hot)
+}
+
+// String implements Distribution.
+func (h Hotspot) String() string {
+	return fmt.Sprintf("hotspot(%.0f%%/%.0f%%)", h.HotFraction*100, h.HotProb*100)
+}
+
+// Config describes a workload.
+type Config struct {
+	Items     int          // size of the item space N
+	ValueSize int          // bytes per generated value
+	Dist      Distribution // item selection; nil means Uniform
+	Seed      int64        // RNG seed; same seed, same stream
+}
+
+// Generator produces a deterministic stream of (key, value) updates.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	seq  uint64
+	dist Distribution
+}
+
+// New returns a generator for the given configuration. It panics on a
+// non-positive item count, which is always a programming error.
+func New(cfg Config) *Generator {
+	if cfg.Items <= 0 {
+		panic("workload: Items must be positive")
+	}
+	if cfg.ValueSize < 0 {
+		panic("workload: negative ValueSize")
+	}
+	dist := cfg.Dist
+	if dist == nil {
+		dist = Uniform{}
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), dist: dist}
+}
+
+// Items returns the size of the item space.
+func (g *Generator) Items() int { return g.cfg.Items }
+
+// Key returns the canonical key for item index i.
+func (g *Generator) Key(i int) string { return Key(i) }
+
+// Key returns the canonical key for item index i, shared across all
+// generators so different protocols see the same item space.
+func Key(i int) string { return fmt.Sprintf("item-%06d", i) }
+
+// Next returns the next update in the stream: a key chosen by the
+// distribution and a fresh deterministic value.
+func (g *Generator) Next() (string, []byte) {
+	idx := g.dist.Pick(g.rng, g.cfg.Items)
+	return Key(idx), g.Value()
+}
+
+// NextIndex returns the next item index in the stream without generating a
+// value.
+func (g *Generator) NextIndex() int { return g.dist.Pick(g.rng, g.cfg.Items) }
+
+// Value generates the next value payload: unique per call (a sequence
+// stamp) followed by pseudo-random filler to the configured size.
+func (g *Generator) Value() []byte {
+	g.seq++
+	buf := make([]byte, max(g.cfg.ValueSize, 8))
+	seq := g.seq
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seq >> (8 * i))
+	}
+	for i := 8; i < len(buf); i++ {
+		buf[i] = byte(g.rng.Intn(256))
+	}
+	return buf
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// OOBStream generates the out-of-bound request stream the paper's workload
+// assumptions mention (§2: "relatively few data items are copied
+// out-of-bound"). Each call to Next decides whether an out-of-bound copy
+// happens at all (with the configured rate) and, if so, of which item.
+type OOBStream struct {
+	rng  *rand.Rand
+	rate float64
+	dist Distribution
+	n    int
+}
+
+// NewOOBStream returns a stream requesting an out-of-bound copy with the
+// given probability per call, over n items with the given distribution
+// (nil means Uniform). Deterministic under the seed.
+func NewOOBStream(n int, rate float64, dist Distribution, seed int64) *OOBStream {
+	if n <= 0 {
+		panic("workload: OOB item space must be positive")
+	}
+	if dist == nil {
+		dist = Uniform{}
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return &OOBStream{rng: rand.New(rand.NewSource(seed)), rate: rate, dist: dist, n: n}
+}
+
+// Next reports whether an out-of-bound copy should happen now and of which
+// item.
+func (o *OOBStream) Next() (key string, ok bool) {
+	if o.rng.Float64() >= o.rate {
+		return "", false
+	}
+	return Key(o.dist.Pick(o.rng, o.n)), true
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	mk := func() *Generator {
+		return New(Config{Items: 100, ValueSize: 32, Dist: &Zipf{S: 1.2}, Seed: 7})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ka, va := a.Next()
+		kb, vb := b.Next()
+		if ka != kb || !bytes.Equal(va, vb) {
+			t.Fatalf("streams diverge at %d: %q vs %q", i, ka, kb)
+		}
+	}
+}
+
+func TestValuesUnique(t *testing.T) {
+	g := New(Config{Items: 10, ValueSize: 8, Seed: 1})
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		_, v := g.Next()
+		if seen[string(v)] {
+			t.Fatalf("duplicate value at update %d", i)
+		}
+		seen[string(v)] = true
+	}
+}
+
+func TestValueSizeRespected(t *testing.T) {
+	g := New(Config{Items: 10, ValueSize: 64, Seed: 1})
+	if _, v := g.Next(); len(v) != 64 {
+		t.Errorf("value size = %d, want 64", len(v))
+	}
+	small := New(Config{Items: 10, ValueSize: 2, Seed: 1})
+	if _, v := small.Next(); len(v) != 8 {
+		t.Errorf("minimum value size = %d, want 8 (sequence stamp)", len(v))
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	g := New(Config{Items: 5, Seed: 3})
+	valid := map[string]bool{}
+	for i := 0; i < 5; i++ {
+		valid[Key(i)] = true
+	}
+	for i := 0; i < 100; i++ {
+		k, _ := g.Next()
+		if !valid[k] {
+			t.Fatalf("key %q outside item space", k)
+		}
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	if Key(42) != "item-000042" {
+		t.Errorf("Key(42) = %q", Key(42))
+	}
+	g := New(Config{Items: 50, Seed: 0})
+	if g.Key(42) != Key(42) {
+		t.Error("generator Key differs from package Key")
+	}
+	if g.Items() != 50 {
+		t.Errorf("Items = %d", g.Items())
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	g := New(Config{Items: 10, Seed: 5})
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		k, _ := g.Next()
+		counts[k]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("uniform covered %d of 10 items", len(counts))
+	}
+	for k, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("uniform skew: %s hit %d times of 10000", k, c)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Config{Items: 1000, Dist: &Zipf{S: 1.5}, Seed: 5})
+	head := 0
+	for i := 0; i < 10000; i++ {
+		if g.NextIndex() < 10 {
+			head++
+		}
+	}
+	if head < 5000 {
+		t.Errorf("zipf(1.5): top-10 items got %d of 10000 hits, want majority", head)
+	}
+}
+
+func TestZipfDefaultExponent(t *testing.T) {
+	g := New(Config{Items: 100, Dist: &Zipf{}, Seed: 5}) // S <= 1 defaults
+	for i := 0; i < 100; i++ {
+		if idx := g.NextIndex(); idx < 0 || idx >= 100 {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	g := New(Config{Items: 1000, Dist: Hotspot{HotFraction: 0.1, HotProb: 0.9}, Seed: 5})
+	hot := 0
+	for i := 0; i < 10000; i++ {
+		if g.NextIndex() < 100 {
+			hot++
+		}
+	}
+	if hot < 8500 || hot > 9500 {
+		t.Errorf("hotspot: hot set got %d of 10000 hits, want ~9000", hot)
+	}
+}
+
+func TestHotspotDegenerate(t *testing.T) {
+	// Hot fraction covering everything must stay in range.
+	g := New(Config{Items: 3, Dist: Hotspot{HotFraction: 2.0, HotProb: 0.9}, Seed: 5})
+	for i := 0; i < 100; i++ {
+		if idx := g.NextIndex(); idx < 0 || idx >= 3 {
+			t.Fatalf("index %d out of range", idx)
+		}
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	cases := map[string]string{
+		Uniform{}.String():         "uniform",
+		(&Zipf{S: 1.25}).String():  "zipf(1.25)",
+		Hotspot{0.1, 0.9}.String(): "hotspot(10%/90%)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{{Items: 0}, {Items: 5, ValueSize: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestOOBStreamRate(t *testing.T) {
+	s := NewOOBStream(100, 0.25, nil, 3)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if _, ok := s.Next(); ok {
+			hits++
+		}
+	}
+	if hits < 2000 || hits > 3000 {
+		t.Errorf("hits = %d of 10000, want ~2500", hits)
+	}
+}
+
+func TestOOBStreamZeroAndFullRate(t *testing.T) {
+	never := NewOOBStream(10, 0, nil, 1)
+	for i := 0; i < 100; i++ {
+		if _, ok := never.Next(); ok {
+			t.Fatal("rate 0 produced a request")
+		}
+	}
+	always := NewOOBStream(10, 1, nil, 1)
+	for i := 0; i < 100; i++ {
+		key, ok := always.Next()
+		if !ok || key == "" {
+			t.Fatal("rate 1 skipped a request")
+		}
+	}
+	clamped := NewOOBStream(10, 7, nil, 1)
+	if _, ok := clamped.Next(); !ok {
+		t.Error("rate clamp broken")
+	}
+}
+
+func TestOOBStreamPanicsOnBadSpace(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for empty item space")
+		}
+	}()
+	NewOOBStream(0, 0.5, nil, 1)
+}

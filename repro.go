@@ -1,0 +1,119 @@
+// Package repro is an implementation of the epidemic update-propagation
+// protocol from Rabinovich, Gehani & Kononov, "Scalable Update Propagation
+// in Epidemic Replicated Databases" (EDBT 1996).
+//
+// The protocol replicates a database — a collection of named data items —
+// across n servers. User updates execute at a single replica;
+// asynchronously, anti-entropy sessions compare whole-database version
+// vectors (DBVVs) and ship exactly the items the recipient is missing:
+//
+//   - two identical database replicas are recognized in O(1), one vector
+//     comparison, regardless of the number of data items;
+//   - when propagation is needed its cost is O(m) in the number of items
+//     actually copied, never in the database size;
+//   - individual items can additionally be copied out-of-bound at any time
+//     (for urgent reads of hot data) without perturbing the propagation
+//     machinery, via parallel auxiliary copies.
+//
+// # Quick start
+//
+//	a := repro.NewReplica(0, 2) // server 0 of 2
+//	b := repro.NewReplica(1, 2)
+//	a.Update("greeting", repro.Set([]byte("hello")))
+//	repro.AntiEntropy(b, a)     // b pulls from a
+//	v, _ := b.Read("greeting")  // "hello"
+//
+// For replication over TCP see internal/cluster and cmd/epinode; for the
+// experiment harness reproducing the paper's performance claims see
+// EXPERIMENTS.md, cmd/epibench and the benchmarks in bench_test.go.
+//
+// This package is a thin facade; the implementation lives in
+// internal/core (protocol), internal/logvec (bounded log vector),
+// internal/auxlog (auxiliary log) and internal/vv (version vectors).
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// Core protocol types, re-exported.
+type (
+	// Replica is one server's replica of the database plus all protocol
+	// state. See core.Replica.
+	Replica = core.Replica
+	// Option configures a Replica at construction.
+	Option = core.Option
+	// Conflict describes a detected inconsistency between two copies of a
+	// data item.
+	Conflict = core.Conflict
+	// ConflictHandler is invoked when the protocol declares two copies
+	// inconsistent.
+	ConflictHandler = core.ConflictHandler
+	// Propagation is the update-propagation reply message (tail vector D
+	// and item set S of Fig. 2).
+	Propagation = core.Propagation
+	// OOBReply is the reply to an out-of-bound copy request.
+	OOBReply = core.OOBReply
+	// Snapshot is a deep copy of a replica's observable state.
+	Snapshot = core.Snapshot
+	// Op is a redo-able update operation applied to a data item's value.
+	Op = op.Op
+	// VV is a version vector: one update counter per server.
+	VV = vv.VV
+	// Counters accumulates protocol overhead for experiments.
+	Counters = metrics.Counters
+)
+
+// NewReplica returns the initial replica state for server id of n servers.
+func NewReplica(id, n int, opts ...Option) *Replica {
+	return core.NewReplica(id, n, opts...)
+}
+
+// WithConflictHandler installs a custom conflict handler.
+func WithConflictHandler(h ConflictHandler) Option {
+	return core.WithConflictHandler(h)
+}
+
+// WithDeltaPropagation enables the record-shipping propagation variant:
+// sessions ship the latest update as a small redo-able operation whenever
+// the recipient is exactly one update behind, falling back to whole-item
+// copies otherwise.
+func WithDeltaPropagation() Option { return core.WithDeltaPropagation() }
+
+// WithDeltaPropagationDepth enables record-shipping with a retained chain
+// of up to depth recent updates per item, raising the delta hit rate for
+// recipients several updates behind.
+func WithDeltaPropagationDepth(depth int) Option { return core.WithDeltaPropagationDepth(depth) }
+
+// AntiEntropy performs one update-propagation session: recipient pulls from
+// source. It returns true if data was shipped, false when the recipient was
+// already current (detected in constant time).
+func AntiEntropy(recipient, source *Replica) bool {
+	return core.AntiEntropy(recipient, source)
+}
+
+// Converged reports whether all replicas are identical, with the first
+// difference when they are not.
+func Converged(replicas ...*Replica) (bool, string) {
+	return core.Converged(replicas...)
+}
+
+// Grow raises a replica's server count to admit new servers; growth
+// spreads to other replicas epidemically on their next sessions. See
+// core.Replica.Grow.
+func Grow(r *Replica, n int) { r.Grow(n) }
+
+// Set returns an operation replacing an item's whole value.
+func Set(data []byte) Op { return op.NewSet(data) }
+
+// Append returns an operation appending data to an item's value.
+func Append(data []byte) Op { return op.NewAppend(data) }
+
+// WriteAt returns an operation overwriting a byte range of an item's value.
+func WriteAt(off int, data []byte) Op { return op.NewWriteAt(off, data) }
+
+// Delete returns an operation truncating an item's value to zero length.
+func Delete() Op { return op.NewDelete() }

@@ -1,0 +1,74 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickStart(t *testing.T) {
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2)
+	if err := a.Update("greeting", repro.Set([]byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	if !repro.AntiEntropy(b, a) {
+		t.Fatal("no data shipped")
+	}
+	v, ok := b.Read("greeting")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("b.greeting = %q/%v", v, ok)
+	}
+	if ok, why := repro.Converged(a, b); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+}
+
+func TestFacadeOps(t *testing.T) {
+	r := repro.NewReplica(0, 1)
+	steps := []repro.Op{
+		repro.Set([]byte("abc")),
+		repro.Append([]byte("def")),
+		repro.WriteAt(0, []byte("X")),
+	}
+	for _, o := range steps {
+		if err := r.Update("k", o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, _ := r.Read("k"); string(v) != "Xbcdef" {
+		t.Errorf("k = %q", v)
+	}
+	if err := r.Update("k", repro.Delete()); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Read("k"); len(v) != 0 {
+		t.Errorf("after delete: %q", v)
+	}
+}
+
+func TestFacadeConflictHandler(t *testing.T) {
+	var seen []repro.Conflict
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2, repro.WithConflictHandler(func(c repro.Conflict) {
+		seen = append(seen, c)
+	}))
+	a.Update("x", repro.Set([]byte("1")))
+	b.Update("x", repro.Set([]byte("2")))
+	repro.AntiEntropy(b, a)
+	if len(seen) != 1 || seen[0].Key != "x" {
+		t.Fatalf("conflicts = %+v", seen)
+	}
+}
+
+func TestFacadeOOB(t *testing.T) {
+	a := repro.NewReplica(0, 2)
+	b := repro.NewReplica(1, 2)
+	a.Update("hot", repro.Set([]byte("v")))
+	if !b.CopyOutOfBound("hot", a) {
+		t.Fatal("OOB copy failed")
+	}
+	if v, _ := b.Read("hot"); string(v) != "v" {
+		t.Errorf("hot = %q", v)
+	}
+}

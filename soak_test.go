@@ -1,0 +1,145 @@
+package repro_test
+
+// Soak test: a long randomized run mixing every feature at once — delta
+// propagation, out-of-bound streams, crashes, partitions (emulated through
+// schedule restriction), server-set growth mid-run — with invariants
+// checked throughout and full convergence demanded at the end. Bounded to
+// a few seconds; skipped under -short.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestSoakEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			soakTrial(t, int64(trial))
+		})
+	}
+}
+
+func soakTrial(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(3)
+	deltaMode := seed%2 == 0
+
+	mk := func(id, width int) *repro.Replica {
+		var opts []repro.Option
+		if deltaMode {
+			opts = append(opts, repro.WithDeltaPropagation())
+		}
+		return repro.NewReplica(id, width, opts...)
+	}
+	reps := make([]*repro.Replica, n)
+	for i := range reps {
+		reps[i] = mk(i, n)
+	}
+
+	const items = 12
+	oob := workload.NewOOBStream(items, 0.15, workload.Hotspot{HotFraction: 0.25, HotProb: 0.8}, seed)
+	down := make([]bool, n)
+	grew := false
+	// Ownership is pinned to the original width so the single-writer
+	// discipline survives mid-run growth (a newly admitted server only
+	// relays; it never takes over items).
+	owners := n
+
+	steps := 1500 + rng.Intn(1000)
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(20) {
+		case 0, 1, 2, 3, 4, 5: // single-writer update
+			item := rng.Intn(items)
+			owner := item % owners
+			if down[owner] {
+				continue
+			}
+			if err := reps[owner].Update(workload.Key(item),
+				repro.Append([]byte{byte(step), byte(item)})); err != nil {
+				t.Fatal(err)
+			}
+		case 6, 7, 8, 9, 10, 11, 12: // anti-entropy between live nodes
+			r, s := rng.Intn(len(reps)), rng.Intn(len(reps))
+			if r != s && !down[r] && !down[s] {
+				repro.AntiEntropy(reps[r], reps[s])
+			}
+		case 13, 14: // out-of-bound stream
+			if key, ok := oob.Next(); ok {
+				r, s := rng.Intn(len(reps)), rng.Intn(len(reps))
+				if r != s && !down[r] && !down[s] {
+					reps[r].CopyOutOfBound(key, reps[s])
+				}
+			}
+		case 15: // crash someone (keep a majority up)
+			liveCount := 0
+			for _, d := range down {
+				if !d {
+					liveCount++
+				}
+			}
+			if liveCount > 2 {
+				down[rng.Intn(len(reps))] = true
+			}
+		case 16: // mass recovery
+			for i := range down {
+				down[i] = false
+			}
+		case 17: // background intra-node sweep
+			r := rng.Intn(len(reps))
+			if !down[r] {
+				reps[r].RunIntraNodePropagation()
+			}
+		case 18: // grow the server set once, mid-run
+			if !grew {
+				grew = true
+				repro.Grow(reps[0], len(reps)+1)
+				reps = append(reps, mk(len(reps), len(reps)+1))
+				down = append(down, false)
+			}
+		case 19: // periodic invariant audit at a random node
+			r := rng.Intn(len(reps))
+			if err := reps[r].CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+	}
+
+	// Quiesce: everyone up, ring rounds until converged.
+	for i := range down {
+		down[i] = false
+	}
+	coreReps := make([]*core.Replica, len(reps))
+	copy(coreReps, reps)
+	for round := 0; round < 6*len(reps); round++ {
+		for i := range reps {
+			repro.AntiEntropy(reps[i], reps[(i+1)%len(reps)])
+			reps[i].RunIntraNodePropagation()
+		}
+		if ok, _ := core.Converged(coreReps...); ok {
+			break
+		}
+	}
+	if ok, why := repro.Converged(reps...); !ok {
+		t.Fatalf("seed %d: no convergence: %s", seed, why)
+	}
+	for _, r := range reps {
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d final: %v", seed, err)
+		}
+		if len(r.Conflicts()) != 0 {
+			t.Fatalf("seed %d: false conflicts: %v", seed, r.Conflicts())
+		}
+		if r.AuxRecords() != 0 {
+			t.Fatalf("seed %d: node %d left %d aux records", seed, r.ID(), r.AuxRecords())
+		}
+	}
+}
