@@ -1,0 +1,35 @@
+# Tier-1 gate for this repository: everything `make check` runs must stay
+# green. CI and contributors use the same entry points.
+
+GO ?= go
+
+.PHONY: check vet build test race test-all bench fuzz-wire
+
+## check: the documented tier-1 + race gate (vet, build, race on the
+## concurrent packages, then the full test suite).
+check: vet build race test-all
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+## race: the concurrency-heavy packages (TCP transport pool, live cluster)
+## under the race detector.
+race:
+	$(GO) test -race ./internal/transport/... ./internal/cluster/...
+
+test-all:
+	$(GO) test ./...
+
+## bench: transport hot-path benchmarks (E15) plus the experiment benches.
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchmem ./internal/transport
+
+## fuzz-wire: short fuzz pass over the wire codec decoders.
+fuzz-wire:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeVV -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodePropagation -fuzztime=10s ./internal/wire

@@ -105,8 +105,10 @@ func printStats(ns []*cluster.Node) {
 	for i, n := range ns {
 		r := n.Replica()
 		m := r.Metrics()
-		fmt.Printf("node %d: items=%d log-records=%d sessions=%d noops=%d bytes=%d\n",
-			i, r.Items(), r.LogRecords(), m.Propagations, m.PropagationNoops, m.BytesSent)
+		ps := n.PoolStats()
+		fmt.Printf("node %d: items=%d log-records=%d sessions=%d noops=%d est-bytes=%d wire-sent=%d wire-recv=%d dials=%d reused=%d\n",
+			i, r.Items(), r.LogRecords(), m.Propagations, m.PropagationNoops, m.BytesSent,
+			m.WireBytesSent, m.WireBytesRecv, ps.Dials, ps.Reused)
 		if err := r.CheckInvariants(); err != nil {
 			log.Fatalf("node %d invariants: %v", i, err)
 		}

@@ -40,6 +40,10 @@ type Config struct {
 	DataDir string
 	// DurableOptions tunes the durable layer when DataDir is set.
 	DurableOptions durable.Options
+	// Transport tunes the node's pooled transport client. The zero value
+	// uses the pooled framed-binary codec with default pool limits; set
+	// DialPerRequest to exercise the legacy gob-per-dial path.
+	Transport transport.Options
 }
 
 // Node is one live server: a replica, its TCP server and its anti-entropy
@@ -49,6 +53,7 @@ type Node struct {
 	replica *core.Replica
 	dur     *durable.Replica // non-nil when DataDir is set
 	server  *transport.Server
+	client  *transport.Client // pooled: sessions reuse warm peer connections
 
 	mu    sync.Mutex
 	peers []string
@@ -72,16 +77,18 @@ func Start(cfg Config) (*Node, error) {
 		seed = int64(cfg.ID + 1)
 	}
 	n := &Node{
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
-		rng:  rand.New(rand.NewSource(seed)),
+		cfg:    cfg,
+		client: transport.NewClient(cfg.Transport),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 	if cfg.DataDir != "" {
 		d, err := durable.Open(cfg.DataDir, cfg.ID, cfg.Servers, cfg.DurableOptions)
 		if err != nil {
 			return nil, err
 		}
+		d.SetClient(n.client)
 		n.dur = d
 		n.replica = d.Core()
 	} else {
@@ -136,11 +143,14 @@ func (n *Node) PullOnce() (string, error) {
 }
 
 // PullFrom performs one anti-entropy session against a specific address.
+// Sessions go through the node's pooled client, so repeat pulls from the
+// same peer ride one warm framed connection, and concurrent sessions to
+// distinct peers proceed in parallel over their own connections.
 func (n *Node) PullFrom(addr string) (bool, error) {
 	if n.dur != nil {
 		return n.dur.PullFrom(addr)
 	}
-	return transport.Pull(n.replica, addr)
+	return n.client.Pull(n.replica, addr)
 }
 
 // FetchOOB copies one item out-of-bound from a specific peer.
@@ -148,14 +158,18 @@ func (n *Node) FetchOOB(addr, key string) (bool, error) {
 	if n.dur != nil {
 		return n.dur.FetchOOB(addr, key)
 	}
-	return transport.FetchOOB(n.replica, addr, key)
+	return n.client.FetchOOB(n.replica, addr, key)
 }
 
-// Close stops the anti-entropy loop and the server, snapshotting durable
-// state.
+// PoolStats returns the node's transport connection-pool counters.
+func (n *Node) PoolStats() transport.PoolStats { return n.client.PoolStats() }
+
+// Close stops the anti-entropy loop, the pooled client and the server,
+// snapshotting durable state.
 func (n *Node) Close() error {
 	close(n.stop)
 	<-n.done
+	n.client.Close()
 	err := n.server.Close()
 	if n.dur != nil {
 		if derr := n.dur.Close(); derr != nil && err == nil {

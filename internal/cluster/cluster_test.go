@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -129,4 +131,50 @@ func TestSurvivesDeadPeer(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("survivors did not converge with a dead peer present")
+}
+
+func TestConcurrentSessionsOverPooledTransport(t *testing.T) {
+	// >= 8 nodes pull concurrently through their pooled clients while the
+	// source keeps taking writes: exercises the pool under -race and
+	// proves sessions to distinct peers share warm connections.
+	const n = 9
+	nodes, err := StartCluster(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseAll(nodes)
+	for i := 0; i < 40; i++ {
+		if err := nodes[0].Update(fmt.Sprintf("k%d", i), op.NewSet([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n-1)
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(node *Node) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := node.PullFrom(nodes[0].Addr()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(nodes[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ok, why := Converged(nodes); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	var reused uint64
+	for i := 1; i < n; i++ {
+		reused += nodes[i].PoolStats().Reused
+	}
+	if reused == 0 {
+		t.Error("no connection reuse across 160 sessions")
+	}
 }

@@ -256,6 +256,20 @@ func (r *Replica) Metrics() metrics.Counters {
 	return r.met
 }
 
+// AddWireStats charges measured transport traffic to the replica's
+// counters: actual bytes that crossed a socket (metered by the TCP
+// transport's counting reader/writer wrappers) plus connection dial/reuse
+// outcomes. Unlike BytesSent, which is a protocol-shape estimate, these
+// report ground truth for TCP deployments; see metrics.Counters.
+func (r *Replica) AddWireStats(sent, recv, dials, reused uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.met.WireBytesSent += sent
+	r.met.WireBytesRecv += recv
+	r.met.Dials += dials
+	r.met.ConnsReused += reused
+}
+
 // ResetMetrics zeroes the replica's overhead counters.
 func (r *Replica) ResetMetrics() {
 	r.mu.Lock()

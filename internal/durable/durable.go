@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/op"
+	"repro/internal/transport"
 	"repro/internal/wal"
 )
 
@@ -66,6 +67,8 @@ type Replica struct {
 	replica *core.Replica
 	log     *wal.WAL
 	since   int // logged actions since last snapshot
+
+	client *transport.Client // nil: use transport.DefaultClient (see net.go)
 }
 
 // Open creates or recovers the durable replica in dir for server id of n.

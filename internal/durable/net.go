@@ -5,12 +5,30 @@ import (
 	"repro/internal/transport"
 )
 
+// SetClient routes the replica's network sessions through a specific
+// transport client (e.g. a cluster node's pooled client, so warm
+// connections and metering are shared with the node). The default is the
+// package-wide transport.DefaultClient. Not safe to call concurrently with
+// in-flight sessions.
+func (d *Replica) SetClient(c *transport.Client) { d.client = c }
+
+// transportClient returns the client to run sessions through.
+func (d *Replica) transportClient() *transport.Client {
+	if d.client != nil {
+		return d.client
+	}
+	return transport.DefaultClient
+}
+
 // PullFrom durably performs one anti-entropy session against the replica
 // server at addr: the propagation message (and any second-round full
 // copies) is written to the WAL before it is applied, so a crash between
 // receive and apply replays it on recovery. Returns whether data shipped.
+// Sessions run over the pooled framed transport; measured wire bytes are
+// charged to the underlying replica's counters.
 func (d *Replica) PullFrom(addr string) (bool, error) {
-	p, err := transport.PullSession(addr, d.replica.ID(), d.replica.PropagationRequest())
+	c := d.transportClient()
+	p, err := c.PullSessionMetered(d.replica, addr, "", d.replica.ID(), d.replica.PropagationRequest())
 	if err != nil {
 		return false, err
 	}
@@ -19,7 +37,7 @@ func (d *Replica) PullFrom(addr string) (bool, error) {
 	}
 	var items []core.ItemPayload
 	if need := d.replica.NeedFull(p); len(need) > 0 {
-		items, err = transport.FetchItems(addr, d.replica.ID(), need)
+		items, err = c.FetchItemsMetered(d.replica, addr, "", d.replica.ID(), need)
 		if err != nil {
 			return false, err
 		}
@@ -29,7 +47,7 @@ func (d *Replica) PullFrom(addr string) (bool, error) {
 
 // FetchOOB durably copies one item out-of-bound from the server at addr.
 func (d *Replica) FetchOOB(addr, key string) (bool, error) {
-	reply, err := transport.RequestOOB(addr, d.replica.ID(), key)
+	reply, err := d.transportClient().RequestOOB(addr, d.replica.ID(), key)
 	if err != nil {
 		return false, err
 	}

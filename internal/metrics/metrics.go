@@ -39,9 +39,25 @@ type Counters struct {
 	LogRecordsSent    uint64 // regular log records shipped
 	LogRecordsApplied uint64 // records appended to the recipient's log vector
 
-	// Message traffic.
+	// Message traffic. BytesSent is a protocol-shape *estimate* computed
+	// from message contents (key lengths, vector widths, fixed headers) —
+	// the only accounting available to the in-memory simulator, and the
+	// figure the paper's §6 cost model predicts. The TCP transport
+	// additionally meters *actual* socket traffic with counting
+	// reader/writer wrappers into the WireBytes* counters below; over TCP
+	// those are the ground truth and BytesSent remains the model's view,
+	// so the two can be compared to validate the estimate.
 	Messages  uint64 // protocol messages of any kind
 	BytesSent uint64 // estimated wire bytes across all messages
+
+	// Measured transport traffic (TCP paths only; zero in the simulator).
+	// Recorded by internal/transport: servers charge each connection's
+	// metered bytes to the replica that served it, clients charge pulls
+	// to the recipient replica.
+	WireBytesSent uint64 // bytes actually written to sockets
+	WireBytesRecv uint64 // bytes actually read from sockets
+	Dials         uint64 // TCP connections established on the client side
+	ConnsReused   uint64 // exchanges served on warm pooled connections (dials avoided)
 
 	// Session outcomes.
 	Propagations     uint64 // anti-entropy sessions attempted
@@ -78,6 +94,10 @@ func (c *Counters) Add(o *Counters) {
 	c.LogRecordsApplied += o.LogRecordsApplied
 	c.Messages += o.Messages
 	c.BytesSent += o.BytesSent
+	c.WireBytesSent += o.WireBytesSent
+	c.WireBytesRecv += o.WireBytesRecv
+	c.Dials += o.Dials
+	c.ConnsReused += o.ConnsReused
 	c.Propagations += o.Propagations
 	c.PropagationNoops += o.PropagationNoops
 	c.ConflictsDetected += o.ConflictsDetected
@@ -109,6 +129,10 @@ func (c Counters) Diff(base Counters) Counters {
 	d.LogRecordsApplied -= base.LogRecordsApplied
 	d.Messages -= base.Messages
 	d.BytesSent -= base.BytesSent
+	d.WireBytesSent -= base.WireBytesSent
+	d.WireBytesRecv -= base.WireBytesRecv
+	d.Dials -= base.Dials
+	d.ConnsReused -= base.ConnsReused
 	d.Propagations -= base.Propagations
 	d.PropagationNoops -= base.PropagationNoops
 	d.ConflictsDetected -= base.ConflictsDetected
@@ -152,6 +176,10 @@ func (c Counters) String() string {
 		{"log-recs-applied", c.LogRecordsApplied},
 		{"messages", c.Messages},
 		{"bytes", c.BytesSent},
+		{"wire-sent", c.WireBytesSent},
+		{"wire-recv", c.WireBytesRecv},
+		{"dials", c.Dials},
+		{"conns-reused", c.ConnsReused},
 		{"propagations", c.Propagations},
 		{"noops", c.PropagationNoops},
 		{"conflicts", c.ConflictsDetected},

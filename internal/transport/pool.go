@@ -1,0 +1,494 @@
+package transport
+
+// Connection pooling: the recipient side of the protocol keeps persistent
+// framed connections per peer address and reuses them across anti-entropy
+// sessions, so the common O(1) "you-are-current" exchange costs one small
+// request frame and one small response frame instead of a TCP dial plus
+// gob type descriptors. Concurrency is by connection checkout — each
+// in-flight exchange owns one connection; concurrent sessions to the same
+// peer each get their own (pooled or freshly dialed) connection.
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vv"
+	"repro/internal/wire"
+)
+
+// PoolOptions tunes a connection pool. The zero value selects sensible
+// defaults.
+type PoolOptions struct {
+	// MaxIdlePerHost bounds the idle connections retained per peer
+	// address. Default 4.
+	MaxIdlePerHost int
+	// IdleTimeout discards pooled connections idle longer than this on
+	// their next checkout. Default 60s.
+	IdleTimeout time.Duration
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.MaxIdlePerHost <= 0 {
+		o.MaxIdlePerHost = 4
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// PoolStats is a snapshot of a pool's lifetime counters.
+type PoolStats struct {
+	// Dials counts TCP connections established.
+	Dials uint64
+	// Reused counts exchanges served on an already-warm pooled connection
+	// — each one a dial (and a codec preamble) avoided.
+	Reused uint64
+	// Retired counts pooled connections discarded as idle-expired,
+	// unhealthy, or surplus.
+	Retired uint64
+}
+
+// Pool maintains persistent framed connections to peer servers.
+type Pool struct {
+	opts PoolOptions
+
+	mu     sync.Mutex
+	hosts  map[string][]*poolConn
+	closed bool
+
+	dials   atomic.Uint64
+	reused  atomic.Uint64
+	retired atomic.Uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool(opts PoolOptions) *Pool {
+	return &Pool{opts: opts.withDefaults(), hosts: make(map[string][]*poolConn)}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Dials: p.dials.Load(), Reused: p.reused.Load(), Retired: p.retired.Load()}
+}
+
+// Close discards all idle connections. Connections checked out by in-flight
+// exchanges are closed by their owners; subsequent checkouts dial fresh.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	hosts := p.hosts
+	p.hosts = make(map[string][]*poolConn)
+	p.closed = true
+	p.mu.Unlock()
+	for _, list := range hosts {
+		for _, pc := range list {
+			pc.conn.Close()
+		}
+	}
+}
+
+// poolConn is one persistent framed connection, owned by exactly one
+// exchange at a time (checkout via get, return via put).
+type poolConn struct {
+	conn     net.Conn
+	cr       countingReader
+	cw       countingWriter
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	lastUsed time.Time
+	frameBuf []byte // receive scratch, retained across exchanges
+}
+
+// dial establishes a fresh framed connection: TCP connect plus the codec
+// preamble.
+func (p *Pool) dial(addr string) (*poolConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, p.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	pc := &poolConn{conn: conn}
+	pc.cr.r = conn
+	pc.cw.w = conn
+	pc.br = bufio.NewReader(&pc.cr)
+	pc.bw = bufio.NewWriter(&pc.cw)
+	if err := wire.WritePreamble(pc.bw); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: preamble %s: %w", addr, err)
+	}
+	p.dials.Add(1)
+	return pc, nil
+}
+
+// get checks out a healthy pooled connection to addr, dialing when none is
+// available. The second result reports whether the connection was reused.
+func (p *Pool) get(addr string) (*poolConn, bool, error) {
+	now := time.Now()
+	p.mu.Lock()
+	for {
+		list := p.hosts[addr]
+		if len(list) == 0 {
+			break
+		}
+		pc := list[len(list)-1]
+		p.hosts[addr] = list[:len(list)-1]
+		if now.Sub(pc.lastUsed) > p.opts.IdleTimeout {
+			pc.conn.Close()
+			p.retired.Add(1)
+			continue
+		}
+		p.mu.Unlock()
+		if pc.healthy() {
+			p.reused.Add(1)
+			return pc, true, nil
+		}
+		pc.conn.Close()
+		p.retired.Add(1)
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+	pc, err := p.dial(addr)
+	return pc, false, err
+}
+
+// put returns a connection to the pool after a clean exchange.
+func (p *Pool) put(addr string, pc *poolConn) {
+	pc.lastUsed = time.Now()
+	p.mu.Lock()
+	if p.closed || len(p.hosts[addr]) >= p.opts.MaxIdlePerHost {
+		p.mu.Unlock()
+		pc.conn.Close()
+		p.retired.Add(1)
+		return
+	}
+	p.hosts[addr] = append(p.hosts[addr], pc)
+	p.mu.Unlock()
+}
+
+// healthy probes a pooled connection for remote close or protocol garbage
+// before reuse: a zero-deadline read must time out (no data, still open).
+func (pc *poolConn) healthy() bool {
+	if pc.br.Buffered() > 0 {
+		return false // stray unsolicited bytes
+	}
+	if err := pc.conn.SetReadDeadline(time.Unix(1, 0)); err != nil {
+		return false
+	}
+	var b [1]byte
+	n, err := pc.conn.Read(b[:])
+	if resetErr := pc.conn.SetReadDeadline(time.Time{}); resetErr != nil {
+		return false
+	}
+	if n > 0 {
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// exchange runs one framed request/response on the connection.
+func (pc *poolConn) exchange(req *Request, resp *Response) error {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	*buf = wire.AppendRequest((*buf)[:0], req)
+	if err := wire.WriteFrame(pc.bw, wire.FrameRequest, *buf); err != nil {
+		return fmt.Errorf("transport: send request: %w", err)
+	}
+	if err := pc.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: send request: %w", err)
+	}
+	payload, err := wire.ReadFrame(pc.br, wire.FrameResponse, pc.frameBuf)
+	if err != nil {
+		return fmt.Errorf("transport: read response: %w", err)
+	}
+	pc.frameBuf = payload
+	if err := wire.DecodeResponse(payload, resp); err != nil {
+		return fmt.Errorf("transport: read response: %w", err)
+	}
+	return nil
+}
+
+// tripStats reports the measured cost of one exchange.
+type tripStats struct {
+	sent, recv uint64
+	dialed     bool
+	reused     bool
+}
+
+// roundTrip runs one pooled framed exchange against addr, retrying once on
+// a fresh dial when a reused connection turns out stale (the server may
+// have closed it between health check and use; requests are idempotent
+// reads, so the retry is safe).
+func (p *Pool) roundTrip(addr string, req *Request, resp *Response) (tripStats, error) {
+	var st tripStats
+	pc, reused, err := p.get(addr)
+	if err != nil {
+		return st, err
+	}
+	for {
+		st.dialed = st.dialed || !reused
+		st.reused = st.reused || reused
+		sent0, recv0 := pc.cw.n, pc.cr.n
+		err = pc.exchange(req, resp)
+		st.sent += pc.cw.n - sent0
+		st.recv += pc.cr.n - recv0
+		if err == nil {
+			p.put(addr, pc)
+			return st, nil
+		}
+		pc.conn.Close()
+		if !reused {
+			return st, err
+		}
+		// Stale pooled connection: bypass the pool for the retry so another
+		// stale entry cannot fail us again.
+		reused = false
+		pc, err = p.dial(addr)
+		if err != nil {
+			return st, err
+		}
+	}
+}
+
+// Options configures a Client.
+type Options struct {
+	// DialPerRequest bypasses the pool and the binary codec: every
+	// exchange dials a fresh connection and speaks one-shot gob, exactly
+	// the seed transport. For tests and benchmarks of the legacy path.
+	DialPerRequest bool
+	// Pool tunes the connection pool (ignored under DialPerRequest).
+	Pool PoolOptions
+}
+
+// Client is the recipient side of the protocol: it runs exchanges against
+// peer servers over pooled persistent connections (or legacy one-shot gob
+// when configured). Methods are safe for concurrent use.
+type Client struct {
+	opts Options
+	pool *Pool
+}
+
+// NewClient returns a client with its own connection pool.
+func NewClient(opts Options) *Client {
+	return &Client{opts: opts, pool: NewPool(opts.Pool)}
+}
+
+// DefaultClient serves the package-level convenience functions (Pull,
+// PullSession, ...). Long-lived components that want isolated pools and
+// explicit shutdown (internal/cluster nodes) create their own.
+var DefaultClient = NewClient(Options{})
+
+// Close discards the client's idle pooled connections.
+func (c *Client) Close() { c.pool.Close() }
+
+// PoolStats returns a snapshot of the client's pool counters.
+func (c *Client) PoolStats() PoolStats { return c.pool.Stats() }
+
+// roundTrip runs one exchange, via the pool or per-request gob.
+func (c *Client) roundTrip(addr string, req *Request, resp *Response) (tripStats, error) {
+	if c.opts.DialPerRequest {
+		return gobRoundTrip(addr, req, resp)
+	}
+	return c.pool.roundTrip(addr, req, resp)
+}
+
+// gobRoundTrip is the seed transport verbatim: dial, one gob exchange,
+// close — kept for backward-compat tests and as the benchmark baseline.
+func gobRoundTrip(addr string, req *Request, resp *Response) (st tripStats, err error) {
+	st.dialed = true
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return st, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	cr := &countingReader{r: conn}
+	cw := &countingWriter{w: conn}
+	defer func() {
+		st.sent, st.recv = cw.n, cr.n
+	}()
+	if err := gob.NewEncoder(cw).Encode(req); err != nil {
+		return st, fmt.Errorf("transport: send request: %w", err)
+	}
+	if err := gob.NewDecoder(cr).Decode(resp); err != nil {
+		return st, fmt.Errorf("transport: read response: %w", err)
+	}
+	return st, nil
+}
+
+// do runs one exchange and charges its measured cost to the replica's
+// counters (skipped when the caller has no replica in hand).
+func (c *Client) do(r *core.Replica, addr string, req *Request, resp *Response) error {
+	st, err := c.roundTrip(addr, req, resp)
+	if r != nil {
+		var dials, reuses uint64
+		if st.dialed {
+			dials = 1
+		}
+		if st.reused {
+			reuses = 1
+		}
+		r.AddWireStats(st.sent, st.recv, dials, reuses)
+	}
+	return err
+}
+
+// PullSession fetches the propagation message from the server at addr for
+// a recipient whose DBVV is dbvv. A nil message means the recipient is
+// current.
+func (c *Client) PullSession(addr string, from int, dbvv vv.VV) (*core.Propagation, error) {
+	return c.PullSessionDB(addr, "", from, dbvv)
+}
+
+// PullSessionDB is PullSession against a named database of a
+// multi-database server.
+func (c *Client) PullSessionDB(addr, db string, from int, dbvv vv.VV) (*core.Propagation, error) {
+	return c.PullSessionMetered(nil, addr, db, from, dbvv)
+}
+
+// PullSessionMetered is PullSessionDB with the exchange's measured wire
+// cost charged to r's counters (skipped when r is nil). Callers that drive
+// sessions themselves (durable replicas) use it to keep byte accounting.
+func (c *Client) PullSessionMetered(r *core.Replica, addr, db string, from int, dbvv vv.VV) (*core.Propagation, error) {
+	var resp Response
+	err := c.do(r, addr, &Request{Kind: KindPropagation, DB: db, From: from, DBVV: dbvv}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.Current {
+		return nil, nil
+	}
+	if resp.Prop == nil {
+		return nil, errors.New("transport: malformed propagation response")
+	}
+	return resp.Prop, nil
+}
+
+// FetchItems fetches full copies of the named items from the server at
+// addr — the second round of a delta-mode session.
+func (c *Client) FetchItems(addr string, from int, keys []string) ([]core.ItemPayload, error) {
+	return c.FetchItemsDB(addr, "", from, keys)
+}
+
+// FetchItemsDB is FetchItems against a named database of a multi-database
+// server.
+func (c *Client) FetchItemsDB(addr, db string, from int, keys []string) ([]core.ItemPayload, error) {
+	return c.FetchItemsMetered(nil, addr, db, from, keys)
+}
+
+// FetchItemsMetered is FetchItemsDB with the exchange's measured wire cost
+// charged to r's counters (skipped when r is nil).
+func (c *Client) FetchItemsMetered(r *core.Replica, addr, db string, from int, keys []string) ([]core.ItemPayload, error) {
+	var resp Response
+	if err := c.do(r, addr, &Request{Kind: KindFetch, DB: db, From: from, Keys: keys}, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	return resp.Items, nil
+}
+
+// Pull performs one update-propagation session: recipient pulls from the
+// server at addr. It returns true when data was shipped, false when the
+// recipient was already current. Measured wire bytes and connection-reuse
+// outcomes are charged to the recipient's counters.
+func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
+	var resp Response
+	err := c.do(recipient, addr, &Request{
+		Kind: KindPropagation,
+		From: recipient.ID(),
+		DBVV: recipient.PropagationRequest(),
+	}, &resp)
+	if err != nil {
+		return false, err
+	}
+	if resp.Err != "" {
+		return false, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.Current {
+		return false, nil
+	}
+	if resp.Prop == nil {
+		return false, errors.New("transport: malformed propagation response")
+	}
+	need := recipient.ApplyPropagation(resp.Prop)
+	if len(need) == 0 {
+		return true, nil
+	}
+	// Delta-mode second round: fetch the full copies, re-probing a bounded
+	// number of times in case concurrent sessions moved items underneath.
+	have := make(map[string]bool)
+	var items []core.ItemPayload
+	for attempt := 0; attempt < 3 && len(need) > 0; attempt++ {
+		var fetchResp Response
+		if err := c.do(recipient, addr, &Request{Kind: KindFetch, From: recipient.ID(), Keys: need}, &fetchResp); err != nil {
+			return false, err
+		}
+		if fetchResp.Err != "" {
+			return false, fmt.Errorf("transport: remote error: %s", fetchResp.Err)
+		}
+		fetched := fetchResp.Items
+		items = append(items, fetched...)
+		for _, it := range fetched {
+			have[it.Key] = true
+		}
+		need = need[:0]
+		for _, key := range recipient.NeedFull(resp.Prop) {
+			if !have[key] {
+				need = append(need, key)
+			}
+		}
+	}
+	recipient.ApplyPropagationWithItems(resp.Prop, items)
+	return true, nil
+}
+
+// RequestOOB fetches an out-of-bound reply for key from the server at addr
+// without applying it.
+func (c *Client) RequestOOB(addr string, from int, key string) (core.OOBReply, error) {
+	var resp Response
+	err := c.do(nil, addr, &Request{Kind: KindOOB, From: from, Key: key}, &resp)
+	if err != nil {
+		return core.OOBReply{}, err
+	}
+	if resp.Err != "" {
+		return core.OOBReply{}, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.OOB == nil {
+		return core.OOBReply{}, errors.New("transport: malformed OOB response")
+	}
+	return *resp.OOB, nil
+}
+
+// FetchOOB performs one out-of-bound copy of key from the server at addr,
+// returning whether a newer copy was adopted.
+func (c *Client) FetchOOB(recipient *core.Replica, addr, key string) (bool, error) {
+	var resp Response
+	err := c.do(recipient, addr, &Request{Kind: KindOOB, From: recipient.ID(), Key: key}, &resp)
+	if err != nil {
+		return false, err
+	}
+	if resp.Err != "" {
+		return false, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	if resp.OOB == nil {
+		return false, errors.New("transport: malformed OOB response")
+	}
+	// Source id is not authenticated on the wire; attribute to -1. The
+	// conflict report's source field is advisory only.
+	return recipient.ApplyOOB(*resp.OOB, -1), nil
+}

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/wire"
+)
+
+func TestPoolReusesConnections(t *testing.T) {
+	a, _, srv := startPair(t)
+	a.Update("x", op.NewSet([]byte("v")))
+	c := NewClient(Options{})
+	defer c.Close()
+	b := core.NewReplica(1, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Pull(b, srv.Addr()); err != nil {
+			t.Fatalf("pull %d: %v", i, err)
+		}
+	}
+	st := c.PoolStats()
+	if st.Dials != 1 {
+		t.Errorf("10 sequential pulls dialed %d times, want 1", st.Dials)
+	}
+	if st.Reused < 9 {
+		t.Errorf("reused %d times, want >= 9", st.Reused)
+	}
+	m := b.Metrics()
+	if m.Dials != 1 || m.ConnsReused < 9 {
+		t.Errorf("replica counters: dials=%d reused=%d", m.Dials, m.ConnsReused)
+	}
+	if m.WireBytesSent == 0 || m.WireBytesRecv == 0 {
+		t.Errorf("no measured wire traffic: %+v", m)
+	}
+}
+
+func TestPoolConcurrentSessions(t *testing.T) {
+	// Acceptance case: >= 8 concurrent sessions over one pooled connection
+	// set, race-clean and correct.
+	const sessions = 8
+	const rounds = 25
+	a, _, srv := startPair(t)
+	for i := 0; i < 50; i++ {
+		a.Update(fmt.Sprintf("k%d", i), op.NewSet([]byte{byte(i)}))
+	}
+	c := NewClient(Options{})
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	recipients := make([]*core.Replica, sessions)
+	for i := range recipients {
+		recipients[i] = core.NewReplica(1, 2)
+		wg.Add(1)
+		go func(r *core.Replica) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				if _, err := c.Pull(r, srv.Addr()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(recipients[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, r := range recipients {
+		if ok, why := core.Converged(a, r); !ok {
+			t.Errorf("client %d not converged: %s", i, why)
+		}
+	}
+	st := c.PoolStats()
+	// MaxIdlePerHost defaults to 4; concurrency may dial more than that,
+	// but reuse must dominate the 8*25 exchanges.
+	if st.Reused < sessions*rounds/2 {
+		t.Errorf("reuse too low under concurrency: %+v", st)
+	}
+}
+
+func TestPoolSurvivesServerRestart(t *testing.T) {
+	a := core.NewReplica(0, 2)
+	srv, err := Listen(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := NewClient(Options{})
+	defer c.Close()
+	b := core.NewReplica(1, 2)
+	a.Update("x", op.NewSet([]byte("v1")))
+	if _, err := c.Pull(b, addr); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address: the pooled connection is now
+	// dead and the client must fall back to a fresh dial.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a.Update("x", op.NewSet([]byte("v2")))
+	srv2, err := Listen(a, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if _, err := c.Pull(b, addr); err != nil {
+		t.Fatalf("pull after restart: %v", err)
+	}
+	if v, _ := b.Read("x"); string(v) != "v2" {
+		t.Fatalf("b.x = %q after restart", v)
+	}
+}
+
+func TestPoolIdleTimeout(t *testing.T) {
+	a, _, srv := startPair(t)
+	a.Update("x", op.NewSet([]byte("v")))
+	c := NewClient(Options{Pool: PoolOptions{IdleTimeout: 10 * time.Millisecond}})
+	defer c.Close()
+	b := core.NewReplica(1, 2)
+	if _, err := c.Pull(b, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := c.Pull(b, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	st := c.PoolStats()
+	if st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (idle conn expired)", st.Dials)
+	}
+	if st.Retired == 0 {
+		t.Error("expired conn not counted as retired")
+	}
+}
+
+func TestDialPerRequestCompat(t *testing.T) {
+	// The legacy gob path must still interoperate with the new server.
+	a, _, srv := startPair(t)
+	a.Update("x", op.NewSet([]byte("gob-value")))
+	c := NewClient(Options{DialPerRequest: true})
+	b := core.NewReplica(1, 2)
+	shipped, err := c.Pull(b, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shipped {
+		t.Fatal("gob pull shipped nothing")
+	}
+	if v, _ := b.Read("x"); string(v) != "gob-value" {
+		t.Fatalf("b.x = %q", v)
+	}
+	if st := c.PoolStats(); st.Dials != 0 || st.Reused != 0 {
+		t.Errorf("DialPerRequest used the pool: %+v", st)
+	}
+	if m := b.Metrics(); m.WireBytesSent == 0 || m.Dials == 0 {
+		t.Errorf("legacy path not metered: %+v", m)
+	}
+}
+
+func TestMixedCodecsOneServer(t *testing.T) {
+	// A pooled binary client and a legacy gob client share one server.
+	a, _, srv := startPair(t)
+	a.Update("x", op.NewSet([]byte("v")))
+	binC := NewClient(Options{})
+	defer binC.Close()
+	gobC := NewClient(Options{DialPerRequest: true})
+	b1 := core.NewReplica(1, 2)
+	b2 := core.NewReplica(1, 2)
+	if _, err := binC.Pull(b1, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gobC.Pull(b2, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range []*core.Replica{b1, b2} {
+		if ok, why := core.Converged(a, r); !ok {
+			t.Errorf("client %d not converged: %s", i, why)
+		}
+	}
+}
+
+func TestMalformedFrameClosesConnection(t *testing.T) {
+	// A framed connection that turns to garbage must be closed by the
+	// server — not crash it, not hang it.
+	a := core.NewReplica(0, 2)
+	srv, err := Listen(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WritePreamble(conn); err != nil {
+		t.Fatal(err)
+	}
+	// Valid type byte, absurd length, no body: the server must hang up.
+	conn.Write([]byte{wire.FrameRequest, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a malformed frame instead of closing")
+	}
+
+	// And the server keeps serving well-formed sessions afterwards.
+	a.Update("x", op.NewSet([]byte("v")))
+	b := core.NewReplica(1, 2)
+	if _, err := Pull(b, srv.Addr()); err != nil {
+		t.Fatalf("pull after malformed frame: %v", err)
+	}
+}
+
+func TestUndecodableRequestPayloadClosesConnection(t *testing.T) {
+	a := core.NewReplica(0, 2)
+	srv, err := Listen(a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire.WritePreamble(conn)
+	// Well-formed frame, garbage payload.
+	wire.WriteFrame(conn, wire.FrameRequest, []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered an undecodable request instead of closing")
+	}
+}
+
+func TestServerCountsWireBytes(t *testing.T) {
+	a, _, srv := startPair(t)
+	a.Update("x", op.NewSet([]byte("some-value-on-the-wire")))
+	b := core.NewReplica(1, 2)
+	c := NewClient(Options{})
+	defer c.Close()
+	if _, err := c.Pull(b, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	bm := b.Metrics()
+	if bm.WireBytesSent == 0 || bm.WireBytesRecv == 0 {
+		t.Fatalf("client side unmetered: %+v", bm)
+	}
+	// What the server sent, the client received (and vice versa): loopback
+	// TCP delivers every byte. The server charges its counters just after
+	// flushing the response, so poll briefly — the client can observe its
+	// own reply before the server's bookkeeping runs.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		am := a.Metrics()
+		if am.WireBytesSent == bm.WireBytesRecv && am.WireBytesRecv == bm.WireBytesSent {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("asymmetric accounting: server sent=%d recv=%d, client sent=%d recv=%d",
+				am.WireBytesSent, am.WireBytesRecv, bm.WireBytesSent, bm.WireBytesRecv)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,5 +1,5 @@
 // Package transport runs the protocol's two exchanges — update propagation
-// and out-of-bound copying — over real TCP connections with gob encoding.
+// and out-of-bound copying — over real TCP connections.
 //
 // The wire protocol mirrors §5 exactly:
 //
@@ -7,67 +7,56 @@
 //	out-of-bound: recipient --(key)---> source --(OOBReply)--------------> recipient
 //
 // A Server owns the source side of both exchanges for one replica; a Client
-// owns the recipient side. One request/response pair per connection keeps
-// the protocol trivially correct under concurrent sessions; the live
-// cluster (internal/cluster) layers scheduling on top.
+// owns the recipient side. The hot path speaks the compact framed binary
+// codec of internal/wire over persistent pooled connections (see pool.go),
+// so thousands of O(1) "you-are-current" exchanges per second share warm
+// TCP connections instead of paying dial + gob type-descriptor overhead per
+// session. The server sniffs each connection's first byte and still accepts
+// the legacy one-shot gob protocol, so old clients interoperate unchanged;
+// Options.DialPerRequest selects that legacy path on the client for tests
+// and benchmarks.
+//
+// Within one connection, exchanges alternate strictly (one request, one
+// response); concurrency comes from the pool handing distinct connections
+// to concurrent sessions. Both directions are metered by counting
+// reader/writer wrappers, so metrics report actual wire bytes rather than
+// estimates.
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
-	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/vv"
+	"repro/internal/wire"
 )
 
-// Request is the recipient-to-source message opening an exchange.
-type Request struct {
-	// Kind selects the exchange type.
-	Kind Kind
-	// From is the requesting server's id (for conflict attribution).
-	From int
-	// DB names the target database on a multi-database server; empty
-	// addresses the server's default replica.
-	DB string
-	// DBVV is the recipient's database version vector (propagation only).
-	DBVV vv.VV
-	// Key is the requested item (out-of-bound only).
-	Key string
-	// Keys are the items needing full copies (second-round fetch only).
-	Keys []string
-}
-
-// Kind selects the exchange a Request opens.
-type Kind uint8
-
-// Exchange kinds.
-const (
-	// KindPropagation opens an update-propagation session (§5.1).
-	KindPropagation Kind = iota + 1
-	// KindOOB requests an out-of-bound copy of one item (§5.2).
-	KindOOB
-	// KindFetch requests full copies of named items — the second round of
-	// a delta-mode propagation session.
-	KindFetch
-)
+// Request is the recipient-to-source message opening an exchange. It is an
+// alias of the wire package's type: the codec and the transport share one
+// message vocabulary.
+type Request = wire.Request
 
 // Response is the source-to-recipient reply.
-type Response struct {
-	// Current is true when the recipient's DBVV dominates or equals the
-	// source's: the "you-are-current" message of Fig. 2.
-	Current bool
-	// Prop carries the tail vector and item set when Current is false.
-	Prop *core.Propagation
-	// OOB carries the out-of-bound reply for KindOOB requests.
-	OOB *core.OOBReply
-	// Items carries the full copies for KindFetch requests.
-	Items []core.ItemPayload
-	// Err carries a server-side error description, empty on success.
-	Err string
-}
+type Response = wire.Response
+
+// Kind selects the exchange a Request opens.
+type Kind = wire.Kind
+
+// Exchange kinds, re-exported from the wire codec.
+const (
+	// KindPropagation opens an update-propagation session (§5.1).
+	KindPropagation = wire.KindPropagation
+	// KindOOB requests an out-of-bound copy of one item (§5.2).
+	KindOOB = wire.KindOOB
+	// KindFetch requests full copies of named items — the second round of
+	// a delta-mode propagation session.
+	KindFetch = wire.KindFetch
+)
 
 // Resolver maps database names to replicas — the surface a multi-database
 // host (internal/multidb) exposes to the transport.
@@ -84,6 +73,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
 }
 
@@ -122,7 +112,9 @@ func ListenMulti(resolver Resolver, addr string) (*Server, error) {
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, force-closes open connections (persistent framed
+// connections would otherwise idle in a client pool indefinitely), and
+// waits for the handlers to finish.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -130,10 +122,38 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection for shutdown, refusing it when the
+// server is already closing.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -143,36 +163,137 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			defer conn.Close()
 			s.handle(conn)
 		}()
 	}
 }
 
+// countingReader meters bytes read from the underlying reader. One counter
+// per connection, owned by the connection's goroutine.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// countingWriter meters bytes written to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// handle sniffs the connection's first byte to pick a protocol: the framed
+// binary codec announces itself with wire.Magic (a byte no gob stream can
+// start with); anything else is served as a legacy one-shot gob exchange.
 func (s *Server) handle(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cr := &countingReader{r: conn}
+	cw := &countingWriter{w: conn}
+	br := bufio.NewReader(cr)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.Magic {
+		s.handleFramed(br, cr, cw)
+		return
+	}
+	s.handleGob(br, cr, cw)
+}
+
+// handleFramed serves a persistent framed-binary connection: requests and
+// responses alternate until the peer hangs up or sends a malformed frame,
+// which is answered by closing the connection (never by panicking).
+//
+// Bytes are metered below the bufio layer, so read-ahead may attribute a
+// request's bytes to the preceding exchange; per-connection totals are
+// exact.
+func (s *Server) handleFramed(br *bufio.Reader, cr *countingReader, cw *countingWriter) {
+	if err := wire.ReadPreamble(br); err != nil {
+		return
+	}
+	bw := bufio.NewWriter(cw)
+	frameBuf := wire.GetBuffer()
+	defer wire.PutBuffer(frameBuf)
+	scratch := wire.GetBuffer()
+	defer wire.PutBuffer(scratch)
+	// Preamble bytes are charged to the connection's first exchange.
+	var lastSent, lastRecv uint64
+	for {
+		payload, err := wire.ReadFrame(br, wire.FrameRequest, *frameBuf)
+		if err != nil {
+			return
+		}
+		*frameBuf = payload
+		var req Request
+		if err := wire.DecodeRequest(payload, &req); err != nil {
+			return
+		}
+		replica, resp := s.dispatch(&req)
+		*scratch = wire.AppendResponse((*scratch)[:0], resp)
+		if err := wire.WriteFrame(bw, wire.FrameResponse, *scratch); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if replica != nil {
+			replica.AddWireStats(cw.n-lastSent, cr.n-lastRecv, 0, 0)
+		}
+		lastSent, lastRecv = cw.n, cr.n
+	}
+}
+
+// handleGob serves one legacy gob exchange — the seed protocol: one
+// request, one response, connection closed.
+func (s *Server) handleGob(br *bufio.Reader, cr *countingReader, cw *countingWriter) {
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(cw)
 	var req Request
 	if err := dec.Decode(&req); err != nil {
 		return
 	}
+	replica, resp := s.dispatch(&req)
+	_ = enc.Encode(resp)
+	if replica != nil {
+		replica.AddWireStats(cw.n, cr.n, 0, 0)
+	}
+}
+
+// dispatch routes one decoded request to the owning replica and runs the
+// exchange, shared by both protocol front-ends. The returned replica is nil
+// when the request could not be routed.
+func (s *Server) dispatch(req *Request) (*core.Replica, *Response) {
 	replica := s.replica
 	if req.DB != "" {
 		if s.resolver == nil {
-			_ = enc.Encode(&Response{Err: "server hosts a single database"})
-			return
+			return nil, &Response{Err: "server hosts a single database"}
 		}
 		replica = s.resolver.Database(req.DB)
 	} else if replica == nil && s.resolver != nil {
-		_ = enc.Encode(&Response{Err: "request must name a database"})
-		return
+		return nil, &Response{Err: "request must name a database"}
 	}
 	if replica == nil {
-		_ = enc.Encode(&Response{Err: fmt.Sprintf("unknown database %q", req.DB)})
-		return
+		return nil, &Response{Err: fmt.Sprintf("unknown database %q", req.DB)}
 	}
 	var resp Response
 	switch req.Kind {
@@ -191,7 +312,7 @@ func (s *Server) handle(conn net.Conn) {
 	default:
 		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
 	}
-	_ = enc.Encode(&resp)
+	return replica, &resp
 }
 
 // PullSession fetches the propagation message from the server at addr for
@@ -200,139 +321,50 @@ func (s *Server) handle(conn net.Conn) {
 // step (e.g. durable replicas logging the session) drive the rounds
 // themselves with this and FetchItems.
 func PullSession(addr string, from int, dbvv vv.VV) (*core.Propagation, error) {
-	return PullSessionDB(addr, "", from, dbvv)
+	return DefaultClient.PullSession(addr, from, dbvv)
 }
 
 // PullSessionDB is PullSession against a named database of a
 // multi-database server.
 func PullSessionDB(addr, db string, from int, dbvv vv.VV) (*core.Propagation, error) {
-	var resp Response
-	err := roundTrip(addr, Request{Kind: KindPropagation, DB: db, From: from, DBVV: dbvv}, &resp)
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
-	}
-	if resp.Current {
-		return nil, nil
-	}
-	if resp.Prop == nil {
-		return nil, errors.New("transport: malformed propagation response")
-	}
-	return resp.Prop, nil
+	return DefaultClient.PullSessionDB(addr, db, from, dbvv)
 }
 
 // FetchItems fetches full copies of the named items from the server at addr
 // — the second round of a delta-mode session.
 func FetchItems(addr string, from int, keys []string) ([]core.ItemPayload, error) {
-	return FetchItemsDB(addr, "", from, keys)
+	return DefaultClient.FetchItems(addr, from, keys)
 }
 
 // FetchItemsDB is FetchItems against a named database of a multi-database
 // server.
 func FetchItemsDB(addr, db string, from int, keys []string) ([]core.ItemPayload, error) {
-	var resp Response
-	if err := roundTrip(addr, Request{Kind: KindFetch, DB: db, From: from, Keys: keys}, &resp); err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
-	}
-	return resp.Items, nil
+	return DefaultClient.FetchItemsDB(addr, db, from, keys)
 }
 
 // Pull performs one update-propagation session: recipient pulls from the
 // server at addr. It returns true when data was shipped, false when the
 // recipient was already current.
 func Pull(recipient *core.Replica, addr string) (bool, error) {
-	var resp Response
-	err := roundTrip(addr, Request{
-		Kind: KindPropagation,
-		From: recipient.ID(),
-		DBVV: recipient.PropagationRequest(),
-	}, &resp)
-	if err != nil {
-		return false, err
-	}
-	if resp.Err != "" {
-		return false, fmt.Errorf("transport: remote error: %s", resp.Err)
-	}
-	if resp.Current {
-		return false, nil
-	}
-	if resp.Prop == nil {
-		return false, errors.New("transport: malformed propagation response")
-	}
-	need := recipient.ApplyPropagation(resp.Prop)
-	if len(need) == 0 {
-		return true, nil
-	}
-	// Delta-mode second round: fetch the full copies, re-probing a bounded
-	// number of times in case concurrent sessions moved items underneath.
-	have := make(map[string]bool)
-	var items []core.ItemPayload
-	for attempt := 0; attempt < 3 && len(need) > 0; attempt++ {
-		fetched, err := FetchItems(addr, recipient.ID(), need)
-		if err != nil {
-			return false, err
-		}
-		items = append(items, fetched...)
-		for _, it := range fetched {
-			have[it.Key] = true
-		}
-		need = need[:0]
-		for _, key := range recipient.NeedFull(resp.Prop) {
-			if !have[key] {
-				need = append(need, key)
-			}
-		}
-	}
-	recipient.ApplyPropagationWithItems(resp.Prop, items)
-	return true, nil
+	return DefaultClient.Pull(recipient, addr)
 }
 
 // RequestOOB fetches an out-of-bound reply for key from the server at addr
 // without applying it. Callers that must interpose on the apply step use
 // this; others use FetchOOB.
 func RequestOOB(addr string, from int, key string) (core.OOBReply, error) {
-	var resp Response
-	err := roundTrip(addr, Request{Kind: KindOOB, From: from, Key: key}, &resp)
-	if err != nil {
-		return core.OOBReply{}, err
-	}
-	if resp.Err != "" {
-		return core.OOBReply{}, fmt.Errorf("transport: remote error: %s", resp.Err)
-	}
-	if resp.OOB == nil {
-		return core.OOBReply{}, errors.New("transport: malformed OOB response")
-	}
-	return *resp.OOB, nil
+	return DefaultClient.RequestOOB(addr, from, key)
 }
 
 // FetchOOB performs one out-of-bound copy of key from the server at addr,
 // returning whether a newer copy was adopted.
 func FetchOOB(recipient *core.Replica, addr, key string) (bool, error) {
-	reply, err := RequestOOB(addr, recipient.ID(), key)
-	if err != nil {
-		return false, err
-	}
-	// Source id is not authenticated on the wire; attribute to -1. The
-	// conflict report's source field is advisory only.
-	return recipient.ApplyOOB(reply, -1), nil
+	return DefaultClient.FetchOOB(recipient, addr, key)
 }
 
+// roundTrip performs one exchange through the default client. Kept as the
+// package's internal seam so tests can drive raw requests.
 func roundTrip(addr string, req Request, resp *Response) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
-		return fmt.Errorf("transport: send request: %w", err)
-	}
-	if err := gob.NewDecoder(conn).Decode(resp); err != nil {
-		return fmt.Errorf("transport: read response: %w", err)
-	}
-	return nil
+	_, err := DefaultClient.roundTrip(addr, &req, resp)
+	return err
 }

@@ -1,0 +1,87 @@
+package vv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	vectors := []VV{
+		nil,
+		{},
+		{0},
+		{1, 2, 3},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{1 << 7, 1 << 14, 1 << 35, 1<<64 - 1},
+	}
+	for _, v := range vectors {
+		buf := v.AppendBinary(nil)
+		if len(buf) != v.BinarySize() {
+			t.Errorf("%v: BinarySize %d, encoded %d", v, v.BinarySize(), len(buf))
+		}
+		got, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Errorf("%v: decode: %v", v, err)
+			continue
+		}
+		if n != len(buf) {
+			t.Errorf("%v: consumed %d of %d", v, n, len(buf))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	// The whole point: small counters in wide vectors must encode near one
+	// byte per component, not eight.
+	v := make(VV, 64)
+	for i := range v {
+		v[i] = uint64(i % 100)
+	}
+	if size := len(v.AppendBinary(nil)); size > 2+64 {
+		t.Errorf("64-component vector encoded to %d bytes", size)
+	}
+}
+
+func TestBinaryDecodeAtOffset(t *testing.T) {
+	buf := []byte{0xAB, 0xCD}
+	buf = VV{5, 6}.AppendBinary(buf)
+	buf = append(buf, 0xEF)
+	got, n, err := DecodeBinary(buf[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(VV{5, 6}) || buf[2+n] != 0xEF {
+		t.Fatalf("decode at offset: %v, n=%d", got, n)
+	}
+}
+
+func TestBinaryDecodeRejectsCorruption(t *testing.T) {
+	cases := [][]byte{
+		{},                             // empty
+		{0x80},                         // truncated count varint
+		{0x05, 1, 2},                   // count 5, two components present
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // huge count, no components
+		append(VV{1, 2}.AppendBinary(nil)[:2], 0x80), // truncated component
+	}
+	for i, buf := range cases {
+		if _, _, err := DecodeBinary(buf); err == nil {
+			t.Errorf("case %d (% x): corruption accepted", i, buf)
+		}
+	}
+}
+
+func TestBinaryNotConfusedByTrailingData(t *testing.T) {
+	buf := VV{9}.AppendBinary(nil)
+	trailer := []byte{1, 2, 3}
+	full := append(append([]byte(nil), buf...), trailer...)
+	got, n, err := DecodeBinary(full)
+	if err != nil || n != len(buf) || !got.Equal(VV{9}) {
+		t.Fatalf("got %v n=%d err=%v", got, n, err)
+	}
+	if !bytes.Equal(full[n:], trailer) {
+		t.Fatal("trailer consumed")
+	}
+}

@@ -16,6 +16,7 @@
 package vv
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -210,6 +211,67 @@ func (v VV) Sum() uint64 {
 		s += c
 	}
 	return s
+}
+
+// AppendBinary appends a compact varint encoding of v to buf and returns
+// the extended slice: a uvarint component count followed by one uvarint per
+// component. Counters are small in practice (they count updates per
+// origin), so this is far denser than the 8 bytes per component a fixed
+// encoding costs — the wire codec (internal/wire) uses it for every vector
+// it ships.
+func (v VV) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, c := range v {
+		buf = binary.AppendUvarint(buf, c)
+	}
+	return buf
+}
+
+// BinarySize returns the exact number of bytes AppendBinary would add.
+func (v VV) BinarySize() int {
+	size := uvarintLen(uint64(len(v)))
+	for _, c := range v {
+		size += uvarintLen(c)
+	}
+	return size
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// DecodeBinary decodes a vector from the front of buf, returning the vector
+// and the number of bytes consumed. A zero-length vector decodes to nil.
+// The component count is validated against the bytes actually present, so a
+// corrupt length cannot force a huge allocation.
+func DecodeBinary(buf []byte) (VV, int, error) {
+	n, read := binary.Uvarint(buf)
+	if read <= 0 {
+		return nil, 0, fmt.Errorf("vv: bad component count varint")
+	}
+	i := read
+	if n == 0 {
+		return nil, i, nil
+	}
+	// Each component occupies at least one byte.
+	if n > uint64(len(buf)-i) {
+		return nil, 0, fmt.Errorf("vv: component count %d exceeds %d remaining bytes", n, len(buf)-i)
+	}
+	v := make(VV, n)
+	for j := range v {
+		c, read := binary.Uvarint(buf[i:])
+		if read <= 0 {
+			return nil, 0, fmt.Errorf("vv: bad component %d varint", j)
+		}
+		v[j] = c
+		i += read
+	}
+	return v, i, nil
 }
 
 // String renders the vector as "<c0,c1,...>".

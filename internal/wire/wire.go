@@ -1,0 +1,603 @@
+// Package wire implements the compact binary wire codec and frame layer of
+// the TCP transport's hot path.
+//
+// The seed transport spoke gob, one connection per exchange. That re-sends
+// gob's self-describing type descriptors on every session, and at gossip
+// rates the descriptors dwarf the O(1) "you-are-current" reply the paper's
+// protocol is built around (§6). This package replaces gob with an explicit
+// binary encoding — varint version vectors, length-prefixed strings, redo
+// ops in their existing internal/op marshal format — framed so that many
+// request/response exchanges can share one persistent TCP connection.
+//
+// # Connection preamble
+//
+// A client opening a framed connection first sends two bytes:
+//
+//	[Magic 0xEB] [Version 0x01]
+//
+// 0xEB can never begin a gob stream (gob messages start with a uvarint byte
+// count, whose first byte is either < 0x80 or >= 0xF8), so a server can
+// sniff the first byte and fall back to the legacy one-shot gob protocol
+// for old clients. The version byte names the codec below; unknown versions
+// are rejected by closing the connection.
+//
+// # Frames
+//
+// After the preamble, both directions carry a sequence of frames:
+//
+//	[type byte] [uvarint payload length] [payload]
+//
+// Frame types are FrameRequest (client to server) and FrameResponse
+// (server to client); exchanges alternate strictly on one connection
+// (concurrency comes from pooling connections, not multiplexing frames).
+// Payload length is capped at MaxFrame; anything malformed — wrong type,
+// oversized length, truncated or undecodable payload — is answered by
+// closing the connection, never by panicking.
+//
+// # Messages
+//
+// Payloads are Request and Response values encoded with the Append*/Decode*
+// functions in this package. All integers are varints, all byte strings are
+// uvarint-length-prefixed, version vectors use vv.AppendBinary, and redo
+// operations reuse op.(Op).Marshal. Decoders validate every count against
+// the bytes actually present, so corrupt frames cannot force huge
+// allocations.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// Wire-level constants.
+const (
+	// Magic is the first byte of a framed connection. Chosen from the
+	// 0x80..0xF7 range no gob stream can start with.
+	Magic = 0xEB
+	// Version is the codec version this package speaks.
+	Version = 1
+	// FrameRequest marks a client-to-server frame.
+	FrameRequest = 0x01
+	// FrameResponse marks a server-to-client frame.
+	FrameResponse = 0x02
+	// MaxFrame bounds a frame payload; larger lengths are treated as
+	// corruption.
+	MaxFrame = 1 << 30
+)
+
+// Kind selects the exchange a Request opens. It mirrors the protocol kinds
+// of §5; internal/transport aliases it so the public API is unchanged.
+type Kind uint8
+
+// Exchange kinds.
+const (
+	// KindPropagation opens an update-propagation session (§5.1).
+	KindPropagation Kind = iota + 1
+	// KindOOB requests an out-of-bound copy of one item (§5.2).
+	KindOOB
+	// KindFetch requests full copies of named items — the second round of
+	// a delta-mode propagation session.
+	KindFetch
+)
+
+// Request is the recipient-to-source message opening an exchange.
+type Request struct {
+	// Kind selects the exchange type.
+	Kind Kind
+	// From is the requesting server's id (for conflict attribution).
+	From int
+	// DB names the target database on a multi-database server; empty
+	// addresses the server's default replica.
+	DB string
+	// DBVV is the recipient's database version vector (propagation only).
+	DBVV vv.VV
+	// Key is the requested item (out-of-bound only).
+	Key string
+	// Keys are the items needing full copies (second-round fetch only).
+	Keys []string
+}
+
+// Response is the source-to-recipient reply.
+type Response struct {
+	// Current is true when the recipient's DBVV dominates or equals the
+	// source's: the "you-are-current" message of Fig. 2.
+	Current bool
+	// Prop carries the tail vector and item set when Current is false.
+	Prop *core.Propagation
+	// OOB carries the out-of-bound reply for KindOOB requests.
+	OOB *core.OOBReply
+	// Items carries the full copies for KindFetch requests.
+	Items []core.ItemPayload
+	// Err carries a server-side error description, empty on success.
+	Err string
+}
+
+// Buffer pooling: encode scratch and frame-read buffers are recycled so the
+// steady-state hot path allocates nothing proportional to message size.
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuffer returns a recycled scratch buffer of zero length. Release it
+// with PutBuffer when done.
+func GetBuffer() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer. Oversized buffers
+// (from pathological messages) are dropped rather than pinned in the pool.
+func PutBuffer(b *[]byte) {
+	if cap(*b) > 1<<22 {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// WritePreamble writes the magic and version bytes opening a framed
+// connection.
+func WritePreamble(w io.Writer) error {
+	_, err := w.Write([]byte{Magic, Version})
+	return err
+}
+
+// ReadPreamble consumes and validates the connection preamble.
+func ReadPreamble(r *bufio.Reader) error {
+	var pre [2]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		return err
+	}
+	if pre[0] != Magic {
+		return fmt.Errorf("wire: bad magic 0x%02x", pre[0])
+	}
+	if pre[1] != Version {
+		return fmt.Errorf("wire: unsupported codec version %d", pre[1])
+	}
+	return nil
+}
+
+// WriteFrame writes one frame: type byte, uvarint length, payload.
+func WriteFrame(w io.Writer, frameType byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = frameType
+	n := binary.PutUvarint(hdr[1:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:1+n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame of the expected type into buf (growing it as
+// needed) and returns the payload slice. Any malformation is an error; the
+// caller is expected to close the connection.
+func ReadFrame(r *bufio.Reader, wantType byte, buf []byte) ([]byte, error) {
+	frameType, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if frameType != wantType {
+		return nil, fmt.Errorf("wire: frame type 0x%02x, want 0x%02x", frameType, wantType)
+	}
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: frame length: %w", err)
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds limit", size)
+	}
+	if uint64(cap(buf)) < size {
+		buf = make([]byte, size)
+	} else {
+		buf = buf[:size]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// ---- Request ----
+
+// AppendRequest appends the binary encoding of req to buf.
+func AppendRequest(buf []byte, req *Request) []byte {
+	buf = append(buf, byte(req.Kind))
+	buf = binary.AppendVarint(buf, int64(req.From))
+	buf = appendString(buf, req.DB)
+	buf = req.DBVV.AppendBinary(buf)
+	buf = appendString(buf, req.Key)
+	buf = binary.AppendUvarint(buf, uint64(len(req.Keys)))
+	for _, k := range req.Keys {
+		buf = appendString(buf, k)
+	}
+	return buf
+}
+
+// DecodeRequest decodes a Request from buf, which must contain exactly one
+// encoded request.
+func DecodeRequest(buf []byte, req *Request) error {
+	d := decoder{buf: buf}
+	req.Kind = Kind(d.byte())
+	req.From = int(d.varint())
+	req.DB = d.string()
+	req.DBVV = d.vv()
+	req.Key = d.string()
+	n := d.count()
+	req.Keys = nil
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		req.Keys = append(req.Keys, d.string())
+	}
+	return d.finish("request")
+}
+
+// ---- Response ----
+
+// Response flag bits.
+const (
+	respCurrent = 1 << iota
+	respProp
+	respOOB
+	respItems
+	respErr
+)
+
+// AppendResponse appends the binary encoding of resp to buf.
+func AppendResponse(buf []byte, resp *Response) []byte {
+	var flags byte
+	if resp.Current {
+		flags |= respCurrent
+	}
+	if resp.Prop != nil {
+		flags |= respProp
+	}
+	if resp.OOB != nil {
+		flags |= respOOB
+	}
+	if resp.Items != nil {
+		flags |= respItems
+	}
+	if resp.Err != "" {
+		flags |= respErr
+	}
+	buf = append(buf, flags)
+	if resp.Prop != nil {
+		buf = appendPropagation(buf, resp.Prop)
+	}
+	if resp.OOB != nil {
+		buf = appendOOB(buf, resp.OOB)
+	}
+	if resp.Items != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(resp.Items)))
+		for i := range resp.Items {
+			buf = appendItem(buf, &resp.Items[i])
+		}
+	}
+	if resp.Err != "" {
+		buf = appendString(buf, resp.Err)
+	}
+	return buf
+}
+
+// DecodeResponse decodes a Response from buf, which must contain exactly
+// one encoded response.
+func DecodeResponse(buf []byte, resp *Response) error {
+	d := decoder{buf: buf}
+	flags := d.byte()
+	*resp = Response{Current: flags&respCurrent != 0}
+	if flags&respProp != 0 {
+		resp.Prop = d.propagation()
+	}
+	if flags&respOOB != 0 {
+		oob := d.oob()
+		resp.OOB = &oob
+	}
+	if flags&respItems != 0 {
+		n := d.count()
+		resp.Items = make([]core.ItemPayload, 0, min(n, 1024))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			resp.Items = append(resp.Items, d.item())
+		}
+	}
+	if flags&respErr != 0 {
+		resp.Err = d.string()
+	}
+	return d.finish("response")
+}
+
+// ---- Propagation ----
+
+func appendPropagation(buf []byte, p *core.Propagation) []byte {
+	buf = binary.AppendVarint(buf, int64(p.Source))
+	buf = binary.AppendUvarint(buf, uint64(len(p.Tails)))
+	for _, tail := range p.Tails {
+		buf = binary.AppendUvarint(buf, uint64(len(tail)))
+		for _, rec := range tail {
+			buf = appendString(buf, rec.Key)
+			buf = binary.AppendUvarint(buf, rec.Seq)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.Items)))
+	for i := range p.Items {
+		buf = appendItem(buf, &p.Items[i])
+	}
+	return buf
+}
+
+// AppendPropagation appends the binary encoding of p to buf. Exported for
+// the codec's tests and benchmarks; the transport ships propagations inside
+// Response frames.
+func AppendPropagation(buf []byte, p *core.Propagation) []byte {
+	return appendPropagation(buf, p)
+}
+
+// DecodePropagation decodes a Propagation from buf, which must contain
+// exactly one encoded propagation.
+func DecodePropagation(buf []byte) (*core.Propagation, error) {
+	d := decoder{buf: buf}
+	p := d.propagation()
+	if err := d.finish("propagation"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (d *decoder) propagation() *core.Propagation {
+	p := &core.Propagation{Source: int(d.varint())}
+	ntails := d.count()
+	if d.err != nil {
+		return p
+	}
+	p.Tails = make([][]core.TailRecord, 0, min(ntails, 1024))
+	for i := uint64(0); i < ntails && d.err == nil; i++ {
+		nrecs := d.count()
+		var tail []core.TailRecord
+		for j := uint64(0); j < nrecs && d.err == nil; j++ {
+			tail = append(tail, core.TailRecord{Key: d.string(), Seq: d.uvarint()})
+		}
+		p.Tails = append(p.Tails, tail)
+	}
+	nitems := d.count()
+	for i := uint64(0); i < nitems && d.err == nil; i++ {
+		p.Items = append(p.Items, d.item())
+	}
+	return p
+}
+
+// ---- ItemPayload ----
+
+// Item flag bits.
+const (
+	itemDelta = 1 << iota
+)
+
+func appendItem(buf []byte, it *core.ItemPayload) []byte {
+	var flags byte
+	if it.IsDelta {
+		flags |= itemDelta
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, it.Key)
+	buf = appendBytes(buf, it.Value)
+	buf = it.IVV.AppendBinary(buf)
+	if it.IsDelta {
+		buf = it.Pre.AppendBinary(buf)
+		buf = binary.AppendUvarint(buf, uint64(len(it.Chain)))
+		for _, link := range it.Chain {
+			buf = binary.AppendVarint(buf, int64(link.Origin))
+			buf = link.Op.Marshal(buf)
+		}
+	}
+	return buf
+}
+
+func (d *decoder) item() core.ItemPayload {
+	flags := d.byte()
+	it := core.ItemPayload{
+		Key:   d.string(),
+		Value: d.bytes(),
+		IVV:   d.vv(),
+	}
+	if flags&itemDelta != 0 {
+		it.IsDelta = true
+		it.Pre = d.vv()
+		nlinks := d.count()
+		for i := uint64(0); i < nlinks && d.err == nil; i++ {
+			origin := int(d.varint())
+			o := d.op()
+			it.Chain = append(it.Chain, core.DeltaLink{Op: o, Origin: origin})
+		}
+	}
+	return it
+}
+
+// ---- OOBReply ----
+
+// OOB flag bits.
+const (
+	oobFound = 1 << iota
+)
+
+func appendOOB(buf []byte, o *core.OOBReply) []byte {
+	var flags byte
+	if o.Found {
+		flags |= oobFound
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, o.Key)
+	buf = appendBytes(buf, o.Value)
+	buf = o.IVV.AppendBinary(buf)
+	return buf
+}
+
+func (d *decoder) oob() core.OOBReply {
+	flags := d.byte()
+	return core.OOBReply{
+		Found: flags&oobFound != 0,
+		Key:   d.string(),
+		Value: d.bytes(),
+		IVV:   d.vv(),
+	}
+}
+
+// ---- primitives ----
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// decoder walks a message payload accumulating the first error; accessors
+// return zero values after an error so decode functions stay linear and
+// panic-free on corrupt input.
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *decoder) finish(what string) error {
+	if d.err != nil {
+		return fmt.Errorf("decode %s: %w", what, d.err)
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("wire: decode %s: %d trailing bytes", what, len(d.buf)-d.pos)
+	}
+	return nil
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.buf) {
+		d.fail("truncated message")
+		return 0
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.pos:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a collection length and validates it against the remaining
+// bytes (every element occupies at least one byte), so corrupt counts fail
+// immediately instead of driving huge loops or allocations.
+func (d *decoder) count() uint64 {
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.buf)-d.pos) {
+		d.fail("count %d exceeds %d remaining bytes", n, len(d.buf)-d.pos)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) string() string {
+	return string(d.raw())
+}
+
+func (d *decoder) bytes() []byte {
+	raw := d.raw()
+	if raw == nil {
+		return nil
+	}
+	b := make([]byte, len(raw))
+	copy(b, raw)
+	return b
+}
+
+// raw returns a view into the buffer; string() copies by conversion and
+// bytes() copies explicitly, so decoded messages never alias the frame
+// buffer (which is recycled).
+func (d *decoder) raw() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		d.fail("length %d exceeds %d remaining bytes", n, len(d.buf)-d.pos)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	raw := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return raw
+}
+
+func (d *decoder) vv() vv.VV {
+	if d.err != nil {
+		return nil
+	}
+	v, n, err := vv.DecodeBinary(d.buf[d.pos:])
+	if err != nil {
+		d.fail("%v", err)
+		return nil
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) op() op.Op {
+	if d.err != nil {
+		return op.Op{}
+	}
+	o, n, err := op.Unmarshal(d.buf[d.pos:])
+	if err != nil {
+		d.fail("op: %v", err)
+		return op.Op{}
+	}
+	d.pos += n
+	return o
+}
