@@ -15,17 +15,21 @@ vet:
 build:
 	$(GO) build ./...
 
-## race: the concurrency-heavy packages (TCP transport pool, live cluster)
-## under the race detector.
+## race: the concurrency-heavy packages (protocol core with the sharded
+## data plane, simulator, TCP transport pool, live cluster) under the race
+## detector.
 race:
-	$(GO) test -race ./internal/transport/... ./internal/cluster/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/transport/... ./internal/cluster/...
 
 test-all:
 	$(GO) test ./...
 
-## bench: transport hot-path benchmarks (E15) plus the experiment benches.
+## bench: smoke run of the experiment benchmarks — the parallel read /
+## propagation benchmark (E16), the propagation builders, and the transport
+## hot path (E15). 100 iterations each: checks they run, not their timing.
 bench:
-	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchmem ./internal/transport
+	$(GO) test -run=NONE -bench='BenchmarkParallelReadUpdate|BenchmarkBuildPropagation|BenchmarkApplyPropagation' -benchtime=100x ./internal/core
+	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchtime=100x -benchmem ./internal/transport
 
 ## fuzz-wire: short fuzz pass over the wire codec decoders.
 fuzz-wire:

@@ -66,8 +66,8 @@ func BenchmarkAblationSelectMap(b *testing.B) {
 // buildPropagationWithMap mirrors BuildPropagation but deduplicates the
 // item set with a map — the ablation variant, kept test-only.
 func (r *Replica) buildPropagationWithMap(recipientDBVV interface{ Get(int) uint64 }) *Propagation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlockAll()
+	defer r.runlockAll()
 
 	p := &Propagation{Source: r.id, Tails: make([][]TailRecord, r.n)}
 	selected := make(map[string]*store.Item)

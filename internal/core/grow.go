@@ -18,12 +18,13 @@ package core
 // n). Existing item vectors stay short — missing components are implicitly
 // zero — and extend lazily as updates touch them.
 func (r *Replica) Grow(n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.lockAll()
+	defer r.unlockAll()
 	r.growLocked(n)
 }
 
-// growLocked extends the replica to n servers. Caller holds the lock.
+// growLocked extends the replica to n servers. Caller holds all shard
+// write locks plus the control mutex (growth touches both planes).
 func (r *Replica) growLocked(n int) {
 	if n <= r.n {
 		return
@@ -36,7 +37,8 @@ func (r *Replica) growLocked(n int) {
 
 // maybeGrowFor inspects an incoming propagation message and grows the
 // replica when the message mentions more origin servers than it knows —
-// the epidemic spread of an administrative Grow. Caller holds the lock.
+// the epidemic spread of an administrative Grow. Caller holds all shard
+// write locks plus the control mutex.
 func (r *Replica) maybeGrowFor(p *Propagation) {
 	need := len(p.Tails)
 	for _, payload := range p.Items {

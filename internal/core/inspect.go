@@ -29,10 +29,11 @@ type Snapshot struct {
 	AuxRecords int
 }
 
-// Snapshot captures the replica's current state.
+// Snapshot captures the replica's current state, cloned under the
+// all-shard read sweep plus the control mutex for a consistent cut.
 func (r *Replica) Snapshot() Snapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlockAll()
+	defer r.runlockAll()
 	s := Snapshot{
 		ID:         r.id,
 		DBVV:       r.dbvv.Clone(),
@@ -59,8 +60,8 @@ func (r *Replica) Snapshot() Snapshot {
 // ItemIVV returns the regular copy's version vector for key. It implements
 // history.Inspector for the test oracle.
 func (r *Replica) ItemIVV(key string) (vv.VV, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.store.RLockKey(key)
+	defer r.store.RUnlockKey(key)
 	it := r.store.Get(key)
 	if it == nil {
 		return nil, false
@@ -71,8 +72,8 @@ func (r *Replica) ItemIVV(key string) (vv.VV, bool) {
 // ItemValue returns the regular copy's value for key (unlike Read, it never
 // consults the auxiliary copy). It implements history.Inspector.
 func (r *Replica) ItemValue(key string) ([]byte, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.store.RLockKey(key)
+	defer r.store.RUnlockKey(key)
 	it := r.store.Get(key)
 	if it == nil {
 		return nil, false
@@ -94,8 +95,8 @@ func (r *Replica) ItemValue(key string) ([]byte, bool) {
 //  5. Auxiliary log structure is well-formed, and every auxiliary record
 //     refers to an item that still has an auxiliary copy.
 func (r *Replica) CheckInvariants() error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlockAll()
+	defer r.runlockAll()
 
 	// 1. DBVV == sum of item IVVs.
 	sum := vv.New(r.n)
@@ -129,7 +130,7 @@ func (r *Replica) CheckInvariants() error {
 	// Log coverage holds only while no conflict has been declared: the
 	// conflict purge of Fig. 3 suspends the guarantee for the affected
 	// items until manual resolution (§5.1).
-	if r.met.ConflictsDetected == 0 {
+	if r.met.ConflictsDetected.Load() == 0 {
 		for k := 0; k < r.n; k++ {
 			if tail := r.logs.Component(k).Tail(); tail != nil && tail.Seq > r.dbvv[k] {
 				return fmt.Errorf("core: node %d log[%d] tail seq %d exceeds DBVV %d",

@@ -24,15 +24,17 @@ func (o OOBReply) WireSize() uint64 {
 // ServeOOB handles an out-of-bound request for key at the source node
 // (§5.2): it returns the auxiliary copy when present, else the regular
 // copy, with the matching IVV. No log records travel with the reply and no
-// source state changes. O(1) beyond accessing the item itself (§6).
+// source state changes. O(1) beyond accessing the item itself (§6) — and
+// entirely inside the data plane: only the item's shard read-lock is
+// taken, so serving hot items never touches the control mutex.
 func (r *Replica) ServeOOB(key string) OOBReply {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.met.Messages++
+	r.met.Messages.Add(1)
+	r.store.RLockKey(key)
 	it := r.store.Get(key)
 	if it == nil {
+		r.store.RUnlockKey(key)
 		reply := OOBReply{Key: key}
-		r.met.BytesSent += reply.WireSize()
+		r.met.BytesSent.Add(reply.WireSize())
 		return reply
 	}
 	reply := OOBReply{
@@ -41,7 +43,8 @@ func (r *Replica) ServeOOB(key string) OOBReply {
 		IVV:   it.CurrentIVV().Clone(),
 		Found: true,
 	}
-	r.met.BytesSent += reply.WireSize()
+	r.store.RUnlockKey(key)
+	r.met.BytesSent.Add(reply.WireSize())
 	return reply
 }
 
@@ -57,24 +60,27 @@ func (r *Replica) ServeOOB(key string) OOBReply {
 //     action.
 //   - concurrent: inconsistency between copies of the item is declared.
 //
-// It returns true when the reply was adopted.
+// It returns true when the reply was adopted. Because out-of-bound data
+// lives entirely in the item's auxiliary structures, the whole operation
+// holds only the item's shard write lock — the control plane is involved
+// only if a conflict must be recorded.
 func (r *Replica) ApplyOOB(reply OOBReply, source int) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.met.OOBRequests++
+	r.met.OOBRequests.Add(1)
 	if !reply.Found {
 		return false
 	}
+	r.store.LockKey(reply.Key)
+	defer r.store.UnlockKey(reply.Key)
 	it := r.store.Ensure(reply.Key)
 	local := it.CurrentIVV()
-	r.met.IVVComparisons++
+	r.met.IVVComparisons.Add(1)
 	switch reply.IVV.Compare(local) {
 	case vv.Dominates:
 		it.Aux = &store.AuxCopy{
 			Value: store.CloneBytes(reply.Value),
 			IVV:   reply.IVV.Clone(),
 		}
-		r.met.OOBAdopted++
+		r.met.OOBAdopted.Add(1)
 		return true
 	case vv.Concurrent:
 		r.declareConflict(Conflict{
@@ -93,7 +99,7 @@ func (r *Replica) ApplyOOB(reply OOBReply, source int) bool {
 
 // CopyOutOfBound performs a complete out-of-bound copy of key from source
 // to recipient r, returning true if a newer copy was adopted. Like
-// AntiEntropy it takes the two locks one at a time.
+// AntiEntropy it takes the two replicas' locks one at a time.
 func (r *Replica) CopyOutOfBound(key string, source *Replica) bool {
 	reply := source.ServeOOB(key)
 	return r.ApplyOOB(reply, source.ID())

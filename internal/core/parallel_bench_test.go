@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+// BenchmarkParallelReadUpdate measures client read throughput while the
+// replica continuously serves update-propagation sessions to a recipient
+// that is missing the whole database — the scenario the control-plane /
+// data-plane split exists for. Each BuildPropagation call walks every log
+// tail and clones every changed item (here 8192 items of 4 KiB, several
+// milliseconds of work). Under the seed's single exclusive mutex that whole
+// millisecond excluded readers, so reads stalled for the duration of every
+// propagation build; the sharded data plane takes only shard read-locks
+// for the snapshot, which reads share freely — a read never waits on a
+// propagation session, only updates do (briefly, for snapshot
+// consistency).
+//
+// Run with -cpu 1,4. Experiment E16 in EXPERIMENTS.md records the
+// before/after numbers.
+func BenchmarkParallelReadUpdate(b *testing.B) {
+	const (
+		items     = 8192
+		valueSize = 4 << 10
+	)
+	r := NewReplica(0, 2)
+	val := make([]byte, valueSize)
+	for i := 0; i < items; i++ {
+		if err := r.Update(key(i), op.NewSet(val)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// A recipient DBVV that has seen nothing: every build ships the whole
+	// item set, like the first anti-entropy exchange with a new server.
+	behind := vv.New(2)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if p := r.BuildPropagation(behind); p == nil || len(p.Items) != items {
+				b.Error("propagation did not ship the item set")
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, ok := r.Read(key(i % items)); !ok {
+				b.Error("item vanished")
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

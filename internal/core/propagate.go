@@ -99,11 +99,11 @@ func (p *Propagation) RecordCount() int {
 // PropagationRequest begins an update-propagation session at the recipient:
 // it returns the recipient's DBVV to be sent to the source (step 1, §5.1).
 func (r *Replica) PropagationRequest() vv.VV {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.met.Propagations++
-	r.met.Messages++
-	r.met.BytesSent += uint64(8 * r.n)
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	r.met.Propagations.Add(1)
+	r.met.Messages.Add(1)
+	r.met.BytesSent.Add(uint64(8 * r.n))
 	return r.dbvv.Clone()
 }
 
@@ -116,16 +116,23 @@ func (r *Replica) PropagationRequest() vv.VV {
 // number of items shipped — records are extracted from suffixes of the
 // per-origin logs and the item-set union is computed with the IsSelected
 // flags (§6), so no per-database-item work is ever done.
+//
+// The result is a consistent snapshot: tails and item payloads are cloned
+// under the all-shard read sweep plus the control mutex, so they mutually
+// agree, and everything after the return — encoding, shipping, the rest of
+// the session — runs without any lock held. Plain reads proceed throughout
+// (shard read-locks are shared); updates are excluded only during the
+// clone itself, not for the session.
 func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlockAll()
+	defer r.runlockAll()
 
-	r.met.DBVVComparisons++
+	r.met.DBVVComparisons.Add(1)
 	if recipientDBVV.DominatesOrEqual(r.dbvv) {
 		// "you-are-current": recipient needs nothing from us.
-		r.met.PropagationNoops++
-		r.met.Messages++
-		r.met.BytesSent += 16
+		r.met.PropagationNoops.Add(1)
+		r.met.Messages.Add(1)
+		r.met.BytesSent.Add(16)
 		return nil
 	}
 
@@ -144,17 +151,17 @@ func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
 				// A log record always refers to an item this node has
 				// (records register local or adopted updates); absence is a
 				// protocol bug surfaced defensively.
-				r.met.AnomaliesIgnored++
+				r.met.AnomaliesIgnored.Add(1)
 				return
 			}
-			r.met.ItemsExamined++
+			r.met.ItemsExamined.Add(1)
 			if !it.Selected() {
 				it.SetSelected(true)
 				selected = append(selected, it)
 			}
 		})
 		p.Tails[k] = tail
-		r.met.LogRecordsSent += uint64(len(tail))
+		r.met.LogRecordsSent.Add(uint64(len(tail)))
 	}
 
 	p.Items = make([]ItemPayload, 0, len(selected))
@@ -182,7 +189,7 @@ func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
 					Chain:   chain,
 					Pre:     it.Deltas[0].Pre.Clone(),
 				})
-				r.met.DeltasSent++
+				r.met.DeltasSent.Add(1)
 				continue
 			}
 		}
@@ -192,22 +199,24 @@ func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
 			IVV:   it.IVV.Clone(),
 		})
 	}
-	r.met.ItemsSent += uint64(len(p.Items))
-	r.met.Messages++
-	r.met.BytesSent += p.WireSize()
+	r.met.ItemsSent.Add(uint64(len(p.Items)))
+	r.met.Messages.Add(1)
+	r.met.BytesSent.Add(p.WireSize())
 	return p
 }
 
 // BuildItems serves full copies of the named items — the second round of a
 // delta-mode session, requested by a recipient too far behind to apply some
-// shipped deltas.
+// shipped deltas. Each item is cloned under its own shard read-lock; the
+// session's correctness needs only per-item consistency here, since every
+// fetched copy is re-compared against the recipient's IVV at commit.
 func (r *Replica) BuildItems(keys []string) []ItemPayload {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	items := make([]ItemPayload, 0, len(keys))
 	for _, key := range keys {
+		r.store.RLockKey(key)
 		it := r.store.Get(key)
 		if it == nil {
+			r.store.RUnlockKey(key)
 			continue
 		}
 		payload := ItemPayload{
@@ -215,12 +224,13 @@ func (r *Replica) BuildItems(keys []string) []ItemPayload {
 			Value: store.CloneBytes(it.Value),
 			IVV:   it.IVV.Clone(),
 		}
+		r.store.RUnlockKey(key)
 		items = append(items, payload)
-		r.met.ItemsSent++
-		r.met.BytesSent += payload.wireSize()
+		r.met.ItemsSent.Add(1)
+		r.met.BytesSent.Add(payload.wireSize())
 	}
-	r.met.Messages++
-	r.met.FullFetches += uint64(len(items))
+	r.met.Messages.Add(1)
+	r.met.FullFetches.Add(uint64(len(items)))
 	return items
 }
 
@@ -233,11 +243,13 @@ func (r *Replica) NeedFull(p *Propagation) []string {
 	if p == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.rlockAll()
+	defer r.runlockAll()
 	return r.needFullLocked(p)
 }
 
+// needFullLocked computes the full-copy fetch set. Caller holds at least
+// the all-shard read sweep plus the control mutex.
 func (r *Replica) needFullLocked(p *Propagation) []string {
 	var need []string
 	for _, payload := range p.Items {
@@ -296,12 +308,17 @@ func chainSuffixAt(payload ItemPayload, local vv.VV) int {
 // arrived between request and apply, so equal or dominated payloads are
 // skipped (their log records are filtered out by the recipient's
 // pre-session DBVV, which already covers them).
+//
+// The commit is one atomic node action: it runs under every shard write
+// lock plus the control mutex, so no read or update can observe a
+// half-applied session, and a concurrent BuildPropagation at this node can
+// never ship a DBVV advance whose log records are not yet appended.
 func (r *Replica) ApplyPropagation(p *Propagation) []string {
 	if p == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.lockAll()
+	defer r.unlockAll()
 	if need := r.needFullLocked(p); len(need) > 0 {
 		return need
 	}
@@ -322,13 +339,14 @@ func (r *Replica) ApplyPropagationWithItems(p *Propagation, items []ItemPayload)
 	for _, it := range items {
 		extras[it.Key] = it
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.lockAll()
+	defer r.unlockAll()
 	r.applySessionLocked(p, extras)
 }
 
 // applySessionLocked is the committing pass shared by ApplyPropagation and
-// ApplyPropagationWithItems. Caller holds the lock.
+// ApplyPropagationWithItems. Caller holds all shard write locks plus the
+// control mutex.
 func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPayload) {
 	// A message mentioning more origin servers than we know means the
 	// server set has grown; extend our state first.
@@ -347,7 +365,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 			}
 		}
 		it := r.store.Ensure(payload.Key)
-		r.met.IVVComparisons++
+		r.met.IVVComparisons.Add(1)
 		switch payload.IVV.Compare(it.IVV) {
 		case vv.Dominates:
 			if payload.IsDelta {
@@ -357,7 +375,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 					// moved this copy between probe and commit. Skip the
 					// item and purge its records; the next session ships
 					// it again.
-					r.met.AnomaliesIgnored++
+					r.met.AnomaliesIgnored.Add(1)
 					conflicting[payload.Key] = true
 					continue
 				}
@@ -372,7 +390,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 					}
 				}
 				if applyErr {
-					r.met.AnomaliesIgnored++
+					r.met.AnomaliesIgnored.Add(1)
 					conflicting[payload.Key] = true
 					continue
 				}
@@ -400,8 +418,8 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 					}
 					trimUneconomicPrefix(it, len(newVal))
 				}
-				r.met.ItemsCopied++
-				r.met.DeltasApplied++
+				r.met.ItemsCopied.Add(1)
+				r.met.DeltasApplied.Add(1)
 				copied = append(copied, it)
 				continue
 			}
@@ -414,7 +432,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 			it.Value = store.CloneBytes(payload.Value)
 			it.IVV = payload.IVV.Clone()
 			it.Deltas = nil // a wholesale adoption invalidates any retained chain
-			r.met.ItemsCopied++
+			r.met.ItemsCopied.Add(1)
 			copied = append(copied, it)
 		case vv.Concurrent:
 			r.declareConflict(Conflict{
@@ -431,7 +449,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 			// Impossible within a session (§5.1 note 2); reachable only
 			// through interleaving with another session that delivered a
 			// newer copy first.
-			r.met.AnomaliesIgnored++
+			r.met.AnomaliesIgnored.Add(1)
 		}
 	}
 
@@ -451,67 +469,78 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 			// manual resolution (§5.1) — so an older record may reappear
 			// here; drop it rather than corrupt the component's order.
 			if t := comp.Tail(); t != nil && rec.Seq < t.Seq {
-				r.met.AnomaliesIgnored++
+				r.met.AnomaliesIgnored.Add(1)
 				continue
 			}
 			comp.Add(rec.Key, rec.Seq)
-			r.met.LogRecordsApplied++
+			r.met.LogRecordsApplied.Add(1)
 		}
 	}
 
 	// Step 3: intra-node propagation over the items just copied.
 	for _, it := range copied {
-		r.intraNodePropagate(it)
+		r.intraNodePropagateLocked(it)
 	}
 }
 
 // RunIntraNodePropagation runs the intra-node procedure over every item
 // holding an auxiliary copy. The paper runs it after AcceptPropagation for
 // the copied items and notes it executes in the background (§6); this
-// entry point is that background sweep.
+// entry point is that background sweep. Candidate keys are collected shard
+// by shard, then each item is replayed under its own shard write lock plus
+// the control mutex — the sweep never stops the whole node.
 func (r *Replica) RunIntraNodePropagation() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var auxItems []*store.Item
-	r.store.ForEach(func(it *store.Item) {
-		if it.Aux != nil {
-			auxItems = append(auxItems, it)
+	var keys []string
+	r.store.ForEachShard(func(items map[string]*store.Item) {
+		for _, it := range items {
+			if it.Aux != nil {
+				keys = append(keys, it.Key)
+			}
 		}
 	})
-	for _, it := range auxItems {
-		r.intraNodePropagate(it)
+	for _, key := range keys {
+		r.store.LockKey(key)
+		r.ctl.Lock()
+		// Re-fetch under the lock: the item may have lost (or even
+		// re-gained) its auxiliary copy since the scan.
+		if it := r.store.Get(key); it != nil {
+			r.intraNodePropagateLocked(it)
+		}
+		r.ctl.Unlock()
+		r.store.UnlockKey(key)
 	}
 }
 
-// intraNodePropagate is Fig. 4 for a single item. Caller holds the lock.
+// intraNodePropagateLocked is Fig. 4 for a single item. Caller holds the
+// item's shard write lock and the control mutex (or the full write sweep).
 //
 // While the earliest auxiliary record for the item carries exactly the
 // regular copy's IVV, its operation is replayed against the regular copy as
 // a fresh local update (IVV, DBVV and L_ii all advance). When the auxiliary
 // log holds no more records for the item and the regular copy has caught up
 // with (or passed) the auxiliary copy, the auxiliary copy is discarded.
-func (r *Replica) intraNodePropagate(it *store.Item) {
+func (r *Replica) intraNodePropagateLocked(it *store.Item) {
 	if it.Aux == nil {
 		return
 	}
 	for {
 		e := r.aux.Earliest(it.Key)
 		if e == nil {
-			r.met.IVVComparisons++
+			r.met.IVVComparisons.Add(1)
 			if it.IVV.DominatesOrEqual(it.Aux.IVV) {
 				it.Aux = nil
-				r.met.AuxCopiesFreed++
+				r.met.AuxCopiesFreed.Add(1)
 			}
 			return
 		}
-		r.met.IVVComparisons++
+		r.met.IVVComparisons.Add(1)
 		switch it.IVV.Compare(e.Pre) {
 		case vv.Equal:
 			newVal, err := e.Op.Apply(it.Value)
 			if err != nil {
 				// Ops are validated at Update time; failure here indicates
 				// corruption. Drop the record defensively.
-				r.met.AnomaliesIgnored++
+				r.met.AnomaliesIgnored.Add(1)
 				r.aux.Remove(e)
 				continue
 			}
@@ -524,7 +553,7 @@ func (r *Replica) intraNodePropagate(it *store.Item) {
 			r.dbvv.Inc(r.id)
 			r.logs.Component(r.id).Add(it.Key, r.dbvv[r.id])
 			r.aux.Remove(e)
-			r.met.AuxOpsReplayed++
+			r.met.AuxOpsReplayed.Add(1)
 		case vv.Concurrent:
 			r.declareConflict(Conflict{
 				Key:    it.Key,

@@ -6,11 +6,25 @@
 // itself (§5.2).
 //
 // A Replica is one server's state for one replicated database. All methods
-// are safe for concurrent use; a single mutex serializes each node's
-// actions, matching the paper's atomic-node-action model (§2.1). Update
-// propagation between two replicas is a three-step exchange (request,
-// build, apply) that never holds two replicas' locks at once, so any
-// pairing schedule — including the live TCP cluster — is deadlock-free.
+// are safe for concurrent use. The runtime is split into two tiers:
+//
+//   - the data plane — the sharded item store (internal/store), where
+//     Read/ReadIVV take only one shard read-lock and user updates on
+//     different shards run in parallel;
+//   - the control plane — DBVV, log vector, auxiliary log and the conflict
+//     list, guarded by one short-critical-section mutex that preserves the
+//     paper's atomic-node-action model (§2.1) for the protocol state.
+//
+// Lock order, everywhere: shard locks (ascending index) before the control
+// mutex, and never two replicas' locks at once. Update propagation between
+// two replicas is a three-step exchange (request, build, apply) that never
+// holds two replicas' locks together, so any pairing schedule — including
+// the live TCP cluster — is deadlock-free. Operations that need a
+// database-wide consistent view (building a propagation, snapshots,
+// invariant checks) take every shard lock plus the control mutex; because
+// an update holds its shard write-lock across its control-plane tail, such
+// a sweep can never observe an item IVV whose update is not yet counted in
+// the DBVV. See DESIGN.md §4c.
 package core
 
 import (
@@ -41,10 +55,11 @@ func (c Conflict) String() string {
 		c.Key, c.Stage, c.Local, c.Remote, c.Source)
 }
 
-// ConflictHandler is invoked, with the replica lock held, whenever the
-// protocol declares two copies inconsistent. The paper leaves resolution to
-// the application (often manual, §2); the default handler records the
-// conflict for retrieval via Conflicts.
+// ConflictHandler is invoked, with replica locks held, whenever the
+// protocol declares two copies inconsistent; it must not call back into
+// the replica. The paper leaves resolution to the application (often
+// manual, §2); the default handler records the conflict for retrieval via
+// Conflicts.
 type ConflictHandler func(Conflict)
 
 // Option configures a Replica at construction.
@@ -83,22 +98,33 @@ func WithDeltaPropagationDepth(depth int) Option {
 // Replica is one node's replica of the whole database plus all protocol
 // state: DBVV, log vector, auxiliary log and metrics.
 type Replica struct {
-	mu sync.Mutex
+	id int // this server's identifier, 0 <= id < n; immutable
 
-	id int // this server's identifier, 0 <= id < n
-	n  int // number of servers replicating the database
+	// ctl is the control-plane mutex: it guards dbvv, logs, aux and n —
+	// the small protocol state whose mutations must remain atomic node
+	// actions (§2.1). Acquired after any shard locks, never before.
+	ctl  sync.Mutex
+	n    int            // number of servers replicating the database
+	dbvv vv.VV          // database version vector V_i (§4.1)
+	logs *logvec.Vector // log vector L_i (§4.2)
+	aux  *auxlog.Log    // auxiliary log AUX_i (§4.4)
 
-	dbvv  vv.VV          // database version vector V_i (§4.1)
-	store *store.Store   // data items with IVVs and aux copies
-	logs  *logvec.Vector // log vector L_i (§4.2)
-	aux   *auxlog.Log    // auxiliary log AUX_i (§4.4)
+	// store is the data plane: items with IVVs and aux copies, sharded by
+	// key hash with per-shard RWMutexes.
+	store *store.Store
 
-	met        metrics.Counters
+	// met needs no lock at all: every field is an atomic.
+	met metrics.Atomic
+
+	// confMu is a leaf mutex guarding the conflict list and handler
+	// invocation; acquired last, with shard and/or control locks held.
+	confMu     sync.Mutex
 	onConflict ConflictHandler
 	conflicts  []Conflict
 
 	// deltaMode enables record-shipping propagation (WithDeltaPropagation);
-	// deltaDepth bounds the retained per-item delta chain.
+	// deltaDepth bounds the retained per-item delta chain. Immutable after
+	// construction/restore.
 	deltaMode  bool
 	deltaDepth int
 }
@@ -126,11 +152,44 @@ func NewReplica(id, n int, opts ...Option) *Replica {
 	return r
 }
 
+// lockAll takes a database-wide exclusive view: every shard write lock in
+// ascending order, then the control mutex. Used by the operations that
+// mutate items and control state together (accepting a propagation,
+// growth, restore).
+func (r *Replica) lockAll() {
+	r.store.LockAll()
+	r.ctl.Lock()
+}
+
+func (r *Replica) unlockAll() {
+	r.ctl.Unlock()
+	r.store.UnlockAll()
+}
+
+// rlockAll takes a database-wide consistent read view: every shard read
+// lock in ascending order, then the control mutex. Plain reads on any
+// shard still proceed concurrently; updates are excluded only for the
+// (brief) duration of the sweep. Used by propagation building, snapshots
+// and invariant checks.
+func (r *Replica) rlockAll() {
+	r.store.RLockAll()
+	r.ctl.Lock()
+}
+
+func (r *Replica) runlockAll() {
+	r.ctl.Unlock()
+	r.store.RUnlockAll()
+}
+
 // ID returns the server identifier.
 func (r *Replica) ID() int { return r.id }
 
 // Servers returns the replication factor n.
-func (r *Replica) Servers() int { return r.n }
+func (r *Replica) Servers() int {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	return r.n
+}
 
 // Update applies a user update to data item key (§5.3). If the item has an
 // auxiliary copy the update goes to it: the operation is appended to the
@@ -138,30 +197,45 @@ func (r *Replica) Servers() int { return r.n }
 // own component is incremented. Otherwise the update goes to the regular
 // copy: the regular IVV and the DBVV own components are incremented and a
 // log record (key, V_ii) is appended to L_ii.
+//
+// The operation is validated and applied before any state mutates: a
+// rejected update leaves no phantom item behind and moves no counter. The
+// item's shard is write-locked for the whole call — op.Apply runs there,
+// in parallel with updates on other shards — and the control mutex is
+// taken only for the short DBVV/log-append tail.
 func (r *Replica) Update(key string, o op.Op) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.store.LockKey(key)
+	defer r.store.UnlockKey(key)
 
-	it := r.store.Ensure(key)
-	r.met.UpdatesApplied++
-	if it.Aux != nil {
+	it := r.store.Get(key)
+	if it != nil && it.Aux != nil {
 		newVal, err := o.Apply(it.Aux.Value)
 		if err != nil {
 			return err
 		}
+		r.ctl.Lock()
 		r.aux.Append(key, it.Aux.IVV, o)
+		r.ctl.Unlock()
 		it.Aux.Value = newVal
 		it.Aux.IVV = it.Aux.IVV.Extended(r.id + 1)
 		it.Aux.IVV.Inc(r.id)
-		r.met.UpdatesAuxiliary++
+		r.met.UpdatesApplied.Add(1)
+		r.met.UpdatesAuxiliary.Add(1)
 		return nil
 	}
-	newVal, err := o.Apply(it.Value)
+	var old []byte
+	if it != nil {
+		old = it.Value
+	}
+	newVal, err := o.Apply(old)
 	if err != nil {
 		return err
+	}
+	if it == nil {
+		it = r.store.Ensure(key)
 	}
 	if r.deltaMode {
 		r.retainDelta(it, store.Delta{Op: o.Clone(), Pre: it.IVV.Clone(), Origin: r.id}, len(newVal))
@@ -169,9 +243,12 @@ func (r *Replica) Update(key string, o op.Op) error {
 	it.Value = newVal
 	it.IVV = it.IVV.Extended(r.id + 1)
 	it.IVV.Inc(r.id)
+	r.ctl.Lock()
 	r.dbvv.Inc(r.id)
 	r.logs.Component(r.id).Add(key, r.dbvv[r.id])
-	r.met.UpdatesRegular++
+	r.ctl.Unlock()
+	r.met.UpdatesApplied.Add(1)
+	r.met.UpdatesRegular.Add(1)
 	return nil
 }
 
@@ -181,7 +258,7 @@ func (r *Replica) Update(key string, o op.Op) error {
 // fresh chain. Prefix entries that make the chain as expensive as the value
 // itself (e.g. a whole-value Set) are trimmed eagerly — they could never
 // ship as a delta anyway, and keeping them blocks the cheap suffix. Caller
-// holds the lock; valueLen is the post-update value size.
+// holds the item's shard write lock; valueLen is the post-update value size.
 func (r *Replica) retainDelta(it *store.Item, d store.Delta, valueLen int) {
 	if len(it.Deltas) > 0 {
 		last := it.Deltas[len(it.Deltas)-1]
@@ -220,10 +297,12 @@ func trimUneconomicPrefix(it *store.Item, valueLen int) {
 
 // Read returns the value user operations observe for key — the auxiliary
 // copy if one exists, else the regular copy — and whether the item exists
-// at this replica. The returned slice is an independent copy.
+// at this replica. The returned slice is an independent copy. Only the
+// item's shard read-lock is taken: reads never contend with the control
+// plane or with activity on other shards.
 func (r *Replica) Read(key string) ([]byte, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.store.RLockKey(key)
+	defer r.store.RUnlockKey(key)
 	it := r.store.Get(key)
 	if it == nil {
 		return nil, false
@@ -233,8 +312,8 @@ func (r *Replica) Read(key string) ([]byte, bool) {
 
 // ReadIVV returns the version vector matching Read's value.
 func (r *Replica) ReadIVV(key string) (vv.VV, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.store.RLockKey(key)
+	defer r.store.RUnlockKey(key)
 	it := r.store.Get(key)
 	if it == nil {
 		return nil, false
@@ -244,16 +323,14 @@ func (r *Replica) ReadIVV(key string) (vv.VV, bool) {
 
 // DBVV returns a copy of the database version vector V_i.
 func (r *Replica) DBVV() vv.VV {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	return r.dbvv.Clone()
 }
 
 // Metrics returns a snapshot of the replica's overhead counters.
 func (r *Replica) Metrics() metrics.Counters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.met
+	return r.met.Snapshot()
 }
 
 // AddWireStats charges measured transport traffic to the replica's
@@ -262,25 +339,21 @@ func (r *Replica) Metrics() metrics.Counters {
 // outcomes. Unlike BytesSent, which is a protocol-shape estimate, these
 // report ground truth for TCP deployments; see metrics.Counters.
 func (r *Replica) AddWireStats(sent, recv, dials, reused uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.met.WireBytesSent += sent
-	r.met.WireBytesRecv += recv
-	r.met.Dials += dials
-	r.met.ConnsReused += reused
+	r.met.WireBytesSent.Add(sent)
+	r.met.WireBytesRecv.Add(recv)
+	r.met.Dials.Add(dials)
+	r.met.ConnsReused.Add(reused)
 }
 
 // ResetMetrics zeroes the replica's overhead counters.
 func (r *Replica) ResetMetrics() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.met.Reset()
 }
 
 // Conflicts returns the conflicts recorded by the default handler.
 func (r *Replica) Conflicts() []Conflict {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.confMu.Lock()
+	defer r.confMu.Unlock()
 	out := make([]Conflict, len(r.conflicts))
 	copy(out, r.conflicts)
 	return out
@@ -288,36 +361,45 @@ func (r *Replica) Conflicts() []Conflict {
 
 // Items returns the number of data items present at this replica.
 func (r *Replica) Items() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.store.Len()
+	n := 0
+	r.store.ForEachShard(func(items map[string]*store.Item) { n += len(items) })
+	return n
 }
 
 // LogRecords returns the total number of regular log records held — bounded
 // by n·N regardless of update volume (§4.2).
 func (r *Replica) LogRecords() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	return r.logs.Len()
 }
 
 // AuxRecords returns the number of auxiliary log records pending replay.
 func (r *Replica) AuxRecords() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
 	return r.aux.Len()
 }
 
 // AuxCopies returns the number of items currently holding auxiliary copies.
 func (r *Replica) AuxCopies() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.store.AuxCount()
+	n := 0
+	r.store.ForEachShard(func(items map[string]*store.Item) {
+		for _, it := range items {
+			if it.Aux != nil {
+				n++
+			}
+		}
+	})
+	return n
 }
 
-// declareConflict records a conflict and invokes the handler. Caller holds
-// the lock.
+// declareConflict records a conflict and invokes the handler. Callers hold
+// the affected item's shard lock and/or the control mutex; confMu is the
+// leaf that makes the list itself safe from either path.
 func (r *Replica) declareConflict(c Conflict) {
-	r.met.ConflictsDetected++
+	r.met.ConflictsDetected.Add(1)
+	r.confMu.Lock()
 	r.onConflict(c)
+	r.confMu.Unlock()
 }

@@ -95,6 +95,104 @@ func TestConcurrentSessionsStress(t *testing.T) {
 	}
 }
 
+// TestConcurrentSameKeyStress drives every kind of node action over one
+// shared key set at once: a single writer updates the keys, a reader per
+// replica reads those same keys, gossip workers run anti-entropy in all
+// directions and OOB workers copy the very same keys out-of-bound and
+// sweep intra-node propagation. This is the overlap the sharded data
+// plane must survive — reads, shard-local updates, all-shard propagation
+// snapshots and aux-copy adoption racing on the same items. Single-writer
+// keeps every IVV totally ordered (all updates originate at node 0), so
+// the run is conflict-free by construction: invariants must hold
+// throughout and a quiescent drain must converge.
+func TestConcurrentSameKeyStress(t *testing.T) {
+	const n = 4
+	const keys = 5
+	const perWorker = 300
+	sharedKey := func(i int) string { return fmt.Sprintf("shared-%d", i%keys) }
+	reps := make([]*Replica, n)
+	for i := range reps {
+		reps[i] = NewReplica(i, n)
+	}
+
+	var wg sync.WaitGroup
+	// The single writer, at node 0.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perWorker; i++ {
+			if err := reps[0].Update(sharedKey(i), op.NewAppend([]byte{byte(i)})); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// One reader per replica, on the writer's keys.
+	for node := 0; node < n; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reps[node].Read(sharedKey(i))
+				reps[node].ReadIVV(sharedKey(i + 1))
+			}
+		}(node)
+	}
+	// Gossip workers in all directions.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := (w + i) % n
+				s := (w + i + 1 + i%(n-1)) % n
+				if r != s {
+					AntiEntropy(reps[r], reps[s])
+				}
+			}
+		}(w)
+	}
+	// OOB workers copying the same keys across replicas.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker/2; i++ {
+				r := (w + i) % n
+				s := (r + 1 + i%(n-1)) % n
+				reps[r].CopyOutOfBound(sharedKey(i), reps[s])
+				reps[r].RunIntraNodePropagation()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, r := range reps {
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("after stress: %v", err)
+		}
+	}
+	for round := 0; round < 4*n; round++ {
+		for i := range reps {
+			AntiEntropy(reps[i], reps[(i+1)%n])
+		}
+		for _, r := range reps {
+			r.RunIntraNodePropagation()
+		}
+	}
+	if ok, why := Converged(reps...); !ok {
+		t.Fatalf("no convergence after drain: %s", why)
+	}
+	for _, r := range reps {
+		if len(r.Conflicts()) != 0 {
+			t.Fatalf("conflicts under a single writer: %v", r.Conflicts())
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestConcurrentDeltaModeStress repeats the stress under delta propagation,
 // which adds the two-round fetch path to the interleavings.
 func TestConcurrentDeltaModeStress(t *testing.T) {

@@ -1,0 +1,118 @@
+package metrics
+
+import "sync/atomic"
+
+// Atomic is the concurrency-safe mirror of Counters used on replica hot
+// paths: every field is an atomic, so reads, updates, OOB serving and
+// anti-entropy can charge their work without taking any replica lock. The
+// plain Counters struct remains the snapshot/exchange currency everywhere
+// else (baselines, the simulator, experiment tables); Snapshot converts.
+//
+// Snapshot loads each field individually, so a snapshot taken while
+// counters move is not a single atomic cut across fields — fine for
+// monitoring and for the quiescent points where tests compare exact values.
+type Atomic struct {
+	DBVVComparisons atomic.Uint64
+	IVVComparisons  atomic.Uint64
+	SeqComparisons  atomic.Uint64
+
+	ItemsExamined atomic.Uint64
+	ItemsSent     atomic.Uint64
+	ItemsCopied   atomic.Uint64
+
+	LogRecordsSent    atomic.Uint64
+	LogRecordsApplied atomic.Uint64
+
+	Messages  atomic.Uint64
+	BytesSent atomic.Uint64
+
+	WireBytesSent atomic.Uint64
+	WireBytesRecv atomic.Uint64
+	Dials         atomic.Uint64
+	ConnsReused   atomic.Uint64
+
+	Propagations     atomic.Uint64
+	PropagationNoops atomic.Uint64
+
+	ConflictsDetected atomic.Uint64
+	AnomaliesIgnored  atomic.Uint64
+
+	OOBRequests      atomic.Uint64
+	OOBAdopted       atomic.Uint64
+	AuxOpsReplayed   atomic.Uint64
+	AuxCopiesFreed   atomic.Uint64
+	UpdatesApplied   atomic.Uint64
+	UpdatesRegular   atomic.Uint64
+	UpdatesAuxiliary atomic.Uint64
+
+	DeltasSent    atomic.Uint64
+	DeltasApplied atomic.Uint64
+	FullFetches   atomic.Uint64
+}
+
+// Snapshot returns the current counter values as a plain Counters.
+func (a *Atomic) Snapshot() Counters {
+	return Counters{
+		DBVVComparisons:   a.DBVVComparisons.Load(),
+		IVVComparisons:    a.IVVComparisons.Load(),
+		SeqComparisons:    a.SeqComparisons.Load(),
+		ItemsExamined:     a.ItemsExamined.Load(),
+		ItemsSent:         a.ItemsSent.Load(),
+		ItemsCopied:       a.ItemsCopied.Load(),
+		LogRecordsSent:    a.LogRecordsSent.Load(),
+		LogRecordsApplied: a.LogRecordsApplied.Load(),
+		Messages:          a.Messages.Load(),
+		BytesSent:         a.BytesSent.Load(),
+		WireBytesSent:     a.WireBytesSent.Load(),
+		WireBytesRecv:     a.WireBytesRecv.Load(),
+		Dials:             a.Dials.Load(),
+		ConnsReused:       a.ConnsReused.Load(),
+		Propagations:      a.Propagations.Load(),
+		PropagationNoops:  a.PropagationNoops.Load(),
+		ConflictsDetected: a.ConflictsDetected.Load(),
+		AnomaliesIgnored:  a.AnomaliesIgnored.Load(),
+		OOBRequests:       a.OOBRequests.Load(),
+		OOBAdopted:        a.OOBAdopted.Load(),
+		AuxOpsReplayed:    a.AuxOpsReplayed.Load(),
+		AuxCopiesFreed:    a.AuxCopiesFreed.Load(),
+		UpdatesApplied:    a.UpdatesApplied.Load(),
+		UpdatesRegular:    a.UpdatesRegular.Load(),
+		UpdatesAuxiliary:  a.UpdatesAuxiliary.Load(),
+		DeltasSent:        a.DeltasSent.Load(),
+		DeltasApplied:     a.DeltasApplied.Load(),
+		FullFetches:       a.FullFetches.Load(),
+	}
+}
+
+// Reset zeroes every counter. Not atomic across fields; callers reset at
+// quiescent points (between experiment phases), as with Counters.Reset.
+func (a *Atomic) Reset() {
+	a.DBVVComparisons.Store(0)
+	a.IVVComparisons.Store(0)
+	a.SeqComparisons.Store(0)
+	a.ItemsExamined.Store(0)
+	a.ItemsSent.Store(0)
+	a.ItemsCopied.Store(0)
+	a.LogRecordsSent.Store(0)
+	a.LogRecordsApplied.Store(0)
+	a.Messages.Store(0)
+	a.BytesSent.Store(0)
+	a.WireBytesSent.Store(0)
+	a.WireBytesRecv.Store(0)
+	a.Dials.Store(0)
+	a.ConnsReused.Store(0)
+	a.Propagations.Store(0)
+	a.PropagationNoops.Store(0)
+	a.ConflictsDetected.Store(0)
+	a.AnomaliesIgnored.Store(0)
+	a.OOBRequests.Store(0)
+	a.OOBAdopted.Store(0)
+	a.AuxOpsReplayed.Store(0)
+	a.AuxCopiesFreed.Store(0)
+	a.UpdatesApplied.Store(0)
+	a.UpdatesRegular.Store(0)
+	a.UpdatesAuxiliary.Store(0)
+	a.DeltasSent.Store(0)
+	a.DeltasApplied.Store(0)
+	a.FullFetches.Store(0)
+}

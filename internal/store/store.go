@@ -4,12 +4,19 @@
 // and — when the item has been copied out-of-bound — a parallel auxiliary
 // copy with its own auxiliary IVV (§4.3).
 //
-// The store is a single node's state; it performs no synchronization.
-// The owning replica (internal/core) serializes access.
+// The store is the replica's *data plane*: items live in a fixed number of
+// key-hashed shards, each guarded by its own RWMutex, so reads and updates
+// on different shards proceed in parallel. The store exposes the locks but
+// never takes them on the caller's behalf: accessors (Get, Ensure, ForEach,
+// …) require the caller to hold the appropriate shard lock(s). The owning
+// replica (internal/core) combines shard locks with its control-plane mutex
+// under a fixed order — shard locks (ascending index) before the control
+// mutex — documented in DESIGN.md §4c.
 package store
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/op"
 	"repro/internal/vv"
@@ -75,6 +82,9 @@ func ChainValid(chain []Delta, ivv vv.VV) bool {
 // an optional auxiliary copy. The selected flag implements the paper's
 // IsSelected bit; it is owned by SendPropagation and is always false
 // outside that procedure.
+//
+// Item fields are protected by the item's shard lock: every mutation holds
+// the shard write lock, every read at least the shard read lock.
 type Item struct {
 	Key   string
 	Value []byte
@@ -114,73 +124,175 @@ func (it *Item) CurrentIVV() vv.VV {
 	return it.IVV
 }
 
-// Store is one node's replica of the whole database.
-type Store struct {
-	n     int // number of servers replicating the database
+// ShardCount is the number of key-hashed shards per store. A fixed power of
+// two: enough to spread a handful of writer goroutines plus the read load
+// of many more, small enough that the all-shard lock sweeps used by
+// snapshots and anti-entropy commits stay cheap.
+const ShardCount = 32
+
+type shard struct {
+	mu    sync.RWMutex
 	items map[string]*Item
+}
+
+// Store is one node's replica of the whole database, sharded by key hash.
+type Store struct {
+	// n is the number of servers replicating the database. Written only
+	// under all shard write locks (Grow); read under any shard lock.
+	n      int
+	shards [ShardCount]shard
 }
 
 // New returns an empty store for a database replicated across n servers.
 func New(n int) *Store {
-	return &Store{n: n, items: make(map[string]*Item)}
+	s := &Store{n: n}
+	for i := range s.shards {
+		s.shards[i].items = make(map[string]*Item)
+	}
+	return s
+}
+
+// shardOf hashes key to its shard (FNV-1a, masked).
+func (s *Store) shardOf(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &s.shards[h&(ShardCount-1)]
+}
+
+// RLockKey / RUnlockKey take and release the read lock of key's shard.
+func (s *Store) RLockKey(key string)   { s.shardOf(key).mu.RLock() }
+func (s *Store) RUnlockKey(key string) { s.shardOf(key).mu.RUnlock() }
+
+// LockKey / UnlockKey take and release the write lock of key's shard.
+func (s *Store) LockKey(key string)   { s.shardOf(key).mu.Lock() }
+func (s *Store) UnlockKey(key string) { s.shardOf(key).mu.Unlock() }
+
+// RLockAll takes every shard read lock in ascending index order — the
+// store-wide prefix of the replica's lock order. Reads on any shard still
+// proceed concurrently; writes are excluded until RUnlockAll.
+func (s *Store) RLockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+}
+
+// RUnlockAll releases every shard read lock.
+func (s *Store) RUnlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+}
+
+// LockAll takes every shard write lock in ascending index order.
+func (s *Store) LockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+// UnlockAll releases every shard write lock.
+func (s *Store) UnlockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
 }
 
 // Servers returns the number of servers n the store was created for.
+// Caller holds at least one shard lock (or owns the store exclusively).
 func (s *Store) Servers() int { return s.n }
 
 // Grow raises the server count; newly created items get version vectors of
 // the new length. Existing items keep their shorter vectors (missing
-// components are implicitly zero).
+// components are implicitly zero). Caller holds all shard write locks.
 func (s *Store) Grow(n int) {
 	if n > s.n {
 		s.n = n
 	}
 }
 
-// Len returns the number of data items present.
-func (s *Store) Len() int { return len(s.items) }
+// Len returns the number of data items present. Caller holds all shard
+// locks (read suffices).
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].items)
+	}
+	return n
+}
 
 // Get returns the item for key, or nil if the store has never seen it.
-func (s *Store) Get(key string) *Item { return s.items[key] }
+// Caller holds key's shard lock (read suffices).
+func (s *Store) Get(key string) *Item { return s.shardOf(key).items[key] }
 
 // Ensure returns the item for key, creating a fresh zero-valued item (empty
 // value, zero IVV) if it does not exist yet. The paper's model has a fixed
 // item universe; items materialize on first touch with the initial state
-// every node agrees on.
+// every node agrees on. Caller holds key's shard write lock.
 func (s *Store) Ensure(key string) *Item {
-	if it, ok := s.items[key]; ok {
+	sh := s.shardOf(key)
+	if it, ok := sh.items[key]; ok {
 		return it
 	}
 	it := &Item{Key: key, Value: []byte{}, IVV: vv.New(s.n)}
-	s.items[key] = it
+	sh.items[key] = it
 	return it
 }
 
 // Keys returns all item keys in sorted order. Intended for tests, snapshots
-// and tools — not used on protocol hot paths.
+// and tools — not used on protocol hot paths. Caller holds all shard locks
+// (read suffices).
 func (s *Store) Keys() []string {
-	keys := make([]string, 0, len(s.items))
-	for k := range s.items {
-		keys = append(keys, k)
+	keys := make([]string, 0, s.Len())
+	for i := range s.shards {
+		for k := range s.shards[i].items {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return keys
 }
 
 // ForEach calls fn for every item in unspecified order. Mutating the item
-// is allowed; adding or removing items is not.
+// is allowed when the caller holds the shard write locks; adding or
+// removing items is not. Caller holds all shard locks.
 func (s *Store) ForEach(fn func(*Item)) {
-	for _, it := range s.items {
-		fn(it)
+	for i := range s.shards {
+		for _, it := range s.shards[i].items {
+			fn(it)
+		}
+	}
+}
+
+// ForEachShard calls fn once per shard, with that shard's read lock held,
+// passing the shard's items. Unlike ForEach it takes the locks itself, one
+// shard at a time, so concurrent writers to other shards are not blocked;
+// the view is per-shard consistent, not store-wide consistent. fn must not
+// mutate.
+func (s *Store) ForEachShard(fn func(items map[string]*Item)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		fn(sh.items)
+		sh.mu.RUnlock()
 	}
 }
 
 // AuxCount returns the number of items currently holding auxiliary copies.
+// Caller holds all shard locks (read suffices).
 func (s *Store) AuxCount() int {
 	n := 0
-	for _, it := range s.items {
-		if it.Aux != nil {
-			n++
+	for i := range s.shards {
+		for _, it := range s.shards[i].items {
+			if it.Aux != nil {
+				n++
+			}
 		}
 	}
 	return n
