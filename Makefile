@@ -3,14 +3,25 @@
 
 GO ?= go
 
-.PHONY: check vet build test race test-all bench fuzz-wire
+.PHONY: check vet build test race test-all bench fuzz-wire lint
 
 ## check: the documented tier-1 + race gate (vet, build, race on the
-## concurrent packages, then the full test suite).
-check: vet build race test-all
+## concurrent packages, the full test suite, then the static-analysis
+## gate).
+check: vet build race test-all lint
 
+## vet: the toolchain's standard passes. unusedwrite is not among them —
+## it lives in golang.org/x/tools, which the hermetic build cannot
+## download — so the unusedwrite coverage comes from epilint's
+## reimplementation in `make lint` instead.
 vet:
 	$(GO) vet ./...
+
+## lint: build and run epilint — the protocol analyzers (lockorder,
+## vvalias, ctlheld, atomiccounter) plus the lite standard passes — over
+## the whole repository. See DESIGN.md §4d.
+lint:
+	$(GO) run ./cmd/epilint ./...
 
 build:
 	$(GO) build ./...

@@ -1,3 +1,14 @@
+// The module is deliberately dependency-free. In particular there is no
+// golang.org/x/tools requirement: epilint (internal/lint) mirrors the
+// go/analysis API on the standard library alone, loading packages
+// offline from `go list -export` data, so the lint gate runs in
+// hermetic builds with no module downloads. If x/tools ever becomes
+// vendorable here, internal/lint is shaped for a wholesale migration.
+//
+// The toolchain line pins the exact Go release so CI (setup-go reads
+// this file) and local runs typecheck, vet and lint identically.
 module repro
 
 go 1.22
+
+toolchain go1.24.0

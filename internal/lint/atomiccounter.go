@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicCounter flags plain-integer counter mutations (x.f++, x.f += n)
+// on structs that already carry atomic counters (sync/atomic value types
+// or a metrics.Atomic field). Such a struct is concurrently accessed by
+// design — that is why it has atomics — so a plain field increment on it
+// is a data race waiting for a schedule; the counter belongs in
+// metrics.Atomic or an atomic.Uint64.
+var AtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc: "flag plain integer counter increments on structs that already " +
+		"hold atomic counters; use metrics.Atomic / atomic.Uint64 instead",
+	Run: runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.IncDecStmt:
+				checkCounterWrite(pass, s.X, s.Pos())
+			case *ast.AssignStmt:
+				switch s.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+					for _, lhs := range s.Lhs {
+						checkCounterWrite(pass, lhs, s.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkCounterWrite(pass *Pass, lhs ast.Expr, pos token.Pos) {
+	sel, ok := unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !field.IsField() {
+		return
+	}
+	if basic, ok := field.Type().Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	owner := structOf(pass.TypeOf(sel.X))
+	if owner == nil {
+		return
+	}
+	if atomicField := findAtomicField(owner); atomicField != "" {
+		pass.Reportf(pos, "plain integer increment of %s on a struct whose field %s already counts atomically; a racy schedule loses updates — use atomic.Uint64 / metrics.Atomic", sel.Sel.Name, atomicField)
+	}
+}
+
+// structOf unwraps pointers and names to the underlying struct, or nil.
+func structOf(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+// findAtomicField returns the name of the first field of s whose type is
+// a sync/atomic value type or a metrics.Atomic, or "".
+func findAtomicField(s *types.Struct) string {
+	for i := 0; i < s.NumFields(); i++ {
+		if isAtomicType(s.Field(i).Type()) {
+			return s.Field(i).Name()
+		}
+	}
+	return ""
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path == "sync/atomic" {
+		return true
+	}
+	return obj.Name() == "Atomic" && strings.HasSuffix(path, "/metrics")
+}

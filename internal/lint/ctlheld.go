@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtlHeld enforces DESIGN.md §4c's "short critical sections" rule: no
+// call that can block — network I/O, the transport/wire entry points,
+// time.Sleep, channel operations, WaitGroup/Cond waits — may run while
+// the control mutex or a shard lock is held. Critical sections under ctl
+// must be O(1) bookkeeping; anything that can wait on the outside world
+// stalls every update (and, under the all-shard sweep, every read) on the
+// replica.
+var CtlHeld = &Analyzer{
+	Name: "ctlheld",
+	Doc: "forbid potentially blocking calls (net, transport/wire I/O, " +
+		"time.Sleep, channel operations) while the control mutex or a " +
+		"shard lock is held (DESIGN.md §4c)",
+	Run: runCtlHeld,
+}
+
+func runCtlHeld(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{
+				pass: pass,
+				onCall: func(call *ast.CallExpr, held []heldLock) {
+					if lockDesc := heldDesc(held); lockDesc != "" {
+						if what := blockingCall(pass, call); what != "" {
+							pass.Reportf(call.Pos(), "%s while the %s is held; no blocking work under replica locks (DESIGN.md §4c)", what, lockDesc)
+						}
+					}
+				},
+				onStmt: func(stmt ast.Stmt, held []heldLock) {
+					lockDesc := heldDesc(held)
+					if lockDesc == "" {
+						return
+					}
+					switch s := stmt.(type) {
+					case *ast.SendStmt:
+						pass.Reportf(s.Pos(), "channel send while the %s is held; no blocking work under replica locks (DESIGN.md §4c)", lockDesc)
+					case *ast.SelectStmt:
+						if !selectHasDefault(s) {
+							pass.Reportf(s.Pos(), "blocking select while the %s is held; no blocking work under replica locks (DESIGN.md §4c)", lockDesc)
+						}
+					}
+				},
+				onRecv: func(expr *ast.UnaryExpr, held []heldLock) {
+					if lockDesc := heldDesc(held); lockDesc != "" {
+						pass.Reportf(expr.Pos(), "channel receive while the %s is held; no blocking work under replica locks (DESIGN.md §4c)", lockDesc)
+					}
+				},
+			}
+			w.walkFunc(fn.Body)
+		}
+	}
+}
+
+// heldDesc names the most constraining protocol lock held, or "".
+func heldDesc(held []heldLock) string {
+	desc := ""
+	for _, h := range held {
+		switch h.kind {
+		case lockCtl:
+			return "control mutex"
+		case lockShard, lockShardAll:
+			desc = h.kind.String()
+		}
+	}
+	return desc
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall classifies a call that can block, returning a short
+// description, or "" for calls considered non-blocking.
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := obj.Pkg().Path()
+	name := obj.Name()
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep"
+	case pkg == "net" || strings.HasPrefix(pkg, "net/"):
+		return "net I/O call " + name
+	case pkg == "sync" && name == "Wait":
+		return "sync wait " + name
+	case pkg == "os/exec":
+		return "subprocess call " + name
+	case strings.HasSuffix(pkg, "internal/transport"):
+		return "transport entry point " + name
+	case strings.HasSuffix(pkg, "internal/wire") && (strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Write")):
+		return "wire I/O " + name
+	}
+	return ""
+}
+
+// calleeObject resolves the function or method object a call invokes.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package lint implements epilint, a static-analysis suite that enforces
+// the protocol's concurrency and version-vector invariants at the source
+// level — the conventions DESIGN.md §4c/§4d can otherwise only document:
+//
+//   - lockorder: shard locks (ascending index) → control mutex → conflict
+//     leaf, never backwards, never twice;
+//   - vvalias: a vv.VV received from a caller is never stored, returned,
+//     or handed to a goroutine without an intervening Clone(), and never
+//     mutated in place;
+//   - ctlheld: nothing that can block (network, transport/wire entry
+//     points, channels, time.Sleep) runs under the control mutex or a
+//     shard lock;
+//   - atomiccounter: structs that already count atomically do not grow
+//     racy plain-integer counters.
+//
+// The suite mirrors the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic) but is built purely on the standard library's go/ast
+// and go/types: the build environment is hermetic — no module downloads —
+// so the framework is reimplemented rather than imported. Packages are
+// loaded and typechecked offline from the build cache's export data (see
+// load.go); cmd/epilint is the multichecker driver and linttest the
+// analysistest-style fixture runner.
+//
+// False positives are suppressed with the staticcheck convention:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it. The driver drops matching
+// diagnostics; an ignore directive without a reason is itself an error.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, shaped like x/tools' analysis.Analyzer so
+// the suite can migrate to the real framework wholesale if the dependency
+// ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports diagnostics for one package via pass.Report.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position, with //lint:ignore suppression applied.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+			}
+			a.Run(pass)
+		}
+		for _, d := range pkgDiags {
+			if !ignores.matches(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ignoreSet maps file → line → analyzer names suppressed on that line.
+type ignoreSet map[string]map[int][]string
+
+// collectIgnores parses //lint:ignore directives. A directive suppresses
+// the named analyzers (comma-separated, or "all") on its own line and on
+// the line below — covering both end-of-line and line-above placement.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names := strings.Split(fields[0], ",")
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int][]string{}
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set[pos.Filename][line] = append(set[pos.Filename][line], names...)
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) matches(d Diagnostic) bool {
+	for _, name := range s[d.Pos.Filename][d.Pos.Line] {
+		if name == d.Analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the full epilint suite: the four protocol analyzers plus the
+// stdlib-only reimplementations of the standard passes (copylocks,
+// unusedwrite, nilness) that x/tools would otherwise provide.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		VVAlias,
+		CtlHeld,
+		AtomicCounter,
+		CopyLocks,
+		UnusedWrite,
+		Nilness,
+	}
+}
+
+// ByName returns the analyzers selected by a comma-separated name list
+// ("" or "all" selects the full suite).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

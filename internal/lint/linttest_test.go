@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The analysistest-style fixture runner: each directory under testdata/
+// holds one package of fixture code whose expected findings are written
+// as `// want "regex"` comments on the offending lines. The runner loads
+// the directory offline (LoadDir), applies the analyzers under test, and
+// requires an exact match: every expectation hit by a diagnostic whose
+// message matches the regex, and no diagnostic without an expectation.
+// Negative cases are simply fixture functions with no want comment.
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkFixture runs analyzers over testdata/<name> and matches findings
+// against the fixture's want comments.
+func checkFixture(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", name)
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, a[1], err)
+					}
+					expects = append(expects, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+
+	if len(expects) == 0 {
+		t.Fatalf("fixture %s has no want comments; positives would pass vacuously", dir)
+	}
+
+	diags := Run([]*Package{pkg}, analyzers)
+	for _, d := range diags {
+		if e := matchExpectation(expects, d.Pos.Filename, d.Pos.Line, d.Message); e != nil {
+			e.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic %s", d)
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func matchExpectation(expects []*expectation, file string, line int, msg string) *expectation {
+	base := filepath.Base(file)
+	for _, e := range expects {
+		if !e.matched && e.file == base && e.line == line && e.re.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestLockOrderFixtures(t *testing.T)     { checkFixture(t, "lockorder", LockOrder) }
+func TestVVAliasFixtures(t *testing.T)       { checkFixture(t, "vvalias", VVAlias) }
+func TestCtlHeldFixtures(t *testing.T)       { checkFixture(t, "ctlheld", CtlHeld) }
+func TestAtomicCounterFixtures(t *testing.T) { checkFixture(t, "atomiccounter", AtomicCounter) }
+
+// The lite standard passes share one fixture package.
+func TestStdFixtures(t *testing.T) { checkFixture(t, "std", CopyLocks, UnusedWrite, Nilness) }
+
+// TestSuiteCleanOnOwnTree is the self-test: the full suite over the
+// analyzer package itself must be clean.
+func TestSuiteCleanOnOwnTree(t *testing.T) {
+	pkgs, err := Load("", ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("unexpected diagnostic in internal/lint: %s", d)
+	}
+}
+
+// TestByName exercises the driver's analyzer selection.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("lockorder,vvalias")
+	if err != nil || len(two) != 2 || two[0] != LockOrder || two[1] != VVAlias {
+		t.Fatalf("ByName(lockorder,vvalias) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) did not error")
+	}
+}
+
+func ExampleDiagnostic() {
+	d := Diagnostic{Analyzer: "lockorder", Message: "example finding"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "replica.go", 10, 2
+	fmt.Println(d)
+	// Output: replica.go:10:2: [lockorder] example finding
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockOrder enforces DESIGN.md §4c's lock order within each function:
+// shard locks in ascending index order, then the control mutex `ctl`,
+// then the conflict-leaf mutex `confMu` — never backwards, never the same
+// lock twice, and never a fresh shard acquisition under the all-shard
+// sweep. It also flags calling declareConflict (which takes confMu
+// itself) while confMu is already held.
+//
+// The check is lexical and intra-procedural: it sees the acquisition
+// order a single function exhibits, which is exactly the granularity at
+// which the convention is written. Acquiring two single-shard locks whose
+// indices cannot be proven ascending is flagged too: with FNV-hashed
+// shards no source-level expression proves order, so multi-shard plans
+// must go through the LockAll/RLockAll sweep.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "enforce the shard → ctl → conflict-leaf lock order " +
+		"(DESIGN.md §4c): no shard acquisition under the control mutex, " +
+		"no unordered multi-shard locking, no re-entrant acquisition",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &lockWalker{
+				pass:      pass,
+				onAcquire: func(op lockOp, held []heldLock) { checkLockOrder(pass, op, held) },
+				onCall:    func(call *ast.CallExpr, held []heldLock) { checkConflictLeafCall(pass, call, held) },
+			}
+			w.walkFunc(fn.Body)
+		}
+	}
+}
+
+func checkLockOrder(pass *Pass, op lockOp, held []heldLock) {
+	for _, h := range held {
+		switch op.kind {
+		case lockShard:
+			switch h.kind {
+			case lockCtl, lockConf:
+				pass.Reportf(op.pos, "acquires a shard lock while the %s is held; lock order is shard locks → ctl → conflict leaf", h.kind)
+			case lockShardAll:
+				pass.Reportf(op.pos, "acquires a shard lock under the all-shard sweep; the sweep already holds every shard")
+			case lockShard:
+				switch {
+				case h.perIter && op.perIter && h.key == op.key:
+					// Successive iterations of an ascending sweep loop
+					// (`for i := range s.shards { s.shards[i].mu.Lock() }`):
+					// same rendered key, but each iteration locks a
+					// distinct shard in ascending order.
+				case h.key == op.key:
+					pass.Reportf(op.pos, "re-acquires the shard lock for %s already held; self-deadlock on the shard mutex", op.key)
+				case h.idx >= 0 && op.idx >= 0:
+					if op.idx <= h.idx {
+						pass.Reportf(op.pos, "acquires shard %d after shard %d; shard locks must be taken in ascending index order", op.idx, h.idx)
+					}
+				default:
+					pass.Reportf(op.pos, "acquires a second shard lock (key %s) while the shard lock for %s is held; ascending order cannot be proven — use the LockAll/RLockAll sweep", op.key, h.key)
+				}
+			}
+		case lockShardAll:
+			switch h.kind {
+			case lockShard:
+				pass.Reportf(op.pos, "starts the all-shard sweep while the shard lock for %s is held; the sweep must be the first shard acquisition", h.key)
+			case lockShardAll:
+				pass.Reportf(op.pos, "starts the all-shard sweep twice; self-deadlock on the first shard mutex")
+			case lockCtl, lockConf:
+				pass.Reportf(op.pos, "starts the all-shard sweep while the %s is held; lock order is shard locks → ctl → conflict leaf", h.kind)
+			}
+		case lockCtl:
+			switch h.kind {
+			case lockCtl:
+				pass.Reportf(op.pos, "acquires the control mutex while already held; sync.Mutex is not re-entrant")
+			case lockConf:
+				pass.Reportf(op.pos, "acquires the control mutex while the conflict-leaf mutex is held; the conflict leaf is acquired last")
+			}
+		case lockConf:
+			if h.kind == lockConf {
+				pass.Reportf(op.pos, "acquires the conflict-leaf mutex while already held; self-deadlock")
+			}
+		}
+	}
+}
+
+// checkConflictLeafCall flags invoking the conflict handler path while the
+// conflict-leaf mutex is already held: declareConflict takes confMu itself,
+// so the call would self-deadlock.
+func checkConflictLeafCall(pass *Pass, call *ast.CallExpr, held []heldLock) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "declareConflict" {
+		return
+	}
+	for _, h := range held {
+		if h.kind == lockConf {
+			pass.Reportf(call.Pos(), "calls declareConflict while the conflict-leaf mutex is held; declareConflict acquires it itself")
+			return
+		}
+	}
+}

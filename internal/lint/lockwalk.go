@@ -1,0 +1,652 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lexical lock tracking shared by the lockorder and ctlheld analyzers.
+//
+// The walker is intra-procedural and name-driven: it recognizes the
+// repository's locking vocabulary — the store's shard-lock accessors
+// (LockKey/RLockKey/LockAll/RLockAll and their unlocks), the replica's
+// lockAll/rlockAll sweep helpers, and Lock/Unlock calls on sync mutex
+// fields named ctl (control plane), confMu (conflict leaf) or reached via
+// a shards[i].mu selector — and simulates which locks are held at each
+// statement. Control flow is handled conservatively: branches merge by
+// union (a lock held on either path counts as held), loop bodies are
+// walked twice so a lock leaked by iteration k is seen held at iteration
+// k+1, deferred unlocks keep their lock held to the end of the function,
+// and function literals are walked with the current lock set (callbacks
+// like store.ForEach run synchronously under the caller's locks) except
+// under `go`, where they start with no locks held.
+
+type lockKind int
+
+const (
+	lockShard    lockKind = iota // one shard: LockKey/RLockKey or shards[i].mu
+	lockShardAll                 // all-shard sweep: LockAll/RLockAll
+	lockCtl                      // the control-plane mutex field `ctl`
+	lockConf                     // the conflict-leaf mutex field `confMu`
+)
+
+func (k lockKind) String() string {
+	switch k {
+	case lockShard:
+		return "shard lock"
+	case lockShardAll:
+		return "all-shard sweep"
+	case lockCtl:
+		return "control mutex"
+	default:
+		return "conflict-leaf mutex"
+	}
+}
+
+// lockOp is one recognized acquire or release.
+type lockOp struct {
+	kind    lockKind
+	acquire bool
+	write   bool   // write lock (Lock) vs read lock (RLock)
+	key     string // shard only: rendered key or index expression
+	idx     int64  // shard only: constant index, else -1
+	perIter bool   // shard only: keyed by an ascending loop's variable
+	pos     token.Pos
+}
+
+// heldLock is one lock in the simulated held set.
+type heldLock struct {
+	kind    lockKind
+	write   bool
+	key     string
+	idx     int64
+	perIter bool
+	pos     token.Pos
+}
+
+type lockState struct {
+	held []heldLock
+}
+
+func (s *lockState) clone() *lockState {
+	return &lockState{held: append([]heldLock(nil), s.held...)}
+}
+
+func (s *lockState) acquire(op lockOp) {
+	s.held = append(s.held, heldLock{kind: op.kind, write: op.write, key: op.key, idx: op.idx, perIter: op.perIter, pos: op.pos})
+}
+
+func (s *lockState) release(op lockOp) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		h := s.held[i]
+		if h.kind != op.kind {
+			continue
+		}
+		if op.kind == lockShard && h.key != op.key {
+			continue
+		}
+		s.held = append(s.held[:i], s.held[i+1:]...)
+		return
+	}
+}
+
+func (s *lockState) holds(kind lockKind) bool {
+	for _, h := range s.held {
+		if h.kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *lockState) holdsAny() bool { return len(s.held) > 0 }
+
+// merge unions other's held set into s (by kind+key identity).
+func (s *lockState) merge(other *lockState) {
+	for _, h := range other.held {
+		found := false
+		for _, g := range s.held {
+			if g.kind == h.kind && g.key == h.key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.held = append(s.held, h)
+		}
+	}
+}
+
+func (s *lockState) equal(other *lockState) bool {
+	if len(s.held) != len(other.held) {
+		return false
+	}
+	for i := range s.held {
+		if s.held[i].kind != other.held[i].kind || s.held[i].key != other.held[i].key {
+			return false
+		}
+	}
+	return true
+}
+
+// lockWalker walks one function body, invoking the hooks with the lock
+// state in effect at each point. Any hook may be nil.
+type lockWalker struct {
+	pass *Pass
+
+	// loopVars holds the index variables of the ascending loops currently
+	// being walked. A shard acquisition keyed by one of them is the
+	// canonical one-shard-per-iteration sweep (`for i := range s.shards {
+	// s.shards[i].mu.Lock() }`): each iteration locks a distinct,
+	// ascending shard, so the cross-iteration pass must not read two such
+	// acquisitions as a re-entrant or unordered pair.
+	loopVars map[types.Object]bool
+
+	// onAcquire fires for each recognized lock acquisition, with the set
+	// held immediately before it.
+	onAcquire func(op lockOp, held []heldLock)
+	// onCall fires for every call that is not itself a lock operation.
+	onCall func(call *ast.CallExpr, held []heldLock)
+	// onStmt fires for channel sends and select statements.
+	onStmt func(stmt ast.Stmt, held []heldLock)
+	// onRecv fires for channel receive expressions.
+	onRecv func(expr *ast.UnaryExpr, held []heldLock)
+}
+
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	w.walkStmts(body.List, &lockState{})
+}
+
+// walkStmts simulates the statement list, returning true when control
+// cannot flow past the end (return/branch/panic).
+func (w *lockWalker) walkStmts(list []ast.Stmt, st *lockState) bool {
+	for _, stmt := range list {
+		if w.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, st *lockState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.walkExpr(s.X, st, false)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.walkExpr(e, st, false)
+		}
+		for _, e := range s.Lhs {
+			w.walkExpr(e, st, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v, st, false)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held for the rest of the body
+		// (which is exactly the window the analyzers must inspect), so the
+		// release is deliberately not applied. Deferred non-lock calls run
+		// at return time, outside any lexical window; only their argument
+		// expressions are walked.
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, st, false)
+		}
+		if len(w.classifyLockCall(s.Call)) == 0 {
+			w.walkExpr(s.Call.Fun, st, true)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine starts with no locks held.
+		empty := &lockState{}
+		for _, arg := range s.Call.Args {
+			w.walkExpr(arg, empty, false)
+		}
+		w.walkExpr(s.Call.Fun, empty, false)
+	case *ast.SendStmt:
+		if w.onStmt != nil {
+			w.onStmt(s, st.held)
+		}
+		w.walkExpr(s.Chan, st, false)
+		w.walkExpr(s.Value, st, false)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkExpr(s.Cond, st, false)
+		bodySt := st.clone()
+		bodyTerm := w.walkStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		elseTerm := false
+		hasElse := s.Else != nil
+		if hasElse {
+			elseTerm = w.walkStmt(s.Else, elseSt)
+		}
+		// Merge the surviving paths; with no else branch the fall-through
+		// path is the entry state itself.
+		out := &lockState{}
+		survivors := 0
+		if !bodyTerm {
+			out.merge(bodySt)
+			survivors++
+		}
+		if hasElse && !elseTerm {
+			out.merge(elseSt)
+			survivors++
+		}
+		if !hasElse {
+			out.merge(st)
+			survivors++
+		}
+		if survivors == 0 {
+			return true
+		}
+		st.held = out.held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.walkExpr(s.Cond, st, false)
+		}
+		release := w.registerLoopVar(ascendingForVar(w.pass, s))
+		w.walkLoopBody(s.Body, s.Post, st)
+		release()
+	case *ast.RangeStmt:
+		w.walkExpr(s.X, st, false)
+		release := w.registerLoopVar(ascendingRangeVar(w.pass, s))
+		w.walkLoopBody(s.Body, nil, st)
+		release()
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.walkExpr(s.Tag, st, false)
+		}
+		w.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		w.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		if w.onStmt != nil {
+			w.onStmt(s, st.held)
+		}
+		w.walkCases(s.Body, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.walkExpr(e, st, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+// registerLoopVar adds an ascending loop's index variable to the active
+// set for the duration of its body walk, returning the deregistration
+// func (a no-op for nil: non-ascending or unnamed loops).
+func (w *lockWalker) registerLoopVar(obj types.Object) func() {
+	if obj == nil {
+		return func() {}
+	}
+	if w.loopVars == nil {
+		w.loopVars = map[types.Object]bool{}
+	}
+	w.loopVars[obj] = true
+	return func() { delete(w.loopVars, obj) }
+}
+
+// ascendingForVar returns the index variable of a classic ascending for
+// loop (`for i := ...; ...; i++`), or nil. Any other post statement —
+// including i-- — disqualifies the loop: a descending shard sweep is a
+// genuine order violation and must stay visible.
+func ascendingForVar(pass *Pass, s *ast.ForStmt) types.Object {
+	inc, ok := s.Post.(*ast.IncDecStmt)
+	if !ok || inc.Tok != token.INC {
+		return nil
+	}
+	id, ok := inc.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}
+
+// ascendingRangeVar returns the key variable of a range over a slice or
+// array, or nil. Slice/array ranges iterate in ascending index order;
+// map ranges are excluded — their order is randomized, so a per-key lock
+// loop over a map proves nothing about acquisition order.
+func ascendingRangeVar(pass *Pass, s *ast.RangeStmt) types.Object {
+	key, ok := s.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	t := pass.TypeOf(s.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return nil
+	}
+	if obj := pass.Info.Defs[key]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[key]
+}
+
+// keyedByLoopVar reports whether the rendered lock key expression is
+// rooted at one of the active ascending loop variables.
+func (w *lockWalker) keyedByLoopVar(keyExpr ast.Expr) bool {
+	if len(w.loopVars) == 0 {
+		return false
+	}
+	root := rootIdent(keyExpr)
+	if root == nil {
+		return false
+	}
+	obj := w.pass.Info.Uses[root]
+	return obj != nil && w.loopVars[obj]
+}
+
+// walkLoopBody walks a loop body twice: once from the entry state and,
+// when the body changes the lock set, again from the first pass's exit
+// state, so cross-iteration hazards (a lock still held when the next
+// iteration re-acquires) are observed.
+func (w *lockWalker) walkLoopBody(body *ast.BlockStmt, post ast.Stmt, st *lockState) {
+	first := st.clone()
+	w.walkStmts(body.List, first)
+	if post != nil {
+		w.walkStmt(post, first)
+	}
+	if !first.equal(st) {
+		second := first.clone()
+		w.walkStmts(body.List, second)
+		if post != nil {
+			w.walkStmt(post, second)
+		}
+		st.merge(first)
+	}
+}
+
+func (w *lockWalker) walkCases(body *ast.BlockStmt, st *lockState) {
+	out := st.clone()
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.walkExpr(e, st, false)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				// A send/receive as a select arm is not itself a blocking
+				// point — the select is (and with a default it polls), and
+				// the SelectStmt hook has already judged it. Walk the arm
+				// for lock effects only.
+				savedRecv, savedStmt := w.onRecv, w.onStmt
+				w.onRecv, w.onStmt = nil, nil
+				w.walkStmt(cc.Comm, st.clone())
+				w.onRecv, w.onStmt = savedRecv, savedStmt
+			}
+			stmts = cc.Body
+		}
+		caseSt := st.clone()
+		if !w.walkStmts(stmts, caseSt) {
+			out.merge(caseSt)
+		}
+	}
+	st.held = out.held
+}
+
+// walkExpr walks an expression, applying lock operations and firing hooks.
+// skipCall suppresses the call hooks for the outermost call (used for
+// deferred calls, which run later).
+func (w *lockWalker) walkExpr(expr ast.Expr, st *lockState, skipCall bool) {
+	switch e := expr.(type) {
+	case nil:
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			w.walkExpr(arg, st, false)
+		}
+		if lit, ok := e.Fun.(*ast.FuncLit); ok {
+			// A func literal invoked in place runs under the current locks.
+			w.walkStmts(lit.Body.List, st.clone())
+			return
+		}
+		ops := w.classifyLockCall(e)
+		if len(ops) > 0 {
+			for _, op := range ops {
+				if op.acquire {
+					if w.onAcquire != nil {
+						w.onAcquire(op, st.held)
+					}
+					st.acquire(op)
+				} else {
+					st.release(op)
+				}
+			}
+			return
+		}
+		if !skipCall && w.onCall != nil {
+			w.onCall(e, st.held)
+		}
+	case *ast.FuncLit:
+		// A literal that is merely referenced (stored, passed as callback)
+		// is still overwhelmingly invoked synchronously in this codebase
+		// (ForEach, TailAfter); walk it under the current locks.
+		w.walkStmts(e.Body.List, st.clone())
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW && w.onRecv != nil {
+			w.onRecv(e, st.held)
+		}
+		w.walkExpr(e.X, st, false)
+	case *ast.BinaryExpr:
+		w.walkExpr(e.X, st, false)
+		w.walkExpr(e.Y, st, false)
+	case *ast.ParenExpr:
+		w.walkExpr(e.X, st, false)
+	case *ast.SelectorExpr:
+		w.walkExpr(e.X, st, false)
+	case *ast.IndexExpr:
+		w.walkExpr(e.X, st, false)
+		w.walkExpr(e.Index, st, false)
+	case *ast.SliceExpr:
+		w.walkExpr(e.X, st, false)
+		w.walkExpr(e.Low, st, false)
+		w.walkExpr(e.High, st, false)
+		w.walkExpr(e.Max, st, false)
+	case *ast.StarExpr:
+		w.walkExpr(e.X, st, false)
+	case *ast.TypeAssertExpr:
+		w.walkExpr(e.X, st, false)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			w.walkExpr(elt, st, false)
+		}
+	case *ast.KeyValueExpr:
+		w.walkExpr(e.Value, st, false)
+	}
+}
+
+// classifyLockCall maps a call expression to the lock operations it
+// performs (empty when the call is not a recognized lock operation).
+func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
+	pass := w.pass
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Plain identifier call: only the replica's sweep helpers qualify.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			return classifySweepHelper(id.Name, call.Pos())
+		}
+		return nil
+	}
+	name := sel.Sel.Name
+
+	// Replica sweep helpers, called as methods: r.lockAll() etc.
+	if ops := classifySweepHelper(name, call.Pos()); ops != nil {
+		return ops
+	}
+
+	switch name {
+	case "LockKey", "RLockKey", "UnlockKey", "RUnlockKey":
+		if len(call.Args) != 1 {
+			return nil
+		}
+		op := lockOp{
+			kind:    lockShard,
+			acquire: name == "LockKey" || name == "RLockKey",
+			write:   strings.HasPrefix(name, "Lock") || strings.HasPrefix(name, "Unlock"),
+			key:     types.ExprString(call.Args[0]),
+			idx:     -1,
+			perIter: w.keyedByLoopVar(call.Args[0]),
+			pos:     call.Pos(),
+		}
+		return []lockOp{op}
+	case "LockAll", "RLockAll", "UnlockAll", "RUnlockAll":
+		op := lockOp{
+			kind:    lockShardAll,
+			acquire: name == "LockAll" || name == "RLockAll",
+			write:   name == "LockAll" || name == "UnlockAll",
+			idx:     -1,
+			pos:     call.Pos(),
+		}
+		return []lockOp{op}
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		if !isSyncMutex(pass.TypeOf(sel.X)) {
+			return nil
+		}
+		acquire := name == "Lock" || name == "RLock"
+		write := name == "Lock" || name == "Unlock"
+		op := lockOp{acquire: acquire, write: write, idx: -1, pos: call.Pos()}
+		switch root := mutexFieldName(sel.X); root {
+		case "ctl":
+			op.kind = lockCtl
+		case "confMu":
+			op.kind = lockConf
+		default:
+			// shards[i].mu.Lock(): a direct single-shard acquisition.
+			key, idx, ixExpr, ok := shardIndex(pass, sel.X)
+			if !ok {
+				return nil // some unrelated mutex: outside the protocol's order
+			}
+			op.kind = lockShard
+			op.key = key
+			op.idx = idx
+			op.perIter = w.keyedByLoopVar(ixExpr)
+		}
+		return []lockOp{op}
+	}
+	return nil
+}
+
+// classifySweepHelper recognizes the replica's lockAll/rlockAll helpers,
+// which acquire the all-shard sweep and then the control mutex.
+func classifySweepHelper(name string, pos token.Pos) []lockOp {
+	switch name {
+	case "lockAll", "rlockAll":
+		return []lockOp{
+			{kind: lockShardAll, acquire: true, write: name == "lockAll", idx: -1, pos: pos},
+			{kind: lockCtl, acquire: true, write: true, idx: -1, pos: pos},
+		}
+	case "unlockAll", "runlockAll":
+		return []lockOp{
+			{kind: lockCtl, acquire: false, write: true, idx: -1, pos: pos},
+			{kind: lockShardAll, acquire: false, write: name == "unlockAll", idx: -1, pos: pos},
+		}
+	}
+	return nil
+}
+
+// mutexFieldName returns the final identifier naming the mutex being
+// locked: "ctl" for r.ctl, "mu" for s.shards[i].mu, etc.
+func mutexFieldName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return mutexFieldName(e.X)
+	case *ast.StarExpr:
+		return mutexFieldName(e.X)
+	}
+	return ""
+}
+
+// shardIndex matches a shards[i].mu mutex expression, returning the
+// rendered index, its constant value (-1 when not constant), and the
+// index expression itself.
+func shardIndex(pass *Pass, expr ast.Expr) (key string, idx int64, ixExpr ast.Expr, ok bool) {
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "mu" {
+		return "", -1, nil, false
+	}
+	ix, isIx := sel.X.(*ast.IndexExpr)
+	if !isIx {
+		return "", -1, nil, false
+	}
+	if base := mutexFieldName(ix.X); base != "shards" {
+		return "", -1, nil, false
+	}
+	key = types.ExprString(ix.Index)
+	idx = -1
+	if tv, found := pass.Info.Types[ix.Index]; found && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			idx = v
+		}
+	}
+	return key, idx, ix.Index, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Stdlib-only reimplementations of the standard x/tools passes the suite
+// would otherwise import (the build environment is hermetic — no module
+// downloads — so nilness, copylocks and unusedwrite are rebuilt here on
+// go/ast + go/types). Each is deliberately narrower than its x/tools
+// namesake: it keeps the high-signal core of the check with no SSA
+// construction. `go vet -copylocks -unusedwrite` still runs in the vet
+// gate (see Makefile) for the full-depth versions of the two vet-hosted
+// passes; nilness has no vet equivalent, so this one is the only line of
+// defense.
+
+// CopyLocks flags copying a value whose type transitively contains a
+// sync lock or a sync/atomic value type: by-value parameters, receivers
+// and results, assignments that copy such a value, and range clauses
+// whose value variable copies one per iteration.
+var CopyLocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flag values containing sync or sync/atomic types passed or assigned by value",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldListCopies(pass, s.Recv, "receiver")
+				if s.Type.Params != nil {
+					checkFieldListCopies(pass, s.Type.Params, "parameter")
+				}
+				if s.Type.Results != nil {
+					checkFieldListCopies(pass, s.Type.Results, "result")
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range s.Rhs {
+					rhs = unparen(rhs)
+					if isCall(rhs) {
+						continue
+					}
+					if _, isComposite := rhs.(*ast.CompositeLit); isComposite {
+						continue
+					}
+					if _, isUnary := rhs.(*ast.UnaryExpr); isUnary {
+						continue // &T{...} creates, not copies
+					}
+					if name := lockPath(pass.TypeOf(rhs)); name != "" {
+						pass.Reportf(rhs.Pos(), "assignment copies a value containing %s", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					if name := lockPath(pass.TypeOf(s.Value)); name != "" {
+						pass.Reportf(s.Value.Pos(), "range value copies an element containing %s each iteration", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldListCopies(pass *Pass, fields *ast.FieldList, what string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if name := lockPath(t); name != "" {
+			pass.Reportf(field.Pos(), "%s passes a value containing %s by value", what, name)
+		}
+	}
+}
+
+// lockPath returns the name of a lock-bearing type reachable by value
+// inside t, or "".
+func lockPath(t types.Type) string {
+	return lockPathRec(t, 0)
+}
+
+func lockPathRec(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+					return "atomic." + obj.Name()
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockPathRec(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// UnusedWrite flags the classic lost-write-to-a-copy bug: a field write
+// through a range clause's value variable (a per-iteration copy of the
+// element) when the variable is never read afterwards — the write
+// disappears with the copy.
+var UnusedWrite = &Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flag field writes to a range-copy value variable that are never read",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			id, ok := rng.Value.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				return true
+			}
+			if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+
+			var writes []*ast.SelectorExpr
+			read := false
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				switch s := m.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+							if base, ok := sel.X.(*ast.Ident); ok && pass.Info.Uses[base] == obj {
+								writes = append(writes, sel)
+								return true
+							}
+						}
+					}
+				case *ast.Ident:
+					if pass.Info.Uses[s] == obj && !isWriteBase(s, writes) {
+						read = true
+					}
+				}
+				return true
+			})
+			if !read {
+				for _, w := range writes {
+					pass.Reportf(w.Pos(), "write to field %s of range-copy %s is lost: the variable copies the element and is never read", w.Sel.Name, id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isWriteBase reports whether id is the base of one of the recorded
+// write selectors (so it does not count as a read).
+func isWriteBase(id *ast.Ident, writes []*ast.SelectorExpr) bool {
+	for _, w := range writes {
+		if w.X == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Nilness flags dereferences on the branch where a value was just
+// compared to nil: `if x == nil { ... x.f ... }` (and the else branch of
+// x != nil). It covers pointer field access, *x, slice indexing, and map
+// writes — the dereference forms that panic on nil.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of a value on the branch where it is known to be nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			bin, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			if x, ok := unparen(bin.X).(*ast.Ident); ok && isNilIdent(bin.Y) {
+				id = x
+			} else if y, ok := unparen(bin.Y).(*ast.Ident); ok && isNilIdent(bin.X) {
+				id = y
+			}
+			if id == nil {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			var nilBody *ast.BlockStmt
+			switch bin.Op {
+			case token.EQL:
+				nilBody = ifs.Body
+			case token.NEQ:
+				if blk, ok := ifs.Else.(*ast.BlockStmt); ok {
+					nilBody = blk
+				}
+			}
+			if nilBody == nil {
+				return true
+			}
+			reportNilDerefs(pass, nilBody, obj)
+			return true
+		})
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func reportNilDerefs(pass *Pass, body *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok && (pass.Info.Uses[id] == obj || pass.Info.Defs[id] != nil && pass.Info.Defs[id].Name() == obj.Name()) {
+					reassigned = true
+					return false
+				}
+				// A map write x[k] = v panics on a nil map.
+				if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+					if base, ok := unparen(ix.X).(*ast.Ident); ok && pass.Info.Uses[base] == obj {
+						if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+							pass.Reportf(ix.Pos(), "write to map %s, which is nil on this branch", base.Name)
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if base, ok := unparen(s.X).(*ast.Ident); ok && pass.Info.Uses[base] == obj {
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					if selection, ok := pass.Info.Selections[s]; ok && selection.Kind() == types.FieldVal {
+						pass.Reportf(s.Pos(), "field access %s.%s, but %s is nil on this branch", base.Name, s.Sel.Name, base.Name)
+					}
+				}
+			}
+		case *ast.StarExpr:
+			if base, ok := unparen(s.X).(*ast.Ident); ok && pass.Info.Uses[base] == obj {
+				pass.Reportf(s.Pos(), "dereference of %s, which is nil on this branch", base.Name)
+			}
+		case *ast.IndexExpr:
+			if base, ok := unparen(s.X).(*ast.Ident); ok && pass.Info.Uses[base] == obj {
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					pass.Reportf(s.Pos(), "index of slice %s, which is nil on this branch", base.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,51 @@
+// Package fixture seeds atomiccounter violations: plain integer counters
+// grown on structs that already count atomically — concurrent by design,
+// so the plain field is a racy lost-update waiting for a schedule.
+package fixture
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+type stats struct {
+	ops   atomic.Uint64
+	racy  uint64
+	label string
+}
+
+type counters struct {
+	Updates uint64 // no atomic siblings: not presumed concurrent
+}
+
+type server struct {
+	met  metrics.Atomic
+	reqs int
+}
+
+// Positive: incrementing the plain companion of an atomic counter.
+func bump(s *stats) {
+	s.racy++ // want "plain integer increment"
+}
+
+// Positive: op-assign forms are the same lost update.
+func add(s *stats, n uint64) {
+	s.racy += n // want "plain integer increment"
+}
+
+// Positive: a plain counter beside the repository's metrics.Atomic block.
+func handle(s *server) {
+	s.reqs++ // want "plain integer increment"
+}
+
+// Negative: a struct with no atomic fields is not presumed concurrent;
+// plain counters on it are fine (locals, single-goroutine bookkeeping).
+func count(c *counters) {
+	c.Updates++
+}
+
+// Negative: going through the atomic API is the fix.
+func bumpAtomic(s *stats) {
+	s.ops.Add(1)
+}

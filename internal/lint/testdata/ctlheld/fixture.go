@@ -1,0 +1,77 @@
+// Package fixture seeds ctlheld violations: blocking work under the
+// control mutex or a shard lock.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+type replica struct {
+	shards [2]shard
+	ctl    sync.Mutex
+}
+
+// Positive: sleeping under ctl stalls every update on the replica.
+func sleepUnderCtl(r *replica) {
+	r.ctl.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while the control mutex is held"
+	r.ctl.Unlock()
+}
+
+// Positive: a deferred unlock keeps ctl held to the end of the body, so
+// the send is inside the critical section.
+func sendUnderCtl(r *replica, ch chan int) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	ch <- 1 // want "channel send while the control mutex is held"
+}
+
+// Positive: network I/O under a shard lock.
+func dialUnderShard(r *replica, addr string) {
+	r.shards[0].mu.Lock()
+	defer r.shards[0].mu.Unlock()
+	net.Dial("tcp", addr) // want "net I/O call Dial while the shard lock is held"
+}
+
+// Positive: a channel receive under ctl.
+func recvUnderCtl(r *replica, ch chan int) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	<-ch // want "channel receive while the control mutex is held"
+}
+
+// Positive: a select with no default blocks.
+func selectUnderCtl(r *replica, a, b chan int) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	select { // want "blocking select while the control mutex is held"
+	case <-a:
+	case <-b:
+	}
+}
+
+// Negative: the same calls outside the critical section.
+func blockOutside(r *replica, ch chan int, addr string) {
+	r.ctl.Lock()
+	r.ctl.Unlock()
+	time.Sleep(time.Millisecond)
+	net.Dial("tcp", addr)
+	ch <- 1
+}
+
+// Negative: a select with a default never blocks; polling under ctl is
+// within the O(1) budget.
+func pollUnderCtl(r *replica, ch chan int) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}

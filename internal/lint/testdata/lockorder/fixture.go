@@ -1,0 +1,106 @@
+// Package fixture seeds lockorder violations. The analyzer is
+// name-driven, so the fixture reproduces the repository's locking
+// vocabulary: shards[i].mu, ctl, confMu and the lockAll sweep helpers.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+type replica struct {
+	shards [4]shard
+	ctl    sync.Mutex
+	confMu sync.Mutex
+}
+
+func (r *replica) lockAll()   { r.ctl.Lock() }
+func (r *replica) unlockAll() { r.ctl.Unlock() }
+
+// Positive: a shard acquisition under the control mutex inverts the
+// shard → ctl order.
+func shardUnderCtl(r *replica) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	r.shards[0].mu.Lock() // want "acquires a shard lock while the control mutex is held"
+	r.shards[0].mu.Unlock()
+}
+
+// Positive: two constant shard indices taken descending.
+func descendingShards(r *replica) {
+	r.shards[2].mu.Lock()
+	r.shards[1].mu.Lock() // want "acquires shard 1 after shard 2"
+	r.shards[1].mu.Unlock()
+	r.shards[2].mu.Unlock()
+}
+
+// Positive: the same shard twice self-deadlocks.
+func reacquireShard(r *replica) {
+	r.shards[3].mu.Lock()
+	r.shards[3].mu.Lock() // want "re-acquires the shard lock"
+	r.shards[3].mu.Unlock()
+	r.shards[3].mu.Unlock()
+}
+
+// Positive: a single shard under the all-shard sweep is already held.
+func shardUnderSweep(r *replica) {
+	r.lockAll()
+	defer r.unlockAll()
+	r.shards[0].mu.Lock() // want "acquires a shard lock under the all-shard sweep" "acquires a shard lock while the control mutex is held"
+	r.shards[0].mu.Unlock()
+}
+
+// Positive: a descending manual sweep is not the sanctioned idiom — the
+// cross-iteration pass must keep it visible.
+func descendingSweep(r *replica) {
+	for i := len(r.shards) - 1; i >= 0; i-- {
+		r.shards[i].mu.Lock() // want "re-acquires the shard lock"
+	}
+}
+
+// Positive: ctl is not re-entrant.
+func reacquireCtl(r *replica) {
+	r.ctl.Lock()
+	r.ctl.Lock() // want "acquires the control mutex while already held"
+	r.ctl.Unlock()
+	r.ctl.Unlock()
+}
+
+// Positive: the conflict leaf is last; taking ctl under it is inverted.
+func ctlUnderConf(r *replica) {
+	r.confMu.Lock()
+	defer r.confMu.Unlock()
+	r.ctl.Lock() // want "acquires the control mutex while the conflict-leaf mutex is held"
+	r.ctl.Unlock()
+}
+
+// Negative: the full order — one shard, then ctl, then the conflict
+// leaf — is exactly the convention.
+func correctOrder(r *replica) {
+	r.shards[1].mu.Lock()
+	r.ctl.Lock()
+	r.confMu.Lock()
+	r.confMu.Unlock()
+	r.ctl.Unlock()
+	r.shards[1].mu.Unlock()
+}
+
+// Negative: the canonical ascending sweep — one distinct shard per
+// iteration of an ascending loop — must not read as re-acquisition.
+func ascendingSweep(r *replica) {
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+	}
+	for i := range r.shards {
+		r.shards[i].mu.Unlock()
+	}
+}
+
+// Negative: constant indices taken in ascending order are provably fine.
+func ascendingConstants(r *replica) {
+	r.shards[0].mu.Lock()
+	r.shards[2].mu.Lock()
+	r.shards[2].mu.Unlock()
+	r.shards[0].mu.Unlock()
+}

@@ -1,0 +1,98 @@
+// Package fixture seeds violations for the lite standard passes:
+// copylocks, unusedwrite, and nilness.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rec struct {
+	n int
+	s string
+}
+
+// copylocks positive: a by-value parameter copies the mutex.
+func lockByValue(g guarded) int { // want "parameter passes a value containing sync.Mutex by value"
+	return g.n
+}
+
+// copylocks positive: a plain assignment copies the mutex.
+func lockCopy(g *guarded) int {
+	cp := *g // want "assignment copies a value containing sync.Mutex"
+	return cp.n
+}
+
+// copylocks positive: a range value variable copies the element's mutex
+// every iteration.
+func lockRange(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies an element containing sync.Mutex"
+		total += g.n
+	}
+	return total
+}
+
+// copylocks negative: pointers share, they do not copy.
+func lockByPointer(g *guarded) int {
+	return g.n
+}
+
+// unusedwrite positive: the write lands on a per-iteration copy and
+// vanishes with it.
+func resetAll(items []rec) {
+	for _, it := range items {
+		it.n = 0 // want "write to field n of range-copy it is lost"
+	}
+}
+
+// unusedwrite negative: writing through the index mutates the slice.
+func resetAllIndexed(items []rec) {
+	for i := range items {
+		items[i].n = 0
+	}
+}
+
+// unusedwrite negative: the copy is read after the write, so the write
+// is observable.
+func renameAndSum(items []rec, sink func(rec)) {
+	for _, it := range items {
+		it.s = "renamed"
+		sink(it)
+	}
+}
+
+// nilness positive: dereferencing on the branch that proved nil.
+func nilDeref(p *rec) int {
+	if p == nil {
+		return p.n // want "field access p.n, but p is nil on this branch"
+	}
+	return p.n
+}
+
+// nilness positive: writing to a map known to be nil panics.
+func nilMapWrite(m map[string]int) {
+	if m == nil {
+		m["a"] = 1 // want "write to map m, which is nil on this branch"
+	}
+}
+
+// nilness positive: the else branch of != nil is the nil branch.
+func nilElse(p *rec) int {
+	if p != nil {
+		return p.n
+	} else {
+		return p.n // want "field access p.n, but p is nil on this branch"
+	}
+}
+
+// nilness negative: reassignment clears the nil fact.
+func nilSafe(p *rec) int {
+	if p == nil {
+		p = &rec{}
+		return p.n
+	}
+	return p.n
+}

@@ -1,0 +1,101 @@
+// Package fixture seeds vvalias violations against the real vv.VV type:
+// aliasing hazards only exist because VV is a slice, so the fixture
+// imports the production package rather than faking one.
+package fixture
+
+import "repro/internal/vv"
+
+type holder struct {
+	cur vv.VV
+}
+
+type item struct {
+	IVV vv.VV
+}
+
+type msg struct {
+	DBVV vv.VV
+}
+
+type delta struct {
+	Pre vv.VV
+}
+
+// Positive: storing a parameter vector into a field retains the caller's
+// backing array.
+func (h *holder) adopt(v vv.VV) {
+	h.cur = v // want "stores caller-owned version vector"
+}
+
+// Positive: returning a parameter vector hands the shared array back.
+func passThrough(v vv.VV) vv.VV {
+	return v // want "returns caller-owned version vector"
+}
+
+// Positive: Inc mutates the caller's vector through the shared array.
+func bump(v vv.VV) {
+	v.Inc(0) // want "calls Inc on caller-owned version vector"
+}
+
+// Positive: a by-value struct parameter still shares its VV's backing
+// array with the caller; Merge through the copy mutates the original.
+func mergeCopy(d delta, o vv.VV) {
+	d.Pre.Merge(o) // want "calls Merge on caller-owned version vector"
+}
+
+// Positive: Extended may return its receiver, so assigning the result to
+// a different vector may alias the two.
+func extendWrong(a, b vv.VV) vv.VV {
+	a = b.Extended(4) // want "Extended returns its receiver"
+	return a.Clone()
+}
+
+// Positive: a composite literal capturing a parameter vector builds a
+// message that aliases the caller's state.
+func pack(v vv.VV) *msg {
+	return &msg{DBVV: v} // want "composite literal captures caller-owned version vector"
+}
+
+// Positive: a goroutine capturing a parameter vector outlives the
+// caller's ownership of it.
+func spawn(v vv.VV, done chan<- int) {
+	go func() {
+		_ = v.Sum() // want "goroutine captures caller-owned version vector"
+		done <- 1
+	}()
+}
+
+// Positive: returning a bare VV field of the receiver leaks live
+// internal state.
+func (h *holder) live() vv.VV {
+	return h.cur // want "returns live version vector"
+}
+
+// Negative: Clone() severs the alias at every escape point.
+func (h *holder) adoptClone(v vv.VV) {
+	h.cur = v.Clone()
+}
+
+func snapshot(v vv.VV) vv.VV {
+	return v.Clone()
+}
+
+func packClone(v vv.VV) *msg {
+	return &msg{DBVV: v.Clone()}
+}
+
+// Negative: the in-place growth idiom — Extended assigned back to the
+// vector it came from, then mutated through the pointer — is the
+// sanctioned owner-side pattern (the pointee is shared deliberately;
+// lock discipline, not cloning, protects it).
+func grow(it *item, n, i int) {
+	it.IVV = it.IVV.Extended(n)
+	it.IVV.Inc(i)
+}
+
+// Negative: an intentional live-view accessor carries the documented
+// suppression.
+func (h *holder) liveDocumented() vv.VV {
+	//lint:ignore vvalias intentional live view for fixture coverage
+	return h.cur
+}

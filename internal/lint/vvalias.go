@@ -1,0 +1,489 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// VVAlias enforces the version-vector ownership discipline motivated by
+// the Dotted Version Vectors line of work: treating clock aliasing as a
+// first-class bug class. vv.VV is a slice type — plain assignment shares
+// the backing array, and Inc/Merge mutate in place — so a vector received
+// from a caller must never be retained, and internal vectors must never
+// leak:
+//
+//   - a VV rooted at a function parameter (directly, or a field of a
+//     struct parameter) must not be stored into a field, map or slice
+//     element, put in a composite literal, sent on a channel, returned,
+//     or captured by a `go` statement without an intervening Clone();
+//   - mutating methods (Inc, Merge) must not be called on a
+//     caller-owned vector received by value — a direct VV parameter or a
+//     field of a by-value struct parameter. (Vectors reached through a
+//     pointer dereference are shared state mutated deliberately under the
+//     lock discipline; those belong to lockorder, not vvalias.);
+//   - Extended may return its receiver (it extends only when too short),
+//     so its result must be assigned back to the same vector, never to a
+//     different one;
+//   - returning a bare VV field of the receiver leaks internal mutable
+//     state; accessors that intentionally share (documented
+//     caller-holds-lock contracts) carry a //lint:ignore vvalias line.
+//
+// The vv package itself — the one place aliasing is the implementation —
+// is exempt.
+var VVAlias = &Analyzer{
+	Name: "vvalias",
+	Doc: "forbid retaining, returning, mutating or goroutine-capturing a " +
+		"caller-owned vv.VV without Clone() (aliasing a live version " +
+		"vector shares its backing array)",
+	Run: runVVAlias,
+}
+
+func runVVAlias(pass *Pass) {
+	if pass.Pkg.Name() == "vv" {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncVVAlias(pass, fn)
+		}
+	}
+}
+
+// vvChecker carries one function's analysis state.
+type vvChecker struct {
+	pass *Pass
+	// foreign holds caller-owned roots: parameters and locals assigned
+	// from them without a Clone.
+	foreign map[types.Object]bool
+	// recv holds the method receiver, whose bare VV fields must not be
+	// returned.
+	recv map[types.Object]bool
+}
+
+func checkFuncVVAlias(pass *Pass, fn *ast.FuncDecl) {
+	c := &vvChecker{pass: pass, foreign: map[types.Object]bool{}, recv: map[types.Object]bool{}}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					c.foreign[obj] = true
+				}
+			}
+		}
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					c.recv[obj] = true
+				}
+			}
+		}
+	}
+	c.walkStmts(fn.Body.List)
+}
+
+func (c *vvChecker) walkStmts(list []ast.Stmt) {
+	for _, stmt := range list {
+		c.walkStmt(stmt)
+	}
+}
+
+func (c *vvChecker) walkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range s.Rhs {
+			var lhs ast.Expr
+			if len(s.Lhs) == len(s.Rhs) {
+				lhs = s.Lhs[i]
+			}
+			c.checkAssign(lhs, rhs)
+			c.walkExpr(rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						if i < len(vs.Names) {
+							c.checkAssign(vs.Names[i], v)
+						}
+						c.walkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if c.isForeignVV(res) {
+				c.pass.Reportf(res.Pos(), "returns caller-owned version vector %s without Clone(); the caller and this function would share its backing array", types.ExprString(res))
+			} else if c.isRecvVV(res) {
+				c.pass.Reportf(res.Pos(), "returns live version vector %s of the receiver without Clone(); internal state escapes to the caller", types.ExprString(res))
+			}
+			c.walkExpr(res)
+		}
+	case *ast.GoStmt:
+		c.checkGoCapture(s)
+	case *ast.SendStmt:
+		if c.isForeignVV(s.Value) {
+			c.pass.Reportf(s.Value.Pos(), "sends caller-owned version vector %s on a channel without Clone()", types.ExprString(s.Value))
+		}
+		c.walkExpr(s.Value)
+	case *ast.ExprStmt:
+		c.walkExpr(s.X)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init)
+		}
+		c.walkExpr(s.Cond)
+		c.walkStmts(s.Body.List)
+		if s.Else != nil {
+			c.walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.walkExpr(s.Cond)
+		}
+		if s.Post != nil {
+			c.walkStmt(s.Post)
+		}
+		c.walkStmts(s.Body.List)
+	case *ast.RangeStmt:
+		// Ranging over a caller-owned container taints the iteration
+		// variables: each element still aliases the caller's data.
+		if c.rootIsForeign(s.X) {
+			for _, v := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := v.(*ast.Ident); ok {
+					if obj := c.pass.Info.Defs[id]; obj != nil {
+						c.foreign[obj] = true
+					}
+				}
+			}
+		}
+		c.walkExpr(s.X)
+		c.walkStmts(s.Body.List)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.walkExpr(s.Tag)
+		}
+		c.walkCaseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.walkCaseBodies(s.Body)
+	case *ast.SelectStmt:
+		c.walkCaseBodies(s.Body)
+	case *ast.DeferStmt:
+		c.walkExpr(s.Call)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt)
+	}
+}
+
+func (c *vvChecker) walkCaseBodies(body *ast.BlockStmt) {
+	for _, cl := range body.List {
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			c.walkStmts(cc.Body)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				c.walkStmt(cc.Comm)
+			}
+			c.walkStmts(cc.Body)
+		}
+	}
+}
+
+// checkAssign inspects one lhs = rhs pair.
+func (c *vvChecker) checkAssign(lhs, rhs ast.Expr) {
+	rhs = unparen(rhs)
+
+	// Taint propagation: a plain local picking up a caller-owned value
+	// (bare expression, no Clone) becomes caller-owned itself.
+	if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+		if c.rootIsForeign(rhs) && !isCall(rhs) {
+			if obj := c.lhsObject(id); obj != nil {
+				c.foreign[obj] = true
+			}
+		}
+		// Extended self-assignment check still applies to locals below.
+	}
+
+	// Extended may return its receiver: the result must go back into the
+	// vector it came from.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Extended" && isVVType(c.pass.TypeOf(sel.X)) {
+			if lhs != nil && types.ExprString(lhs) != types.ExprString(sel.X) {
+				c.pass.Reportf(call.Pos(), "assigns %s.Extended(...) to %s: Extended returns its receiver when already long enough, so the two vectors may alias; assign back to %s or Clone()",
+					types.ExprString(sel.X), types.ExprString(lhs), types.ExprString(sel.X))
+			}
+		}
+	}
+
+	// Storing a caller-owned VV through a field, pointer or escaping
+	// container without Clone. Writing a vector back into the very
+	// location it came from (`it.IVV = it.IVV.Extended(n)`) is the
+	// sanctioned in-place growth idiom, not a new alias — exempt it.
+	if lhs != nil && c.isForeignVV(rhs) && c.isEscapingStore(lhs) && !isSelfStore(lhs, rhs) {
+		c.pass.Reportf(rhs.Pos(), "stores caller-owned version vector %s into %s without Clone(); the stored vector aliases the caller's", types.ExprString(rhs), types.ExprString(lhs))
+	}
+}
+
+// isSelfStore reports whether rhs (possibly behind Extended) denotes the
+// same location lhs stores into, as in `it.IVV = it.IVV.Extended(n)`.
+// Two different fields of the same object (`it.Aux.IVV = it.IVV`) do not
+// qualify: that genuinely creates a second alias.
+func isSelfStore(lhs, rhs ast.Expr) bool {
+	rhs = unparen(rhs)
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Extended" {
+			rhs = sel.X
+		}
+	}
+	return types.ExprString(lhs) == types.ExprString(rhs)
+}
+
+// walkExpr looks for violations inside expressions: mutating method calls
+// on caller-owned vectors and bare caller-owned vectors in composite
+// literals.
+func (c *vvChecker) walkExpr(expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				// Mutation is only a hidden-aliasing hazard when the vector
+				// was received by value (a direct VV parameter, or a field
+				// of a struct parameter passed by value): there the caller
+				// sees the mutation through the shared backing array it
+				// never handed over. A vector reached through a pointer
+				// dereference (`it.IVV` for `it *store.Item`) is shared
+				// state mutated deliberately under the lock discipline —
+				// lockorder's territory, not vvalias's.
+				if (name == "Inc" || name == "Merge") && isVVType(c.pass.TypeOf(sel.X)) &&
+					c.isForeignVV(sel.X) && !c.crossesPointer(sel.X) {
+					c.pass.Reportf(e.Pos(), "calls %s on caller-owned version vector %s; %s mutates in place — Clone() before mutating", name, types.ExprString(sel.X), name)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if c.isForeignVV(val) {
+					c.pass.Reportf(val.Pos(), "composite literal captures caller-owned version vector %s without Clone()", types.ExprString(val))
+				}
+			}
+		case *ast.FuncLit:
+			c.walkStmts(e.Body.List)
+			return false
+		}
+		return true
+	})
+}
+
+// checkGoCapture flags caller-owned vectors escaping into a goroutine,
+// whether as arguments or as closure captures.
+func (c *vvChecker) checkGoCapture(s *ast.GoStmt) {
+	for _, arg := range s.Call.Args {
+		if c.isForeignVV(arg) {
+			c.pass.Reportf(arg.Pos(), "passes caller-owned version vector %s to a goroutine without Clone(); the goroutine outlives the caller's ownership", types.ExprString(arg))
+		}
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := c.pass.Info.Uses[id]; obj != nil && c.foreign[obj] && isVVType(obj.Type()) {
+					c.pass.Reportf(id.Pos(), "goroutine captures caller-owned version vector %s without Clone()", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isEscapingStore reports whether lhs stores into memory that outlives
+// the current frame: a selector or index whose root is a parameter, the
+// receiver, a package-level variable, or a pointer-typed local (stores
+// through pointers reach shared heap objects). Stores into plain local
+// containers (a scratch map or slice) are not flagged.
+func (c *vvChecker) isEscapingStore(lhs ast.Expr) bool {
+	switch lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return true // conservative: unrooted stores (e.g. through calls)
+	}
+	obj := c.pass.Info.Uses[root]
+	if obj == nil {
+		obj = c.pass.Info.Defs[root]
+	}
+	if obj == nil {
+		return true
+	}
+	if c.foreign[obj] || c.recv[obj] {
+		return true
+	}
+	if v, ok := obj.(*types.Var); ok {
+		if v.Parent() == c.pass.Pkg.Scope() {
+			return true // package-level variable
+		}
+		if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+			return true // store through a pointer-typed local
+		}
+	}
+	return false
+}
+
+// isForeignVV reports whether expr is a VV aliasing caller-owned memory:
+// a bare (call-free) selector/ident chain of VV type rooted at a foreign
+// object, or such a chain behind .Extended(...) — which may return its
+// receiver.
+func (c *vvChecker) isForeignVV(expr ast.Expr) bool {
+	expr = unparen(expr)
+	if call, ok := expr.(*ast.CallExpr); ok {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Extended" && isVVType(c.pass.TypeOf(sel.X)) {
+			return c.isForeignVV(sel.X)
+		}
+		return false
+	}
+	if !isVVType(c.pass.TypeOf(expr)) {
+		return false
+	}
+	return c.rootIsForeign(expr)
+}
+
+// isRecvVV reports whether expr is a bare VV field chain rooted at the
+// method receiver.
+func (c *vvChecker) isRecvVV(expr ast.Expr) bool {
+	expr = unparen(expr)
+	if isCall(expr) || !isVVType(c.pass.TypeOf(expr)) {
+		return false
+	}
+	root := rootIdent(expr)
+	if root == nil {
+		return false
+	}
+	obj := c.pass.Info.Uses[root]
+	return obj != nil && c.recv[obj]
+}
+
+// crossesPointer reports whether the selector chain of expr passes
+// through a pointer dereference (explicit *p, or a field selection whose
+// base is a pointer). A VV behind a pointer is shared mutable state — the
+// caller handed over the pointer deliberately — whereas a VV reached
+// purely by value selections still aliases the caller's slice invisibly.
+func (c *vvChecker) crossesPointer(expr ast.Expr) bool {
+	for {
+		switch e := unparen(expr).(type) {
+		case *ast.StarExpr:
+			return true
+		case *ast.SelectorExpr:
+			if sel, ok := c.pass.Info.Selections[e]; ok && sel.Indirect() {
+				return true
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			if t := c.pass.TypeOf(e.X); t != nil {
+				if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+					return true
+				}
+			}
+			expr = e.X
+		default:
+			return false
+		}
+	}
+}
+
+func (c *vvChecker) rootIsForeign(expr ast.Expr) bool {
+	if isCall(unparen(expr)) {
+		return false
+	}
+	root := rootIdent(expr)
+	if root == nil {
+		return false
+	}
+	obj := c.pass.Info.Uses[root]
+	return obj != nil && c.foreign[obj]
+}
+
+func (c *vvChecker) lhsObject(id *ast.Ident) types.Object {
+	if obj := c.pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.Info.Uses[id]
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier, or nil when the chain passes through a call or other
+// non-chain expression.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isCall(expr ast.Expr) bool {
+	_, ok := expr.(*ast.CallExpr)
+	return ok
+}
+
+func unparen(expr ast.Expr) ast.Expr {
+	for {
+		p, ok := expr.(*ast.ParenExpr)
+		if !ok {
+			return expr
+		}
+		expr = p.X
+	}
+}
+
+// isVVType reports whether t is the version-vector type: a named type VV
+// declared in a package named vv (or a path ending in /vv).
+func isVVType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isVVType(types.Unalias(alias))
+		}
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "VV" || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == "vv" || strings.HasSuffix(obj.Pkg().Path(), "/vv")
+}

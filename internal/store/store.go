@@ -116,11 +116,16 @@ func (it *Item) CurrentValue() []byte {
 	return it.Value
 }
 
-// CurrentIVV returns the version vector matching CurrentValue.
+// CurrentIVV returns the version vector matching CurrentValue. The
+// returned vector is the item's live state, not a copy: callers run under
+// the item's shard lock and must Clone() before the lock is released
+// (every current caller does — see core/oob.go).
 func (it *Item) CurrentIVV() vv.VV {
 	if it.Aux != nil {
+		//lint:ignore vvalias intentional live view; documented caller-holds-lock contract
 		return it.Aux.IVV
 	}
+	//lint:ignore vvalias intentional live view; documented caller-holds-lock contract
 	return it.IVV
 }
 

@@ -343,6 +343,14 @@ func (c *Client) do(r *core.Replica, addr string, req *Request, resp *Response) 
 	return err
 }
 
+// newPullRequest builds the propagation-pull request, cloning dbvv: the
+// request outlives this statement (the pool re-encodes it on the
+// stale-connection retry path), so it must not alias the caller's live
+// vector.
+func newPullRequest(db string, from int, dbvv vv.VV) *Request {
+	return &Request{Kind: KindPropagation, DB: db, From: from, DBVV: dbvv.Clone()}
+}
+
 // PullSession fetches the propagation message from the server at addr for
 // a recipient whose DBVV is dbvv. A nil message means the recipient is
 // current.
@@ -361,7 +369,7 @@ func (c *Client) PullSessionDB(addr, db string, from int, dbvv vv.VV) (*core.Pro
 // sessions themselves (durable replicas) use it to keep byte accounting.
 func (c *Client) PullSessionMetered(r *core.Replica, addr, db string, from int, dbvv vv.VV) (*core.Propagation, error) {
 	var resp Response
-	err := c.do(r, addr, &Request{Kind: KindPropagation, DB: db, From: from, DBVV: dbvv}, &resp)
+	err := c.do(r, addr, newPullRequest(db, from, dbvv), &resp)
 	if err != nil {
 		return nil, err
 	}

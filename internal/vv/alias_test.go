@@ -1,0 +1,87 @@
+package vv
+
+import "testing"
+
+// TestAliasSemantics is executable documentation for epilint's vvalias
+// analyzer (internal/lint): it pins down, method by method, which VV
+// operations mutate the receiver in place and which return fresh state —
+// the exact facts the analyzer's mutating-method list (Inc, Merge) and
+// its Extended aliasing rule encode. If a method's semantics change,
+// this table fails before the analyzer starts lying.
+func TestAliasSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		// op applies the method to v and returns the result vector, or
+		// nil when the method returns none.
+		op func(v VV) VV
+		// mutatesReceiver: the call itself changes v.
+		mutatesReceiver bool
+		// resultAliasesReceiver: the returned vector shares v's backing
+		// array, so writes through it are visible in v.
+		resultAliasesReceiver bool
+	}{
+		{
+			name:            "Inc mutates the receiver in place",
+			op:              func(v VV) VV { v.Inc(1); return nil },
+			mutatesReceiver: true,
+		},
+		{
+			name:            "Merge mutates the receiver in place",
+			op:              func(v VV) VV { v.Merge(VV{0, 5, 0}); return nil },
+			mutatesReceiver: true,
+		},
+		{
+			name: "Clone returns fresh state",
+			op:   func(v VV) VV { return v.Clone() },
+		},
+		{
+			name: "Merged returns fresh state",
+			op:   func(v VV) VV { return v.Merged(VV{0, 5, 0}) },
+		},
+		{
+			name:                  "Extended aliases its receiver when no growth is needed",
+			op:                    func(v VV) VV { return v.Extended(2) },
+			resultAliasesReceiver: true,
+		},
+		{
+			name:                  "Extended aliases its receiver at the exact-length boundary",
+			op:                    func(v VV) VV { return v.Extended(len(v)) },
+			resultAliasesReceiver: true,
+		},
+		{
+			name: "Extended returns fresh storage when it grows",
+			op:   func(v VV) VV { return v.Extended(6) },
+		},
+		{
+			name: "AppendBinary leaves the receiver untouched",
+			op:   func(v VV) VV { v.AppendBinary(nil); return nil },
+		},
+		{
+			name: "Delta leaves the receiver untouched",
+			op:   func(v VV) VV { v.Delta(VV{0, 1, 0}); return nil },
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := VV{1, 2, 3}
+			orig := v.Clone()
+
+			res := tc.op(v)
+			if mutated := !v.Equal(orig); mutated != tc.mutatesReceiver {
+				t.Fatalf("receiver mutated = %v (v = %v), want %v", mutated, v, tc.mutatesReceiver)
+			}
+
+			if res == nil {
+				return
+			}
+			// Probe for a shared backing array: a sentinel written through
+			// the result is visible in the receiver iff they alias.
+			res[0] += 100
+			if aliases := v[0] == orig[0]+100; aliases != tc.resultAliasesReceiver {
+				t.Fatalf("result aliases receiver = %v (v = %v, result = %v), want %v",
+					aliases, v, res, tc.resultAliasesReceiver)
+			}
+		})
+	}
+}
