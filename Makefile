@@ -17,20 +17,22 @@ check: vet build race test-all lint
 vet:
 	$(GO) vet ./...
 
-## lint: build and run epilint — the protocol analyzers (lockorder,
-## vvalias, ctlheld, atomiccounter) plus the lite standard passes — over
-## the whole repository. See DESIGN.md §4d.
+## lint: build and run epilint — the protocol analyzers (lockorder and
+## ctlheld interprocedural via lockset summaries, vvalias, atomiccounter)
+## plus the lite standard passes — over the whole repository, with the
+## hotalloc escape/inlining gate on //epi:hotpath functions. See
+## DESIGN.md §4d/§4e.
 lint:
-	$(GO) run ./cmd/epilint ./...
+	$(GO) run ./cmd/epilint -hotpath ./...
 
 build:
 	$(GO) build ./...
 
 ## race: the concurrency-heavy packages (protocol core with the sharded
-## data plane, simulator, TCP transport pool, live cluster) under the race
-## detector.
+## data plane, simulator, TCP transport pool, live cluster, multi-database
+## propagation, durable log) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/transport/... ./internal/cluster/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/transport/... ./internal/cluster/... ./internal/multidb/... ./internal/durable/...
 
 test-all:
 	$(GO) test ./...

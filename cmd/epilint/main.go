@@ -1,23 +1,36 @@
 // Command epilint is the repository's static-analysis gate: a
 // multichecker running the protocol analyzers (lockorder, vvalias,
-// ctlheld, atomiccounter) plus stdlib-only reimplementations of the
-// standard copylocks, unusedwrite and nilness passes over the given
-// package patterns. See internal/lint and DESIGN.md §4d.
+// ctlheld, atomiccounter — lockorder and ctlheld interprocedural, driven
+// by whole-program lockset summaries) plus stdlib-only reimplementations
+// of the standard copylocks, unusedwrite and nilness passes over the
+// given package patterns. See internal/lint and DESIGN.md §4d/§4e.
 //
 // Usage:
 //
-//	epilint [-only analyzer,analyzer] [-list] [packages]
+//	epilint [flags] [packages]
+//
+//	-only a,b       run only the named analyzers
+//	-list           list available analyzers and exit
+//	-summaries      print the computed lockset summaries and exit
+//	-suppressions   audit //lint:ignore directives and exit (fails on
+//	                directives without a reason)
+//	-hotpath        also run the hotalloc gate over //epi:hotpath functions
+//	-update         (with -hotpath) rewrite the hotalloc baseline
+//	-github         emit findings as GitHub Actions annotations
+//	                (::error file=...,line=...) alongside the plain lines
 //
 // With no packages, ./... is linted. Exit status is 1 when diagnostics
 // were reported, 2 on load or usage errors. False positives are
 // suppressed in source with `//lint:ignore <analyzer> <reason>` on the
-// flagged line or the line above.
+// flagged line or the line above; a directive without a reason suppresses
+// nothing and is itself a finding.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -25,8 +38,13 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	summaries := flag.Bool("summaries", false, "print the computed lockset summaries and exit")
+	suppressions := flag.Bool("suppressions", false, "audit //lint:ignore directives and exit")
+	hotpath := flag.Bool("hotpath", false, "also run the hotalloc escape/inlining gate")
+	update := flag.Bool("update", false, "with -hotpath: rewrite the baseline instead of checking it")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations for findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: epilint [-only analyzer,...] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: epilint [-only analyzer,...] [-list] [-summaries] [-suppressions] [-hotpath [-update]] [-github] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -54,9 +72,67 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *summaries {
+		for _, s := range lint.FormatSummaries(pkgs) {
+			fmt.Println(s)
+		}
+		return
+	}
+
+	if *suppressions {
+		missing := 0
+		for _, s := range lint.Suppressions(pkgs) {
+			reason := s.Reason
+			if reason == "" {
+				reason = "<no reason>"
+				missing++
+			}
+			fmt.Printf("%s:%d: %s — %s\n", s.Pos.Filename, s.Pos.Line, strings.Join(s.Analyzers, ","), reason)
+		}
+		if missing > 0 {
+			fmt.Fprintf(os.Stderr, "epilint: %d suppression(s) without a reason\n", missing)
+			os.Exit(1)
+		}
+		return
+	}
+
 	diags := lint.Run(pkgs, analyzers)
+
+	if *hotpath {
+		observed, err := lint.ObserveHotPaths(pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		baseline, err := lint.HotBaselinePath(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *update {
+			if err := os.WriteFile(baseline, lint.FormatHotBaseline(observed), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("epilint: wrote %s (%d hotpath functions)\n", baseline, len(observed))
+		} else {
+			hot, err := lint.CheckHotAlloc(observed, baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			diags = append(diags, hot...)
+		}
+	}
+
 	for _, d := range diags {
 		fmt.Println(d)
+		if *github {
+			// GitHub Actions annotation: surfaces the finding inline on the
+			// PR diff. The message field must be single-line.
+			msg := strings.ReplaceAll(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message), "\n", " ")
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, msg)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "epilint: %d finding(s)\n", len(diags))

@@ -123,6 +123,8 @@ func (r *Replica) PropagationRequest() vv.VV {
 // the session — runs without any lock held. Plain reads proceed throughout
 // (shard read-locks are shared); updates are excluded only during the
 // clone itself, not for the session.
+//
+//epi:hotpath
 func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
 	r.rlockAll()
 	defer r.runlockAll()
@@ -210,6 +212,8 @@ func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
 // shipped deltas. Each item is cloned under its own shard read-lock; the
 // session's correctness needs only per-item consistency here, since every
 // fetched copy is re-compared against the recipient's IVV at commit.
+//
+//epi:hotpath
 func (r *Replica) BuildItems(keys []string) []ItemPayload {
 	items := make([]ItemPayload, 0, len(keys))
 	for _, key := range keys {

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Whole-program view shared by the interprocedural analyzers. A Program
+// indexes every function declaration across the packages of one Run so a
+// call site in one package can look up the lockset summary of a callee
+// declared in another. Resolution is name-and-type based, not
+// object-identity based: when core calls store.(*Store).LockKey, the
+// callee *types.Func comes from store's export data while the declaration
+// was typechecked from source as a separate package, so the two objects
+// are distinct and only agree on their symbol string.
+//
+// Approximations (see DESIGN.md §4e): only statically resolved calls are
+// followed — a call through an interface method, a function-typed value
+// or field, or a method value has no known body and contributes nothing
+// to the caller's summary. The repository's protocol locks are all
+// reached through concrete receivers, so the blind spot is the documented
+// handler-callback contract (ConflictHandler "must not call back into
+// the replica"), which no static summary could check anyway.
+
+// funcInfo is one function declaration the program knows the body of.
+type funcInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+
+	// recvObj is the receiver variable's object (nil for functions and
+	// unnamed receivers); paramObjs are the declared parameter objects in
+	// order. Together they define the function's root namespace: lock
+	// roots in its summary are expressed as indices into this list.
+	recvObj   types.Object
+	paramObjs []types.Object
+}
+
+// shortName renders the function for diagnostics: "touch" or
+// "(*Replica).lockAll".
+func (fi *funcInfo) shortName() string {
+	if fi.decl.Recv != nil && len(fi.decl.Recv.List) > 0 {
+		return "(" + types.ExprString(fi.decl.Recv.List[0].Type) + ")." + fi.decl.Name.Name
+	}
+	return fi.decl.Name.Name
+}
+
+// Program spans every package of one Run invocation.
+type Program struct {
+	pkgs   []*Package
+	fns    map[string]*funcInfo
+	passes map[*Package]*Pass
+
+	sums map[string]*summary
+}
+
+// newProgram indexes the declared functions of pkgs.
+func newProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		pkgs:   pkgs,
+		fns:    make(map[string]*funcInfo),
+		passes: make(map[*Package]*Pass),
+	}
+	for _, pkg := range pkgs {
+		prog.passes[pkg] = &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &funcInfo{pkg: pkg, decl: fd, obj: obj}
+				if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+					fi.recvObj = pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+				}
+				if fd.Type.Params != nil {
+					for _, field := range fd.Type.Params.List {
+						for _, name := range field.Names {
+							fi.paramObjs = append(fi.paramObjs, pkg.Info.Defs[name])
+						}
+					}
+				}
+				prog.fns[symbolOf(obj)] = fi
+			}
+		}
+	}
+	return prog
+}
+
+// symbolOf renders a function object as its program-wide symbol:
+// "path.Name" for functions, "path.Recv.Name" for methods (pointerness of
+// the receiver is erased — a type has one method set namespace).
+func symbolOf(fn *types.Func) string {
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return path + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return path + ".?." + fn.Name()
+	}
+	return path + "." + fn.Name()
+}
+
+// lookup resolves a call expression to the funcInfo of its statically
+// known callee, or nil (indirect call, interface method, builtin,
+// function with no loaded source).
+func (prog *Program) lookup(pass *Pass, call *ast.CallExpr) *funcInfo {
+	obj := calleeObject(pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return prog.fns[symbolOf(fn)]
+}
+
+// rootObjOf returns the object of the base identifier a lock-owner or
+// argument expression is rooted at (r for r.ctl, s for s.shards[i].mu),
+// or nil when the expression has no identifier root.
+func rootObjOf(pass *Pass, expr ast.Expr) types.Object {
+	id := rootIdent(expr)
+	if id == nil {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// Summary root indices: how a callee's summary names the objects whose
+// locks it touches, so a call site can translate them into its own frame.
+const (
+	rootRecv  = 0  // the method receiver
+	rootOther = -1 // a non-parameter owner (local, global, field-only path)
+)
+
+// rootIndexOf abstracts an object into fi's root namespace: rootRecv for
+// the receiver, i+1 for parameter i, rootOther for everything else.
+func (fi *funcInfo) rootIndexOf(obj types.Object) int {
+	if obj == nil {
+		return rootOther
+	}
+	if fi.recvObj != nil && obj == fi.recvObj {
+		return rootRecv
+	}
+	for i, p := range fi.paramObjs {
+		if obj == p {
+			return i + 1
+		}
+	}
+	return rootOther
+}
+
+// bindRoot resolves a callee summary root index to the caller-side object
+// it denotes at this call site: the root object of the receiver
+// expression for rootRecv, of the matching argument for parameters, nil
+// for rootOther or any shape mismatch (variadic spread, method value).
+func bindRoot(pass *Pass, call *ast.CallExpr, root int) types.Object {
+	switch {
+	case root == rootRecv:
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return rootObjOf(pass, sel.X)
+		}
+		return nil
+	case root >= 1 && root-1 < len(call.Args):
+		return rootObjOf(pass, call.Args[root-1])
+	}
+	return nil
+}
+
+// FormatSummaries renders the computed lockset summaries of every
+// function in pkgs whose summary is non-empty — the `epilint -summaries`
+// debugging view.
+func FormatSummaries(pkgs []*Package) []string {
+	prog := newProgram(pkgs)
+	sums := prog.summaries()
+	syms := make([]string, 0, len(sums))
+	for sym, sm := range sums {
+		if sm.empty() {
+			continue
+		}
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	out := make([]string, 0, len(syms))
+	for _, sym := range syms {
+		out = append(out, sums[sym].format(sym))
+	}
+	return out
+}
+
+// format renders one summary as an indented block.
+func (sm *summary) format(sym string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", sym)
+	writeLocks := func(label string, locks []sumLock) {
+		if len(locks) == 0 {
+			return
+		}
+		parts := make([]string, len(locks))
+		for i, l := range locks {
+			parts[i] = l.describe()
+		}
+		fmt.Fprintf(&b, "  %s: %s\n", label, strings.Join(parts, ", "))
+	}
+	writeLocks("acquires", sm.acquires)
+	writeLocks("exit-holds", sm.exitAcquired)
+	writeLocks("exit-releases", sm.exitReleased)
+	writeLocks("goroutine-acquires", sm.spawnAcquires)
+	if len(sm.blocks) > 0 {
+		parts := make([]string, len(sm.blocks))
+		for i, blk := range sm.blocks {
+			parts[i] = blk.what
+			if blk.via != "" {
+				parts[i] += " (via " + blk.via + ")"
+			}
+		}
+		fmt.Fprintf(&b, "  may-block: %s\n", strings.Join(parts, ", "))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (l sumLock) describe() string {
+	desc := l.kind.String()
+	if !l.write {
+		desc += " (read)"
+	}
+	switch {
+	case l.root == rootRecv:
+		desc += " [recv]"
+	case l.root >= 1:
+		desc += fmt.Sprintf(" [param %d]", l.root-1)
+	}
+	if l.via != "" {
+		desc += " (via " + l.via + ")"
+	}
+	return desc
+}

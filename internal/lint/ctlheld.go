@@ -13,15 +13,32 @@ import (
 // must be O(1) bookkeeping; anything that can wait on the outside world
 // stalls every update (and, under the all-shard sweep, every read) on the
 // replica.
+//
+// The check is interprocedural: a call is also flagged when its resolved
+// lockset summary says the callee (or anything it calls) may block, so a
+// helper whose body sleeps is caught at the call site under the lock.
 var CtlHeld = &Analyzer{
 	Name: "ctlheld",
 	Doc: "forbid potentially blocking calls (net, transport/wire I/O, " +
-		"time.Sleep, channel operations) while the control mutex or a " +
-		"shard lock is held (DESIGN.md §4c)",
-	Run: runCtlHeld,
+		"time.Sleep, channel operations — directly or through callees) " +
+		"while the control mutex or a shard lock is held (DESIGN.md §4c)",
+	Run: func(pass *Pass) { runCtlHeld(pass, true) },
 }
 
-func runCtlHeld(pass *Pass) {
+// ctlHeldLexical is the PR 3 behavior — no summary resolution. Kept
+// package-private for the fixture proof that blocking-through-a-helper is
+// invisible to it.
+var ctlHeldLexical = &Analyzer{
+	Name: "ctlheld",
+	Doc:  "lexical, intra-procedural variant of ctlheld (PR 3 behavior)",
+	Run:  func(pass *Pass) { runCtlHeld(pass, false) },
+}
+
+func runCtlHeld(pass *Pass, interproc bool) {
+	var resolve func(*ast.CallExpr) *boundSummary
+	if interproc && pass.Prog != nil {
+		resolve = pass.Prog.resolver(pass, pass.Prog.summaries())
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -29,7 +46,21 @@ func runCtlHeld(pass *Pass) {
 				continue
 			}
 			w := &lockWalker{
-				pass: pass,
+				pass:    pass,
+				resolve: resolve,
+				onSummaryCall: func(call *ast.CallExpr, bs *boundSummary, held []heldLock) {
+					lockDesc := heldDesc(held)
+					if lockDesc == "" || len(bs.blocks) == 0 {
+						return
+					}
+					b := bs.blocks[0]
+					what := b.what
+					if b.via != "" {
+						what += " via " + b.via
+					}
+					pass.Reportf(call.Pos(), "calls %s, which may block (%s), while the %s is held; no blocking work under replica locks (DESIGN.md §4c)",
+						bs.callee.shortName(), what, lockDesc)
+				},
 				onCall: func(call *ast.CallExpr, held []heldLock) {
 					if lockDesc := heldDesc(held); lockDesc != "" {
 						if what := blockingCall(pass, call); what != "" {

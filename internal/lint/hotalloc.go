@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The hotalloc gate: a static regression fence for the allocation and
+// inlining behavior of the hot paths behind the E15/E16 wins. Functions
+// annotated
+//
+//	//epi:hotpath
+//
+// in their doc comment are checked against the compiler's own escape and
+// inlining analysis (`go build -gcflags=-m`, replayed from the build
+// cache when the packages are unchanged): the committed baseline
+// internal/lint/hotalloc.baseline records, per function, whether it is
+// inlinable and the multiset of heap-escape diagnostics inside its body.
+// The gate fails when an annotated function gains a heap escape the
+// baseline doesn't have or stops being inlinable; shedding escapes or
+// becoming inlinable only enters the baseline on `epilint -hotpath
+// -update`, so improvements are ratcheted in deliberately.
+//
+// Escape attribution is positional — diagnostics whose file:line falls
+// inside the function declaration, closures included. Inlinability is
+// matched by the compiler's exact rendering of the function name
+// ("WriteFrame", "(*Pool).roundTrip") in the same file, so synthetic
+// siblings like BuildPropagation.deferwrap1 never masquerade as the
+// annotated function. "leaking param" notes are ignored: they describe
+// the signature contract, not an allocation, and are stable noise.
+
+// HotFunc is the observed compiler view of one annotated function.
+type HotFunc struct {
+	Sym     string // program-wide symbol, as symbolOf renders it
+	File    string // module-root-relative declaration file
+	Line    int    // declaration line
+	Inline  bool
+	Escapes []string // sorted escape diagnostics inside the body
+}
+
+// hotPathDirective reports whether fd's doc comment carries //epi:hotpath.
+func hotPathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//epi:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+var compilerLineRE = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*)$`)
+
+// ObserveHotPaths finds every //epi:hotpath function in pkgs and collects
+// its current escape/inlining diagnostics by running the compiler with -m
+// over the packages that contain annotations.
+func ObserveHotPaths(pkgs []*Package) ([]HotFunc, error) {
+	type annotated struct {
+		hf        HotFunc
+		absFile   string
+		startLine int
+		endLine   int
+		names     map[string]bool // compiler renderings of the name
+	}
+	var funcs []*annotated
+	dirSet := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hotPathDirective(fd) {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				abs, err := filepath.Abs(start.Filename)
+				if err != nil {
+					return nil, err
+				}
+				names := map[string]bool{fd.Name.Name: true}
+				if fd.Recv != nil && len(fd.Recv.List) > 0 {
+					rt := types.ExprString(fd.Recv.List[0].Type)
+					names = map[string]bool{
+						"(" + rt + ")." + fd.Name.Name: true, // pointer receiver: (*T).name
+						rt + "." + fd.Name.Name:        true, // value receiver: T.name
+					}
+				}
+				funcs = append(funcs, &annotated{
+					hf:        HotFunc{Sym: symbolOf(obj), Line: start.Line},
+					absFile:   abs,
+					startLine: start.Line,
+					endLine:   end.Line,
+					names:     names,
+				})
+				dirSet[filepath.Dir(abs)] = true
+			}
+		}
+	}
+	if len(funcs) == 0 {
+		return nil, nil
+	}
+
+	// Run the compiler from the module root so its paths are root-relative.
+	root, err := moduleRoot(filepath.Dir(funcs[0].absFile))
+	if err != nil {
+		return nil, err
+	}
+	var patterns []string
+	for dir := range dirSet {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: hotpath dir %s outside module %s", dir, root)
+		}
+		patterns = append(patterns, "./"+filepath.ToSlash(rel))
+	}
+	sort.Strings(patterns)
+	for _, a := range funcs {
+		if rel, err := filepath.Rel(root, a.absFile); err == nil {
+			a.hf.File = filepath.ToSlash(rel)
+		}
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, patterns...)...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := compilerLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		lineNo := 0
+		fmt.Sscanf(m[2], "%d", &lineNo)
+		msg := m[3]
+		switch {
+		case strings.HasPrefix(msg, "can inline "):
+			name := strings.TrimPrefix(msg, "can inline ")
+			for _, a := range funcs {
+				if a.absFile == file && a.names[name] {
+					a.hf.Inline = true
+				}
+			}
+		case strings.HasPrefix(msg, "leaking param"):
+			// Signature contract, not an allocation.
+		case strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap"):
+			for _, a := range funcs {
+				if a.absFile == file && lineNo >= a.startLine && lineNo <= a.endLine {
+					a.hf.Escapes = append(a.hf.Escapes, msg)
+				}
+			}
+		}
+	}
+
+	out := make([]HotFunc, len(funcs))
+	for i, a := range funcs {
+		sort.Strings(a.hf.Escapes)
+		out[i] = a.hf
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sym < out[j].Sym })
+	return out, nil
+}
+
+// FormatHotBaseline renders observed functions as the baseline file.
+func FormatHotBaseline(funcs []HotFunc) []byte {
+	var b strings.Builder
+	b.WriteString("# epilint hotalloc baseline: per //epi:hotpath function, inlinability and\n")
+	b.WriteString("# the heap-escape diagnostics the compiler reports inside its body.\n")
+	b.WriteString("# Regenerate: go run ./cmd/epilint -hotpath -update ./...\n")
+	for _, hf := range funcs {
+		fmt.Fprintf(&b, "\nfunc %s\n", hf.Sym)
+		if hf.Inline {
+			b.WriteString("  inline: yes\n")
+		} else {
+			b.WriteString("  inline: no\n")
+		}
+		for _, e := range hf.Escapes {
+			fmt.Fprintf(&b, "  escape: %s\n", e)
+		}
+	}
+	return []byte(b.String())
+}
+
+// ParseHotBaseline decodes a baseline file into per-symbol entries.
+func ParseHotBaseline(data []byte) (map[string]HotFunc, error) {
+	out := map[string]HotFunc{}
+	var cur *HotFunc
+	flush := func() {
+		if cur != nil {
+			out[cur.Sym] = *cur
+		}
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+		case strings.HasPrefix(line, "func "):
+			flush()
+			cur = &HotFunc{Sym: strings.TrimSpace(strings.TrimPrefix(line, "func "))}
+		case cur == nil:
+			return nil, fmt.Errorf("lint: hotalloc baseline line %d: %q outside a func block", i+1, trimmed)
+		case strings.HasPrefix(trimmed, "inline: "):
+			cur.Inline = strings.TrimPrefix(trimmed, "inline: ") == "yes"
+		case strings.HasPrefix(trimmed, "escape: "):
+			cur.Escapes = append(cur.Escapes, strings.TrimPrefix(trimmed, "escape: "))
+		default:
+			return nil, fmt.Errorf("lint: hotalloc baseline line %d: unrecognized %q", i+1, trimmed)
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// CheckHotAlloc compares the observed state against the baseline file and
+// returns one diagnostic per regression: a new heap escape, lost
+// inlinability, or an annotated function the baseline has never seen.
+func CheckHotAlloc(observed []HotFunc, baselinePath string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: hotalloc baseline %s: %v (run `go run ./cmd/epilint -hotpath -update ./...` to create it)", baselinePath, err)
+	}
+	base, err := ParseHotBaseline(data)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	report := func(hf HotFunc, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "hotalloc",
+			Pos:      token.Position{Filename: hf.File, Line: hf.Line},
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, hf := range observed {
+		want, ok := base[hf.Sym]
+		if !ok {
+			report(hf, "hotpath function %s has no baseline entry; run `go run ./cmd/epilint -hotpath -update ./...`", hf.Sym)
+			continue
+		}
+		if want.Inline && !hf.Inline {
+			report(hf, "hotpath function %s is no longer inlinable (baseline says it was); check `go build -gcflags=-m` and re-baseline only if the regression is intended", hf.Sym)
+		}
+		// Multiset difference: escapes observed now but not budgeted.
+		budget := map[string]int{}
+		for _, e := range want.Escapes {
+			budget[e]++
+		}
+		for _, e := range hf.Escapes {
+			if budget[e] > 0 {
+				budget[e]--
+				continue
+			}
+			report(hf, "hotpath function %s gains a heap escape: %s", hf.Sym, e)
+		}
+	}
+	return diags, nil
+}
+
+// HotBaselinePath is the committed baseline location, resolved from any
+// directory inside the module.
+func HotBaselinePath(fromDir string) (string, error) {
+	root, err := moduleRoot(fromDir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(root, "internal", "lint", "hotalloc.baseline"), nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHotBaselineRoundTrip(t *testing.T) {
+	funcs := []HotFunc{
+		{Sym: "repro/internal/wire.WriteFrame", File: "internal/wire/wire.go", Line: 40, Inline: false,
+			Escapes: []string{"len(payload) escapes to heap", "moved to heap: hdr"}},
+		{Sym: "repro/internal/wire.GetBuffer", File: "internal/wire/wire.go", Line: 136, Inline: true},
+	}
+	base, err := ParseHotBaseline(FormatHotBaseline(funcs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("round trip: got %d entries, want 2", len(base))
+	}
+	got := base["repro/internal/wire.WriteFrame"]
+	// File/Line are observation-side only; the baseline persists Sym,
+	// Inline and the escape multiset.
+	want := HotFunc{Sym: "repro/internal/wire.WriteFrame", Inline: false,
+		Escapes: []string{"len(payload) escapes to heap", "moved to heap: hdr"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+	if !base["repro/internal/wire.GetBuffer"].Inline {
+		t.Error("round trip lost inline: yes")
+	}
+}
+
+func TestParseHotBaselineErrors(t *testing.T) {
+	if _, err := ParseHotBaseline([]byte("  escape: x\n")); err == nil {
+		t.Error("entry outside a func block: want error")
+	}
+	if _, err := ParseHotBaseline([]byte("func a.B\n  bogus: x\n")); err == nil {
+		t.Error("unrecognized field: want error")
+	}
+}
+
+func TestCheckHotAlloc(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "hotalloc.baseline")
+	base := []HotFunc{
+		{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true, Escapes: []string{"x escapes to heap"}},
+		{Sym: "p.WasInline", File: "p/f.go", Line: 20, Inline: true},
+	}
+	if err := os.WriteFile(baseline, FormatHotBaseline(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	observed := []HotFunc{
+		// Unchanged: budgeted escape still present, inline intact.
+		{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true, Escapes: []string{"x escapes to heap"}},
+		// Regression: lost inlinability.
+		{Sym: "p.WasInline", File: "p/f.go", Line: 20, Inline: false},
+		// Never baselined.
+		{Sym: "p.Fresh", File: "p/f.go", Line: 30},
+	}
+	diags, err := CheckHotAlloc(observed, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		if d.Analyzer != "hotalloc" {
+			t.Errorf("diagnostic analyzer = %q, want hotalloc", d.Analyzer)
+		}
+		msgs = append(msgs, d.Message)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(diags), msgs)
+	}
+	if !strings.Contains(msgs[0], "p.WasInline is no longer inlinable") {
+		t.Errorf("lost-inline diagnostic: got %q", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "p.Fresh has no baseline entry") {
+		t.Errorf("missing-entry diagnostic: got %q", msgs[1])
+	}
+
+	// A second identical escape exceeds the multiset budget even though
+	// the message text itself is baselined.
+	observed = []HotFunc{
+		{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true,
+			Escapes: []string{"x escapes to heap", "x escapes to heap"}},
+	}
+	diags, err = CheckHotAlloc(observed, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "gains a heap escape: x escapes to heap") {
+		t.Fatalf("multiset budget: got %v", diags)
+	}
+
+	// Shedding an escape or gaining inlinability is not a finding — the
+	// ratchet only tightens on -update.
+	observed = []HotFunc{{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true}}
+	if diags, err = CheckHotAlloc(observed, baseline); err != nil || len(diags) != 0 {
+		t.Fatalf("improvement flagged: diags=%v err=%v", diags, err)
+	}
+
+	if _, err := CheckHotAlloc(observed, filepath.Join(dir, "missing")); err == nil ||
+		!strings.Contains(err.Error(), "-update") {
+		t.Errorf("missing baseline: want error pointing at -update, got %v", err)
+	}
+}
+
+// TestHotPathsMatchBaseline is the real-tree gate: the committed baseline
+// must describe the current compiler view of every //epi:hotpath function.
+func TestHotPathsMatchBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go build -gcflags=-m over the module")
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := ObserveHotPaths(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) < 6 {
+		t.Fatalf("only %d //epi:hotpath functions; the gate should cover at least 6", len(observed))
+	}
+	baseline, err := HotBaselinePath(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := CheckHotAlloc(observed, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("hotalloc regression: %s", d)
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInterprocFixtures checks the interprocedural violation classes —
+// two-hop lock-order inversion, re-entrant acquisition through a helper,
+// cross-replica double-hold, goroutine-under-lock, blocking helper under
+// a lock — against their want expectations.
+func TestInterprocFixtures(t *testing.T) {
+	checkFixture(t, "interproc", LockOrder, CtlHeld)
+}
+
+// TestInterprocInvisibleToLexical is the proof that the fixture's classes
+// are genuinely new: the same fixture under the PR 3 lexical variants
+// (per-function walkers, no summary resolution) must report nothing.
+func TestInterprocInvisibleToLexical(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "interproc"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{lockOrderLexical, ctlHeldLexical}) {
+		t.Errorf("lexical analyzer sees interprocedural fixture finding %s — the fixture does not prove a new class", d)
+	}
+}
+
+// TestSuiteCleanOnWholeTree is the repo-wide self-test: every package of
+// the module must be clean under the full interprocedural suite, so a
+// cross-package regression fails `go test` and not just `make lint`.
+func TestSuiteCleanOnWholeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree load in -short mode")
+	}
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("unexpected diagnostic in tree: %s", d)
+	}
+}
+
+// TestSummariesOnFixture pins the -summaries rendering against the
+// fixture helpers whose summaries drive the interprocedural checks.
+func TestSummariesOnFixture(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "interproc"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	out := strings.Join(FormatSummaries([]*Package{pkg}), "\n")
+	for _, want := range []string{
+		// A lock helper's net exit effect, rooted at its parameter.
+		"acquireCtl\n  acquires: control mutex [param 0]\n  exit-holds: control mutex [param 0]",
+		// An unlock helper's net release.
+		"releaseCtl\n  exit-releases: control mutex [param 0]",
+		// Transitive acquisition with its witness path.
+		"helperA\n  acquires: shard lock [param 0] (via helperB)",
+		// A transitive blocking fact.
+		"nestedNap\n  may-block: time.Sleep (via napHelper)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summaries missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestSuppressionsAudit checks the -suppressions listing and that a
+// reasonless directive is reported and does not suppress.
+func TestSuppressionsAudit(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "suppressions"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	sups := Suppressions([]*Package{pkg})
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2: %v", len(sups), sups)
+	}
+	if sups[0].Reason == "" || sups[0].Analyzers[0] != "lockorder" {
+		t.Errorf("first directive = %+v; want lockorder with a reason", sups[0])
+	}
+	if sups[1].Reason != "" {
+		t.Errorf("second directive reason = %q; want empty", sups[1].Reason)
+	}
+
+	diags := Run([]*Package{pkg}, []*Analyzer{LockOrder})
+	var gotAudit, gotUnsuppressed bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "suppressions" && strings.Contains(d.Message, "without a reason"):
+			gotAudit = true
+		case d.Analyzer == "lockorder" && d.Pos.Line == sups[1].Pos.Line+1:
+			gotUnsuppressed = true
+		case d.Analyzer == "lockorder" && d.Pos.Line == sups[0].Pos.Line+1:
+			t.Errorf("reasoned suppression did not suppress: %s", d)
+		default:
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	if !gotAudit {
+		t.Error("reasonless //lint:ignore was not reported")
+	}
+	if !gotUnsuppressed {
+		t.Error("reasonless //lint:ignore still suppressed its diagnostic")
+	}
+}

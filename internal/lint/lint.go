@@ -58,6 +58,11 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Prog is the whole-program view over every package of the Run,
+	// giving interprocedural analyzers cross-package lockset summaries.
+	// Nil for a purely intra-procedural invocation.
+	Prog *Program
+
 	diags *[]Diagnostic
 }
 
@@ -86,10 +91,14 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position, with //lint:ignore suppression applied.
+// A directive without a reason string suppresses nothing and is itself
+// reported — the suppression budget stays auditable (-suppressions).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := newProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
+		sups := collectSuppressions(pkg)
+		ignores := buildIgnoreSet(sups)
 		var pkgDiags []Diagnostic
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -98,6 +107,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Prog:     prog,
 				diags:    &pkgDiags,
 			}
 			a.Run(pass)
@@ -105,6 +115,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		for _, d := range pkgDiags {
 			if !ignores.matches(d) {
 				diags = append(diags, d)
+			}
+		}
+		for _, s := range sups {
+			if s.Reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: "suppressions",
+					Pos:      s.Pos,
+					Message:  "//lint:ignore directive without a reason; a suppression must say why (it does not suppress until it does)",
+				})
 			}
 		}
 	}
@@ -121,14 +140,37 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
+// Suppression is one //lint:ignore directive found in a package.
+type Suppression struct {
+	Pos       token.Position
+	Analyzers []string // the comma-separated analyzer list (or "all")
+	Reason    string   // "" when the directive gave none
+}
+
+// Suppressions lists every //lint:ignore directive across pkgs, sorted by
+// position — the `epilint -suppressions` audit view.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		out = append(out, collectSuppressions(pkg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
 // ignoreSet maps file → line → analyzer names suppressed on that line.
 type ignoreSet map[string]map[int][]string
 
-// collectIgnores parses //lint:ignore directives. A directive suppresses
-// the named analyzers (comma-separated, or "all") on its own line and on
-// the line below — covering both end-of-line and line-above placement.
-func collectIgnores(pkg *Package) ignoreSet {
-	set := ignoreSet{}
+// collectSuppressions parses //lint:ignore directives into their
+// positions, analyzer lists, and reasons.
+func collectSuppressions(pkg *Package) []Suppression {
+	var out []Suppression
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -142,15 +184,32 @@ func collectIgnores(pkg *Package) ignoreSet {
 				if len(fields) == 0 {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				names := strings.Split(fields[0], ",")
-				if set[pos.Filename] == nil {
-					set[pos.Filename] = map[int][]string{}
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					set[pos.Filename][line] = append(set[pos.Filename][line], names...)
-				}
+				out = append(out, Suppression{
+					Pos:       pkg.Fset.Position(c.Pos()),
+					Analyzers: strings.Split(fields[0], ","),
+					Reason:    strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+				})
 			}
+		}
+	}
+	return out
+}
+
+// buildIgnoreSet indexes the suppressions that carry a reason. A
+// directive suppresses the named analyzers (comma-separated, or "all") on
+// its own line and on the line below — covering both end-of-line and
+// line-above placement.
+func buildIgnoreSet(sups []Suppression) ignoreSet {
+	set := ignoreSet{}
+	for _, s := range sups {
+		if s.Reason == "" {
+			continue
+		}
+		if set[s.Pos.Filename] == nil {
+			set[s.Pos.Filename] = map[int][]string{}
+		}
+		for _, line := range []int{s.Pos.Line, s.Pos.Line + 1} {
+			set[s.Pos.Filename][line] = append(set[s.Pos.Filename][line], s.Analyzers...)
 		}
 	}
 	return set

@@ -16,7 +16,7 @@ import (
 // Negative cases are simply fixture functions with no want comment.
 
 var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
-var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 
 type expectation struct {
 	file    string
@@ -49,9 +49,13 @@ func checkFixture(t *testing.T, name string, analyzers ...*Analyzer) {
 					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
 				}
 				for _, a := range args {
-					re, err := regexp.Compile(a[1])
+					pat := a[1]
+					if a[2] != "" {
+						pat = a[2] // backtick-quoted: no escape processing
+					}
+					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, a[1], err)
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, pat, err)
 					}
 					expects = append(expects, &expectation{
 						file: filepath.Base(pos.Filename),

@@ -2,30 +2,53 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
 )
 
-// LockOrder enforces DESIGN.md §4c's lock order within each function:
-// shard locks in ascending index order, then the control mutex `ctl`,
-// then the conflict-leaf mutex `confMu` — never backwards, never the same
-// lock twice, and never a fresh shard acquisition under the all-shard
-// sweep. It also flags calling declareConflict (which takes confMu
-// itself) while confMu is already held.
+// LockOrder enforces DESIGN.md §4c's lock order: shard locks in ascending
+// index order, then the control mutex `ctl`, then the conflict-leaf mutex
+// `confMu` — never backwards, never the same lock twice, and never a
+// fresh shard acquisition under the all-shard sweep. It also flags
+// calling declareConflict (which takes confMu itself) while confMu is
+// already held.
 //
-// The check is lexical and intra-procedural: it sees the acquisition
-// order a single function exhibits, which is exactly the granularity at
-// which the convention is written. Acquiring two single-shard locks whose
-// indices cannot be proven ascending is flagged too: with FNV-hashed
-// shards no source-level expression proves order, so multi-shard plans
-// must go through the LockAll/RLockAll sweep.
+// The check is interprocedural: call sites are resolved against the
+// whole-program lockset summaries (lockset.go), so a helper that takes
+// ctl and a caller that enters it holding a shard lock are caught even
+// though each is individually clean. Lock owners are tracked by root
+// object, which adds two classes the order rules alone cannot express:
+//
+//   - cross-replica double-hold: acquiring one replica's protocol lock
+//     while another replica's is held — the session protocol forbids a
+//     node from ever holding two replicas' locks at once;
+//   - goroutine-under-lock: spawning a goroutine whose body (or whose
+//     callees, or goroutines they spawn) acquires a lock the spawner
+//     holds at the go statement — a self-deadlock if the spawner joins.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc: "enforce the shard → ctl → conflict-leaf lock order " +
-		"(DESIGN.md §4c): no shard acquisition under the control mutex, " +
-		"no unordered multi-shard locking, no re-entrant acquisition",
-	Run: runLockOrder,
+		"(DESIGN.md §4c) across call boundaries: no shard acquisition " +
+		"under the control mutex, no unordered multi-shard locking, no " +
+		"re-entrant acquisition (even through helpers), no second " +
+		"replica's locks, no goroutine that blocks on a spawner-held lock",
+	Run: func(pass *Pass) { runLockOrder(pass, true) },
 }
 
-func runLockOrder(pass *Pass) {
+// lockOrderLexical is the PR 3 behavior — the per-function walker with no
+// summary resolution. Kept package-private for the fixture proof that the
+// interprocedural violation classes are invisible to it.
+var lockOrderLexical = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lexical, intra-procedural variant of lockorder (PR 3 behavior)",
+	Run:  func(pass *Pass) { runLockOrder(pass, false) },
+}
+
+func runLockOrder(pass *Pass, interproc bool) {
+	var resolve func(*ast.CallExpr) *boundSummary
+	if interproc && pass.Prog != nil {
+		resolve = pass.Prog.resolver(pass, pass.Prog.summaries())
+	}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -34,23 +57,76 @@ func runLockOrder(pass *Pass) {
 			}
 			w := &lockWalker{
 				pass:      pass,
+				resolve:   resolve,
 				onAcquire: func(op lockOp, held []heldLock) { checkLockOrder(pass, op, held) },
 				onCall:    func(call *ast.CallExpr, held []heldLock) { checkConflictLeafCall(pass, call, held) },
+			}
+			if interproc {
+				// The summary-driven hooks define the interprocedural
+				// classes; the lexical variant replicates PR 3 exactly, so
+				// it gets neither (goAcquires also walks func literals,
+				// which PR 3 never inspected under a spawn).
+				w.onSummaryCall = func(call *ast.CallExpr, bs *boundSummary, held []heldLock) {
+					name := bs.callee.shortName()
+					for _, l := range bs.acquires {
+						checkLockOrder(pass, lockOp{
+							kind: l.kind, acquire: true, write: l.write, idx: -1,
+							root: l.root, via: viaJoin(name, l.via), pos: call.Pos(),
+						}, held)
+					}
+					checkSpawned(pass, call.Pos(), bs.spawnAcquires, held)
+				}
+				w.onGo = func(call *ast.CallExpr, acquires []boundLock, held []heldLock) {
+					checkSpawned(pass, call.Pos(), acquires, held)
+				}
 			}
 			w.walkFunc(fn.Body)
 		}
 	}
 }
 
+// viaSuffix renders an interprocedural witness path; empty for direct
+// acquisitions, so the PR 3 message texts are unchanged.
+func viaSuffix(via string) string {
+	if via == "" {
+		return ""
+	}
+	return " (via " + via + ")"
+}
+
+// crossReplica reports whether two lock roots are provably distinct
+// instances of the same type — replica a's lock versus replica b's. A nil
+// root (unknown owner) is treated as possibly-the-same instance, and
+// different-typed roots (r *Replica vs its embedded store reached through
+// a separate variable) fall through to the same-instance order rules.
+func crossReplica(a, b types.Object) bool {
+	if a == nil || b == nil || a == b {
+		return false
+	}
+	ta, tb := a.Type(), b.Type()
+	if p, ok := ta.Underlying().(*types.Pointer); ok {
+		ta = p.Elem()
+	}
+	if p, ok := tb.Underlying().(*types.Pointer); ok {
+		tb = p.Elem()
+	}
+	return types.Identical(ta, tb)
+}
+
 func checkLockOrder(pass *Pass, op lockOp, held []heldLock) {
 	for _, h := range held {
+		if crossReplica(op.root, h.root) {
+			pass.Reportf(op.pos, "acquires the %s of a second replica (%s) while another replica's %s is held%s; a session must never hold two replicas' locks at once (DESIGN.md §4c)",
+				op.kind, op.root.Name(), h.kind, viaSuffix(op.via))
+			continue
+		}
 		switch op.kind {
 		case lockShard:
 			switch h.kind {
 			case lockCtl, lockConf:
-				pass.Reportf(op.pos, "acquires a shard lock while the %s is held; lock order is shard locks → ctl → conflict leaf", h.kind)
+				pass.Reportf(op.pos, "acquires a shard lock while the %s is held%s; lock order is shard locks → ctl → conflict leaf", h.kind, viaSuffix(op.via))
 			case lockShardAll:
-				pass.Reportf(op.pos, "acquires a shard lock under the all-shard sweep; the sweep already holds every shard")
+				pass.Reportf(op.pos, "acquires a shard lock under the all-shard sweep%s; the sweep already holds every shard", viaSuffix(op.via))
 			case lockShard:
 				switch {
 				case h.perIter && op.perIter && h.key == op.key:
@@ -58,38 +134,80 @@ func checkLockOrder(pass *Pass, op lockOp, held []heldLock) {
 					// (`for i := range s.shards { s.shards[i].mu.Lock() }`):
 					// same rendered key, but each iteration locks a
 					// distinct shard in ascending order.
-				case h.key == op.key:
-					pass.Reportf(op.pos, "re-acquires the shard lock for %s already held; self-deadlock on the shard mutex", op.key)
+				case h.key == op.key && op.key != "":
+					pass.Reportf(op.pos, "re-acquires the shard lock for %s already held%s; self-deadlock on the shard mutex", op.key, viaSuffix(op.via))
+				case h.key == "" && op.key == "":
+					pass.Reportf(op.pos, "re-acquires a shard lock already held%s; self-deadlock on the shard mutex", viaSuffix(op.via))
 				case h.idx >= 0 && op.idx >= 0:
 					if op.idx <= h.idx {
-						pass.Reportf(op.pos, "acquires shard %d after shard %d; shard locks must be taken in ascending index order", op.idx, h.idx)
+						pass.Reportf(op.pos, "acquires shard %d after shard %d%s; shard locks must be taken in ascending index order", op.idx, h.idx, viaSuffix(op.via))
 					}
+				case op.key == "":
+					pass.Reportf(op.pos, "acquires a second shard lock while the shard lock for %s is held%s; ascending order cannot be proven — use the LockAll/RLockAll sweep", h.key, viaSuffix(op.via))
 				default:
-					pass.Reportf(op.pos, "acquires a second shard lock (key %s) while the shard lock for %s is held; ascending order cannot be proven — use the LockAll/RLockAll sweep", op.key, h.key)
+					pass.Reportf(op.pos, "acquires a second shard lock (key %s) while the shard lock for %s is held%s; ascending order cannot be proven — use the LockAll/RLockAll sweep", op.key, h.key, viaSuffix(op.via))
 				}
 			}
 		case lockShardAll:
 			switch h.kind {
 			case lockShard:
-				pass.Reportf(op.pos, "starts the all-shard sweep while the shard lock for %s is held; the sweep must be the first shard acquisition", h.key)
+				pass.Reportf(op.pos, "starts the all-shard sweep while the shard lock for %s is held%s; the sweep must be the first shard acquisition", h.key, viaSuffix(op.via))
 			case lockShardAll:
-				pass.Reportf(op.pos, "starts the all-shard sweep twice; self-deadlock on the first shard mutex")
+				pass.Reportf(op.pos, "starts the all-shard sweep twice%s; self-deadlock on the first shard mutex", viaSuffix(op.via))
 			case lockCtl, lockConf:
-				pass.Reportf(op.pos, "starts the all-shard sweep while the %s is held; lock order is shard locks → ctl → conflict leaf", h.kind)
+				pass.Reportf(op.pos, "starts the all-shard sweep while the %s is held%s; lock order is shard locks → ctl → conflict leaf", h.kind, viaSuffix(op.via))
 			}
 		case lockCtl:
 			switch h.kind {
 			case lockCtl:
-				pass.Reportf(op.pos, "acquires the control mutex while already held; sync.Mutex is not re-entrant")
+				pass.Reportf(op.pos, "acquires the control mutex while already held%s; sync.Mutex is not re-entrant", viaSuffix(op.via))
 			case lockConf:
-				pass.Reportf(op.pos, "acquires the control mutex while the conflict-leaf mutex is held; the conflict leaf is acquired last")
+				pass.Reportf(op.pos, "acquires the control mutex while the conflict-leaf mutex is held%s; the conflict leaf is acquired last", viaSuffix(op.via))
 			}
 		case lockConf:
 			if h.kind == lockConf {
-				pass.Reportf(op.pos, "acquires the conflict-leaf mutex while already held; self-deadlock")
+				pass.Reportf(op.pos, "acquires the conflict-leaf mutex while already held%s; self-deadlock", viaSuffix(op.via))
 			}
 		}
 	}
+}
+
+// checkSpawned flags a go statement (or a call that transitively spawns
+// goroutines) whose spawned body acquires a lock the spawner holds at
+// that point: the goroutine blocks until the spawner releases, and
+// deadlocks the replica outright if the spawner joins it first.
+func checkSpawned(pass *Pass, pos token.Pos, acquires []boundLock, held []heldLock) {
+	for _, l := range acquires {
+		for _, h := range held {
+			if !spawnConflicts(l, h) {
+				continue
+			}
+			pass.Reportf(pos, "spawns a goroutine that acquires the %s held at the go statement%s; it blocks until the spawner releases and deadlocks if the spawner waits for it (DESIGN.md §4c)",
+				h.kind, viaSuffix(l.via))
+			return
+		}
+	}
+}
+
+// spawnConflicts reports whether a spawned acquisition contends with a
+// spawner-held lock: same kind on a possibly-same instance (a single
+// shard also contends with the held all-shard sweep). For read locks the
+// conflict needs a writer on at least one side — two read-holds admit
+// each other.
+func spawnConflicts(l boundLock, h heldLock) bool {
+	kindsOverlap := l.kind == h.kind ||
+		(l.kind == lockShard && h.kind == lockShardAll) ||
+		(l.kind == lockShardAll && h.kind == lockShard)
+	if !kindsOverlap {
+		return false
+	}
+	if l.root != nil && h.root != nil && l.root != h.root {
+		return false
+	}
+	if (l.kind == lockShard || l.kind == lockShardAll) && !l.write && !h.write {
+		return false
+	}
+	return true
 }
 
 // checkConflictLeafCall flags invoking the conflict handler path while the

@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Per-function lockset summaries. A summary abstracts everything the
+// lockorder/ctlheld analyzers need to know about calling a function
+// without looking inside it:
+//
+//   - acquires: every protocol lock the call may acquire at some point
+//     during its execution, including through its own callees;
+//   - exitAcquired / exitReleased: the net effect on the caller's held
+//     set — lock helpers (lockAll) leave locks held, unlock helpers
+//     release locks the caller holds;
+//   - spawnAcquires: locks acquired inside goroutines the call spawns
+//     (directly or through callees) — concurrent with whatever the
+//     caller holds;
+//   - blocks: whether the call may block (net I/O, time.Sleep, channel
+//     operations, sync waits), with a witness description.
+//
+// Lock owners are tracked by root: the identifier a lock expression is
+// rooted at (r in r.ctl.Lock()). Within a summary roots are abstracted
+// to the function's own frame — receiver, parameter index, or "other" —
+// and re-bound to caller objects at each call site, which is what lets
+// the analysis distinguish "re-acquires MY control mutex" (self-deadlock)
+// from "acquires ANOTHER replica's control mutex while mine is held"
+// (the cross-replica double-hold the session protocol forbids).
+//
+// Summaries are computed bottom-up to a fixpoint: every set only grows,
+// the lattice is finite (4 lock kinds × write bit × bounded roots), and
+// recursion simply converges. The computation is name-driven and
+// may-analysis everywhere: branches union, loops walk twice, deferred
+// releases count as releases-at-exit but not before.
+
+// sumLock is one lock fact in a function's own frame.
+type sumLock struct {
+	kind  lockKind
+	write bool
+	root  int    // rootRecv, param index+1, or rootOther
+	via   string // call path to the acquisition ("" = this body)
+	pos   token.Pos
+}
+
+// sumBlock is one may-block fact.
+type sumBlock struct {
+	what string // "time.Sleep", "channel send", "net I/O call Dial", ...
+	via  string
+	pos  token.Pos
+}
+
+// summary is the computed lockset abstract of one function.
+type summary struct {
+	acquires      []sumLock
+	exitAcquired  []sumLock
+	exitReleased  []sumLock
+	spawnAcquires []sumLock
+	blocks        []sumBlock
+}
+
+func (sm *summary) empty() bool {
+	return len(sm.acquires) == 0 && len(sm.exitAcquired) == 0 &&
+		len(sm.exitReleased) == 0 && len(sm.spawnAcquires) == 0 && len(sm.blocks) == 0
+}
+
+// size is the fixpoint progress measure: sets only grow.
+func (sm *summary) size() int {
+	return len(sm.acquires) + len(sm.exitAcquired) + len(sm.exitReleased) +
+		len(sm.spawnAcquires) + len(sm.blocks)
+}
+
+// addLock unions one fact into set, keyed by (kind, write, root); the
+// first witness (pos, via) is kept.
+func addLock(set []sumLock, l sumLock) []sumLock {
+	for _, have := range set {
+		if have.kind == l.kind && have.write == l.write && have.root == l.root {
+			return set
+		}
+	}
+	return append(set, l)
+}
+
+func (sm *summary) addBlock(b sumBlock) {
+	for _, have := range sm.blocks {
+		if have.what == b.what {
+			return
+		}
+	}
+	// Bounded: one witness per distinct description is plenty.
+	if len(sm.blocks) < 8 {
+		sm.blocks = append(sm.blocks, b)
+	}
+}
+
+// boundLock is a summary lock re-bound to a call site: the root is the
+// caller-side object the callee's abstract root resolves to (nil when
+// unknown — treated as possibly-the-same instance, the conservative
+// reading for order checks).
+type boundLock struct {
+	kind  lockKind
+	write bool
+	root  types.Object
+	via   string
+	pos   token.Pos
+}
+
+// boundSummary is a callee summary instantiated at one call site.
+type boundSummary struct {
+	callee        *funcInfo
+	acquires      []boundLock
+	exitAcquired  []boundLock
+	exitReleased  []boundLock
+	spawnAcquires []boundLock
+	blocks        []sumBlock
+}
+
+// viaJoin prefixes a callee name onto an existing witness path.
+func viaJoin(callee, via string) string {
+	if via == "" {
+		return callee
+	}
+	if len(via) > 120 {
+		return callee + " → …"
+	}
+	return callee + " → " + via
+}
+
+// bind instantiates sm at call: every abstract root is resolved to the
+// caller-side object of the matching receiver/argument expression.
+func (sm *summary) bind(pass *Pass, call *ast.CallExpr, callee *funcInfo) *boundSummary {
+	bindLocks := func(locks []sumLock) []boundLock {
+		if len(locks) == 0 {
+			return nil
+		}
+		out := make([]boundLock, len(locks))
+		for i, l := range locks {
+			out[i] = boundLock{
+				kind:  l.kind,
+				write: l.write,
+				root:  bindRoot(pass, call, l.root),
+				via:   l.via,
+				pos:   l.pos,
+			}
+		}
+		return out
+	}
+	return &boundSummary{
+		callee:        callee,
+		acquires:      bindLocks(sm.acquires),
+		exitAcquired:  bindLocks(sm.exitAcquired),
+		exitReleased:  bindLocks(sm.exitReleased),
+		spawnAcquires: bindLocks(sm.spawnAcquires),
+		blocks:        sm.blocks,
+	}
+}
+
+// summaries computes (once per Program) the fixpoint of every known
+// function's summary.
+func (prog *Program) summaries() map[string]*summary {
+	if prog.sums != nil {
+		return prog.sums
+	}
+	sums := make(map[string]*summary, len(prog.fns))
+	for sym := range prog.fns {
+		sums[sym] = &summary{}
+	}
+	// Deterministic iteration keeps witness paths stable across runs.
+	syms := make([]string, 0, len(prog.fns))
+	for sym := range prog.fns {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	const maxRounds = 12
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, sym := range syms {
+			fi := prog.fns[sym]
+			next := prog.computeSummary(fi, sums)
+			if next.size() != sums[sym].size() {
+				changed = true
+			}
+			sums[sym] = next
+		}
+		if !changed {
+			break
+		}
+	}
+	prog.sums = sums
+	return sums
+}
+
+// resolver returns the walker hook resolving calls against the (possibly
+// still converging) summary table.
+func (prog *Program) resolver(pass *Pass, sums map[string]*summary) func(*ast.CallExpr) *boundSummary {
+	return func(call *ast.CallExpr) *boundSummary {
+		fi := prog.lookup(pass, call)
+		if fi == nil {
+			return nil
+		}
+		sm := sums[symbolOf(fi.obj)]
+		if sm == nil || sm.empty() {
+			return nil
+		}
+		return sm.bind(pass, call, fi)
+	}
+}
+
+// computeSummary walks one function body against the current summary
+// table, producing its next summary iterate.
+func (prog *Program) computeSummary(fi *funcInfo, sums map[string]*summary) *summary {
+	pass := prog.passes[fi.pkg]
+	sm := &summary{}
+	abstract := func(obj types.Object) int { return fi.rootIndexOf(obj) }
+
+	w := &lockWalker{
+		pass:    pass,
+		resolve: prog.resolver(pass, sums),
+		onAcquire: func(op lockOp, held []heldLock) {
+			sm.acquires = addLock(sm.acquires, sumLock{
+				kind: op.kind, write: op.write, root: abstract(op.root), pos: op.pos,
+			})
+		},
+		onSummaryCall: func(call *ast.CallExpr, bs *boundSummary, held []heldLock) {
+			name := bs.callee.shortName()
+			for _, l := range bs.acquires {
+				sm.acquires = addLock(sm.acquires, sumLock{
+					kind: l.kind, write: l.write, root: abstract(l.root),
+					via: viaJoin(name, l.via), pos: call.Pos(),
+				})
+			}
+			for _, l := range bs.spawnAcquires {
+				sm.spawnAcquires = addLock(sm.spawnAcquires, sumLock{
+					kind: l.kind, write: l.write, root: abstract(l.root),
+					via: viaJoin(name, l.via), pos: call.Pos(),
+				})
+			}
+			for _, b := range bs.blocks {
+				sm.addBlock(sumBlock{what: b.what, via: viaJoin(name, b.via), pos: call.Pos()})
+			}
+		},
+		onCall: func(call *ast.CallExpr, held []heldLock) {
+			if what := blockingCall(pass, call); what != "" {
+				sm.addBlock(sumBlock{what: what, pos: call.Pos()})
+			}
+		},
+		onStmt: func(stmt ast.Stmt, held []heldLock) {
+			switch s := stmt.(type) {
+			case *ast.SendStmt:
+				sm.addBlock(sumBlock{what: "channel send", pos: s.Pos()})
+			case *ast.SelectStmt:
+				if !selectHasDefault(s) {
+					sm.addBlock(sumBlock{what: "blocking select", pos: s.Pos()})
+				}
+			}
+		},
+		onRecv: func(expr *ast.UnaryExpr, held []heldLock) {
+			sm.addBlock(sumBlock{what: "channel receive", pos: expr.Pos()})
+		},
+		onGo: func(call *ast.CallExpr, acquires []boundLock, held []heldLock) {
+			for _, l := range acquires {
+				sm.spawnAcquires = addLock(sm.spawnAcquires, sumLock{
+					kind: l.kind, write: l.write, root: abstract(l.root),
+					via: l.via, pos: call.Pos(),
+				})
+			}
+		},
+	}
+	final := w.walkFuncState(fi.decl.Body)
+
+	// Net exit effects: locks still held at the end of the body, minus
+	// the deferred releases that run on the way out; plus releases of
+	// locks never acquired here — the caller's, i.e. an unlock helper.
+	for _, h := range final.held {
+		if releasedBy(w.deferredReleases, h) {
+			continue
+		}
+		sm.exitAcquired = addLock(sm.exitAcquired, sumLock{
+			kind: h.kind, write: h.write, root: abstract(h.root), via: h.via, pos: h.pos,
+		})
+	}
+	for _, o := range w.orphanReleases {
+		sm.exitReleased = addLock(sm.exitReleased, sumLock{
+			kind: o.kind, write: o.write, root: abstract(o.root), pos: o.pos,
+		})
+	}
+	return sm
+}
+
+// releasedBy reports whether a deferred release matches the held lock.
+func releasedBy(deferred []boundLock, h heldLock) bool {
+	for _, d := range deferred {
+		if d.kind == h.kind && (d.root == nil || h.root == nil || d.root == h.root) {
+			return true
+		}
+	}
+	return false
+}

@@ -54,6 +54,8 @@ type lockOp struct {
 	key     string // shard only: rendered key or index expression
 	idx     int64  // shard only: constant index, else -1
 	perIter bool   // shard only: keyed by an ascending loop's variable
+	root    types.Object // owner the lock path is rooted at (r in r.ctl); nil unknown
+	via     string       // interprocedural witness: callee path ("" = direct)
 	pos     token.Pos
 }
 
@@ -64,6 +66,8 @@ type heldLock struct {
 	key     string
 	idx     int64
 	perIter bool
+	root    types.Object
+	via     string
 	pos     token.Pos
 }
 
@@ -76,21 +80,37 @@ func (s *lockState) clone() *lockState {
 }
 
 func (s *lockState) acquire(op lockOp) {
-	s.held = append(s.held, heldLock{kind: op.kind, write: op.write, key: op.key, idx: op.idx, perIter: op.perIter, pos: op.pos})
+	s.held = append(s.held, heldLock{kind: op.kind, write: op.write, key: op.key, idx: op.idx, perIter: op.perIter, root: op.root, via: op.via, pos: op.pos})
 }
 
-func (s *lockState) release(op lockOp) {
+// release removes the matching held lock, preferring an exact root match
+// (so releasing b's lock never silently drops a's), and reports whether
+// anything was released. Shard keys must agree when both sides render one
+// — an empty key (a lock that arrived through a callee summary, where the
+// helper's key expression is out of scope) matches any.
+func (s *lockState) release(op lockOp) bool {
+	match := -1
 	for i := len(s.held) - 1; i >= 0; i-- {
 		h := s.held[i]
 		if h.kind != op.kind {
 			continue
 		}
-		if op.kind == lockShard && h.key != op.key {
+		if op.kind == lockShard && h.key != op.key && h.key != "" && op.key != "" {
 			continue
 		}
-		s.held = append(s.held[:i], s.held[i+1:]...)
-		return
+		if op.root != nil && h.root == op.root {
+			match = i
+			break
+		}
+		if match == -1 {
+			match = i
+		}
 	}
+	if match == -1 {
+		return false
+	}
+	s.held = append(s.held[:match], s.held[match+1:]...)
+	return true
 }
 
 func (s *lockState) holds(kind lockKind) bool {
@@ -104,12 +124,14 @@ func (s *lockState) holds(kind lockKind) bool {
 
 func (s *lockState) holdsAny() bool { return len(s.held) > 0 }
 
-// merge unions other's held set into s (by kind+key identity).
+// merge unions other's held set into s (by kind+key+root identity; two
+// same-kind locks with distinct roots are distinct locks — that
+// distinction is the cross-replica check).
 func (s *lockState) merge(other *lockState) {
 	for _, h := range other.held {
 		found := false
 		for _, g := range s.held {
-			if g.kind == h.kind && g.key == h.key {
+			if g.kind == h.kind && g.key == h.key && g.root == h.root {
 				found = true
 				break
 			}
@@ -125,7 +147,7 @@ func (s *lockState) equal(other *lockState) bool {
 		return false
 	}
 	for i := range s.held {
-		if s.held[i].kind != other.held[i].kind || s.held[i].key != other.held[i].key {
+		if s.held[i].kind != other.held[i].kind || s.held[i].key != other.held[i].key || s.held[i].root != other.held[i].root {
 			return false
 		}
 	}
@@ -145,22 +167,51 @@ type lockWalker struct {
 	// acquisitions as a re-entrant or unordered pair.
 	loopVars map[types.Object]bool
 
+	// resolve maps a call that is not a recognized lock operation to the
+	// bound lockset summary of its statically known callee (nil: unknown
+	// callee or empty summary). Nil resolve keeps the walker purely
+	// lexical — the PR 3 behavior.
+	resolve func(call *ast.CallExpr) *boundSummary
+
 	// onAcquire fires for each recognized lock acquisition, with the set
 	// held immediately before it.
 	onAcquire func(op lockOp, held []heldLock)
-	// onCall fires for every call that is not itself a lock operation.
+	// onSummaryCall fires for each resolved call with a non-empty lockset
+	// summary, before the callee's net exit effects are applied.
+	onSummaryCall func(call *ast.CallExpr, bs *boundSummary, held []heldLock)
+	// onCall fires for every call that is neither a lock operation nor a
+	// summary-resolved call.
 	onCall func(call *ast.CallExpr, held []heldLock)
 	// onStmt fires for channel sends and select statements.
 	onStmt func(stmt ast.Stmt, held []heldLock)
 	// onRecv fires for channel receive expressions.
 	onRecv func(expr *ast.UnaryExpr, held []heldLock)
+	// onGo fires for each go statement whose spawned body (func literal or
+	// summary-known callee) acquires protocol locks.
+	onGo func(call *ast.CallExpr, acquires []boundLock, held []heldLock)
+
+	// deferredReleases accumulates releases scheduled by defer statements
+	// (deferred unlocks stay held for the lexical window, but run before
+	// the function returns — summary exit state subtracts them).
+	deferredReleases []boundLock
+	// orphanReleases accumulates releases of locks not held at that point:
+	// the callee releasing its caller's lock, i.e. an unlock helper.
+	orphanReleases []lockOp
 }
 
 func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
-	if body == nil {
-		return
+	w.walkFuncState(body)
+}
+
+// walkFuncState walks the body and returns the lock state at its exit
+// (the fall-through or final-return state; deferred releases have NOT
+// been applied — see deferredReleases).
+func (w *lockWalker) walkFuncState(body *ast.BlockStmt) *lockState {
+	st := &lockState{}
+	if body != nil {
+		w.walkStmts(body.List, st)
 	}
-	w.walkStmts(body.List, &lockState{})
+	return st
 }
 
 // walkStmts simulates the statement list, returning true when control
@@ -203,20 +254,39 @@ func (w *lockWalker) walkStmt(stmt ast.Stmt, st *lockState) bool {
 	case *ast.DeferStmt:
 		// A deferred unlock keeps the lock held for the rest of the body
 		// (which is exactly the window the analyzers must inspect), so the
-		// release is deliberately not applied. Deferred non-lock calls run
-		// at return time, outside any lexical window; only their argument
-		// expressions are walked.
+		// release is deliberately not applied to st — it is recorded in
+		// deferredReleases so summaries can subtract it at exit. Deferred
+		// non-lock calls run at return time, outside any lexical window;
+		// only their argument expressions are walked.
 		for _, arg := range s.Call.Args {
 			w.walkExpr(arg, st, false)
 		}
-		if len(w.classifyLockCall(s.Call)) == 0 {
+		if ops := w.classifyLockCall(s.Call); len(ops) > 0 {
+			for _, op := range ops {
+				if !op.acquire {
+					w.deferredReleases = append(w.deferredReleases, boundLock{kind: op.kind, write: op.write, root: op.root, pos: op.pos})
+				}
+			}
+		} else {
+			if w.resolve != nil {
+				if bs := w.resolve(s.Call); bs != nil {
+					w.deferredReleases = append(w.deferredReleases, bs.exitReleased...)
+				}
+			}
 			w.walkExpr(s.Call.Fun, st, true)
 		}
 	case *ast.GoStmt:
-		// The spawned goroutine starts with no locks held.
+		// The spawned goroutine starts with no locks held; what it
+		// acquires runs concurrently with whatever the spawner holds, so
+		// the acquire set is collected and reported through onGo.
 		empty := &lockState{}
 		for _, arg := range s.Call.Args {
 			w.walkExpr(arg, empty, false)
+		}
+		if w.onGo != nil {
+			if acq := w.goAcquires(s.Call); len(acq) > 0 {
+				w.onGo(s.Call, acq, st.held)
+			}
 		}
 		w.walkExpr(s.Call.Fun, empty, false)
 	case *ast.SendStmt:
@@ -454,11 +524,20 @@ func (w *lockWalker) walkExpr(expr ast.Expr, st *lockState, skipCall bool) {
 						w.onAcquire(op, st.held)
 					}
 					st.acquire(op)
-				} else {
-					st.release(op)
+				} else if !st.release(op) {
+					w.orphanReleases = append(w.orphanReleases, op)
 				}
 			}
 			return
+		}
+		if w.resolve != nil {
+			if bs := w.resolve(e); bs != nil {
+				if !skipCall && w.onSummaryCall != nil {
+					w.onSummaryCall(e, bs, st.held)
+				}
+				w.applyCallee(bs, st)
+				return
+			}
 		}
 		if !skipCall && w.onCall != nil {
 			w.onCall(e, st.held)
@@ -501,6 +580,66 @@ func (w *lockWalker) walkExpr(expr ast.Expr, st *lockState, skipCall bool) {
 	}
 }
 
+// applyCallee applies a resolved callee's net exit effects to the lock
+// state: its exit releases drop the caller's matching locks (an unlock
+// helper), its exit holds join the held set (a lock helper), with the
+// callee's witness path preserved for diagnostics.
+func (w *lockWalker) applyCallee(bs *boundSummary, st *lockState) {
+	name := bs.callee.shortName()
+	for _, l := range bs.exitReleased {
+		op := lockOp{kind: l.kind, write: l.write, root: l.root, pos: l.pos}
+		if !st.release(op) {
+			w.orphanReleases = append(w.orphanReleases, op)
+		}
+	}
+	for _, l := range bs.exitAcquired {
+		st.acquire(lockOp{kind: l.kind, write: l.write, root: l.root, via: viaJoin(name, l.via), pos: l.pos})
+	}
+}
+
+// goAcquires collects the protocol locks a go statement's body may
+// acquire: for a func literal, by walking it with a collector walker
+// (the literal closes over caller scope, so roots are already
+// caller-side objects); for a named callee, from its summary.
+func (w *lockWalker) goAcquires(call *ast.CallExpr) []boundLock {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		var acq []boundLock
+		sub := &lockWalker{
+			pass:    w.pass,
+			resolve: w.resolve,
+			onAcquire: func(op lockOp, _ []heldLock) {
+				acq = append(acq, boundLock{kind: op.kind, write: op.write, root: op.root, pos: op.pos})
+			},
+			onSummaryCall: func(c *ast.CallExpr, bs *boundSummary, _ []heldLock) {
+				name := bs.callee.shortName()
+				for _, l := range bs.acquires {
+					acq = append(acq, boundLock{kind: l.kind, write: l.write, root: l.root, via: viaJoin(name, l.via), pos: c.Pos()})
+				}
+			},
+		}
+		sub.walkStmts(lit.Body.List, &lockState{})
+		return acq
+	}
+	if w.resolve == nil {
+		return nil
+	}
+	bs := w.resolve(call)
+	if bs == nil {
+		return nil
+	}
+	name := bs.callee.shortName()
+	out := make([]boundLock, 0, len(bs.acquires)+len(bs.spawnAcquires))
+	for _, l := range bs.acquires {
+		out = append(out, boundLock{kind: l.kind, write: l.write, root: l.root, via: viaJoin(name, l.via), pos: call.Pos()})
+	}
+	// Locks the callee itself spawns goroutines to take still run
+	// concurrently with the spawner's held set.
+	for _, l := range bs.spawnAcquires {
+		out = append(out, boundLock{kind: l.kind, write: l.write, root: l.root, via: viaJoin(name, l.via), pos: call.Pos()})
+	}
+	return out
+}
+
 // classifyLockCall maps a call expression to the lock operations it
 // performs (empty when the call is not a recognized lock operation).
 func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
@@ -509,14 +648,14 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 	if !ok {
 		// Plain identifier call: only the replica's sweep helpers qualify.
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			return classifySweepHelper(id.Name, call.Pos())
+			return classifySweepHelper(id.Name, nil, call.Pos())
 		}
 		return nil
 	}
 	name := sel.Sel.Name
 
 	// Replica sweep helpers, called as methods: r.lockAll() etc.
-	if ops := classifySweepHelper(name, call.Pos()); ops != nil {
+	if ops := classifySweepHelper(name, rootObjOf(pass, sel.X), call.Pos()); ops != nil {
 		return ops
 	}
 
@@ -532,6 +671,7 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 			key:     types.ExprString(call.Args[0]),
 			idx:     -1,
 			perIter: w.keyedByLoopVar(call.Args[0]),
+			root:    rootObjOf(pass, sel.X),
 			pos:     call.Pos(),
 		}
 		return []lockOp{op}
@@ -541,6 +681,7 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 			acquire: name == "LockAll" || name == "RLockAll",
 			write:   name == "LockAll" || name == "UnlockAll",
 			idx:     -1,
+			root:    rootObjOf(pass, sel.X),
 			pos:     call.Pos(),
 		}
 		return []lockOp{op}
@@ -550,8 +691,8 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 		}
 		acquire := name == "Lock" || name == "RLock"
 		write := name == "Lock" || name == "Unlock"
-		op := lockOp{acquire: acquire, write: write, idx: -1, pos: call.Pos()}
-		switch root := mutexFieldName(sel.X); root {
+		op := lockOp{acquire: acquire, write: write, idx: -1, root: rootObjOf(pass, sel.X), pos: call.Pos()}
+		switch field := mutexFieldName(sel.X); field {
 		case "ctl":
 			op.kind = lockCtl
 		case "confMu":
@@ -560,7 +701,16 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 			// shards[i].mu.Lock(): a direct single-shard acquisition.
 			key, idx, ixExpr, ok := shardIndex(pass, sel.X)
 			if !ok {
-				return nil // some unrelated mutex: outside the protocol's order
+				// sh.mu.Lock() where sh is a *shard pulled out of the
+				// array first (the ForEachShard idiom) is the same
+				// single-shard acquisition.
+				key, ok = shardVarMutex(pass, sel.X)
+				if !ok {
+					return nil // some unrelated mutex: outside the protocol's order
+				}
+				op.kind = lockShard
+				op.key = key
+				return []lockOp{op}
 			}
 			op.kind = lockShard
 			op.key = key
@@ -574,20 +724,41 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 
 // classifySweepHelper recognizes the replica's lockAll/rlockAll helpers,
 // which acquire the all-shard sweep and then the control mutex.
-func classifySweepHelper(name string, pos token.Pos) []lockOp {
+func classifySweepHelper(name string, root types.Object, pos token.Pos) []lockOp {
 	switch name {
 	case "lockAll", "rlockAll":
 		return []lockOp{
-			{kind: lockShardAll, acquire: true, write: name == "lockAll", idx: -1, pos: pos},
-			{kind: lockCtl, acquire: true, write: true, idx: -1, pos: pos},
+			{kind: lockShardAll, acquire: true, write: name == "lockAll", idx: -1, root: root, pos: pos},
+			{kind: lockCtl, acquire: true, write: true, idx: -1, root: root, pos: pos},
 		}
 	case "unlockAll", "runlockAll":
 		return []lockOp{
-			{kind: lockCtl, acquire: false, write: true, idx: -1, pos: pos},
-			{kind: lockShardAll, acquire: false, write: name == "unlockAll", idx: -1, pos: pos},
+			{kind: lockCtl, acquire: false, write: true, idx: -1, root: root, pos: pos},
+			{kind: lockShardAll, acquire: false, write: name == "unlockAll", idx: -1, root: root, pos: pos},
 		}
 	}
 	return nil
+}
+
+// shardVarMutex matches `v.mu` where v's type is the named shard struct
+// (behind any pointer), returning the rendered owner expression.
+func shardVarMutex(pass *Pass, expr ast.Expr) (key string, ok bool) {
+	sel, isSel := expr.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "mu" {
+		return "", false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "shard" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
 }
 
 // mutexFieldName returns the final identifier naming the mutex being

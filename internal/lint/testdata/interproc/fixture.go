@@ -1,0 +1,156 @@
+// Package fixture seeds interprocedural lockorder/ctlheld violations:
+// every positive case here is invisible to the PR 3 lexical analyzers
+// (each function is individually clean at the per-function granularity)
+// and is caught only through the whole-program lockset summaries. The
+// companion proof test runs this fixture under the lexical variants and
+// requires zero findings.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.RWMutex
+}
+
+type replica struct {
+	shards [4]shard
+	ctl    sync.Mutex
+	confMu sync.Mutex
+}
+
+// --- helpers: each is individually clean -------------------------------
+
+func lockShard0(r *replica) {
+	r.shards[0].mu.Lock()
+	r.shards[0].mu.Unlock()
+}
+
+func withCtl(r *replica) {
+	r.ctl.Lock()
+	r.ctl.Unlock()
+}
+
+func acquireCtl(r *replica) { r.ctl.Lock() }
+func releaseCtl(r *replica) { r.ctl.Unlock() }
+
+func helperB(r *replica) {
+	r.shards[1].mu.Lock()
+	r.shards[1].mu.Unlock()
+}
+
+func helperA(r *replica) { helperB(r) }
+
+func napHelper() { time.Sleep(time.Millisecond) }
+
+func nestedNap() { napHelper() }
+
+// --- two-hop lock-order violations -------------------------------------
+
+// Positive: the helper acquires a shard lock; entering it under ctl
+// inverts the shard → ctl order across the call boundary.
+func shardUnderCtlViaHelper(r *replica) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	lockShard0(r) // want `acquires a shard lock while the control mutex is held \(via lockShard0\)`
+}
+
+// Positive: the same inversion two hops deep — the witness path names
+// the whole chain.
+func deepShardUnderCtl(r *replica) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	helperA(r) // want `acquires a shard lock while the control mutex is held \(via helperA → helperB\)`
+}
+
+// Positive: the held state itself arrived through a helper — acquireCtl
+// leaves ctl held at exit, so the direct shard acquisition is under it.
+func shardUnderHelperHeldCtl(r *replica) {
+	acquireCtl(r)
+	r.shards[0].mu.Lock() // want "acquires a shard lock while the control mutex is held"
+	r.shards[0].mu.Unlock()
+	releaseCtl(r)
+}
+
+// --- re-entrant acquisition through a helper ---------------------------
+
+// Positive: the helper re-acquires the ctl its caller already holds on
+// the same replica; sync.Mutex self-deadlocks.
+func reentrantViaHelper(r *replica) {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	withCtl(r) // want `acquires the control mutex while already held \(via withCtl\)`
+}
+
+// --- cross-replica double-hold -----------------------------------------
+
+// Positive: entering the helper with a second replica while the first
+// replica's ctl is held — a session must never hold two replicas' locks.
+func crossReplicaViaHelper(a, b *replica) {
+	a.ctl.Lock()
+	defer a.ctl.Unlock()
+	withCtl(b) // want "acquires the control mutex of a second replica"
+}
+
+// Negative: the same helper on the same replica, no lock held — clean.
+func sameReplicaSequential(a, b *replica) {
+	withCtl(a)
+	withCtl(b)
+}
+
+// --- goroutine-under-lock self-deadlock --------------------------------
+
+// Positive: the spawned body blocks on the ctl held at the go statement.
+func goUnderLock(r *replica) {
+	r.ctl.Lock()
+	go func() { // want "spawns a goroutine that acquires the control mutex held at the go statement"
+		r.ctl.Lock()
+		r.ctl.Unlock()
+	}()
+	r.ctl.Unlock()
+}
+
+// Positive: the same hazard through a named spawn target.
+func goHelperUnderLock(r *replica) {
+	r.ctl.Lock()
+	go withCtl(r) // want `spawns a goroutine that acquires the control mutex held at the go statement \(via withCtl\)`
+	r.ctl.Unlock()
+}
+
+// Negative: spawning after release is the normal pattern.
+func goAfterUnlock(r *replica) {
+	r.ctl.Lock()
+	r.ctl.Unlock()
+	go withCtl(r)
+}
+
+// --- blocking helpers under locks (ctlheld) ----------------------------
+
+// Positive: the helper's body sleeps; calling it under ctl stalls every
+// update on the replica.
+func blockUnderCtl(r *replica) {
+	r.ctl.Lock()
+	napHelper() // want `calls napHelper, which may block \(time.Sleep\), while the control mutex is held`
+	r.ctl.Unlock()
+}
+
+// Positive: the blocking fact propagates through the chain.
+func blockDeep(r *replica) {
+	r.ctl.Lock()
+	nestedNap() // want `calls nestedNap, which may block \(time.Sleep via napHelper\), while the control mutex is held`
+	r.ctl.Unlock()
+}
+
+// Positive: shard locks are covered by the same rule.
+func blockUnderShard(r *replica) {
+	r.shards[2].mu.Lock()
+	napHelper() // want `calls napHelper, which may block \(time.Sleep\), while the shard lock is held`
+	r.shards[2].mu.Unlock()
+}
+
+// Negative: blocking with no lock held is fine.
+func blockUnlocked() {
+	nestedNap()
+}

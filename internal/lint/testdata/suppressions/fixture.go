@@ -1,0 +1,32 @@
+// Package fixture exercises the //lint:ignore audit: a directive with a
+// reason suppresses its diagnostic; a reasonless directive suppresses
+// nothing and is itself reported. Expectations are asserted directly by
+// TestSuppressionsAudit (a want comment on the directive line would be
+// parsed as its reason).
+package fixture
+
+import "sync"
+
+type replica struct {
+	ctl sync.Mutex
+}
+
+// A reasoned suppression: the re-entrant acquisition below it stays
+// silent.
+func suppressed(r *replica) {
+	r.ctl.Lock()
+	//lint:ignore lockorder fixture pins the reasoned-suppression path
+	r.ctl.Lock()
+	r.ctl.Unlock()
+	r.ctl.Unlock()
+}
+
+// A reasonless directive: reported itself, and the violation under it is
+// NOT suppressed.
+func reasonless(r *replica) {
+	r.ctl.Lock()
+	//lint:ignore lockorder
+	r.ctl.Lock()
+	r.ctl.Unlock()
+	r.ctl.Unlock()
+}

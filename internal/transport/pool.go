@@ -198,6 +198,8 @@ func (pc *poolConn) healthy() bool {
 }
 
 // exchange runs one framed request/response on the connection.
+//
+//epi:hotpath
 func (pc *poolConn) exchange(req *Request, resp *Response) error {
 	buf := wire.GetBuffer()
 	defer wire.PutBuffer(buf)
@@ -230,6 +232,8 @@ type tripStats struct {
 // a fresh dial when a reused connection turns out stale (the server may
 // have closed it between health check and use; requests are idempotent
 // reads, so the retry is safe).
+//
+//epi:hotpath
 func (p *Pool) roundTrip(addr string, req *Request, resp *Response) (tripStats, error) {
 	var st tripStats
 	pc, reused, err := p.get(addr)

@@ -131,6 +131,8 @@ var bufPool = sync.Pool{
 
 // GetBuffer returns a recycled scratch buffer of zero length. Release it
 // with PutBuffer when done.
+//
+//epi:hotpath
 func GetBuffer() *[]byte {
 	b := bufPool.Get().(*[]byte)
 	*b = (*b)[:0]
@@ -139,6 +141,8 @@ func GetBuffer() *[]byte {
 
 // PutBuffer recycles a buffer obtained from GetBuffer. Oversized buffers
 // (from pathological messages) are dropped rather than pinned in the pool.
+//
+//epi:hotpath
 func PutBuffer(b *[]byte) {
 	if cap(*b) > 1<<22 {
 		return
@@ -169,6 +173,8 @@ func ReadPreamble(r *bufio.Reader) error {
 }
 
 // WriteFrame writes one frame: type byte, uvarint length, payload.
+//
+//epi:hotpath
 func WriteFrame(w io.Writer, frameType byte, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame payload %d exceeds limit", len(payload))
@@ -186,6 +192,8 @@ func WriteFrame(w io.Writer, frameType byte, payload []byte) error {
 // ReadFrame reads one frame of the expected type into buf (growing it as
 // needed) and returns the payload slice. Any malformation is an error; the
 // caller is expected to close the connection.
+//
+//epi:hotpath
 func ReadFrame(r *bufio.Reader, wantType byte, buf []byte) ([]byte, error) {
 	frameType, err := r.ReadByte()
 	if err != nil {
@@ -215,6 +223,8 @@ func ReadFrame(r *bufio.Reader, wantType byte, buf []byte) ([]byte, error) {
 // ---- Request ----
 
 // AppendRequest appends the binary encoding of req to buf.
+//
+//epi:hotpath
 func AppendRequest(buf []byte, req *Request) []byte {
 	buf = append(buf, byte(req.Kind))
 	buf = binary.AppendVarint(buf, int64(req.From))
@@ -230,6 +240,8 @@ func AppendRequest(buf []byte, req *Request) []byte {
 
 // DecodeRequest decodes a Request from buf, which must contain exactly one
 // encoded request.
+//
+//epi:hotpath
 func DecodeRequest(buf []byte, req *Request) error {
 	d := decoder{buf: buf}
 	req.Kind = Kind(d.byte())
@@ -257,6 +269,8 @@ const (
 )
 
 // AppendResponse appends the binary encoding of resp to buf.
+//
+//epi:hotpath
 func AppendResponse(buf []byte, resp *Response) []byte {
 	var flags byte
 	if resp.Current {
@@ -295,6 +309,8 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 
 // DecodeResponse decodes a Response from buf, which must contain exactly
 // one encoded response.
+//
+//epi:hotpath
 func DecodeResponse(buf []byte, resp *Response) error {
 	d := decoder{buf: buf}
 	flags := d.byte()
@@ -385,6 +401,10 @@ const (
 	itemDelta = 1 << iota
 )
 
+// appendItem appends one propagation item; it runs once per shipped item
+// on every session, so its allocation profile is gated.
+//
+//epi:hotpath
 func appendItem(buf []byte, it *core.ItemPayload) []byte {
 	var flags byte
 	if it.IsDelta {
