@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race test-all bench fuzz-wire lint
+.PHONY: check vet build test race test-all bench bench-json fuzz-wire lint
 
 ## check: the documented tier-1 + race gate (vet, build, race on the
 ## concurrent packages, the full test suite, then the static-analysis
@@ -44,9 +44,16 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkParallelReadUpdate|BenchmarkBuildPropagation|BenchmarkApplyPropagation' -benchtime=100x ./internal/core
 	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchtime=100x -benchmem ./internal/transport
 
+## bench-json: run the tracked experiment benchmarks (E1/E2/E16/E17) and
+## write machine-readable results to BENCH_05.json, the perf-trajectory
+## artifact CI uploads per run.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_05.json
+
 ## fuzz-wire: short fuzz pass over the wire codec decoders.
 fuzz-wire:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeVV -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodePropagation -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzSessionFrames -fuzztime=10s ./internal/wire

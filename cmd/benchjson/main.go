@@ -1,0 +1,139 @@
+// Command benchjson runs the repository's experiment benchmarks and writes
+// their results as machine-readable JSON, so each PR's perf numbers land in
+// a diffable artifact (BENCH_NN.json) instead of scrollback. It shells out
+// to `go test -bench` per package and parses the standard benchmark output
+// format, including custom ReportMetric units (first-apply-ns,
+// peak-payload-bytes), which testing prints interleaved with ns/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// run is one `go test -bench` invocation to harvest.
+type run struct {
+	Pkg       string // package path relative to the repo root
+	Bench     string // -bench regexp
+	Benchtime string // -benchtime value (iteration counts keep CI time bounded)
+}
+
+// runs lists the tracked experiments: E1 (identical replicas), E2
+// (propagation cost), E16 (parallel read/update) and E17 (streaming
+// catch-up vs monolithic).
+var runs = []run{
+	{Pkg: "./", Bench: "BenchmarkE1IdenticalReplicas|BenchmarkE2PropagationCost$", Benchtime: "100x"},
+	{Pkg: "./internal/core", Bench: "BenchmarkParallelReadUpdate", Benchtime: "100x"},
+	{Pkg: "./internal/transport", Bench: "BenchmarkE17StreamingCatchup", Benchtime: "5x"},
+}
+
+// result is one benchmark line: its name (procs suffix stripped), iteration
+// count, and every reported metric keyed by unit.
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_05.json", "output JSON path")
+	flag.Parse()
+
+	rep := report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, r := range runs {
+		results, err := harvest(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", r.Pkg, err)
+			os.Exit(1)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+func harvest(r run) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench="+r.Bench, "-benchtime="+r.Benchtime, "-benchmem", r.Pkg)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var results []result
+	sc := bufio.NewScanner(outPipe)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // keep the human-readable stream visible
+		if res, ok := parseBenchLine(line, r.Pkg); ok {
+			results = append(results, res)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q", r.Bench)
+	}
+	return results, nil
+}
+
+// parseBenchLine parses one standard benchmark result line:
+//
+//	BenchmarkName-8   100   12345 ns/op   67 custom-unit   8 B/op   2 allocs/op
+//
+// Value/unit pairs follow the iteration count; unknown units are kept
+// as-is, which is how custom ReportMetric units flow through.
+func parseBenchLine(line, pkg string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix; it is reported at the top level.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	res := result{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, len(res.Metrics) > 0
+}

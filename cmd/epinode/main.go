@@ -25,6 +25,7 @@ func main() {
 		interval = flag.Duration("interval", 50*time.Millisecond, "anti-entropy period")
 		updates  = flag.Int("updates", 50, "updates to apply")
 		items    = flag.Int("items", 100, "item space size")
+		valSize  = flag.Int("valuesize", 32, "value payload bytes (large workloads stream their catch-up)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "convergence deadline")
 		dataDir  = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
 	)
@@ -46,7 +47,7 @@ func main() {
 		fmt.Printf("node %d listening on %s\n", i, n.Addr())
 	}
 
-	g := workload.New(workload.Config{Items: *items, ValueSize: 32, Seed: 7})
+	g := workload.New(workload.Config{Items: *items, ValueSize: *valSize, Seed: 7})
 	start := time.Now()
 	for u := 0; u < *updates; u++ {
 		idx := g.NextIndex()
@@ -106,8 +107,9 @@ func printStats(ns []*cluster.Node) {
 		r := n.Replica()
 		m := r.Metrics()
 		ps := n.PoolStats()
-		fmt.Printf("node %d: items=%d log-records=%d sessions=%d noops=%d est-bytes=%d wire-sent=%d wire-recv=%d dials=%d reused=%d\n",
-			i, r.Items(), r.LogRecords(), m.Propagations, m.PropagationNoops, m.BytesSent,
+		fmt.Printf("node %d: items=%d log-records=%d sessions=%d noops=%d streamed=%d chunks-out=%d chunks-in=%d est-bytes=%d wire-sent=%d wire-recv=%d dials=%d reused=%d\n",
+			i, r.Items(), r.LogRecords(), m.Propagations, m.PropagationNoops,
+			m.StreamSessions, m.ChunksSent, m.ChunksApplied, m.BytesSent,
 			m.WireBytesSent, m.WireBytesRecv, ps.Dials, ps.Reused)
 		if err := r.CheckInvariants(); err != nil {
 			log.Fatalf("node %d invariants: %v", i, err)

@@ -153,6 +153,24 @@ func (n *Node) PullFrom(addr string) (bool, error) {
 	return n.client.Pull(n.replica, addr)
 }
 
+// PullStreamFrom performs one streaming anti-entropy session against a
+// specific address: the payload arrives in bounded chunks that apply as
+// they arrive, so a connection drop mid-session leaves a consistent
+// applied prefix behind and the next pull resumes from it for free (it
+// re-ships nothing already applied). Durable nodes fall back to the
+// ordinary pull, whose commit the write-ahead log captures atomically.
+func (n *Node) PullStreamFrom(addr string) (bool, error) {
+	if n.dur != nil {
+		return n.dur.PullFrom(addr)
+	}
+	return n.client.PullStream(n.replica, addr)
+}
+
+// SetChunkBytes overrides the node's server-side chunk payload budget for
+// streamed sessions (0 restores the default). Exposed for tests and
+// experiments that want many small chunks.
+func (n *Node) SetChunkBytes(b uint64) { n.server.SetChunkBytes(b) }
+
 // FetchOOB copies one item out-of-bound from a specific peer.
 func (n *Node) FetchOOB(addr, key string) (bool, error) {
 	if n.dur != nil {

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/op"
+)
+
+// cutProxy forwards one TCP connection to target but severs it after
+// passing limit bytes in the server-to-client direction — a deterministic
+// mid-stream disconnect for streaming-session tests.
+type cutProxy struct {
+	ln     net.Listener
+	target string
+	limit  int64
+}
+
+func newCutProxy(t *testing.T, target string, limit int64) *cutProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &cutProxy{ln: ln, target: target, limit: limit}
+	t.Cleanup(func() { ln.Close() })
+	go p.serve()
+	return p
+}
+
+func (p *cutProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *cutProxy) serve() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		go func() {
+			// Client-to-server (the request) passes freely; the reply
+			// stream is cut after limit bytes, mid-frame with high
+			// probability.
+			go io.Copy(server, client) //nolint:errcheck
+			io.CopyN(client, server, p.limit)
+			client.Close()
+			server.Close()
+		}()
+	}
+}
+
+// waitStable polls a counter until two reads 20ms apart agree, so a test
+// can snapshot server-side metrics after the serving goroutine of a severed
+// session has fully wound down.
+func waitStable(t *testing.T, read func() uint64) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	prev := read()
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		cur := read()
+		if cur == prev {
+			return cur
+		}
+		prev = cur
+	}
+	t.Fatalf("counter did not stabilize; last value %d", prev)
+	return 0
+}
+
+// TestMidStreamDisconnectResumesFree kills the connection mid-stream and
+// checks the streamed path's resume-for-free claim: the severed session
+// leaves a consistent applied prefix, and the next session ships exactly
+// the unapplied suffix — no record is re-shipped or re-applied.
+func TestMidStreamDisconnectResumesFree(t *testing.T) {
+	const m = 4000
+	src, err := Start(Config{ID: 0, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	src.SetChunkBytes(4 << 10) // many small chunks: plenty of cut points
+	val := make([]byte, 32)
+	for i := 0; i < m; i++ {
+		if err := src.Update(fmt.Sprintf("key/%05d", i), op.NewSet(val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := Start(Config{ID: 1, Servers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	// Session 1, through the proxy: severed after 64 KiB of reply.
+	proxy := newCutProxy(t, src.Addr(), 64<<10)
+	if _, err := rec.PullStreamFrom(proxy.addr()); err == nil {
+		t.Fatal("pull through the cutting proxy unexpectedly succeeded")
+	}
+	applied := rec.Replica().Metrics().LogRecordsApplied
+	if applied == 0 || applied >= m {
+		t.Fatalf("severed session applied %d records, want a strict partial prefix of %d", applied, m)
+	}
+	if err := rec.Replica().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after severed session: %v", err)
+	}
+
+	// The source's serving goroutine may still be draining its builder;
+	// let its counters settle before snapshotting.
+	sentBefore := waitStable(t, func() uint64 { return src.Replica().Metrics().LogRecordsSent })
+
+	// Session 2, direct: must converge shipping only the unapplied suffix.
+	shipped, err := rec.PullStreamFrom(src.Addr())
+	if err != nil || !shipped {
+		t.Fatalf("resume pull = (%v, %v), want (true, nil)", shipped, err)
+	}
+	if sent := src.Replica().Metrics().LogRecordsSent - sentBefore; sent != m-applied {
+		t.Errorf("resume session shipped %d records, want exactly the %d-record unapplied suffix", sent, m-applied)
+	}
+	if got := rec.Replica().Metrics().LogRecordsApplied; got != m {
+		t.Errorf("recipient applied %d records in total, want exactly %d (nothing re-applied)", got, m)
+	}
+	if ok, detail := Converged([]*Node{src, rec}); !ok {
+		t.Errorf("replicas did not converge after resume: %s", detail)
+	}
+	if err := rec.Replica().CheckInvariants(); err != nil {
+		t.Errorf("invariants after resume: %v", err)
+	}
+}

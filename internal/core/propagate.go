@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/logvec"
+	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/store"
 	"repro/internal/vv"
@@ -52,6 +53,19 @@ type Propagation struct {
 	Source int
 	Tails  [][]TailRecord // indexed by origin server k
 	Items  []ItemPayload
+
+	// Owned marks a propagation whose payload buffers belong exclusively
+	// to the recipient — set by the wire decoders, which copy every value
+	// and IVV out of the frame buffer, and never by in-process sessions
+	// (their payloads may alias the source's store). Applying an owned
+	// propagation adopts those buffers instead of cloning them again; an
+	// owned propagation must therefore be applied at most once.
+	Owned bool
+
+	// arena is the IVV slab a chunk session carved this chunk's payload
+	// vectors from. It rides on the chunk so shell recycling (see
+	// ChunkSession.Recycle) reuses the slab along with the slices.
+	arena []uint64
 }
 
 // WireSize estimates the serialized size in bytes: per record the key plus
@@ -203,7 +217,9 @@ func (r *Replica) BuildPropagation(recipientDBVV vv.VV) *Propagation {
 	}
 	r.met.ItemsSent.Add(uint64(len(p.Items)))
 	r.met.Messages.Add(1)
-	r.met.BytesSent.Add(p.WireSize())
+	size := p.WireSize()
+	r.met.BytesSent.Add(size)
+	metrics.StoreMax(&r.met.PeakPayloadBytes, size)
 	return p
 }
 
@@ -326,6 +342,7 @@ func (r *Replica) ApplyPropagation(p *Propagation) []string {
 	if need := r.needFullLocked(p); len(need) > 0 {
 		return need
 	}
+	metrics.StoreMax(&r.met.PeakPayloadBytes, p.WireSize())
 	r.applySessionLocked(p, nil)
 	return nil
 }
@@ -368,7 +385,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 				payload = full // fetched replacement: treat as whole-item
 			}
 		}
-		it := r.store.Ensure(payload.Key)
+		it := r.store.EnsureLean(payload.Key)
 		r.met.IVVComparisons.Add(1)
 		switch payload.IVV.Compare(it.IVV) {
 		case vv.Dominates:
@@ -398,10 +415,7 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 					conflicting[payload.Key] = true
 					continue
 				}
-				per, _ := it.IVV.Delta(payload.IVV)
-				for l, d := range per {
-					r.dbvv[l] += d
-				}
+				it.IVV.AccumulateDelta(payload.IVV, r.dbvv)
 				it.Value = newVal
 				it.IVV = payload.IVV.Clone()
 				if r.deltaMode {
@@ -429,12 +443,15 @@ func (r *Replica) applySessionLocked(p *Propagation, extras map[string]ItemPaylo
 			}
 			// Adopt the newer copy; advance DBVV by the extra updates the
 			// new copy has seen (rule 3).
-			per, _ := it.IVV.Delta(payload.IVV)
-			for l, d := range per {
-				r.dbvv[l] += d
+			it.IVV.AccumulateDelta(payload.IVV, r.dbvv)
+			if p.Owned {
+				it.Value = payload.Value
+				//lint:ignore vvalias an owned propagation transfers its decoded buffers outright (see Propagation.Owned); nothing else aliases this vector
+				it.IVV = payload.IVV
+			} else {
+				it.Value = store.CloneBytes(payload.Value)
+				it.IVV = payload.IVV.Clone()
 			}
-			it.Value = store.CloneBytes(payload.Value)
-			it.IVV = payload.IVV.Clone()
 			it.Deltas = nil // a wholesale adoption invalidates any retained chain
 			r.met.ItemsCopied.Add(1)
 			copied = append(copied, it)

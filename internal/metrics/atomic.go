@@ -48,6 +48,24 @@ type Atomic struct {
 	DeltasSent    atomic.Uint64
 	DeltasApplied atomic.Uint64
 	FullFetches   atomic.Uint64
+
+	StreamSessions        atomic.Uint64
+	ChunksSent            atomic.Uint64
+	ChunksApplied         atomic.Uint64
+	PeakPayloadBytes      atomic.Uint64 // gauge: update with StoreMax
+	StreamFirstApplyNanos atomic.Uint64 // gauge: update with StoreMax
+}
+
+// StoreMax raises the gauge a to v if v is larger, atomically — the
+// lock-free update for high-water-mark gauges (PeakPayloadBytes,
+// StreamFirstApplyNanos).
+func StoreMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Snapshot returns the current counter values as a plain Counters.
@@ -81,6 +99,12 @@ func (a *Atomic) Snapshot() Counters {
 		DeltasSent:        a.DeltasSent.Load(),
 		DeltasApplied:     a.DeltasApplied.Load(),
 		FullFetches:       a.FullFetches.Load(),
+
+		StreamSessions:        a.StreamSessions.Load(),
+		ChunksSent:            a.ChunksSent.Load(),
+		ChunksApplied:         a.ChunksApplied.Load(),
+		PeakPayloadBytes:      a.PeakPayloadBytes.Load(),
+		StreamFirstApplyNanos: a.StreamFirstApplyNanos.Load(),
 	}
 }
 
@@ -115,4 +139,9 @@ func (a *Atomic) Reset() {
 	a.DeltasSent.Store(0)
 	a.DeltasApplied.Store(0)
 	a.FullFetches.Store(0)
+	a.StreamSessions.Store(0)
+	a.ChunksSent.Store(0)
+	a.ChunksApplied.Store(0)
+	a.PeakPayloadBytes.Store(0)
+	a.StreamFirstApplyNanos.Store(0)
 }

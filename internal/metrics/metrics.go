@@ -80,6 +80,20 @@ type Counters struct {
 	DeltasSent    uint64 // delta payloads shipped instead of full values
 	DeltasApplied uint64 // delta payloads applied at recipients
 	FullFetches   uint64 // full copies served in second-round fetches
+
+	// Streaming (chunked) propagation sessions. ChunksSent/ChunksApplied
+	// and StreamSessions are monotone counters like everything above.
+	// PeakPayloadBytes and StreamFirstApplyNanos are *high-water gauges*:
+	// the largest single payload (estimated wire bytes) held in memory at
+	// once — a whole Propagation on the monolithic path, one chunk on the
+	// streaming path — and the longest observed delay from session start to
+	// the first applied chunk. Add merges gauges by maximum and Diff passes
+	// them through unchanged (a maximum has no meaningful subtraction).
+	StreamSessions       uint64 // streaming sessions opened (source side)
+	ChunksSent           uint64 // chunks built and shipped by sources
+	ChunksApplied        uint64 // chunks committed by recipients
+	PeakPayloadBytes     uint64 // gauge: largest payload held at once
+	StreamFirstApplyNanos uint64 // gauge: slowest time-to-first-applied-chunk
 }
 
 // Add accumulates o into c.
@@ -112,6 +126,11 @@ func (c *Counters) Add(o *Counters) {
 	c.DeltasSent += o.DeltasSent
 	c.DeltasApplied += o.DeltasApplied
 	c.FullFetches += o.FullFetches
+	c.StreamSessions += o.StreamSessions
+	c.ChunksSent += o.ChunksSent
+	c.ChunksApplied += o.ChunksApplied
+	c.PeakPayloadBytes = max(c.PeakPayloadBytes, o.PeakPayloadBytes)
+	c.StreamFirstApplyNanos = max(c.StreamFirstApplyNanos, o.StreamFirstApplyNanos)
 }
 
 // Diff returns c - base, the overhead incurred since base was snapshotted.
@@ -147,6 +166,10 @@ func (c Counters) Diff(base Counters) Counters {
 	d.DeltasSent -= base.DeltasSent
 	d.DeltasApplied -= base.DeltasApplied
 	d.FullFetches -= base.FullFetches
+	d.StreamSessions -= base.StreamSessions
+	d.ChunksSent -= base.ChunksSent
+	d.ChunksApplied -= base.ChunksApplied
+	// Gauges pass through: the high-water marks of c, not a difference.
 	return d
 }
 
@@ -192,6 +215,11 @@ func (c Counters) String() string {
 		{"deltas-sent", c.DeltasSent},
 		{"deltas-applied", c.DeltasApplied},
 		{"full-fetches", c.FullFetches},
+		{"stream-sessions", c.StreamSessions},
+		{"chunks-sent", c.ChunksSent},
+		{"chunks-applied", c.ChunksApplied},
+		{"peak-payload", c.PeakPayloadBytes},
+		{"first-apply-ns", c.StreamFirstApplyNanos},
 	}
 	var parts []string
 	for _, f := range fields {

@@ -250,6 +250,21 @@ func (s *Store) Ensure(key string) *Item {
 	return it
 }
 
+// EnsureLean is Ensure for the session-apply hot path: a fresh item is
+// created with nil value and nil IVV — indistinguishable from the
+// zero-valued item under version-vector comparison (a nil vector reads as
+// all-zeros) but free of the fresh-IVV allocation that adopting a shipped
+// copy would immediately discard. Caller holds key's shard write lock.
+func (s *Store) EnsureLean(key string) *Item {
+	sh := s.shardOf(key)
+	if it, ok := sh.items[key]; ok {
+		return it
+	}
+	it := &Item{Key: key}
+	sh.items[key] = it
+	return it
+}
+
 // Keys returns all item keys in sorted order. Intended for tests, snapshots
 // and tools — not used on protocol hot paths. Caller holds all shard locks
 // (read suffices).

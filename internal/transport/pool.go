@@ -419,12 +419,20 @@ func (c *Client) FetchItemsMetered(r *core.Replica, addr, db string, from int, k
 // recipient was already current. Measured wire bytes and connection-reuse
 // outcomes are charged to the recipient's counters.
 func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
-	var resp Response
-	err := c.do(recipient, addr, &Request{
+	req := &Request{
 		Kind: KindPropagation,
 		From: recipient.ID(),
 		DBVV: recipient.PropagationRequest(),
-	}, &resp)
+	}
+	if !c.opts.DialPerRequest {
+		// Announce the monolithic-response ceiling: above it the source
+		// replies Stream instead of materializing the payload, and the pull
+		// restarts as a chunked session. Legacy gob clients announce nothing
+		// (MaxBytes zero) and keep the unbounded monolithic behavior.
+		req.MaxBytes = DefaultMonolithicCap
+	}
+	var resp Response
+	err := c.do(recipient, addr, req, &resp)
 	if err != nil {
 		return false, err
 	}
@@ -433,6 +441,9 @@ func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
 	}
 	if resp.Current {
 		return false, nil
+	}
+	if resp.Stream {
+		return c.PullStreamDB(recipient, addr, "")
 	}
 	if resp.Prop == nil {
 		return false, errors.New("transport: malformed propagation response")

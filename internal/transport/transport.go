@@ -30,6 +30,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/vv"
@@ -56,6 +57,9 @@ const (
 	// KindFetch requests full copies of named items — the second round of
 	// a delta-mode propagation session.
 	KindFetch = wire.KindFetch
+	// KindStream opens a streaming (chunked) propagation session on a
+	// framed connection; see stream.go.
+	KindStream = wire.KindStream
 )
 
 // Resolver maps database names to replicas — the surface a multi-database
@@ -70,6 +74,10 @@ type Server struct {
 	replica  *core.Replica
 	resolver Resolver
 	ln       net.Listener
+
+	// chunkBytes is the streamed-session chunk budget; 0 means
+	// core.DefaultChunkBytes. See SetChunkBytes.
+	chunkBytes atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -248,6 +256,17 @@ func (s *Server) handleFramed(br *bufio.Reader, cr *countingReader, cw *counting
 		if err := wire.DecodeRequest(payload, &req); err != nil {
 			return
 		}
+		if req.Kind == KindStream {
+						replica, errmsg := s.route(&req)
+						if err := s.serveStream(bw, replica, errmsg, &req, scratch); err != nil {
+				return
+			}
+			if replica != nil {
+				replica.AddWireStats(cw.n-lastSent, cr.n-lastRecv, 0, 0)
+			}
+			lastSent, lastRecv = cw.n, cr.n
+			continue
+		}
 		replica, resp := s.dispatch(&req)
 		*scratch = wire.AppendResponse((*scratch)[:0], resp)
 		if err := wire.WriteFrame(bw, wire.FrameResponse, *scratch); err != nil {
@@ -279,25 +298,53 @@ func (s *Server) handleGob(br *bufio.Reader, cr *countingReader, cw *countingWri
 	}
 }
 
+// route resolves the replica a request addresses, shared by the one-shot
+// dispatch and the streaming session handler. The replica is nil when the
+// request could not be routed, with the error text as the second result.
+func (s *Server) route(req *Request) (*core.Replica, string) {
+	replica := s.replica
+	if req.DB != "" {
+		if s.resolver == nil {
+			return nil, "server hosts a single database"
+		}
+		replica = s.resolver.Database(req.DB)
+	} else if replica == nil && s.resolver != nil {
+		return nil, "request must name a database"
+	}
+	if replica == nil {
+		return nil, fmt.Sprintf("unknown database %q", req.DB)
+	}
+	return replica, ""
+}
+
 // dispatch routes one decoded request to the owning replica and runs the
 // exchange, shared by both protocol front-ends. The returned replica is nil
 // when the request could not be routed.
 func (s *Server) dispatch(req *Request) (*core.Replica, *Response) {
-	replica := s.replica
-	if req.DB != "" {
-		if s.resolver == nil {
-			return nil, &Response{Err: "server hosts a single database"}
-		}
-		replica = s.resolver.Database(req.DB)
-	} else if replica == nil && s.resolver != nil {
-		return nil, &Response{Err: "request must name a database"}
-	}
+	replica, errmsg := s.route(req)
 	if replica == nil {
-		return nil, &Response{Err: fmt.Sprintf("unknown database %q", req.DB)}
+		return nil, &Response{Err: errmsg}
 	}
 	var resp Response
 	switch req.Kind {
 	case KindPropagation:
+		// Size guard: a monolithic response materializes the whole payload
+		// in memory on both ends. When the requester announced a cap and
+		// the payload estimate exceeds it, divert the session onto the
+		// streaming path instead of building the payload at all. The plan's
+		// current case answers directly — it already charged the session's
+		// noop accounting, and running BuildPropagation too would double the
+		// steady state's single DBVV comparison.
+		if req.MaxBytes > 0 {
+			switch replica.PlanPropagation(req.DBVV, req.MaxBytes) {
+			case core.PlanCurrent:
+				resp.Current = true
+				return replica, &resp
+			case core.PlanStream:
+				resp.Stream = true
+				return replica, &resp
+			}
+		}
 		p := replica.BuildPropagation(req.DBVV)
 		if p == nil {
 			resp.Current = true
@@ -309,6 +356,10 @@ func (s *Server) dispatch(req *Request) (*core.Replica, *Response) {
 		resp.OOB = &reply
 	case KindFetch:
 		resp.Items = replica.BuildItems(req.Keys)
+	case KindStream:
+		// Reachable only through the legacy gob front-end; the framed loop
+		// intercepts KindStream before dispatch.
+		resp.Err = "streaming session requires the framed protocol"
 	default:
 		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
 	}

@@ -204,6 +204,23 @@ func (v VV) Delta(o VV) (per []uint64, total uint64) {
 	return per, total
 }
 
+// AccumulateDelta adds the component-wise surplus o-v (restricted to
+// components where o exceeds v) directly onto dst — the allocation-free
+// form of Delta for the session-apply hot path, where one difference
+// vector per adopted item is built only to be folded into the DBVV and
+// discarded. dst must be at least as long as both vectors.
+func (v VV) AccumulateDelta(o, dst VV) {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b, a := o.Get(i), v.Get(i); b > a {
+			dst[i] += b - a
+		}
+	}
+}
+
 // Sum returns the total number of updates reflected in v across all origins.
 func (v VV) Sum() uint64 {
 	var s uint64
@@ -250,28 +267,62 @@ func uvarintLen(x uint64) int {
 // The component count is validated against the bytes actually present, so a
 // corrupt length cannot force a huge allocation.
 func DecodeBinary(buf []byte) (VV, int, error) {
+	v, n, _, err := DecodeBinaryArena(buf, nil)
+	return v, n, err
+}
+
+// DecodeBinaryArena decodes like DecodeBinary but carves the vector out of
+// arena when it has room, so bulk decodes (a session chunk's thousands of
+// item IVVs) cost one slab instead of one allocation per vector. It
+// returns the advanced arena; when the arena lacked room the vector is
+// separately allocated and the arena returns unchanged. The carved slice
+// is capacity-clipped, so appending to it cannot clobber later carves.
+func DecodeBinaryArena(buf []byte, arena []uint64) (VV, int, []uint64, error) {
 	n, read := binary.Uvarint(buf)
 	if read <= 0 {
-		return nil, 0, fmt.Errorf("vv: bad component count varint")
+		return nil, 0, arena, fmt.Errorf("vv: bad component count varint")
 	}
 	i := read
 	if n == 0 {
-		return nil, i, nil
+		return nil, i, arena, nil
 	}
 	// Each component occupies at least one byte.
 	if n > uint64(len(buf)-i) {
-		return nil, 0, fmt.Errorf("vv: component count %d exceeds %d remaining bytes", n, len(buf)-i)
+		return nil, 0, arena, fmt.Errorf("vv: component count %d exceeds %d remaining bytes", n, len(buf)-i)
 	}
-	v := make(VV, n)
+	var v VV
+	if int(n) <= cap(arena)-len(arena) {
+		at := len(arena)
+		arena = arena[: at+int(n) : cap(arena)]
+		v = VV(arena[at : at+int(n) : at+int(n)])
+	} else {
+		v = make(VV, n)
+	}
 	for j := range v {
 		c, read := binary.Uvarint(buf[i:])
 		if read <= 0 {
-			return nil, 0, fmt.Errorf("vv: bad component %d varint", j)
+			return nil, 0, arena, fmt.Errorf("vv: bad component %d varint", j)
 		}
 		v[j] = c
 		i += read
 	}
-	return v, i, nil
+	return v, i, arena, nil
+}
+
+// CloneInto appends a copy of v to arena and returns the copy plus the
+// advanced arena, falling back to a fresh allocation (arena unchanged)
+// when the arena lacks room. The bulk-clone analogue of Clone: a streamed
+// chunk's payload IVVs become one slab instead of one allocation each.
+func (v VV) CloneInto(arena []uint64) (VV, []uint64) {
+	if v == nil {
+		return nil, arena
+	}
+	if len(v) <= cap(arena)-len(arena) {
+		at := len(arena)
+		arena = append(arena, v...)
+		return VV(arena[at:len(arena):len(arena)]), arena
+	}
+	return v.Clone(), arena
 }
 
 // String renders the vector as "<c0,c1,...>".

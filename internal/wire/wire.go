@@ -85,6 +85,11 @@ const (
 	// KindFetch requests full copies of named items — the second round of
 	// a delta-mode propagation session.
 	KindFetch
+	// KindStream opens a streaming propagation session: instead of one
+	// Response frame, the server answers with a session frame sequence
+	// (KindSessionBegin, zero or more KindSessionChunk, KindSessionEnd);
+	// see stream.go. Framed connections only.
+	KindStream
 )
 
 // Request is the recipient-to-source message opening an exchange.
@@ -102,6 +107,12 @@ type Request struct {
 	Key string
 	// Keys are the items needing full copies (second-round fetch only).
 	Keys []string
+	// MaxBytes, when non-zero on a KindPropagation request, caps the
+	// monolithic response: a source whose payload estimate exceeds it
+	// replies with Response.Stream set instead of building the payload,
+	// and the recipient re-pulls over a KindStream session. Zero keeps the
+	// legacy uncapped behavior.
+	MaxBytes uint64
 }
 
 // Response is the source-to-recipient reply.
@@ -115,6 +126,10 @@ type Response struct {
 	OOB *core.OOBReply
 	// Items carries the full copies for KindFetch requests.
 	Items []core.ItemPayload
+	// Stream reports that the propagation payload exceeded the request's
+	// MaxBytes cap and was withheld; the recipient should open a KindStream
+	// session instead.
+	Stream bool
 	// Err carries a server-side error description, empty on success.
 	Err string
 }
@@ -235,6 +250,7 @@ func AppendRequest(buf []byte, req *Request) []byte {
 	for _, k := range req.Keys {
 		buf = appendString(buf, k)
 	}
+	buf = binary.AppendUvarint(buf, req.MaxBytes)
 	return buf
 }
 
@@ -254,6 +270,7 @@ func DecodeRequest(buf []byte, req *Request) error {
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		req.Keys = append(req.Keys, d.string())
 	}
+	req.MaxBytes = d.uvarint()
 	return d.finish("request")
 }
 
@@ -266,6 +283,7 @@ const (
 	respOOB
 	respItems
 	respErr
+	respStream
 )
 
 // AppendResponse appends the binary encoding of resp to buf.
@@ -287,6 +305,9 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 	}
 	if resp.Err != "" {
 		flags |= respErr
+	}
+	if resp.Stream {
+		flags |= respStream
 	}
 	buf = append(buf, flags)
 	if resp.Prop != nil {
@@ -314,7 +335,7 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 func DecodeResponse(buf []byte, resp *Response) error {
 	d := decoder{buf: buf}
 	flags := d.byte()
-	*resp = Response{Current: flags&respCurrent != 0}
+	*resp = Response{Current: flags&respCurrent != 0, Stream: flags&respStream != 0}
 	if flags&respProp != 0 {
 		resp.Prop = d.propagation()
 	}
@@ -373,25 +394,70 @@ func DecodePropagation(buf []byte) (*core.Propagation, error) {
 }
 
 func (d *decoder) propagation() *core.Propagation {
-	p := &core.Propagation{Source: int(d.varint())}
+	p := &core.Propagation{}
+	d.propagationInto(p)
+	return p
+}
+
+// propagationInto decodes a propagation into p, reusing p's backing slices
+// where their capacity allows. The streamed path decodes successive chunks
+// of near-identical shape into recycled shells (transport hands applied
+// chunks back via SessionReader.FeedInto), so in steady state a catch-up's
+// decoder allocates slabs and little else. Every field of p is overwritten.
+func (d *decoder) propagationInto(p *core.Propagation) {
+	p.Source = int(d.varint())
+	p.Owned = false
 	ntails := d.count()
 	if d.err != nil {
-		return p
+		p.Tails, p.Items = nil, nil
+		return
 	}
-	p.Tails = make([][]core.TailRecord, 0, min(ntails, 1024))
+	// old retains the shell's inner tail slices across the outer reset so
+	// their backing arrays can be reused index by index below.
+	old := p.Tails[:cap(p.Tails):cap(p.Tails)]
+	outer := p.Tails[:0]
+	if uint64(cap(outer)) < min(ntails, 1024) {
+		outer = make([][]core.TailRecord, 0, min(ntails, 1024))
+	}
 	for i := uint64(0); i < ntails && d.err == nil; i++ {
 		nrecs := d.count()
 		var tail []core.TailRecord
+		if i < uint64(len(old)) {
+			tail = old[i][:0]
+		}
+		if cap(tail) == 0 {
+			// count() bounds nrecs by the remaining bytes; the second bound
+			// (each record takes at least two bytes) keeps a hostile count
+			// from forcing a large allocation before decoding fails.
+			tail = make([]core.TailRecord, 0, min(nrecs, uint64(len(d.buf)-d.pos)/2))
+		}
 		for j := uint64(0); j < nrecs && d.err == nil; j++ {
 			tail = append(tail, core.TailRecord{Key: d.string(), Seq: d.uvarint()})
 		}
-		p.Tails = append(p.Tails, tail)
+		outer = append(outer, tail)
 	}
+	p.Tails = outer
 	nitems := d.count()
+	if d.err == nil {
+		// Same presize guard: an honest item takes well over six bytes.
+		bound := min(nitems, uint64(len(d.buf)-d.pos)/6)
+		items := p.Items[:0]
+		if uint64(cap(items)) < bound {
+			items = make([]core.ItemPayload, 0, bound)
+		}
+		p.Items = items
+		if d.arena && bound > 0 {
+			// Values cannot outgrow the remaining frame bytes; IVVs are
+			// short (one slot per known origin), so 4 slots per item
+			// covers the common shapes and the rare long vector falls
+			// back to its own allocation.
+			d.valArena = make([]byte, 0, len(d.buf)-d.pos)
+			d.vvArena = make([]uint64, 0, 4*bound)
+		}
+	}
 	for i := uint64(0); i < nitems && d.err == nil; i++ {
 		p.Items = append(p.Items, d.item())
 	}
-	return p
 }
 
 // ---- ItemPayload ----
@@ -493,6 +559,17 @@ type decoder struct {
 	buf []byte
 	pos int
 	err error
+
+	// arena enables slab allocation for bulk item decodes: values and IVVs
+	// are carved from per-frame slabs instead of allocated one by one, and
+	// keys are shared substrings of str, one immutable copy of the whole
+	// frame. Only the session-chunk decoder sets these — a catch-up retains
+	// every decoded item, so pinning a chunk's slabs costs nothing extra,
+	// while ordinary responses may outlive only a few of their items.
+	arena    bool
+	str      string
+	valArena []byte
+	vvArena  []uint64
 }
 
 func (d *decoder) fail(format string, args ...any) {
@@ -563,13 +640,27 @@ func (d *decoder) count() uint64 {
 }
 
 func (d *decoder) string() string {
-	return string(d.raw())
+	raw := d.raw()
+	if len(raw) == 0 {
+		return ""
+	}
+	if d.str != "" {
+		// Share the one frame-sized string made up front: a session chunk
+		// decodes thousands of keys, and one pinned copy of the frame beats
+		// thousands of individual string objects on the GC's mark phase.
+		return d.str[d.pos-len(raw) : d.pos]
+	}
+	return string(raw)
 }
 
 func (d *decoder) bytes() []byte {
 	raw := d.raw()
 	if raw == nil {
 		return nil
+	}
+	if n := len(d.valArena); len(raw) > 0 && len(raw) <= cap(d.valArena)-n {
+		d.valArena = append(d.valArena, raw...)
+		return d.valArena[n:len(d.valArena):len(d.valArena)]
 	}
 	b := make([]byte, len(raw))
 	copy(b, raw)
@@ -600,11 +691,12 @@ func (d *decoder) vv() vv.VV {
 	if d.err != nil {
 		return nil
 	}
-	v, n, err := vv.DecodeBinary(d.buf[d.pos:])
+	v, n, arena, err := vv.DecodeBinaryArena(d.buf[d.pos:], d.vvArena)
 	if err != nil {
 		d.fail("%v", err)
 		return nil
 	}
+	d.vvArena = arena
 	d.pos += n
 	return v
 }
