@@ -44,11 +44,11 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkParallelReadUpdate|BenchmarkBuildPropagation|BenchmarkApplyPropagation' -benchtime=100x ./internal/core
 	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchtime=100x -benchmem ./internal/transport
 
-## bench-json: run the tracked experiment benchmarks (E1/E2/E16/E17) and
-## write machine-readable results to BENCH_05.json, the perf-trajectory
+## bench-json: run the tracked experiment benchmarks (E1/E2/E16/E17/E18)
+## and write machine-readable results to BENCH_06.json, the perf-trajectory
 ## artifact CI uploads per run.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_05.json
+	$(GO) run ./cmd/benchjson -out BENCH_06.json
 
 ## fuzz-wire: short fuzz pass over the wire codec decoders.
 fuzz-wire:

@@ -3,7 +3,8 @@
 // a diffable artifact (BENCH_NN.json) instead of scrollback. It shells out
 // to `go test -bench` per package and parses the standard benchmark output
 // format, including custom ReportMetric units (first-apply-ns,
-// peak-payload-bytes), which testing prints interleaved with ns/op.
+// peak-payload-bytes, wire-bytes/op), which testing prints interleaved
+// with ns/op.
 package main
 
 import (
@@ -26,12 +27,13 @@ type run struct {
 }
 
 // runs lists the tracked experiments: E1 (identical replicas), E2
-// (propagation cost), E16 (parallel read/update) and E17 (streaming
-// catch-up vs monolithic).
+// (propagation cost), E16 (parallel read/update), E17 (streaming catch-up
+// vs monolithic) and E18 (partitioned vs full-replication sessions).
 var runs = []run{
 	{Pkg: "./", Bench: "BenchmarkE1IdenticalReplicas|BenchmarkE2PropagationCost$", Benchtime: "100x"},
 	{Pkg: "./internal/core", Bench: "BenchmarkParallelReadUpdate", Benchtime: "100x"},
 	{Pkg: "./internal/transport", Bench: "BenchmarkE17StreamingCatchup", Benchtime: "5x"},
+	{Pkg: "./internal/cluster", Bench: "BenchmarkE18PartitionedSession", Benchtime: "5x"},
 }
 
 // result is one benchmark line: its name (procs suffix stripped), iteration
@@ -50,7 +52,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_05.json", "output JSON path")
+	out := flag.String("out", "BENCH_06.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	epikv -nodes 3                  # volatile nodes on loopback
-//	epikv -nodes 3 -datadir ./data  # durable nodes (survive restarts)
+//	epikv -nodes 3                        # volatile nodes on loopback
+//	epikv -nodes 3 -datadir ./data        # durable nodes (survive restarts)
+//	epikv -nodes 4 -partitions 8 -placement 2  # partial replication
 //
 // Then at the prompt: `help`.
 package main
@@ -24,19 +25,25 @@ import (
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 3, "number of replica servers")
-		dataDir = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
+		nodes      = flag.Int("nodes", 3, "number of replica servers")
+		dataDir    = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
+		partitions = flag.Int("partitions", 1, "split the keyspace into this many token-ring partitions (>1 enables partial replication)")
+		placement  = flag.Int("placement", 0, "replicas per partition (0 = every node; only with -partitions > 1)")
 	)
 	flag.Parse()
 
-	ns, err := startNodes(*nodes, *dataDir)
+	ns, err := startNodes(*nodes, *dataDir, *partitions, *placement)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cluster.CloseAll(ns)
 
 	for i, n := range ns {
-		fmt.Printf("node %d listening on %s\n", i, n.Addr())
+		if pr := n.Parted(); pr != nil {
+			fmt.Printf("node %d listening on %s, owns partitions %v\n", i, n.Addr(), pr.Owned())
+		} else {
+			fmt.Printf("node %d listening on %s\n", i, n.Addr())
+		}
 	}
 	fmt.Println(`type "help" for commands, ctrl-D to exit`)
 
@@ -55,7 +62,13 @@ func main() {
 	fmt.Println()
 }
 
-func startNodes(n int, dataDir string) ([]*cluster.Node, error) {
+func startNodes(n int, dataDir string, partitions, placement int) ([]*cluster.Node, error) {
+	if partitions > 1 {
+		if dataDir != "" {
+			return nil, fmt.Errorf("-datadir is not supported with -partitions > 1 (durable partitioned nodes are a separate change)")
+		}
+		return cluster.StartPartCluster(n, partitions, placement, 0)
+	}
 	if dataDir == "" {
 		return cluster.StartCluster(n, 0)
 	}

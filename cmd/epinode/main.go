@@ -6,6 +6,7 @@
 // Usage:
 //
 //	epinode -nodes 5 -interval 50ms -updates 100
+//	epinode -nodes 8 -partitions 16 -placement 4   # partial replication
 package main
 
 import (
@@ -21,21 +22,29 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 3, "number of replica servers")
-		interval = flag.Duration("interval", 50*time.Millisecond, "anti-entropy period")
-		updates  = flag.Int("updates", 50, "updates to apply")
-		items    = flag.Int("items", 100, "item space size")
-		valSize  = flag.Int("valuesize", 32, "value payload bytes (large workloads stream their catch-up)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "convergence deadline")
-		dataDir  = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
+		nodes      = flag.Int("nodes", 3, "number of replica servers")
+		interval   = flag.Duration("interval", 50*time.Millisecond, "anti-entropy period")
+		updates    = flag.Int("updates", 50, "updates to apply")
+		items      = flag.Int("items", 100, "item space size")
+		valSize    = flag.Int("valuesize", 32, "value payload bytes (large workloads stream their catch-up)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "convergence deadline")
+		dataDir    = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
+		partitions = flag.Int("partitions", 1, "split the keyspace into this many token-ring partitions (>1 enables partial replication)")
+		placement  = flag.Int("placement", 0, "replicas per partition (0 = every node; only with -partitions > 1)")
 	)
 	flag.Parse()
 
 	var ns []*cluster.Node
 	var err error
-	if *dataDir == "" {
+	switch {
+	case *partitions > 1:
+		if *dataDir != "" {
+			log.Fatal("-datadir is not supported with -partitions > 1 (durable partitioned nodes are a separate change)")
+		}
+		ns, err = cluster.StartPartCluster(*nodes, *partitions, *placement, *interval)
+	case *dataDir == "":
 		ns, err = cluster.StartCluster(*nodes, *interval)
-	} else {
+	default:
 		ns, err = startDurable(*dataDir, *nodes, *interval)
 	}
 	if err != nil {
@@ -44,15 +53,26 @@ func main() {
 	defer cluster.CloseAll(ns)
 
 	for i, n := range ns {
-		fmt.Printf("node %d listening on %s\n", i, n.Addr())
+		if pr := n.Parted(); pr != nil {
+			fmt.Printf("node %d listening on %s, owns partitions %v\n", i, n.Addr(), pr.Owned())
+		} else {
+			fmt.Printf("node %d listening on %s\n", i, n.Addr())
+		}
 	}
 
 	g := workload.New(workload.Config{Items: *items, ValueSize: *valSize, Seed: 7})
 	start := time.Now()
 	for u := 0; u < *updates; u++ {
 		idx := g.NextIndex()
+		key := workload.Key(idx)
 		node := idx % *nodes // single-writer ownership: no conflicts
-		if err := ns[node].Update(workload.Key(idx), op.NewSet(g.Value())); err != nil {
+		if pr := ns[0].Parted(); pr != nil {
+			// Partial replication: only an owner may accept the write, and
+			// keeping one writer per partition preserves the no-conflict
+			// property.
+			node = pr.Ring().Owners(pr.Ring().PartitionOf(key))[0]
+		}
+		if err := ns[node].Update(key, op.NewSet(g.Value())); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -104,14 +124,26 @@ func startDurable(dir string, n int, interval time.Duration) ([]*cluster.Node, e
 
 func printStats(ns []*cluster.Node) {
 	for i, n := range ns {
-		r := n.Replica()
-		m := r.Metrics()
+		m := n.Metrics()
 		ps := n.PoolStats()
+		var items, logRecords int
+		var check func() error
+		if pr := n.Parted(); pr != nil {
+			items = pr.Items()
+			for _, snap := range pr.Snapshot() {
+				logRecords += snap.LogRecords
+			}
+			check = pr.CheckInvariants
+		} else {
+			r := n.Replica()
+			items, logRecords = r.Items(), r.LogRecords()
+			check = r.CheckInvariants
+		}
 		fmt.Printf("node %d: items=%d log-records=%d sessions=%d noops=%d streamed=%d chunks-out=%d chunks-in=%d est-bytes=%d wire-sent=%d wire-recv=%d dials=%d reused=%d\n",
-			i, r.Items(), r.LogRecords(), m.Propagations, m.PropagationNoops,
+			i, items, logRecords, m.Propagations, m.PropagationNoops,
 			m.StreamSessions, m.ChunksSent, m.ChunksApplied, m.BytesSent,
 			m.WireBytesSent, m.WireBytesRecv, ps.Dials, ps.Reused)
-		if err := r.CheckInvariants(); err != nil {
+		if err := check(); err != nil {
 			log.Fatalf("node %d invariants: %v", i, err)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/transport"
 )
@@ -44,14 +45,25 @@ type Config struct {
 	// uses the pooled framed-binary codec with default pool limits; set
 	// DialPerRequest to exercise the legacy gob-per-dial path.
 	Transport transport.Options
+	// Partitions > 1 splits the keyspace into that many token-ring
+	// partitions, each with its own DBVV and log vector, and the node
+	// replicates only the partitions the ring places on it. Zero or one
+	// keeps the unpartitioned node — the seed protocol byte-for-byte.
+	Partitions int
+	// Placement is the number of owners per keyspace partition when
+	// Partitions > 1. Zero defaults to Servers (full placement: every node
+	// replicates every partition, but sessions still negotiate and skip
+	// per partition).
+	Placement int
 }
 
 // Node is one live server: a replica, its TCP server and its anti-entropy
 // scheduler.
 type Node struct {
 	cfg     Config
-	replica *core.Replica
-	dur     *durable.Replica // non-nil when DataDir is set
+	replica *core.Replica     // nil on partitioned nodes
+	parted  *core.Partitioned // non-nil when Partitions > 1
+	dur     *durable.Replica  // non-nil when DataDir is set
 	server  *transport.Server
 	client  *transport.Client // pooled: sessions reuse warm peer connections
 
@@ -83,7 +95,27 @@ func Start(cfg Config) (*Node, error) {
 		done:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
-	if cfg.DataDir != "" {
+	switch {
+	case cfg.Partitions > 1:
+		// The write-ahead log formats one replica's state; per-partition
+		// logging is a separate change. Fail loudly rather than silently
+		// dropping durability.
+		if cfg.DataDir != "" {
+			return nil, fmt.Errorf("cluster: durable partitioned nodes are not supported (Partitions=%d with DataDir)", cfg.Partitions)
+		}
+		placement := cfg.Placement
+		if placement == 0 {
+			placement = cfg.Servers
+		}
+		n.parted = core.NewPartitioned(cfg.ID, cfg.Servers, cfg.Partitions, placement)
+		srv, err := transport.ListenPart(n.parted, cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		n.server = srv
+		go n.loop()
+		return n, nil
+	case cfg.DataDir != "":
 		d, err := durable.Open(cfg.DataDir, cfg.ID, cfg.Servers, cfg.DurableOptions)
 		if err != nil {
 			return nil, err
@@ -91,7 +123,7 @@ func Start(cfg Config) (*Node, error) {
 		d.SetClient(n.client)
 		n.dur = d
 		n.replica = d.Core()
-	} else {
+	default:
 		n.replica = core.NewReplica(cfg.ID, cfg.Servers)
 	}
 	srv, err := transport.Listen(n.replica, cfg.Addr)
@@ -103,8 +135,23 @@ func Start(cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// Replica exposes the node's replica for local operations.
+// Replica exposes the node's replica for local operations. It is nil on a
+// partitioned node, whose state lives in per-partition replicas — use
+// Parted (or Partition) there.
 func (n *Node) Replica() *core.Replica { return n.replica }
+
+// Parted exposes the node's partitioned control plane; nil when the node is
+// unpartitioned.
+func (n *Node) Parted() *core.Partitioned { return n.parted }
+
+// Metrics returns the node's protocol counters — the replica's, or the
+// aggregate across partitions on a partitioned node.
+func (n *Node) Metrics() metrics.Counters {
+	if n.parted != nil {
+		return n.parted.Metrics()
+	}
+	return n.replica.Metrics()
+}
 
 // Addr returns the node's TCP address.
 func (n *Node) Addr() string { return n.server.Addr() }
@@ -119,14 +166,23 @@ func (n *Node) SetPeers(addrs []string) {
 // Update applies a user update locally (write-ahead logged when the node
 // is durable).
 func (n *Node) Update(key string, o op.Op) error {
+	if n.parted != nil {
+		return n.parted.Update(key, o)
+	}
 	if n.dur != nil {
 		return n.dur.Update(key, o)
 	}
 	return n.replica.Update(key, o)
 }
 
-// Read returns the node's current value for key.
-func (n *Node) Read(key string) ([]byte, bool) { return n.replica.Read(key) }
+// Read returns the node's current value for key. On a partitioned node a
+// key outside the node's owned partitions reads as absent.
+func (n *Node) Read(key string) ([]byte, bool) {
+	if n.parted != nil {
+		return n.parted.Read(key)
+	}
+	return n.replica.Read(key)
+}
 
 // PullOnce performs one anti-entropy session against a random peer,
 // returning the peer pulled from ("" when no peers are configured).
@@ -147,6 +203,10 @@ func (n *Node) PullOnce() (string, error) {
 // same peer ride one warm framed connection, and concurrent sessions to
 // distinct peers proceed in parallel over their own connections.
 func (n *Node) PullFrom(addr string) (bool, error) {
+	if n.parted != nil {
+		shipped, err := n.client.PullPart(n.parted, addr)
+		return shipped > 0, err
+	}
 	if n.dur != nil {
 		return n.dur.PullFrom(addr)
 	}
@@ -160,6 +220,11 @@ func (n *Node) PullFrom(addr string) (bool, error) {
 // re-ships nothing already applied). Durable nodes fall back to the
 // ordinary pull, whose commit the write-ahead log captures atomically.
 func (n *Node) PullStreamFrom(addr string) (bool, error) {
+	if n.parted != nil {
+		// Partitioned sessions already stream each oversized partition
+		// through its own chunked session.
+		return n.PullFrom(addr)
+	}
 	if n.dur != nil {
 		return n.dur.PullFrom(addr)
 	}
@@ -173,6 +238,13 @@ func (n *Node) SetChunkBytes(b uint64) { n.server.SetChunkBytes(b) }
 
 // FetchOOB copies one item out-of-bound from a specific peer.
 func (n *Node) FetchOOB(addr, key string) (bool, error) {
+	if n.parted != nil {
+		part := n.parted.Partition(n.parted.PartitionOf(key))
+		if part == nil {
+			return false, fmt.Errorf("cluster: %w", core.ErrNotOwner)
+		}
+		return n.client.FetchOOB(part, addr, key)
+	}
 	if n.dur != nil {
 		return n.dur.FetchOOB(addr, key)
 	}
@@ -243,6 +315,57 @@ func StartCluster(n int, interval time.Duration) ([]*Node, error) {
 	return nodes, nil
 }
 
+// Bootstrap brings a (re)joining partitioned node up to date by pulling
+// from every configured peer once. Because a partitioned session offers
+// only the partitions this node replicates, the join traffic is bounded by
+// the node's own share of the keyspace — peers never ship partitions the
+// ring does not place here. It returns the number of partitions that
+// received data.
+func (n *Node) Bootstrap() (int, error) {
+	if n.parted == nil {
+		return 0, fmt.Errorf("cluster: Bootstrap requires a partitioned node")
+	}
+	n.mu.Lock()
+	peers := append([]string(nil), n.peers...)
+	n.mu.Unlock()
+	total := 0
+	for _, addr := range peers {
+		shipped, err := n.client.PullPart(n.parted, addr)
+		total += shipped
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// StartPartCluster starts n partitioned nodes on loopback with full-mesh
+// peering: the keyspace splits into the given number of partitions, each
+// placed on `placement` nodes (0 = every node).
+func StartPartCluster(n, partitions, placement int, interval time.Duration) ([]*Node, error) {
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node, err := Start(Config{ID: i, Servers: n, Interval: interval, Partitions: partitions, Placement: placement})
+		if err != nil {
+			for _, prev := range nodes[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = node
+	}
+	for i, node := range nodes {
+		var peers []string
+		for j, other := range nodes {
+			if j != i {
+				peers = append(peers, other.Addr())
+			}
+		}
+		node.SetPeers(peers)
+	}
+	return nodes, nil
+}
+
 // CloseAll closes every node, returning the first error.
 func CloseAll(nodes []*Node) error {
 	var first error
@@ -254,8 +377,20 @@ func CloseAll(nodes []*Node) error {
 	return first
 }
 
-// Converged reports whether all nodes' replicas are identical.
+// Converged reports whether all nodes agree: identical replicas on an
+// unpartitioned cluster, identical per-partition replicas across each
+// partition's owners on a partitioned one.
 func Converged(nodes []*Node) (bool, string) {
+	if len(nodes) > 0 && nodes[0].parted != nil {
+		parts := make([]*core.Partitioned, len(nodes))
+		for i, n := range nodes {
+			if n.parted == nil {
+				return false, fmt.Sprintf("node %d is unpartitioned in a partitioned cluster", n.cfg.ID)
+			}
+			parts[i] = n.parted
+		}
+		return core.PartConverged(parts...)
+	}
 	replicas := make([]*core.Replica, len(nodes))
 	for i, n := range nodes {
 		replicas[i] = n.Replica()

@@ -34,6 +34,13 @@ type Snapshot struct {
 func (r *Replica) Snapshot() Snapshot {
 	r.rlockAll()
 	defer r.runlockAll()
+	return r.snapshotLocked()
+}
+
+// snapshotLocked clones the replica's state. Caller holds at least the
+// all-shard read sweep plus the control mutex (Partitioned.Snapshot holds
+// the sweep for several partition replicas at once, ascending by pid).
+func (r *Replica) snapshotLocked() Snapshot {
 	s := Snapshot{
 		ID:         r.id,
 		DBVV:       r.dbvv.Clone(),

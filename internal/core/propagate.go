@@ -68,34 +68,70 @@ type Propagation struct {
 	arena []uint64
 }
 
-// WireSize estimates the serialized size in bytes: per record the key plus
-// an 8-byte sequence number, per item the key, value and an n-component
-// vector, plus a small fixed header.
+// WireSize returns the exact number of bytes the wire codec's
+// AppendPropagation emits for p — the same varint/length-prefix terms,
+// mirrored here because the size gates planning decisions (the
+// monolithic-vs-streaming choice, per-partition session planning) that run
+// before any encoding happens. A nil propagation reports the fixed
+// estimate for the "you-are-current" exchange (the reply flag byte plus
+// the framing around it), matching the paper's O(1) cost model.
 func (p *Propagation) WireSize() uint64 {
 	if p == nil {
 		return 16 // "you-are-current" message
 	}
-	size := uint64(16)
+	size := varintSize(int64(p.Source)) + uvarintSize(uint64(len(p.Tails)))
 	for _, tail := range p.Tails {
+		size += uvarintSize(uint64(len(tail)))
 		for _, rec := range tail {
-			size += uint64(len(rec.Key)) + 8
+			size += recordWireSize(rec)
 		}
 	}
-	for _, it := range p.Items {
-		size += it.wireSize()
+	size += uvarintSize(uint64(len(p.Items)))
+	for i := range p.Items {
+		size += p.Items[i].wireSize()
 	}
 	return size
 }
 
+// recordWireSize is the exact encoded size of one tail record: the
+// length-prefixed key plus the uvarint sequence number.
+func recordWireSize(rec TailRecord) uint64 {
+	return stringWireSize(len(rec.Key)) + uvarintSize(rec.Seq)
+}
+
+// wireSize is the exact encoded size of one item payload, term for term
+// with the codec's appendItem: a flags byte, the length-prefixed key and
+// value, the IVV, and for delta items the pre-vector and chain.
 func (it ItemPayload) wireSize() uint64 {
+	size := 1 + stringWireSize(len(it.Key)) + stringWireSize(len(it.Value)) + uint64(it.IVV.BinarySize())
 	if it.IsDelta {
-		size := uint64(len(it.Key)) + uint64(8*(it.IVV.Len()+it.Pre.Len())) + 4
+		size += uint64(it.Pre.BinarySize()) + uvarintSize(uint64(len(it.Chain)))
 		for _, link := range it.Chain {
-			size += uint64(link.Op.WireSize()) + 2
+			size += varintSize(int64(link.Origin)) + uint64(link.Op.MarshalSize())
 		}
-		return size
 	}
-	return uint64(len(it.Key)) + uint64(len(it.Value)) + uint64(8*it.IVV.Len()) + 4
+	return size
+}
+
+// stringWireSize is the encoded size of a length-prefixed string or byte
+// slice of n bytes.
+func stringWireSize(n int) uint64 {
+	return uvarintSize(uint64(n)) + uint64(n)
+}
+
+// uvarintSize is the byte length of binary.AppendUvarint(x).
+func uvarintSize(x uint64) uint64 {
+	n := uint64(1)
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintSize is the byte length of binary.AppendVarint(x) (zig-zag).
+func varintSize(x int64) uint64 {
+	return uvarintSize(uint64(x)<<1 ^ uint64(x>>63))
 }
 
 // RecordCount returns the total number of tail records shipped.

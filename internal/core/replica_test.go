@@ -407,9 +407,11 @@ func TestPropagationWireSize(t *testing.T) {
 		Tails: [][]TailRecord{{{Key: "ab", Seq: 1}}},
 		Items: []ItemPayload{{Key: "ab", Value: []byte("xyz"), IVV: vv.New(2)}},
 	}
-	// 16 + (2+8) + (2+3+16+4) = 51
-	if got := p.WireSize(); got != 51 {
-		t.Errorf("WireSize = %d, want 51", got)
+	// Exact codec terms: source varint (1) + tail count (1) + per-tail
+	// count (1) + record key "ab" (1+2) + seq (1) + item count (1) +
+	// item flags (1) + key (1+2) + value "xyz" (1+3) + IVV <0,0> (3) = 19.
+	if got := p.WireSize(); got != 19 {
+		t.Errorf("WireSize = %d, want 19", got)
 	}
 	if p.RecordCount() != 1 || nilProp.RecordCount() != 0 {
 		t.Error("RecordCount wrong")

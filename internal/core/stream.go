@@ -238,7 +238,7 @@ sweep:
 				p.Tails[k] = make([]TailRecord, 0, c)
 			}
 			p.Tails[k] = append(p.Tails[k], rec)
-			used += uint64(len(rec.Key)) + 8
+			used += recordWireSize(rec)
 			nrecs++
 			progressed = true
 			emitted, pending, ok := s.statusLocked(rec.Key)
@@ -459,25 +459,33 @@ func (r *Replica) PlanPropagation(recipientDBVV vv.VV, maxBytes uint64) SessionP
 	if maxBytes == 0 {
 		return PlanMonolithic
 	}
-	size := uint64(16)
+	// Accumulate the exact terms AppendPropagation would emit for the
+	// monolithic payload BuildPropagation would produce: the source/tail
+	// header, each record, each selected item (always at its full-value
+	// size — the streaming path ships whole items, and counting deltas
+	// here would only flatter the estimate toward the monolithic choice).
+	size := varintSize(int64(r.id)) + uvarintSize(uint64(r.n))
 	var selected []*store.Item
 	for k := 0; k < r.n; k++ {
-		if r.dbvv[k] <= recipientDBVV.Get(k) {
-			continue
+		nrecs := uint64(0)
+		if r.dbvv[k] > recipientDBVV.Get(k) {
+			r.logs.Component(k).TailAfter(recipientDBVV.Get(k), func(rec *logvec.Record) {
+				size += recordWireSize(TailRecord{Key: rec.Key, Seq: rec.Seq})
+				nrecs++
+				it := r.store.Get(rec.Key)
+				if it == nil || it.Selected() {
+					return
+				}
+				it.SetSelected(true)
+				selected = append(selected, it)
+			})
 		}
-		r.logs.Component(k).TailAfter(recipientDBVV.Get(k), func(rec *logvec.Record) {
-			size += uint64(len(rec.Key)) + 8
-			it := r.store.Get(rec.Key)
-			if it == nil || it.Selected() {
-				return
-			}
-			it.SetSelected(true)
-			selected = append(selected, it)
-		})
+		size += uvarintSize(nrecs)
 	}
+	size += uvarintSize(uint64(len(selected)))
 	for _, it := range selected {
 		it.SetSelected(false)
-		size += uint64(len(it.Key)) + uint64(len(it.Value)) + uint64(8*it.IVV.Len()) + 4
+		size += 1 + stringWireSize(len(it.Key)) + stringWireSize(len(it.Value)) + uint64(it.IVV.BinarySize())
 	}
 	if size > maxBytes {
 		return PlanStream

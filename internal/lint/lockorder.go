@@ -113,6 +113,14 @@ func crossReplica(a, b types.Object) bool {
 	return types.Identical(ta, tb)
 }
 
+// perIterPair reports whether an acquisition and a held lock are successive
+// iterations of one ascending sweep loop: both keyed by the loop variable,
+// same rendered owner expression — so they denote distinct instances taken
+// in ascending order, not a re-entrant pair.
+func perIterPair(op lockOp, h heldLock) bool {
+	return op.perIter && h.perIter && op.key == h.key && op.key != ""
+}
+
 func checkLockOrder(pass *Pass, op lockOp, held []heldLock) {
 	for _, h := range held {
 		if crossReplica(op.root, h.root) {
@@ -153,13 +161,26 @@ func checkLockOrder(pass *Pass, op lockOp, held []heldLock) {
 			case lockShard:
 				pass.Reportf(op.pos, "starts the all-shard sweep while the shard lock for %s is held%s; the sweep must be the first shard acquisition", h.key, viaSuffix(op.via))
 			case lockShardAll:
+				if perIterPair(op, h) {
+					// Successive iterations of an ascending per-partition
+					// sweep (`for i := range pr.parts { pr.parts[i].rlockAll() }`):
+					// same rendered receiver, but each iteration sweeps a
+					// distinct partition replica in ascending pid order.
+					break
+				}
 				pass.Reportf(op.pos, "starts the all-shard sweep twice%s; self-deadlock on the first shard mutex", viaSuffix(op.via))
 			case lockCtl, lockConf:
+				if h.kind == lockCtl && perIterPair(op, h) {
+					break // the previous iteration's ctl belongs to a lower partition
+				}
 				pass.Reportf(op.pos, "starts the all-shard sweep while the %s is held%s; lock order is shard locks → ctl → conflict leaf", h.kind, viaSuffix(op.via))
 			}
 		case lockCtl:
 			switch h.kind {
 			case lockCtl:
+				if perIterPair(op, h) {
+					break // ascending per-partition sweep: distinct ctl mutexes
+				}
 				pass.Reportf(op.pos, "acquires the control mutex while already held%s; sync.Mutex is not re-entrant", viaSuffix(op.via))
 			case lockConf:
 				pass.Reportf(op.pos, "acquires the control mutex while the conflict-leaf mutex is held%s; the conflict leaf is acquired last", viaSuffix(op.via))

@@ -50,10 +50,10 @@ func (k lockKind) String() string {
 type lockOp struct {
 	kind    lockKind
 	acquire bool
-	write   bool   // write lock (Lock) vs read lock (RLock)
-	key     string // shard only: rendered key or index expression
-	idx     int64  // shard only: constant index, else -1
-	perIter bool   // shard only: keyed by an ascending loop's variable
+	write   bool         // write lock (Lock) vs read lock (RLock)
+	key     string       // rendered key/owner expression (shard or per-iteration sweep)
+	idx     int64        // shard only: constant index, else -1
+	perIter bool         // keyed by an ascending loop's variable (shard or sweep-helper receiver)
 	root    types.Object // owner the lock path is rooted at (r in r.ctl); nil unknown
 	via     string       // interprocedural witness: callee path ("" = direct)
 	pos     token.Pos
@@ -654,8 +654,22 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 	}
 	name := sel.Sel.Name
 
-	// Replica sweep helpers, called as methods: r.lockAll() etc.
+	// Replica sweep helpers, called as methods: r.lockAll() etc. When the
+	// receiver is an element indexed by an ascending loop's variable
+	// (`for i := range pr.parts { pr.parts[i].rlockAll() }` — the
+	// partitioned control plane's multi-replica sweep), the acquisitions
+	// are keyed per-iteration: each pass sweeps a distinct replica in
+	// ascending partition-id order, so the cross-iteration pass must not
+	// read them as re-entrant. A descending or otherwise unproven index
+	// stays unkeyed and the re-acquisition reports remain visible.
 	if ops := classifySweepHelper(name, rootObjOf(pass, sel.X), call.Pos()); ops != nil {
+		if ix, isIx := sel.X.(*ast.IndexExpr); isIx && w.keyedByLoopVar(ix.Index) {
+			key := types.ExprString(sel.X)
+			for i := range ops {
+				ops[i].perIter = true
+				ops[i].key = key
+			}
+		}
 		return ops
 	}
 

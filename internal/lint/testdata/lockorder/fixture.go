@@ -104,3 +104,29 @@ func ascendingConstants(r *replica) {
 	r.shards[2].mu.Unlock()
 	r.shards[0].mu.Unlock()
 }
+
+// parted mimics the partitioned control plane: one replica per keyspace
+// partition, swept whole-replica at a time.
+type parted struct {
+	parts []*replica
+}
+
+// Negative: the partitioned multi-replica sweep — each iteration of an
+// ascending loop runs one distinct replica's full lockAll sweep — must not
+// read as a re-entrant sweep or ctl pair.
+func ascendingPartSweep(pr *parted) {
+	for i := range pr.parts {
+		pr.parts[i].lockAll()
+	}
+	for i := range pr.parts {
+		pr.parts[i].unlockAll()
+	}
+}
+
+// Positive: a descending partition sweep is outside the sanctioned idiom
+// and every cross-iteration pairing stays visible.
+func descendingPartSweep(pr *parted) {
+	for i := len(pr.parts) - 1; i >= 0; i-- {
+		pr.parts[i].lockAll() // want "starts the all-shard sweep twice" "starts the all-shard sweep while the control mutex is held" "acquires the control mutex while already held"
+	}
+}

@@ -89,10 +89,10 @@ type Counters struct {
 	// streaming path — and the longest observed delay from session start to
 	// the first applied chunk. Add merges gauges by maximum and Diff passes
 	// them through unchanged (a maximum has no meaningful subtraction).
-	StreamSessions       uint64 // streaming sessions opened (source side)
-	ChunksSent           uint64 // chunks built and shipped by sources
-	ChunksApplied        uint64 // chunks committed by recipients
-	PeakPayloadBytes     uint64 // gauge: largest payload held at once
+	StreamSessions        uint64 // streaming sessions opened (source side)
+	ChunksSent            uint64 // chunks built and shipped by sources
+	ChunksApplied         uint64 // chunks committed by recipients
+	PeakPayloadBytes      uint64 // gauge: largest payload held at once
 	StreamFirstApplyNanos uint64 // gauge: slowest time-to-first-applied-chunk
 }
 

@@ -159,6 +159,21 @@ func (o Op) String() string {
 	}
 }
 
+// MarshalSize returns the exact number of bytes Marshal appends: kind,
+// uvarint offset, uvarint length, payload. The exact counterpart of the
+// WireSize estimate, for callers sizing messages before encoding them.
+func (o Op) MarshalSize() int {
+	size := 1 + len(o.Data)
+	for _, x := range [2]uint64{uint64(o.Offset), uint64(len(o.Data))} {
+		size++
+		for x >= 0x80 {
+			x >>= 7
+			size++
+		}
+	}
+	return size
+}
+
 // Marshal appends a compact binary encoding of the Op to buf and returns
 // the extended slice. The encoding is: kind (1 byte), offset (uvarint),
 // len(Data) (uvarint), Data.

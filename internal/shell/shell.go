@@ -63,6 +63,8 @@ func (s *Shell) Exec(line string) (string, error) {
 		return s.cmdOOB(args)
 	case "sync":
 		return s.cmdSync()
+	case "parts":
+		return s.cmdParts()
 	case "stats":
 		return s.cmdStats()
 	case "status":
@@ -82,6 +84,7 @@ const helpText = `commands:
   pull <i>             anti-entropy: active node pulls from node i
   oob <key> <i>        out-of-bound copy of one item from node i
   sync                 ring anti-entropy rounds until all nodes converge
+  parts                keyspace partition placement (partitioned clusters)
   stats                overhead counters of the active node
   status               per-node summary and convergence check
   help                 this text`
@@ -156,10 +159,19 @@ func (s *Shell) cmdGet(args []string) (string, error) {
 }
 
 func (s *Shell) cmdKeys() (string, error) {
-	snap := s.nodes[s.active].Replica().Snapshot()
-	keys := make([]string, 0, len(snap.Items))
-	for _, it := range snap.Items {
-		keys = append(keys, it.Key)
+	var keys []string
+	if pr := s.nodes[s.active].Parted(); pr != nil {
+		for _, snap := range pr.Snapshot() {
+			for _, it := range snap.Items {
+				keys = append(keys, it.Key)
+			}
+		}
+	} else {
+		snap := s.nodes[s.active].Replica().Snapshot()
+		keys = make([]string, 0, len(snap.Items))
+		for _, it := range snap.Items {
+			keys = append(keys, it.Key)
+		}
 	}
 	sort.Strings(keys)
 	if len(keys) == 0 {
@@ -235,19 +247,52 @@ func (s *Shell) cmdSync() (string, error) {
 	return "", fmt.Errorf("no convergence: %s", why)
 }
 
+// cmdParts renders the keyspace placement of a partitioned cluster: the
+// ring geometry and which partitions each node replicates.
+func (s *Shell) cmdParts() (string, error) {
+	pr := s.nodes[s.active].Parted()
+	if pr == nil {
+		return "", fmt.Errorf("cluster is not partitioned (start with -partitions > 1)")
+	}
+	rg := pr.Ring()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d partitions, %d-way placement across %d nodes\n",
+		rg.Partitions(), rg.Placement(), rg.Servers())
+	for i := range s.nodes {
+		marker := " "
+		if i == s.active {
+			marker = "*"
+		}
+		fmt.Fprintf(&sb, "%s node %d owns %v\n", marker, i, rg.OwnedBy(i))
+	}
+	return strings.TrimRight(sb.String(), "\n"), nil
+}
+
 func (s *Shell) cmdStats() (string, error) {
-	m := s.nodes[s.active].Replica().Metrics()
+	m := s.nodes[s.active].Metrics()
 	return m.String(), nil
 }
 
 func (s *Shell) cmdStatus() (string, error) {
 	var sb strings.Builder
 	for i, node := range s.nodes {
-		r := node.Replica()
 		marker := " "
 		if i == s.active {
 			marker = "*"
 		}
+		if pr := node.Parted(); pr != nil {
+			logRecords := 0
+			for _, snap := range pr.Snapshot() {
+				logRecords += snap.LogRecords
+			}
+			fmt.Fprintf(&sb, "%s node %d @ %s: partitions=%v items=%d log-records=%d\n",
+				marker, i, node.Addr(), pr.Owned(), pr.Items(), logRecords)
+			if err := pr.CheckInvariants(); err != nil {
+				fmt.Fprintf(&sb, "  INVARIANT VIOLATION: %v\n", err)
+			}
+			continue
+		}
+		r := node.Replica()
 		fmt.Fprintf(&sb, "%s node %d @ %s: items=%d log-records=%d aux=%d dbvv=%v\n",
 			marker, i, node.Addr(), r.Items(), r.LogRecords(), r.AuxCopies(), r.DBVV())
 		if err := r.CheckInvariants(); err != nil {

@@ -1,6 +1,7 @@
 package shell
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -10,6 +11,16 @@ import (
 func newShell(t *testing.T, n int) *Shell {
 	t.Helper()
 	nodes, err := cluster.StartCluster(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cluster.CloseAll(nodes) })
+	return New(nodes)
+}
+
+func newPartShell(t *testing.T, n, partitions, placement int) *Shell {
+	t.Helper()
+	nodes, err := cluster.StartPartCluster(n, partitions, placement, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,6 +153,72 @@ func TestKeysAndStats(t *testing.T) {
 	stats := exec(t, s, "stats")
 	if !strings.Contains(stats, "updates=2") {
 		t.Errorf("stats = %s", stats)
+	}
+}
+
+// The console works unchanged over a partitioned cluster: reads, writes,
+// sync and status all route through the partitioned control plane.
+func TestPartitionedShell(t *testing.T) {
+	s := newPartShell(t, 3, 8, 0) // full placement: every node owns all
+	exec(t, s, "put color blue")
+	if got := exec(t, s, "get color"); got != `"blue"` {
+		t.Errorf("get = %s", got)
+	}
+	parts := exec(t, s, "parts")
+	if !strings.Contains(parts, "8 partitions, 3-way placement across 3 nodes") {
+		t.Errorf("parts = %s", parts)
+	}
+	if got := exec(t, s, "keys"); got != "color" {
+		t.Errorf("keys = %q", got)
+	}
+	if stats := exec(t, s, "stats"); !strings.Contains(stats, "updates=1") {
+		t.Errorf("stats = %s", stats)
+	}
+	if out := exec(t, s, "sync"); !strings.Contains(out, "converged") {
+		t.Fatalf("sync = %s", out)
+	}
+	exec(t, s, "node 1")
+	if got := exec(t, s, "get color"); got != `"blue"` {
+		t.Errorf("node 1 get after sync = %s", got)
+	}
+	status := exec(t, s, "status")
+	if !strings.Contains(status, "partitions=") || !strings.Contains(status, "all replicas converged") {
+		t.Errorf("status = %s", status)
+	}
+	if strings.Contains(status, "VIOLATION") {
+		t.Errorf("status reports invariant violation: %s", status)
+	}
+}
+
+// Partial placement: writes to a partition the active node does not
+// replicate are rejected, and `parts` shows the uneven ownership.
+func TestPartitionedShellNonOwnerWrite(t *testing.T) {
+	s := newPartShell(t, 4, 8, 2)
+	rg := s.nodes[0].Parted().Ring()
+	for pid := 0; pid < rg.Partitions(); pid++ {
+		if rg.Owns(0, pid) {
+			continue
+		}
+		var key string
+		for i := 0; ; i++ {
+			key = fmt.Sprintf("key%06d", i)
+			if rg.PartitionOf(key) == pid {
+				break
+			}
+		}
+		err := execErr(t, s, "put "+key+" v")
+		if !strings.Contains(err.Error(), "does not replicate") {
+			t.Errorf("non-owner put error = %v", err)
+		}
+		return
+	}
+	t.Fatal("node 0 owns every partition under 2-way placement")
+}
+
+func TestPartsOnUnpartitionedCluster(t *testing.T) {
+	s := newShell(t, 1)
+	if err := execErr(t, s, "parts"); !strings.Contains(err.Error(), "not partitioned") {
+		t.Errorf("parts error = %v", err)
 	}
 }
 

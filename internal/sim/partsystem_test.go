@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// partKey finds one key hashing into partition pid of the system's ring.
+func partKey(t *testing.T, s *PartSystem, pid int) string {
+	t.Helper()
+	rg := s.Node(0).Ring()
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("key/%d/%06d", pid, i)
+		if rg.PartitionOf(k) == pid {
+			return k
+		}
+		if i > 1_000_000 {
+			t.Fatalf("cannot find a key for partition %d", pid)
+		}
+	}
+}
+
+func TestPartSystemConvergesUnderGossip(t *testing.T) {
+	s := NewPartSystem(6, 16, 3)
+	rg := s.Node(0).Ring()
+	for pid := 0; pid < rg.Partitions(); pid++ {
+		owner := rg.Owners(pid)[0]
+		if err := s.Update(owner, partKey(t, s, pid), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim := New(s, 42)
+	rounds, ok := sim.RunUntilConverged(RandomPeer, 40)
+	if !ok {
+		_, why := s.Converged()
+		t.Fatalf("no convergence in 40 rounds: %s", why)
+	}
+	t.Logf("partitioned system converged in %d rounds", rounds)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartSystemRejectsNonOwnerWrite(t *testing.T) {
+	s := NewPartSystem(4, 8, 2)
+	rg := s.Node(0).Ring()
+	// Find a (node, partition) pair where the node is not an owner.
+	for pid := 0; pid < rg.Partitions(); pid++ {
+		for node := 0; node < s.Servers(); node++ {
+			if rg.Owns(node, pid) {
+				continue
+			}
+			err := s.Update(node, partKey(t, s, pid), []byte("x"))
+			if !errors.Is(err, core.ErrNotOwner) {
+				t.Fatalf("non-owner write: err = %v, want ErrNotOwner", err)
+			}
+			return
+		}
+	}
+	t.Skip("full placement: every node owns every partition")
+}
+
+// A netsplit (sim.Partition) composes with keyspace partitioning: isolated
+// groups keep their own owners converging, and healing reconnects the ring.
+func TestPartSystemUnderNetsplit(t *testing.T) {
+	s := NewPartSystem(6, 8, 6) // full placement so every group has owners
+	sim := New(s, 7)
+	sim.Partition([]int{0, 1, 2}, []int{3, 4, 5})
+
+	if err := s.Update(0, partKey(t, s, 3), []byte("left")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(3, partKey(t, s, 5), []byte("right")); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		sim.Step(Ring)
+	}
+	// Within groups the writes spread; across the split they must not.
+	if got := sim.FreshCount(partKey(t, s, 3), []byte("left")); got != 3 {
+		t.Errorf("left write reached %d nodes under netsplit, want 3", got)
+	}
+	if got := sim.FreshCount(partKey(t, s, 5), []byte("right")); got != 3 {
+		t.Errorf("right write reached %d nodes under netsplit, want 3", got)
+	}
+
+	sim.Heal()
+	if rounds, ok := sim.RunUntilConverged(RandomPeer, 40); !ok {
+		_, why := s.Converged()
+		t.Fatalf("no convergence after heal: %s", why)
+	} else {
+		t.Logf("healed netsplit converged in %d rounds", rounds)
+	}
+}

@@ -39,7 +39,15 @@ func (s Schedule) String() string {
 }
 
 // Sim drives a System over rounds of a gossip schedule with optional node
-// failures and network partitions. Deterministic under its seed.
+// failures and netsplits (network partitions). Deterministic under its
+// seed.
+//
+// Terminology: throughout this package "partition" in the Partition/Heal
+// sense is a *netsplit* — connectivity groups in the simulated network. It
+// is unrelated to keyspace (data) partitions, which are the token-ring
+// placement concept of internal/ring and core.Partitioned (driven here via
+// PartSystem). The two compose: a PartSystem can be netsplit like any
+// other System.
 type Sim struct {
 	sys   System
 	rng   *rand.Rand
@@ -59,9 +67,11 @@ func New(sys System, seed int64) *Sim {
 	}
 }
 
-// Partition splits the network: groups[i] lists the nodes of partition i.
-// Sessions are only scheduled between nodes of the same partition. Nodes
-// absent from every group land in an implicit extra partition together.
+// Partition splits the network — a netsplit: groups[i] lists the nodes of
+// connectivity group i, and sessions are only scheduled between nodes of
+// the same group. Nodes absent from every group land in an implicit extra
+// group together. (Keyspace partitions — data placement — are a different
+// concept; see the package comment on terminology.)
 func (s *Sim) Partition(groups ...[]int) {
 	extra := len(groups)
 	for i := range s.group {
@@ -74,7 +84,7 @@ func (s *Sim) Partition(groups ...[]int) {
 	}
 }
 
-// Heal removes all partitions.
+// Heal removes all netsplits.
 func (s *Sim) Heal() {
 	for i := range s.group {
 		s.group[i] = 0

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/op"
+	"repro/internal/ring"
 	"repro/internal/vv"
 )
 
@@ -157,18 +158,12 @@ func New(n int) *Store {
 	return s
 }
 
-// shardOf hashes key to its shard (FNV-1a, masked).
+// shardOf hashes key to its shard. The hash is the same FNV-1a the
+// keyspace-partition ring uses (internal/ring): the shard index takes its
+// low bits, the partition range its high bits, so a partitioned store's
+// items still stripe across all shards and both mappings cost one hash.
 func (s *Store) shardOf(key string) *shard {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= prime64
-	}
-	return &s.shards[h&(ShardCount-1)]
+	return &s.shards[ring.Hash64(key)&(ShardCount-1)]
 }
 
 // RLockKey / RUnlockKey take and release the read lock of key's shard.

@@ -1,0 +1,215 @@
+package transport
+
+// Partitioned sessions over the framed transport.
+//
+// One KindPartPropagation exchange negotiates the whole node pair: the
+// recipient offers the (partition id, DBVV) pair for every partition it
+// replicates, and the source answers each offer — unowned, current, an
+// inline payload, or "stream instead" when the payload estimate exceeds the
+// request's cap. Clean partitions therefore settle in the single round trip
+// at one DBVV comparison each, and only dirty partitions cost further
+// frames: each one drains over its own KindPartStream session, reusing the
+// chunked pipeline of stream.go unchanged (the session target is simply the
+// partition's replica).
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// NewPartServer starts serving a partitioned node on the listener.
+func NewPartServer(pr *core.Partitioned, ln net.Listener) *Server {
+	s := &Server{parted: pr, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ListenPart is the partitioned counterpart of Listen: listen on addr and
+// serve the partitioned node.
+func ListenPart(pr *core.Partitioned, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return NewPartServer(pr, ln), nil
+}
+
+// dispatchParted serves one non-streaming request on a partitioned server.
+// Single-key exchanges route to the owning partition's replica through the
+// ring; plain KindPropagation is rejected — a partitioned database has no
+// single DBVV for it to compare against.
+func (s *Server) dispatchParted(req *Request) *Response {
+	pr := s.parted
+	var resp Response
+	switch req.Kind {
+	case KindPartPropagation:
+		resp.Parts = make([]wire.PartReply, 0, len(req.Parts))
+		for _, ps := range req.Parts {
+			resp.Parts = append(resp.Parts, s.servePartOffer(ps, req.MaxBytes))
+		}
+	case KindOOB:
+		pid := pr.PartitionOf(req.Key)
+		part := pr.Partition(pid)
+		if part == nil {
+			resp.Err = fmt.Sprintf("partition %d not replicated here", pid)
+			break
+		}
+		reply := part.ServeOOB(req.Key)
+		resp.OOB = &reply
+	case KindFetch:
+		// Fetch keys may span partitions; group per partition and serve each
+		// group from its replica. Non-owned keys are skipped — the recipient
+		// treats a missing item as "re-probe next session", the same defensive
+		// contract as an item concurrently deleted from a single replica.
+		groups := make(map[int][]string)
+		var pids []int
+		for _, key := range req.Keys {
+			pid := pr.PartitionOf(key)
+			if _, seen := groups[pid]; !seen {
+				pids = append(pids, pid)
+			}
+			groups[pid] = append(groups[pid], key)
+		}
+		for _, pid := range pids {
+			if part := pr.Partition(pid); part != nil {
+				resp.Items = append(resp.Items, part.BuildItems(groups[pid])...)
+			}
+		}
+	case KindPropagation:
+		resp.Err = "server is partitioned; open a partitioned session"
+	case KindStream, KindPartStream:
+		// Reachable only through the legacy gob front-end; the framed loop
+		// intercepts stream kinds before dispatch.
+		resp.Err = "streaming session requires the framed protocol"
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
+	}
+	return &resp
+}
+
+// servePartOffer answers one offered partition of a partitioned session.
+// A clean partition costs exactly one DBVV comparison (the plan's current
+// case, or BuildPropagation's identical-check when uncapped) and ships
+// nothing.
+func (s *Server) servePartOffer(ps core.PartState, maxBytes uint64) wire.PartReply {
+	pe := wire.PartReply{Pid: ps.Pid}
+	part := s.parted.Partition(ps.Pid)
+	if part == nil {
+		pe.Unowned = true
+		return pe
+	}
+	if maxBytes > 0 {
+		switch part.PlanPropagation(ps.DBVV, maxBytes) {
+		case core.PlanCurrent:
+			pe.Current = true
+			return pe
+		case core.PlanStream:
+			pe.Stream = true
+			return pe
+		}
+	}
+	pe.Prop = part.BuildPropagation(ps.DBVV)
+	if pe.Prop == nil {
+		pe.Current = true
+	}
+	return pe
+}
+
+// PullPart performs one complete partitioned session: recipient pulls from
+// the partitioned server at addr. One exchange negotiates every partition
+// the recipient replicates; inline payloads are applied immediately and
+// partitions diverted to streaming are drained one KindPartStream session
+// each. It returns the number of partitions that shipped data.
+func (c *Client) PullPart(recipient *core.Partitioned, addr string) (int, error) {
+	return c.PullPartDB(recipient, addr, "")
+}
+
+// PullPartDB is PullPart against a named database of a multi-database
+// server.
+func (c *Client) PullPartDB(recipient *core.Partitioned, addr, db string) (int, error) {
+	req := &Request{
+		Kind:  KindPartPropagation,
+		DB:    db,
+		From:  recipient.ID(),
+		Parts: recipient.PartRequest(),
+	}
+	if !c.opts.DialPerRequest {
+		// Announce the per-partition monolithic ceiling; the legacy gob path
+		// has no session framing, so it keeps unbounded inline payloads.
+		req.MaxBytes = DefaultMonolithicCap
+	}
+	var resp Response
+	st, err := c.roundTrip(addr, req, &resp)
+	recipient.AddWireStats(st.sent, st.recv, boolCount(st.dialed), boolCount(st.reused))
+	if err != nil {
+		return 0, err
+	}
+	if resp.Err != "" {
+		return 0, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	shipped := 0
+	var streams []int
+	for _, pe := range resp.Parts {
+		part := recipient.Partition(pe.Pid)
+		if part == nil {
+			continue // defensive: the server answered a partition we never offered
+		}
+		switch {
+		case pe.Unowned, pe.Current:
+			// Nothing to do for this partition.
+		case pe.Prop != nil:
+			if err := c.applySession(part, addr, db, pe.Prop); err != nil {
+				return shipped, err
+			}
+			shipped++
+		case pe.Stream:
+			streams = append(streams, pe.Pid)
+		}
+	}
+	for _, pid := range streams {
+		ok, err := c.pullPartStream(recipient, addr, db, pid)
+		if err != nil {
+			return shipped, err
+		}
+		if ok {
+			shipped++
+		}
+	}
+	return shipped, nil
+}
+
+// pullPartStream drains one partition over a KindPartStream session,
+// reusing the chunked pipeline with the partition's replica as the sink.
+// Wire cost is charged to the partition replica (whose counters roll up
+// into the node's Metrics).
+func (c *Client) pullPartStream(recipient *core.Partitioned, addr, db string, pid int) (bool, error) {
+	part := recipient.Partition(pid)
+	if part == nil {
+		return false, nil
+	}
+	req := &Request{
+		Kind: KindPartStream,
+		DB:   db,
+		From: recipient.ID(),
+		Part: pid,
+		DBVV: part.PropagationRequest(),
+	}
+	return c.runStream(part, addr, req)
+}
+
+// PullPart is the package-level convenience: one partitioned session
+// through the default client.
+func PullPart(recipient *core.Partitioned, addr string) (int, error) {
+	return DefaultClient.PullPart(recipient, addr)
+}
+
+func boolCount(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -448,21 +448,30 @@ func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
 	if resp.Prop == nil {
 		return false, errors.New("transport: malformed propagation response")
 	}
-	need := recipient.ApplyPropagation(resp.Prop)
-	if len(need) == 0 {
-		return true, nil
+	if err := c.applySession(recipient, addr, "", resp.Prop); err != nil {
+		return false, err
 	}
-	// Delta-mode second round: fetch the full copies, re-probing a bounded
-	// number of times in case concurrent sessions moved items underneath.
+	return true, nil
+}
+
+// applySession commits one monolithic propagation payload to the recipient,
+// running the delta-mode second round when the payload referenced base
+// versions the recipient lacks: fetch the full copies, re-probing a bounded
+// number of times in case concurrent sessions moved items underneath.
+func (c *Client) applySession(recipient *core.Replica, addr, db string, prop *core.Propagation) error {
+	need := recipient.ApplyPropagation(prop)
+	if len(need) == 0 {
+		return nil
+	}
 	have := make(map[string]bool)
 	var items []core.ItemPayload
 	for attempt := 0; attempt < 3 && len(need) > 0; attempt++ {
 		var fetchResp Response
-		if err := c.do(recipient, addr, &Request{Kind: KindFetch, From: recipient.ID(), Keys: need}, &fetchResp); err != nil {
-			return false, err
+		if err := c.do(recipient, addr, &Request{Kind: KindFetch, DB: db, From: recipient.ID(), Keys: need}, &fetchResp); err != nil {
+			return err
 		}
 		if fetchResp.Err != "" {
-			return false, fmt.Errorf("transport: remote error: %s", fetchResp.Err)
+			return fmt.Errorf("transport: remote error: %s", fetchResp.Err)
 		}
 		fetched := fetchResp.Items
 		items = append(items, fetched...)
@@ -470,14 +479,14 @@ func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
 			have[it.Key] = true
 		}
 		need = need[:0]
-		for _, key := range recipient.NeedFull(resp.Prop) {
+		for _, key := range recipient.NeedFull(prop) {
 			if !have[key] {
 				need = append(need, key)
 			}
 		}
 	}
-	recipient.ApplyPropagationWithItems(resp.Prop, items)
-	return true, nil
+	recipient.ApplyPropagationWithItems(prop, items)
+	return nil
 }
 
 // RequestOOB fetches an out-of-bound reply for key from the server at addr

@@ -146,6 +146,14 @@ func (c *Client) PullStreamDB(recipient *core.Replica, addr, db string) (bool, e
 		return c.Pull(recipient, addr)
 	}
 	req := &Request{Kind: KindStream, DB: db, From: recipient.ID(), DBVV: recipient.PropagationRequest()}
+	return c.runStream(recipient, addr, req)
+}
+
+// runStream drives one streaming session request (KindStream, or
+// KindPartStream from the partitioned client) against addr with recipient
+// as the sink, retrying once on a fresh dial when a pooled connection turns
+// out stale before yielding a single frame. Requires the framed transport.
+func (c *Client) runStream(recipient *core.Replica, addr string, req *Request) (bool, error) {
 	start := time.Now()
 
 	pc, reused, err := c.pool.get(addr)

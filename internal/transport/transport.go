@@ -60,6 +60,11 @@ const (
 	// KindStream opens a streaming (chunked) propagation session on a
 	// framed connection; see stream.go.
 	KindStream = wire.KindStream
+	// KindPartPropagation opens a partitioned propagation session against a
+	// partitioned server; see part.go.
+	KindPartPropagation = wire.KindPartPropagation
+	// KindPartStream opens a streaming session for one keyspace partition.
+	KindPartStream = wire.KindPartStream
 )
 
 // Resolver maps database names to replicas — the surface a multi-database
@@ -73,7 +78,12 @@ type Resolver interface {
 type Server struct {
 	replica  *core.Replica
 	resolver Resolver
-	ln       net.Listener
+	// parted, when non-nil, makes this a partitioned server: partitioned
+	// sessions negotiate against it, and single-key exchanges (OOB, fetch)
+	// are routed to the owning partition's replica via its ring. replica
+	// and resolver are nil on a partitioned server.
+	parted *core.Partitioned
+	ln     net.Listener
 
 	// chunkBytes is the streamed-session chunk budget; 0 means
 	// core.DefaultChunkBytes. See SetChunkBytes.
@@ -256,14 +266,12 @@ func (s *Server) handleFramed(br *bufio.Reader, cr *countingReader, cw *counting
 		if err := wire.DecodeRequest(payload, &req); err != nil {
 			return
 		}
-		if req.Kind == KindStream {
-						replica, errmsg := s.route(&req)
-						if err := s.serveStream(bw, replica, errmsg, &req, scratch); err != nil {
+		if req.Kind == KindStream || req.Kind == KindPartStream {
+			replica, errmsg := s.streamTarget(&req)
+			if err := s.serveStream(bw, replica, errmsg, &req, scratch); err != nil {
 				return
 			}
-			if replica != nil {
-				replica.AddWireStats(cw.n-lastSent, cr.n-lastRecv, 0, 0)
-			}
+			s.chargeServed(replica, cw.n-lastSent, cr.n-lastRecv)
 			lastSent, lastRecv = cw.n, cr.n
 			continue
 		}
@@ -275,10 +283,41 @@ func (s *Server) handleFramed(br *bufio.Reader, cr *countingReader, cw *counting
 		if err := bw.Flush(); err != nil {
 			return
 		}
-		if replica != nil {
-			replica.AddWireStats(cw.n-lastSent, cr.n-lastRecv, 0, 0)
-		}
+		s.chargeServed(replica, cw.n-lastSent, cr.n-lastRecv)
 		lastSent, lastRecv = cw.n, cr.n
+	}
+}
+
+// streamTarget resolves the replica a streaming request drains: the routed
+// database replica for KindStream, the named partition's replica for
+// KindPartStream on a partitioned server.
+func (s *Server) streamTarget(req *Request) (*core.Replica, string) {
+	if req.Kind == KindPartStream {
+		if s.parted == nil {
+			return nil, "server is not partitioned"
+		}
+		part := s.parted.Partition(req.Part)
+		if part == nil {
+			return nil, fmt.Sprintf("partition %d not replicated here", req.Part)
+		}
+		return part, ""
+	}
+	if s.parted != nil {
+		return nil, "server is partitioned; open a partitioned session"
+	}
+	return s.route(req)
+}
+
+// chargeServed charges one served exchange's measured wire bytes: to the
+// node on a partitioned server (the connection multiplexes partitions), to
+// the serving replica otherwise.
+func (s *Server) chargeServed(replica *core.Replica, sent, recv uint64) {
+	if s.parted != nil {
+		s.parted.AddWireStats(sent, recv, 0, 0)
+		return
+	}
+	if replica != nil {
+		replica.AddWireStats(sent, recv, 0, 0)
 	}
 }
 
@@ -293,9 +332,7 @@ func (s *Server) handleGob(br *bufio.Reader, cr *countingReader, cw *countingWri
 	}
 	replica, resp := s.dispatch(&req)
 	_ = enc.Encode(resp)
-	if replica != nil {
-		replica.AddWireStats(cw.n, cr.n, 0, 0)
-	}
+	s.chargeServed(replica, cw.n, cr.n)
 }
 
 // route resolves the replica a request addresses, shared by the one-shot
@@ -321,6 +358,12 @@ func (s *Server) route(req *Request) (*core.Replica, string) {
 // exchange, shared by both protocol front-ends. The returned replica is nil
 // when the request could not be routed.
 func (s *Server) dispatch(req *Request) (*core.Replica, *Response) {
+	if s.parted != nil {
+		return nil, s.dispatchParted(req)
+	}
+	if req.Kind == KindPartPropagation || req.Kind == KindPartStream {
+		return nil, &Response{Err: "server is not partitioned"}
+	}
 	replica, errmsg := s.route(req)
 	if replica == nil {
 		return nil, &Response{Err: errmsg}

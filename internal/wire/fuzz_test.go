@@ -38,6 +38,9 @@ func FuzzDecodeVV(f *testing.F) {
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add(AppendRequest(nil, &Request{Kind: KindPropagation, From: 1, DBVV: vv.VV{3, 1}}))
 	f.Add(AppendRequest(nil, &Request{Kind: KindFetch, DB: "db", Keys: []string{"a", "b"}}))
+	f.Add(AppendRequest(nil, &Request{Kind: KindPartPropagation, From: 2,
+		Parts: []core.PartState{{Pid: 0, DBVV: vv.VV{1}}, {Pid: 7, DBVV: vv.VV{0, 4}}}}))
+	f.Add(AppendRequest(nil, &Request{Kind: KindPartStream, From: 1, Part: 9, DBVV: vv.VV{2, 2}}))
 	f.Add([]byte{})
 	f.Add([]byte{0xEB, 0x01})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -51,7 +54,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if req2.Kind != req.Kind || req2.From != req.From || req2.DB != req.DB ||
-			req2.Key != req.Key || !req2.DBVV.Equal(req.DBVV) || len(req2.Keys) != len(req.Keys) {
+			req2.Key != req.Key || !req2.DBVV.Equal(req.DBVV) || len(req2.Keys) != len(req.Keys) ||
+			len(req2.Parts) != len(req.Parts) || req2.Part != req.Part {
 			t.Fatalf("round trip mismatch: %+v vs %+v", req, req2)
 		}
 	})
@@ -62,6 +66,8 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(AppendResponse(nil, &Response{Prop: sampleProp()}))
 	f.Add(AppendResponse(nil, &Response{OOB: &core.OOBReply{Key: "k", Found: true, IVV: vv.VV{1}}}))
 	f.Add(AppendResponse(nil, &Response{Err: "boom"}))
+	f.Add(AppendResponse(nil, &Response{Parts: []PartReply{
+		{Pid: 0, Unowned: true}, {Pid: 3, Current: true}, {Pid: 5, Prop: sampleProp()}, {Pid: 8, Stream: true}}}))
 	f.Add([]byte{0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var resp Response
@@ -75,6 +81,7 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 		if resp2.Current != resp.Current || resp2.Err != resp.Err ||
 			len(resp2.Items) != len(resp.Items) ||
+			len(resp2.Parts) != len(resp.Parts) ||
 			(resp.Prop == nil) != (resp2.Prop == nil) ||
 			(resp.OOB == nil) != (resp2.OOB == nil) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", resp, resp2)

@@ -242,7 +242,7 @@ func FuzzSessionFrames(f *testing.F) {
 		return out.Bytes()
 	}()
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2])             // truncated
+	f.Add(valid[:len(valid)/2])                         // truncated
 	f.Add(append(append([]byte{}, valid...), valid...)) // trailing duplicate session
 	f.Add([]byte{KindSessionBegin, 0})
 	f.Add([]byte{KindSessionChunk, 0xFF, 0xFF, 0xFF, 0xFF})

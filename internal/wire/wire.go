@@ -90,6 +90,17 @@ const (
 	// (KindSessionBegin, zero or more KindSessionChunk, KindSessionEnd);
 	// see stream.go. Framed connections only.
 	KindStream
+	// KindPartPropagation opens a partitioned propagation session: the
+	// request carries one (partition id, DBVV) pair per partition the
+	// recipient replicates, and the response answers every pair — unowned,
+	// current, an inline payload, or a diversion to a per-partition
+	// KindPartStream session. One round trip negotiates and settles every
+	// clean partition at one DBVV comparison each.
+	KindPartPropagation
+	// KindPartStream opens a streaming propagation session for a single
+	// keyspace partition (Request.Part); the frame sequence is identical to
+	// KindStream's. Framed connections only.
+	KindPartStream
 )
 
 // Request is the recipient-to-source message opening an exchange.
@@ -111,8 +122,17 @@ type Request struct {
 	// monolithic response: a source whose payload estimate exceeds it
 	// replies with Response.Stream set instead of building the payload,
 	// and the recipient re-pulls over a KindStream session. Zero keeps the
-	// legacy uncapped behavior.
+	// legacy uncapped behavior. On a KindPartPropagation request it caps
+	// each partition's inline payload the same way.
 	MaxBytes uint64
+	// Parts is the partitioned session negotiation (KindPartPropagation
+	// only): the recipient's DBVV for every partition it replicates,
+	// ascending by pid. Encoded only for that kind, so every other kind's
+	// encoding is byte-identical to the pre-partitioning codec.
+	Parts []core.PartState
+	// Part is the keyspace partition a KindPartStream session drains;
+	// Request.DBVV carries the recipient's DBVV for that partition.
+	Part int
 }
 
 // Response is the source-to-recipient reply.
@@ -130,8 +150,24 @@ type Response struct {
 	// MaxBytes cap and was withheld; the recipient should open a KindStream
 	// session instead.
 	Stream bool
+	// Parts answers a KindPartPropagation request, one entry per offered
+	// partition, in the request's order.
+	Parts []PartReply
 	// Err carries a server-side error description, empty on success.
 	Err string
+}
+
+// PartReply is the source's verdict for one offered partition of a
+// partitioned propagation session. Exactly one of the four outcomes holds:
+// the source does not replicate the partition (Unowned), the recipient is
+// current (Current), the payload rides inline (Prop), or it exceeded the
+// request's cap and must be pulled over a KindPartStream session (Stream).
+type PartReply struct {
+	Pid     int
+	Unowned bool
+	Current bool
+	Stream  bool
+	Prop    *core.Propagation
 }
 
 // Buffer pooling: encode scratch and frame-read buffers are recycled so the
@@ -251,6 +287,18 @@ func AppendRequest(buf []byte, req *Request) []byte {
 		buf = appendString(buf, k)
 	}
 	buf = binary.AppendUvarint(buf, req.MaxBytes)
+	// Partition fields are gated on the kinds that define them, keeping
+	// every pre-partitioning kind's encoding byte-identical.
+	if req.Kind == KindPartPropagation {
+		buf = binary.AppendUvarint(buf, uint64(len(req.Parts)))
+		for i := range req.Parts {
+			buf = binary.AppendUvarint(buf, uint64(req.Parts[i].Pid))
+			buf = req.Parts[i].DBVV.AppendBinary(buf)
+		}
+	}
+	if req.Kind == KindPartStream {
+		buf = binary.AppendUvarint(buf, uint64(req.Part))
+	}
 	return buf
 }
 
@@ -271,6 +319,17 @@ func DecodeRequest(buf []byte, req *Request) error {
 		req.Keys = append(req.Keys, d.string())
 	}
 	req.MaxBytes = d.uvarint()
+	req.Parts = nil
+	req.Part = 0
+	if req.Kind == KindPartPropagation {
+		nparts := d.count()
+		for i := uint64(0); i < nparts && d.err == nil; i++ {
+			req.Parts = append(req.Parts, core.PartState{Pid: int(d.uvarint()), DBVV: d.vv()})
+		}
+	}
+	if req.Kind == KindPartStream {
+		req.Part = int(d.uvarint())
+	}
 	return d.finish("request")
 }
 
@@ -284,6 +343,15 @@ const (
 	respItems
 	respErr
 	respStream
+	respParts
+)
+
+// PartReply flag bits.
+const (
+	partUnowned = 1 << iota
+	partCurrent
+	partStream
+	partProp
 )
 
 // AppendResponse appends the binary encoding of resp to buf.
@@ -309,6 +377,9 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 	if resp.Stream {
 		flags |= respStream
 	}
+	if resp.Parts != nil {
+		flags |= respParts
+	}
 	buf = append(buf, flags)
 	if resp.Prop != nil {
 		buf = appendPropagation(buf, resp.Prop)
@@ -320,6 +391,30 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(resp.Items)))
 		for i := range resp.Items {
 			buf = appendItem(buf, &resp.Items[i])
+		}
+	}
+	if resp.Parts != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(resp.Parts)))
+		for i := range resp.Parts {
+			pe := &resp.Parts[i]
+			buf = binary.AppendUvarint(buf, uint64(pe.Pid))
+			var pf byte
+			if pe.Unowned {
+				pf |= partUnowned
+			}
+			if pe.Current {
+				pf |= partCurrent
+			}
+			if pe.Stream {
+				pf |= partStream
+			}
+			if pe.Prop != nil {
+				pf |= partProp
+			}
+			buf = append(buf, pf)
+			if pe.Prop != nil {
+				buf = appendPropagation(buf, pe.Prop)
+			}
 		}
 	}
 	if resp.Err != "" {
@@ -348,6 +443,21 @@ func DecodeResponse(buf []byte, resp *Response) error {
 		resp.Items = make([]core.ItemPayload, 0, min(n, 1024))
 		for i := uint64(0); i < n && d.err == nil; i++ {
 			resp.Items = append(resp.Items, d.item())
+		}
+	}
+	if flags&respParts != 0 {
+		n := d.count()
+		resp.Parts = make([]PartReply, 0, min(n, 1024))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			pe := PartReply{Pid: int(d.uvarint())}
+			pf := d.byte()
+			pe.Unowned = pf&partUnowned != 0
+			pe.Current = pf&partCurrent != 0
+			pe.Stream = pf&partStream != 0
+			if pf&partProp != 0 {
+				pe.Prop = d.propagation()
+			}
+			resp.Parts = append(resp.Parts, pe)
 		}
 	}
 	if flags&respErr != 0 {
