@@ -45,10 +45,10 @@ bench:
 	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchtime=100x -benchmem ./internal/transport
 
 ## bench-json: run the tracked experiment benchmarks (E1/E2/E16/E17/E18)
-## and write machine-readable results to BENCH_06.json, the perf-trajectory
+## and write machine-readable results to BENCH_07.json, the perf-trajectory
 ## artifact CI uploads per run.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_06.json
+	$(GO) run ./cmd/benchjson -out BENCH_07.json
 
 ## fuzz-wire: short fuzz pass over the wire codec decoders.
 fuzz-wire:

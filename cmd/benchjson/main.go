@@ -34,6 +34,7 @@ var runs = []run{
 	{Pkg: "./internal/core", Bench: "BenchmarkParallelReadUpdate", Benchtime: "100x"},
 	{Pkg: "./internal/transport", Bench: "BenchmarkE17StreamingCatchup", Benchtime: "5x"},
 	{Pkg: "./internal/cluster", Bench: "BenchmarkE18PartitionedSession", Benchtime: "5x"},
+	{Pkg: "./internal/cluster", Bench: "BenchmarkE19ReconcileCatchup", Benchtime: "5x"},
 }
 
 // result is one benchmark line: its name (procs suffix stripped), iteration
@@ -52,7 +53,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_06.json", "output JSON path")
+	out := flag.String("out", "BENCH_07.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}

@@ -7,6 +7,7 @@
 //	epikv -nodes 3                        # volatile nodes on loopback
 //	epikv -nodes 3 -datadir ./data        # durable nodes (survive restarts)
 //	epikv -nodes 4 -partitions 8 -placement 2  # partial replication
+//	epikv -nodes 3 -logcap 4              # bounded logs: `prune` passes laggards
 //
 // Then at the prompt: `help`.
 package main
@@ -29,10 +30,11 @@ func main() {
 		dataDir    = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
 		partitions = flag.Int("partitions", 1, "split the keyspace into this many token-ring partitions (>1 enables partial replication)")
 		placement  = flag.Int("placement", 0, "replicas per partition (0 = every node; only with -partitions > 1)")
+		logCap     = flag.Int("logcap", 0, "per-origin log record cap: `prune` passes laggard acks and laggards catch up via reconciliation (0 = ack-gated only)")
 	)
 	flag.Parse()
 
-	ns, err := startNodes(*nodes, *dataDir, *partitions, *placement)
+	ns, err := startNodes(*nodes, *dataDir, *partitions, *placement, *logCap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,23 +64,19 @@ func main() {
 	fmt.Println()
 }
 
-func startNodes(n int, dataDir string, partitions, placement int) ([]*cluster.Node, error) {
-	if partitions > 1 {
-		if dataDir != "" {
-			return nil, fmt.Errorf("-datadir is not supported with -partitions > 1 (durable partitioned nodes are a separate change)")
-		}
-		return cluster.StartPartCluster(n, partitions, placement, 0)
-	}
-	if dataDir == "" {
-		return cluster.StartCluster(n, 0)
-	}
+func startNodes(n int, dataDir string, partitions, placement, logCap int) ([]*cluster.Node, error) {
 	nodes := make([]*cluster.Node, n)
 	for i := 0; i < n; i++ {
-		node, err := cluster.Start(cluster.Config{
+		cfg := cluster.Config{
 			ID: i, Servers: n,
-			DataDir:        fmt.Sprintf("%s/node-%d", dataDir, i),
+			Partitions: partitions, Placement: placement,
+			LogCap:         logCap,
 			DurableOptions: durable.Options{},
-		})
+		}
+		if dataDir != "" {
+			cfg.DataDir = fmt.Sprintf("%s/node-%d", dataDir, i)
+		}
+		node, err := cluster.Start(cfg)
 		if err != nil {
 			for _, prev := range nodes[:i] {
 				if prev != nil {

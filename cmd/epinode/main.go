@@ -7,6 +7,7 @@
 //
 //	epinode -nodes 5 -interval 50ms -updates 100
 //	epinode -nodes 8 -partitions 16 -placement 4   # partial replication
+//	epinode -logcap 8 -prune 20ms                  # bounded logs (DESIGN.md §4h)
 package main
 
 import (
@@ -31,22 +32,12 @@ func main() {
 		dataDir    = flag.String("datadir", "", "make nodes durable under <datadir>/node-<i>")
 		partitions = flag.Int("partitions", 1, "split the keyspace into this many token-ring partitions (>1 enables partial replication)")
 		placement  = flag.Int("placement", 0, "replicas per partition (0 = every node; only with -partitions > 1)")
+		logCap     = flag.Int("logcap", 0, "per-origin log record cap: pruning passes laggard acks and laggards catch up via reconciliation (0 = ack-gated only)")
+		pruneEvery = flag.Duration("prune", 0, "background log-pruning period (0 = no background pass)")
 	)
 	flag.Parse()
 
-	var ns []*cluster.Node
-	var err error
-	switch {
-	case *partitions > 1:
-		if *dataDir != "" {
-			log.Fatal("-datadir is not supported with -partitions > 1 (durable partitioned nodes are a separate change)")
-		}
-		ns, err = cluster.StartPartCluster(*nodes, *partitions, *placement, *interval)
-	case *dataDir == "":
-		ns, err = cluster.StartCluster(*nodes, *interval)
-	default:
-		ns, err = startDurable(*dataDir, *nodes, *interval)
-	}
+	ns, err := startNodes(*nodes, *interval, *pruneEvery, *dataDir, *partitions, *placement, *logCap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,15 +82,21 @@ func main() {
 	log.Fatalf("no convergence within %v: %s", *timeout, why)
 }
 
-// startDurable brings up a full-mesh cluster whose nodes write-ahead log
-// and snapshot their state under dir.
-func startDurable(dir string, n int, interval time.Duration) ([]*cluster.Node, error) {
+// startNodes brings up a full-mesh cluster with the complete lifecycle
+// config: optional durability under dataDir, optional keyspace
+// partitioning, and optional log bounding (cap + background prune pass).
+func startNodes(n int, interval, pruneEvery time.Duration, dataDir string, partitions, placement, logCap int) ([]*cluster.Node, error) {
 	nodes := make([]*cluster.Node, n)
 	for i := 0; i < n; i++ {
-		node, err := cluster.Start(cluster.Config{
+		cfg := cluster.Config{
 			ID: i, Servers: n, Interval: interval,
-			DataDir: fmt.Sprintf("%s/node-%d", dir, i),
-		})
+			Partitions: partitions, Placement: placement,
+			LogCap: logCap, PruneInterval: pruneEvery,
+		}
+		if dataDir != "" {
+			cfg.DataDir = fmt.Sprintf("%s/node-%d", dataDir, i)
+		}
+		node, err := cluster.Start(cfg)
 		if err != nil {
 			for _, prev := range nodes[:i] {
 				if prev != nil {
@@ -143,6 +140,8 @@ func printStats(ns []*cluster.Node) {
 			i, items, logRecords, m.Propagations, m.PropagationNoops,
 			m.StreamSessions, m.ChunksSent, m.ChunksApplied, m.BytesSent,
 			m.WireBytesSent, m.WireBytesRecv, ps.Dials, ps.Reused)
+		fmt.Printf("node %d: pruned=%d reconcile-sessions=%d reconcile-trips=%d reconcile-bytes=%d\n",
+			i, m.PrunedRecords, m.ReconcileSessions, m.ReconcileRoundTrips, m.ReconcileBytes)
 		if err := check(); err != nil {
 			log.Fatalf("node %d invariants: %v", i, err)
 		}

@@ -55,6 +55,17 @@ type Config struct {
 	// replicates every partition, but sessions still negotiate and skip
 	// per partition).
 	Placement int
+	// PruneInterval is the period of the background log-pruning pass
+	// (core.Replica.Prune): records acknowledged by every peer are dropped
+	// and the pruned watermark advances. Zero disables the background pass
+	// (PruneOnce can still be called explicitly).
+	PruneInterval time.Duration
+	// LogCap bounds each per-origin log component to at most this many
+	// records: a pruning pass advances the floor past laggard peers when a
+	// component exceeds it, and those peers catch up via set
+	// reconciliation. Zero leaves components bounded only by peer
+	// acknowledgements.
+	LogCap int
 }
 
 // Node is one live server: a replica, its TCP server and its anti-entropy
@@ -108,6 +119,9 @@ func Start(cfg Config) (*Node, error) {
 			placement = cfg.Servers
 		}
 		n.parted = core.NewPartitioned(cfg.ID, cfg.Servers, cfg.Partitions, placement)
+		// Each partition's pruning is gated by its own ring owners — the
+		// only peers whose sessions can ever need its records.
+		n.parted.ConfigurePruning(cfg.LogCap)
 		srv, err := transport.ListenPart(n.parted, cfg.Addr)
 		if err != nil {
 			return nil, err
@@ -126,6 +140,17 @@ func Start(cfg Config) (*Node, error) {
 	default:
 		n.replica = core.NewReplica(cfg.ID, cfg.Servers)
 	}
+	// Pruning is gated by every other server in the cluster: a record may
+	// be dropped only once all of them have acknowledged it (or the log cap
+	// forces it past a laggard, who then reconciles).
+	peers := make([]int, 0, cfg.Servers-1)
+	for j := 0; j < cfg.Servers; j++ {
+		if j != cfg.ID {
+			peers = append(peers, j)
+		}
+	}
+	n.replica.ConfigurePruning(peers)
+	n.replica.SetLogCap(cfg.LogCap)
 	srv, err := transport.Listen(n.replica, cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -269,22 +294,44 @@ func (n *Node) Close() error {
 	return err
 }
 
+// PruneOnce runs one log-pruning pass (every owned partition on a
+// partitioned node), returning the number of records dropped. Durable nodes
+// write-ahead log the pass so the watermark survives restarts.
+func (n *Node) PruneOnce() int {
+	if n.parted != nil {
+		return n.parted.Prune()
+	}
+	if n.dur != nil {
+		// A WAL append failure leaves the pass unrun; the next tick retries.
+		dropped, _ := n.dur.Prune()
+		return dropped
+	}
+	return n.replica.Prune()
+}
+
 func (n *Node) loop() {
 	defer close(n.done)
-	if n.cfg.Interval <= 0 {
-		<-n.stop
-		return
+	var pull, prune <-chan time.Time
+	if n.cfg.Interval > 0 {
+		t := time.NewTicker(n.cfg.Interval)
+		defer t.Stop()
+		pull = t.C
 	}
-	ticker := time.NewTicker(n.cfg.Interval)
-	defer ticker.Stop()
+	if n.cfg.PruneInterval > 0 {
+		t := time.NewTicker(n.cfg.PruneInterval)
+		defer t.Stop()
+		prune = t.C
+	}
 	for {
 		select {
 		case <-n.stop:
 			return
-		case <-ticker.C:
+		case <-pull:
 			// Peer failures are expected in an epidemic system; the next
 			// tick simply tries another peer.
 			_, _ = n.PullOnce()
+		case <-prune:
+			n.PruneOnce()
 		}
 	}
 }

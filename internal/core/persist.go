@@ -20,8 +20,12 @@ import (
 // temporary file, rename).
 
 const (
-	persistMagic   = 0x45504944 // "EPID"
-	persistVersion = 1
+	persistMagic = 0x45504944 // "EPID"
+	// Version history: 1 = through PR 6; 2 adds the pruning state (ack
+	// table, watermark, peer set, log cap). Version-1 snapshots are still
+	// accepted — their pruning state is simply empty, which is safe (an
+	// unknown ack pins the prune floor at zero).
+	persistVersion = 2
 )
 
 type persistItem struct {
@@ -62,6 +66,17 @@ type persistState struct {
 	Logs    [][]persistLogRec // indexed by origin, oldest first
 	Aux     []persistAuxRec   // global arrival order, oldest first
 	Delta   bool              // record-shipping mode enabled
+
+	// Pruning state (version >= 2): the acked-DBVV table (indexed by peer
+	// id, nil = nothing learned), the pruned watermark, the configured
+	// peer set and the per-component log cap. Persisting the watermark is
+	// a correctness requirement, not an optimization: a restarted replica
+	// that forgot its records were pruned would serve log-based sessions
+	// with silent gaps.
+	Acked      []vv.VV
+	Pruned     vv.VV
+	PrunePeers []int
+	LogCap     int
 }
 
 // WriteState serializes the replica's complete protocol state to w. The
@@ -79,6 +94,18 @@ func (r *Replica) WriteState(w io.Writer) error {
 		DBVV:    r.dbvv.Clone(),
 		Logs:    make([][]persistLogRec, r.n),
 		Delta:   r.deltaMode,
+		Pruned:  r.pruned.Clone(),
+		LogCap:  r.logCap,
+	}
+	if len(r.prunePeers) > 0 {
+		st.PrunePeers = make([]int, len(r.prunePeers))
+		copy(st.PrunePeers, r.prunePeers)
+	}
+	if len(r.acked) > 0 {
+		st.Acked = make([]vv.VV, len(r.acked))
+		for j, v := range r.acked {
+			st.Acked[j] = v.Clone()
+		}
 	}
 	r.store.ForEach(func(it *store.Item) {
 		pi := persistItem{
@@ -124,7 +151,7 @@ func ReadState(rd io.Reader, opts ...Option) (*Replica, error) {
 	if st.Magic != persistMagic {
 		return nil, fmt.Errorf("core: bad snapshot magic %#x", st.Magic)
 	}
-	if st.Version != persistVersion {
+	if st.Version != 1 && st.Version != persistVersion {
 		return nil, fmt.Errorf("core: unsupported snapshot version %d", st.Version)
 	}
 	if st.N <= 0 || st.ID < 0 || st.ID >= st.N {
@@ -171,6 +198,17 @@ func ReadState(rd io.Reader, opts ...Option) (*Replica, error) {
 	r.aux = auxlog.New()
 	for _, rec := range st.Aux {
 		r.aux.Append(rec.Key, rec.Pre, rec.Op)
+	}
+	r.pruned = st.Pruned.Clone()
+	r.logCap = st.LogCap
+	if len(st.PrunePeers) > 0 {
+		r.prunePeers = make([]int, len(st.PrunePeers))
+		copy(r.prunePeers, st.PrunePeers)
+	}
+	for j, v := range st.Acked {
+		if v != nil && j != r.id {
+			r.noteAckLocked(j, v)
+		}
 	}
 	return r, nil
 }

@@ -637,10 +637,28 @@ func (r *Replica) intraNodePropagateLocked(it *store.Item) {
 // sessions over any pairing schedule cannot deadlock.
 func AntiEntropy(recipient, source *Replica) bool {
 	req := recipient.PropagationRequest()
+	source.NoteAck(recipient.ID(), req)
+	reconciled := false
+	if source.NeedsReconcile(req) {
+		// The recipient's DBVV predates the source's pruned log prefix: a
+		// log-based session could silently skip updates whose records are
+		// gone. Reconcile first, then re-request — post-reconcile the
+		// recipient is at or above the watermark and the ordinary session
+		// (usually a no-op) completes the exchange.
+		reconciled = ReconcileAntiEntropy(recipient, source) > 0
+		req = recipient.PropagationRequest()
+		source.NoteAck(recipient.ID(), req)
+		if source.NeedsReconcile(req) {
+			// Still below the watermark (conflicts suspend convergence
+			// guarantees, §5.1); don't risk a log-based session.
+			return reconciled
+		}
+	}
 	p := source.BuildPropagation(req)
 	if p == nil {
-		return false
+		return reconciled
 	}
+	defer recipient.NoteSessionAck(p.Source, p)
 	need := recipient.ApplyPropagation(p)
 	if len(need) == 0 {
 		return true // committed in one pass

@@ -1,0 +1,473 @@
+package core
+
+// Range-based set reconciliation: the catch-up path for replicas whose
+// DBVV predates the pruned log prefix.
+//
+// Once log records have been pruned (prune.go), a pull request from far
+// enough in the past cannot be answered from the log — the records that
+// would tell the source *which* items the requester lacks are gone. The
+// naive fallback is a full-state transfer, O(N) however small the true
+// difference. Instead the two replicas reconcile their item sets directly,
+// following the recursive-partition scheme of Minsky–Trachtenberg ("Tree
+// algorithms for set reconciliation") in the range-fingerprint formulation
+// of Meyer ("Range-Based Set Reconciliation"): the key space is compared as
+// nested ranges, each summarized by a fingerprint that any store can
+// compute from an order-statistics view of its items, and only ranges
+// whose fingerprints differ are split further. Equal subtrees — however
+// large — cost one fingerprint exchange; the items actually shipped are
+// O(diff), and the control traffic O(diff · log N).
+//
+// The element being reconciled is the pair (key, IVV): two replicas hold
+// the same element exactly when they hold the same copy of the item, so a
+// fingerprint mismatch localizes precisely the keys where the copies
+// differ. The exchange is client-driven and stateless on the server:
+//
+//	client                                server
+//	  ranges with local fp/count  ---->
+//	                              <----   per range: match | splits | key digests
+//	  (recurse on mismatches)     ---->
+//	  ...
+//	  fetch differing keys        ---->   full items (BuildItems)
+//	  ApplyReconcileItems
+//
+// A leaf reply carries per-key digests, not items: the client filters out
+// keys whose local copy already matches (its side of an equal pair), so
+// only the true difference is fetched — this is what keeps the shipped
+// payload within a small factor of the diff, as E19 asserts. Fetched items
+// are adopted under the ordinary IVV comparison (dominating copies
+// adopted, concurrent ones declared in conflict), so reconciliation obeys
+// the same correctness rules as AcceptPropagation.
+//
+// Adopted items advance the DBVV without appending log records (there are
+// no records to ship — that is why we are reconciling). The recipient's
+// log therefore no longer covers its DBVV, and serving a log-based session
+// from it could ship stale tails. ApplyReconcileItems closes this hole by
+// raising the recipient's own pruned watermark to its post-adoption DBVV,
+// inside the same critical section: any future puller below that watermark
+// is itself diverted to reconciliation, and pullers at or above it need
+// only records that are still intact.
+
+import (
+	"sort"
+
+	"repro/internal/store"
+	"repro/internal/vv"
+)
+
+const (
+	// reconcileBranch is the fan-out when a mismatching range splits: the
+	// range is cut at order statistics into this many sub-ranges. Depth is
+	// log_b(N), so 16 keeps round counts small without bloating replies.
+	reconcileBranch = 16
+	// reconcileLeafItems is the server-side range size at or below which a
+	// reply carries per-key digests instead of splitting further.
+	reconcileLeafItems = 32
+	// reconcileMaxRounds bounds a session's fingerprint exchanges
+	// defensively; log_16 of any realistic store is far below it.
+	reconcileMaxRounds = 64
+	// ReconcileFetchBatch is the number of differing keys fetched per
+	// BuildItems round by the reconciliation drivers.
+	ReconcileFetchBatch = 256
+)
+
+// ReconcileRange is one key range [Lo, Hi) under comparison, summarized by
+// the sender's fingerprint and item count over it. HiInf marks an
+// unbounded upper end (the range runs to the end of the key space); the
+// initial request is the single range ["", +inf).
+type ReconcileRange struct {
+	Lo    string
+	Hi    string
+	HiInf bool
+	Fp    uint64
+	Count uint64
+}
+
+// KeyDigest identifies one item version: the key plus the digest of its
+// (key, IVV) pair. Two replicas hold the same copy of the item iff the
+// digests are equal.
+type KeyDigest struct {
+	Key string
+	Fp  uint64
+}
+
+// ReconcileReply answers one requested range, in request order. Exactly
+// one of the three forms applies: Match (fingerprints agree — the whole
+// range is settled), Splits (sub-ranges with the server's fingerprints,
+// for the client to recurse on), or Keys (a leaf: the server's per-key
+// digests over the range, possibly empty).
+type ReconcileReply struct {
+	Match  bool
+	Splits []ReconcileRange
+	Keys   []KeyDigest
+	IsLeaf bool
+}
+
+// wireSize returns the protocol-shape byte estimate for one range, term
+// for term with the wire codec's encoding.
+func (rr ReconcileRange) wireSize() uint64 {
+	return 1 + stringWireSize(len(rr.Lo)) + stringWireSize(len(rr.Hi)) +
+		8 + uvarintSize(rr.Count)
+}
+
+// wireSize returns the protocol-shape byte estimate for one reply.
+func (rp ReconcileReply) wireSize() uint64 {
+	size := uint64(1) + uvarintSize(uint64(len(rp.Splits))) + uvarintSize(uint64(len(rp.Keys)))
+	for _, s := range rp.Splits {
+		size += s.wireSize()
+	}
+	for _, kd := range rp.Keys {
+		size += stringWireSize(len(kd.Key)) + 8
+	}
+	return size
+}
+
+func reconcileRangesWireSize(ranges []ReconcileRange) uint64 {
+	size := uvarintSize(uint64(len(ranges)))
+	for _, rr := range ranges {
+		size += rr.wireSize()
+	}
+	return size
+}
+
+func reconcileRepliesWireSize(replies []ReconcileReply) uint64 {
+	size := uvarintSize(uint64(len(replies)))
+	for _, rp := range replies {
+		size += rp.wireSize()
+	}
+	return size
+}
+
+// FNV-1a 64 constants, hand-rolled so itemDigest stays allocation-free:
+// hash/fnv returns its state behind the hash.Hash64 interface, which heap-
+// allocates per call — unacceptable for a function run once per item per
+// reconcile view build.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// itemDigest hashes one (key, IVV) pair with FNV-1a 64. The digest covers
+// every non-zero IVV component with its index, so vectors of different
+// (grown) lengths that are component-wise equal digest identically.
+//
+//epi:hotpath
+func itemDigest(key string, ivv vv.VV) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime64
+	}
+	var buf [20]byte
+	for i, c := range ivv {
+		if c == 0 {
+			continue
+		}
+		n := putUvarint(buf[:], uint64(i))
+		n += putUvarint(buf[n:], c)
+		for j := 0; j < n; j++ {
+			h = (h ^ uint64(buf[j])) * fnvPrime64
+		}
+	}
+	return h
+}
+
+// putUvarint is binary.PutUvarint without the import churn.
+func putUvarint(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
+
+// digestView is an order-statistics view of one replica's item set: keys
+// sorted ascending with the matching (key, IVV) digests. Range
+// fingerprints are XORs of item digests, so they compose over any
+// partition of a range and are insensitive to order — the
+// range-summarizable property the recursion relies on.
+type digestView struct {
+	keys []string
+	fps  []uint64
+}
+
+// digestViewLocked builds the view. Caller holds at least the all-shard
+// read sweep plus the control mutex. Items in the initial zero state
+// (materialized but never updated) are skipped — they are "absent" for
+// convergence purposes (Snapshot.Equivalent) and must not perturb
+// fingerprints.
+//
+//epi:hotpath
+func (r *Replica) digestViewLocked() digestView {
+	var v digestView
+	r.store.ForEach(func(it *store.Item) {
+		if it.IVV.Sum() == 0 && len(it.Value) == 0 {
+			return
+		}
+		v.keys = append(v.keys, it.Key)
+	})
+	sort.Strings(v.keys)
+	v.fps = make([]uint64, len(v.keys))
+	for i, key := range v.keys {
+		v.fps[i] = itemDigest(key, r.store.Get(key).IVV)
+	}
+	return v
+}
+
+// bounds returns the index interval [lo, hi) of keys inside the range.
+func (v digestView) bounds(rr ReconcileRange) (int, int) {
+	lo := sort.SearchStrings(v.keys, rr.Lo)
+	hi := len(v.keys)
+	if !rr.HiInf {
+		hi = sort.SearchStrings(v.keys, rr.Hi)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// summarize returns the fingerprint and count over [lo, hi).
+func (v digestView) summarize(lo, hi int) (fp uint64, count uint64) {
+	for i := lo; i < hi; i++ {
+		fp ^= v.fps[i]
+	}
+	return fp, uint64(hi - lo)
+}
+
+// ServeReconcile answers one round of a reconciliation session: for each
+// requested range, either confirm the fingerprint matches, split it into
+// sub-ranges with this replica's fingerprints, or — at leaf size — return
+// the per-key digests. Stateless: each call builds a fresh consistent view
+// under one read sweep, so rounds interleave safely with updates and other
+// sessions (a mutation between rounds at worst re-opens a range that the
+// next round settles).
+func (r *Replica) ServeReconcile(ranges []ReconcileRange) []ReconcileReply {
+	r.rlockAll()
+	view := r.digestViewLocked()
+	r.runlockAll()
+
+	replies := make([]ReconcileReply, len(ranges))
+	for i, rr := range ranges {
+		lo, hi := view.bounds(rr)
+		fp, count := view.summarize(lo, hi)
+		if fp == rr.Fp && count == rr.Count {
+			replies[i] = ReconcileReply{Match: true}
+			continue
+		}
+		if hi-lo <= reconcileLeafItems {
+			keys := make([]KeyDigest, 0, hi-lo)
+			for j := lo; j < hi; j++ {
+				keys = append(keys, KeyDigest{Key: view.keys[j], Fp: view.fps[j]})
+			}
+			replies[i] = ReconcileReply{Keys: keys, IsLeaf: true}
+			continue
+		}
+		// Split at order statistics: near-equal item counts per sub-range,
+		// boundaries at actual keys so empty sub-ranges cannot occur.
+		n := hi - lo
+		b := reconcileBranch
+		if b > n {
+			b = n
+		}
+		splits := make([]ReconcileRange, 0, b)
+		prevLo, prevIdx := rr.Lo, lo
+		for s := 1; s <= b; s++ {
+			endIdx := lo + n*s/b
+			sub := ReconcileRange{Lo: prevLo}
+			if s == b {
+				sub.Hi, sub.HiInf = rr.Hi, rr.HiInf
+			} else {
+				sub.Hi = view.keys[endIdx]
+			}
+			sub.Fp, sub.Count = view.summarize(prevIdx, endIdx)
+			splits = append(splits, sub)
+			prevLo, prevIdx = sub.Hi, endIdx
+		}
+		replies[i] = ReconcileReply{Splits: splits}
+	}
+
+	r.met.Messages.Add(1)
+	r.met.ReconcileBytes.Add(reconcileRepliesWireSize(replies))
+	return replies
+}
+
+// Reconciler drives the client (recipient) side of one reconciliation
+// session. Obtain one with StartReconcile, then loop: Next gives the
+// ranges to send, Handle ingests the matching replies; when Next returns
+// nil the fingerprint phase is over and NeedKeys lists the keys whose
+// copies differ, to be fetched as full items and committed with
+// ApplyReconcileItems. Not safe for concurrent use.
+type Reconciler struct {
+	r        *Replica
+	pending  []ReconcileRange
+	needKeys []string
+	rounds   int
+}
+
+// StartReconcile opens a reconciliation session (this replica is the
+// recipient). Charges one ReconcileSessions.
+func (r *Replica) StartReconcile() *Reconciler {
+	r.rlockAll()
+	view := r.digestViewLocked()
+	r.runlockAll()
+	fp, count := view.summarize(0, len(view.keys))
+	r.met.ReconcileSessions.Add(1)
+	return &Reconciler{
+		r:       r,
+		pending: []ReconcileRange{{HiInf: true, Fp: fp, Count: count}},
+	}
+}
+
+// Next returns the ranges to send this round (nil when the fingerprint
+// phase is complete) and charges the round's request traffic.
+func (rc *Reconciler) Next() []ReconcileRange {
+	if len(rc.pending) == 0 || rc.rounds >= reconcileMaxRounds {
+		return nil
+	}
+	rc.rounds++
+	out := rc.pending
+	rc.pending = nil
+	rc.r.met.ReconcileRoundTrips.Add(1)
+	rc.r.met.Messages.Add(1)
+	rc.r.met.ReconcileBytes.Add(reconcileRangesWireSize(out))
+	return out
+}
+
+// Handle ingests one round of replies (aligned by index with the ranges
+// Next returned). Mismatching splits become next round's ranges with this
+// replica's own fingerprints; leaf digests are compared against the local
+// copies and genuinely differing keys accumulate into NeedKeys.
+func (rc *Reconciler) Handle(sent []ReconcileRange, replies []ReconcileReply) {
+	if len(replies) > len(sent) {
+		replies = replies[:len(sent)]
+	}
+	r := rc.r
+	r.rlockAll()
+	view := r.digestViewLocked()
+	r.runlockAll()
+
+	for _, rp := range replies {
+		switch {
+		case rp.Match:
+			// Settled.
+		case rp.IsLeaf:
+			// The server's elements over this range: fetch every key whose
+			// local digest is absent or different. Keys only we hold need
+			// nothing — reconciliation, like propagation, moves data from
+			// source to recipient only.
+			for _, kd := range rp.Keys {
+				j := sort.SearchStrings(view.keys, kd.Key)
+				if j >= len(view.keys) || view.keys[j] != kd.Key || view.fps[j] != kd.Fp {
+					rc.needKeys = append(rc.needKeys, kd.Key)
+				}
+			}
+		default:
+			for _, sub := range rp.Splits {
+				lo, hi := view.bounds(sub)
+				fp, count := view.summarize(lo, hi)
+				if fp == sub.Fp && count == sub.Count {
+					continue
+				}
+				sub.Fp, sub.Count = fp, count
+				rc.pending = append(rc.pending, sub)
+			}
+		}
+	}
+}
+
+// Rounds returns the number of fingerprint round trips driven so far.
+func (rc *Reconciler) Rounds() int { return rc.rounds }
+
+// NeedKeys returns the keys whose copies differ from the source's —
+// the session's computed difference set, to be fetched as full items.
+func (rc *Reconciler) NeedKeys() []string { return rc.needKeys }
+
+// ApplyReconcileItems commits fetched items under the ordinary acceptance
+// rules: a dominating remote copy is adopted (DBVV advanced by rule 3,
+// §4.1), a concurrent one is declared in conflict (stage "reconcile"),
+// equal and dominated copies are skipped. Returns the number adopted.
+//
+// When anything was adopted, the replica's own pruned watermark is raised
+// to its post-adoption DBVV inside the same critical section: the adopted
+// updates have no log records here, so log-based sessions must not serve
+// pullers whose DBVV predates this point (they are diverted to reconcile
+// in turn; see the package comment).
+func (r *Replica) ApplyReconcileItems(items []ItemPayload, source int) int {
+	if len(items) == 0 {
+		return 0
+	}
+	r.lockAll()
+	defer r.unlockAll()
+
+	// Growth: an item fetched from a larger cluster mentions more origins.
+	need := r.n
+	for _, payload := range items {
+		if l := payload.IVV.Len(); l > need {
+			need = l
+		}
+	}
+	if need > r.n {
+		r.growLocked(need)
+	}
+
+	adopted := 0
+	for _, payload := range items {
+		it := r.store.EnsureLean(payload.Key)
+		r.met.IVVComparisons.Add(1)
+		switch payload.IVV.Compare(it.IVV) {
+		case vv.Dominates:
+			it.IVV.AccumulateDelta(payload.IVV, r.dbvv)
+			it.Value = store.CloneBytes(payload.Value)
+			it.IVV = payload.IVV.Clone()
+			it.Deltas = nil
+			r.met.ItemsCopied.Add(1)
+			adopted++
+			r.intraNodePropagateLocked(it)
+		case vv.Concurrent:
+			r.declareConflict(Conflict{
+				Key:    payload.Key,
+				Local:  it.IVV.Clone(),
+				Remote: payload.IVV.Clone(),
+				Source: source,
+				Stage:  "reconcile",
+			})
+		case vv.Equal, vv.DominatedBy:
+			// The local copy is already at least as new — the digest
+			// mismatch was one-sided (we are ahead, or raced an update).
+		}
+	}
+	if adopted > 0 {
+		r.pruned = r.pruned.Extended(r.n)
+		r.pruned.Merge(r.dbvv)
+	}
+	return adopted
+}
+
+// ReconcileAntiEntropy performs one complete in-process reconciliation
+// session: recipient computes the difference against source via range
+// fingerprints, fetches the differing items, and commits them. Returns the
+// number of items adopted. The two replicas' locks are taken one at a
+// time, never together, like every other session driver.
+func ReconcileAntiEntropy(recipient, source *Replica) int {
+	rc := recipient.StartReconcile()
+	for {
+		ranges := rc.Next()
+		if ranges == nil {
+			break
+		}
+		rc.Handle(ranges, source.ServeReconcile(ranges))
+	}
+	adopted := 0
+	keys := rc.NeedKeys()
+	for len(keys) > 0 {
+		batch := keys
+		if len(batch) > ReconcileFetchBatch {
+			batch = batch[:ReconcileFetchBatch]
+		}
+		keys = keys[len(batch):]
+		adopted += recipient.ApplyReconcileItems(source.BuildItems(batch), source.ID())
+	}
+	return adopted
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/op"
+	"repro/internal/vv"
+)
+
+func reconcileFill(t *testing.T, r *Replica, n int, tag byte) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := r.Update(fmt.Sprintf("item/%04d", i), op.NewSet([]byte{tag, byte(i), byte(i >> 8)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReconcileEqualSetsSettleInOneRound(t *testing.T) {
+	src := NewReplica(0, 2)
+	dst := NewReplica(1, 2)
+	reconcileFill(t, src, 100, 'a')
+	AntiEntropy(dst, src)
+
+	rc := dst.StartReconcile()
+	ranges := rc.Next()
+	if len(ranges) != 1 || !ranges[0].HiInf || ranges[0].Lo != "" {
+		t.Fatalf("initial ranges = %+v, want single [\"\", +inf)", ranges)
+	}
+	replies := src.ServeReconcile(ranges)
+	if len(replies) != 1 || !replies[0].Match {
+		t.Fatalf("equal sets: reply = %+v, want Match", replies)
+	}
+	rc.Handle(ranges, replies)
+	if rc.Next() != nil || len(rc.NeedKeys()) != 0 {
+		t.Fatal("equal sets left pending work")
+	}
+	if rc.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", rc.Rounds())
+	}
+}
+
+func TestReconcileTransfersOnlyTheDifference(t *testing.T) {
+	const items, diff = 5000, 10
+	src := NewReplica(0, 2)
+	dst := NewReplica(1, 2)
+	reconcileFill(t, src, items, 'a')
+	AntiEntropy(dst, src)
+	// The difference: a handful of rewrites the recipient never sees.
+	for i := 0; i < diff; i++ {
+		if err := src.Update(fmt.Sprintf("item/%04d", i*499), op.NewSet([]byte{'b', byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := dst.Metrics()
+	srcBefore := src.Metrics()
+	adopted := ReconcileAntiEntropy(dst, src)
+	if adopted != diff {
+		t.Fatalf("adopted %d items, want exactly the %d-item difference", adopted, diff)
+	}
+	if ok, why := Converged(dst, src); !ok {
+		t.Fatalf("not converged: %s", why)
+	}
+	d := dst.Metrics().Diff(before)
+	if d.ReconcileSessions != 1 {
+		t.Errorf("ReconcileSessions = %d, want 1", d.ReconcileSessions)
+	}
+	// Depth is log_branch(items) plus the root: a 5000-item store at branch
+	// 16 settles in at most 4 fingerprint round trips.
+	if d.ReconcileRoundTrips > 4 {
+		t.Errorf("ReconcileRoundTrips = %d, want <= 4", d.ReconcileRoundTrips)
+	}
+	// Control traffic is O(diff·log N), not O(N): equal subtrees cost one
+	// fingerprint however large. Full state is ~items*(key+value+vv) bytes;
+	// require the fingerprint phase under a quarter of it.
+	control := d.ReconcileBytes + src.Metrics().Diff(srcBefore).ReconcileBytes
+	fullState := uint64(items * (10 + 3 + 4))
+	if control >= fullState/4 {
+		t.Errorf("reconcile control traffic %d B, want < %d B (1/4 of full state)", control, fullState/4)
+	}
+	t.Logf("reconcile: %d B control for a %d-item diff in a %d-item store (full state ~%d B)",
+		control, diff, items, fullState)
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcileIsOneDirectional(t *testing.T) {
+	// Keys only the recipient holds must survive: reconciliation, like
+	// propagation, moves data from source to recipient only.
+	src := NewReplica(0, 2)
+	dst := NewReplica(1, 2)
+	reconcileFill(t, src, 20, 'a')
+	if err := dst.Update("local/only", op.NewSet([]byte("mine"))); err != nil {
+		t.Fatal(err)
+	}
+	adopted := ReconcileAntiEntropy(dst, src)
+	if adopted != 20 {
+		t.Fatalf("adopted %d, want 20", adopted)
+	}
+	if v, ok := dst.Read("local/only"); !ok || string(v) != "mine" {
+		t.Fatalf("recipient-only key damaged: %q %v", v, ok)
+	}
+	if _, ok := src.Read("local/only"); ok {
+		t.Fatal("reconcile pushed data to the source")
+	}
+}
+
+func TestApplyReconcileItemsConflictAndSkip(t *testing.T) {
+	r0 := NewReplica(0, 2)
+	r1 := NewReplica(1, 2)
+	if err := r0.Update("x", op.NewSet([]byte("at-0"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Update("x", op.NewSet([]byte("at-1"))); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent copies: declared, not adopted.
+	if got := r0.ApplyReconcileItems(r1.BuildItems([]string{"x"}), 1); got != 0 {
+		t.Fatalf("adopted %d concurrent items", got)
+	}
+	conflicts := r0.Conflicts()
+	if len(conflicts) != 1 || conflicts[0].Stage != "reconcile" || conflicts[0].Source != 1 {
+		t.Fatalf("conflicts = %+v, want one at stage reconcile from 1", conflicts)
+	}
+	if v, _ := r0.Read("x"); string(v) != "at-0" {
+		t.Fatalf("local copy overwritten: %q", v)
+	}
+
+	// A dominated remote copy is skipped silently.
+	r2 := NewReplica(0, 2)
+	r3 := NewReplica(1, 2)
+	r2.Update("y", op.NewSet([]byte("old")))
+	ReconcileAntiEntropy(r3, r2)
+	r3.Update("y", op.NewSet([]byte("newer")))
+	if got := r3.ApplyReconcileItems(r2.BuildItems([]string{"y"}), 0); got != 0 {
+		t.Fatalf("adopted %d dominated items", got)
+	}
+	if v, _ := r3.Read("y"); string(v) != "newer" {
+		t.Fatalf("newer local copy lost: %q", v)
+	}
+}
+
+func TestReconcileAdoptionRaisesOwnWatermark(t *testing.T) {
+	src := NewReplica(0, 3)
+	dst := NewReplica(1, 3)
+	reconcileFill(t, src, 10, 'a')
+	if dst.NeedsReconcile(vv.VV{}) {
+		t.Fatal("fresh replica already has a watermark")
+	}
+	if got := ReconcileAntiEntropy(dst, src); got != 10 {
+		t.Fatalf("adopted %d, want 10", got)
+	}
+	// The adopted updates have no log records at dst, so dst must divert
+	// pullers below its post-adoption DBVV to reconciliation in turn.
+	if !dst.NeedsReconcile(vv.VV{}) {
+		t.Fatal("watermark not raised after adoption")
+	}
+	third := NewReplica(2, 3)
+	if !AntiEntropy(third, dst) {
+		t.Fatal("second-hop session shipped nothing")
+	}
+	if ok, why := Converged(third, dst, src); !ok {
+		t.Fatalf("second hop not converged: %s", why)
+	}
+	if m := third.Metrics(); m.ReconcileSessions != 1 {
+		t.Errorf("second hop used %d reconcile sessions, want 1 (diverted)", m.ReconcileSessions)
+	}
+	if err := dst.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := third.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcileInterleavesWithUpdates(t *testing.T) {
+	// Stateless server rounds: a write landing between rounds is either
+	// settled by a later round or left for the next session — never corrupts.
+	src := NewReplica(0, 2)
+	dst := NewReplica(1, 2)
+	reconcileFill(t, src, 200, 'a')
+
+	rc := dst.StartReconcile()
+	round := 0
+	for {
+		ranges := rc.Next()
+		if ranges == nil {
+			break
+		}
+		if round == 1 {
+			src.Update("item/0001", op.NewSet([]byte("raced")))
+		}
+		rc.Handle(ranges, src.ServeReconcile(ranges))
+		round++
+	}
+	keys := rc.NeedKeys()
+	if len(keys) == 0 {
+		t.Fatal("no difference computed")
+	}
+	adopted := dst.ApplyReconcileItems(src.BuildItems(keys), 0)
+	if adopted == 0 {
+		t.Fatal("nothing adopted")
+	}
+	// One more full session settles anything the race left open.
+	ReconcileAntiEntropy(dst, src)
+	if ok, why := Converged(dst, src); !ok {
+		t.Fatalf("not converged after racing update: %s", why)
+	}
+}
+
+func TestItemDigestInsensitiveToVectorLength(t *testing.T) {
+	// Grown vectors that are component-wise equal must digest identically,
+	// or reconciliation between differently-grown replicas would see phantom
+	// diffs on every key.
+	a := itemDigest("k", vv.VV{3, 0, 7})
+	b := itemDigest("k", vv.VV{3, 0, 7, 0, 0})
+	if a != b {
+		t.Error("padded vector digests differently")
+	}
+	if itemDigest("k", vv.VV{3, 0, 7}) == itemDigest("k", vv.VV{3, 7, 0}) {
+		t.Error("component position not covered by digest")
+	}
+	if itemDigest("k", vv.VV{3}) == itemDigest("l", vv.VV{3}) {
+		t.Error("key not covered by digest")
+	}
+}

@@ -109,6 +109,16 @@ type Replica struct {
 	logs *logvec.Vector // log vector L_i (§4.2)
 	aux  *auxlog.Log    // auxiliary log AUX_i (§4.4)
 
+	// Log-pruning state (see prune.go), all ctl-guarded. acked[j] is a
+	// conservative lower bound on peer j's DBVV (nil: nothing learned);
+	// prunePeers is the peer set whose min ack gates pruning; logCap
+	// bounds each log component regardless of acks (0 = uncapped);
+	// pruned is the watermark: records at or below it may be gone.
+	acked      []vv.VV
+	prunePeers []int
+	logCap     int
+	pruned     vv.VV
+
 	// store is the data plane: items with IVVs and aux copies, sharded by
 	// key hash with per-shard RWMutexes.
 	store *store.Store
@@ -328,8 +338,12 @@ func (r *Replica) DBVV() vv.VV {
 	return r.dbvv.Clone()
 }
 
-// Metrics returns a snapshot of the replica's overhead counters.
+// Metrics returns a snapshot of the replica's overhead counters. The
+// LogRecords gauge is refreshed from the live log vector at snapshot time,
+// so observers always see the current length without the mutating paths
+// having to maintain it.
 func (r *Replica) Metrics() metrics.Counters {
+	r.met.LogRecords.Store(uint64(r.LogRecords()))
 	return r.met.Snapshot()
 }
 
@@ -372,6 +386,18 @@ func (r *Replica) LogRecords() int {
 	r.ctl.Lock()
 	defer r.ctl.Unlock()
 	return r.logs.Len()
+}
+
+// LogComponentLens returns the per-origin log component lengths, indexed by
+// origin id. Inspection surface (shell `log` command).
+func (r *Replica) LogComponentLens() []int {
+	r.ctl.Lock()
+	defer r.ctl.Unlock()
+	out := make([]int, r.n)
+	for k := 0; k < r.n; k++ {
+		out[k] = r.logs.Component(k).Len()
+	}
+	return out
 }
 
 // AuxRecords returns the number of auxiliary log records pending replay.

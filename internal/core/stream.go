@@ -509,11 +509,24 @@ func (r *Replica) RecordStreamFirstApply(d time.Duration) {
 // streaming pull, used by tests and experiments; the two replicas' locks
 // are taken one at a time, never together.
 func StreamAntiEntropy(recipient, source *Replica, maxBytes uint64) bool {
-	s := source.StartChunkSession(recipient.PropagationRequest(), maxBytes)
-	if s == nil {
-		return false
+	req := recipient.PropagationRequest()
+	source.NoteAck(recipient.ID(), req)
+	reconciled := false
+	if source.NeedsReconcile(req) {
+		// Below the source's pruned watermark: reconcile, then resume the
+		// ordinary streaming path from the post-reconcile DBVV.
+		reconciled = ReconcileAntiEntropy(recipient, source) > 0
+		req = recipient.PropagationRequest()
+		source.NoteAck(recipient.ID(), req)
+		if source.NeedsReconcile(req) {
+			return reconciled
+		}
 	}
-	shipped := false
+	s := source.StartChunkSession(req, maxBytes)
+	if s == nil {
+		return reconciled
+	}
+	shipped := reconciled
 	for {
 		p := s.Next()
 		if p == nil {
@@ -521,6 +534,7 @@ func StreamAntiEntropy(recipient, source *Replica, maxBytes uint64) bool {
 		}
 		shipped = true
 		recipient.ApplyChunk(p)
+		recipient.NoteSessionAck(p.Source, p)
 		s.Recycle(p) // un-owned chunks are cloned on apply; the shell is free
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/op"
 	"repro/internal/transport"
+	"repro/internal/vv"
 	"repro/internal/wal"
 )
 
@@ -36,16 +37,27 @@ const (
 	recUpdate uint8 = iota + 1
 	recPropagation
 	recOOB
+	recReconcile
+	recPrune
 )
 
 type walRecord struct {
-	Kind   uint8
-	Key    string
-	Op     op.Op
-	Prop   *core.Propagation
-	Items  []core.ItemPayload // second-round full copies of a delta session
+	Kind  uint8
+	Key   string
+	Op    op.Op
+	Prop  *core.Propagation
+	Items []core.ItemPayload // second-round full copies of a delta session,
+	// or the fetched difference of a reconciliation session (recReconcile)
 	OOB    *core.OOBReply
 	Source int
+
+	// Pruning-pass inputs (recPrune): the ack table, peer set and cap at
+	// the moment of the pass. Replaying Prune with these against the
+	// deterministically rebuilt log reproduces the same floor, so the
+	// pruned watermark recovers exactly.
+	Acked      []vv.VV
+	PrunePeers []int
+	LogCap     int
 }
 
 // Options configures a durable replica.
@@ -128,6 +140,13 @@ func (d *Replica) replay() error {
 			if rec.OOB != nil {
 				d.replica.ApplyOOB(*rec.OOB, rec.Source)
 			}
+		case recReconcile:
+			d.replica.ApplyReconcileItems(rec.Items, rec.Source)
+		case recPrune:
+			d.replica.ConfigurePruning(rec.PrunePeers)
+			d.replica.SetLogCap(rec.LogCap)
+			d.replica.RestoreAcks(rec.Acked)
+			d.replica.Prune()
 		default:
 			return fmt.Errorf("durable: unknown wal record kind %d", rec.Kind)
 		}
@@ -198,6 +217,36 @@ func (d *Replica) ApplyOOB(reply core.OOBReply, source int) (bool, error) {
 		return false, err
 	}
 	return d.replica.ApplyOOB(reply, source), nil
+}
+
+// ApplyReconcileItems durably commits the fetched difference of a set-
+// reconciliation session: logged, then applied (which also raises the
+// pruned watermark when anything is adopted — see core). Returns the number
+// of items adopted.
+func (d *Replica) ApplyReconcileItems(items []core.ItemPayload, source int) (int, error) {
+	if len(items) == 0 {
+		return 0, nil
+	}
+	if err := d.append(walRecord{Kind: recReconcile, Items: items, Source: source}); err != nil {
+		return 0, err
+	}
+	return d.replica.ApplyReconcileItems(items, source), nil
+}
+
+// Prune durably runs one log-pruning pass: the pass's inputs (ack table,
+// peer set, log cap) are logged so replay reproduces the same floor against
+// the rebuilt log, then the pass runs. Returns the records dropped.
+func (d *Replica) Prune() (int, error) {
+	rec := walRecord{
+		Kind:       recPrune,
+		Acked:      d.replica.AckTable(),
+		PrunePeers: d.replica.PrunePeers(),
+		LogCap:     d.replica.LogCap(),
+	}
+	if err := d.append(rec); err != nil {
+		return 0, err
+	}
+	return d.replica.Prune(), nil
 }
 
 // AntiEntropyFrom durably performs one propagation session pulling from an

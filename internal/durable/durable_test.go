@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/op"
+	"repro/internal/vv"
 )
 
 func mustOpen(t *testing.T, dir string, id, n int, opts Options) *Replica {
@@ -221,4 +223,91 @@ func TestRandomizedCrashRecoveryConvergence(t *testing.T) {
 		t.Fatalf("not converged: %s", why)
 	}
 	d.Close()
+}
+
+func TestCrashRecoveryWithReconcileAndPrune(t *testing.T) {
+	// recReconcile and recPrune must replay to the identical state: the
+	// prune record carries the pass's inputs (ack table, peers, cap) so the
+	// replayed pass computes the same floor against the rebuilt log.
+	dir := t.TempDir()
+	src := core.NewReplica(0, 2)
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("src/%d", i)
+		src.Update(keys[i], op.NewSet([]byte{byte(i)}))
+	}
+
+	d := mustOpen(t, dir, 1, 2, Options{NoSync: true, SnapshotEvery: 1 << 30})
+	for i := 0; i < 8; i++ {
+		if err := d.Update(fmt.Sprintf("own/%d", i), op.NewSet([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Adopt src's items as a reconcile difference: raises the watermark.
+	if n, err := d.ApplyReconcileItems(src.BuildItems(keys), 0); err != nil || n != len(keys) {
+		t.Fatalf("adopted %d, err %v", n, err)
+	}
+	// A cap-forced pruning pass on our own writes.
+	d.Core().SetLogCap(3)
+	if dropped, err := d.Prune(); err != nil || dropped != 5 {
+		t.Fatalf("pruned %d, err %v, want 5", dropped, err)
+	}
+
+	want := d.Core().Snapshot()
+	wantMark := fmt.Sprintf("%v", d.Core().PrunedBefore())
+	wantLog := d.Core().LogRecords()
+	d.CloseWithoutSnapshot() // crash
+
+	d2 := mustOpen(t, dir, 1, 2, Options{NoSync: true})
+	defer d2.Close()
+	if ok, why := want.Equivalent(d2.Core().Snapshot()); !ok {
+		t.Fatalf("recovered state differs: %s", why)
+	}
+	if got := fmt.Sprintf("%v", d2.Core().PrunedBefore()); got != wantMark {
+		t.Fatalf("recovered watermark %s, want %s", got, wantMark)
+	}
+	if got := d2.Core().LogRecords(); got != wantLog {
+		t.Fatalf("recovered log records = %d, want %d", got, wantLog)
+	}
+	if !d2.Core().NeedsReconcile(vv.VV{}) {
+		t.Fatal("recovered replica lost its divert watermark")
+	}
+	if err := d2.Core().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotPersistsPruningState(t *testing.T) {
+	// Clean shutdown path: the ack table and watermark survive via the
+	// snapshot, not the WAL.
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 0, 3, Options{NoSync: true})
+	d.Core().ConfigurePruning([]int{1, 2})
+	for i := 0; i < 4; i++ {
+		if err := d.Update(fmt.Sprintf("k/%d", i), op.NewSet([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Core().NoteAck(1, d.Core().DBVV())
+	d.Core().NoteAck(2, d.Core().DBVV())
+	if dropped, err := d.Prune(); err != nil || dropped != 4 {
+		t.Fatalf("pruned %d, err %v, want 4", dropped, err)
+	}
+	ack := fmt.Sprintf("%v", d.Core().AckedPeer(1))
+	mark := fmt.Sprintf("%v", d.Core().PrunedBefore())
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2 := mustOpen(t, dir, 0, 3, Options{NoSync: true})
+	defer d2.Close()
+	if got := fmt.Sprintf("%v", d2.Core().AckedPeer(1)); got != ack {
+		t.Fatalf("ack table after snapshot reopen = %s, want %s", got, ack)
+	}
+	if got := fmt.Sprintf("%v", d2.Core().PrunedBefore()); got != mark {
+		t.Fatalf("watermark after snapshot reopen = %s, want %s", got, mark)
+	}
+	if d2.Core().LogRecords() != 0 {
+		t.Fatalf("log records after reopen = %d, want 0", d2.Core().LogRecords())
+	}
 }

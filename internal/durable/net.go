@@ -1,6 +1,8 @@
 package durable
 
 import (
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/transport"
 )
@@ -28,21 +30,71 @@ func (d *Replica) transportClient() *transport.Client {
 // charged to the underlying replica's counters.
 func (d *Replica) PullFrom(addr string) (bool, error) {
 	c := d.transportClient()
-	p, err := c.PullSessionMetered(d.replica, addr, "", d.replica.ID(), d.replica.PropagationRequest())
-	if err != nil {
-		return false, err
-	}
-	if p == nil {
-		return false, nil
-	}
-	var items []core.ItemPayload
-	if need := d.replica.NeedFull(p); len(need) > 0 {
-		items, err = c.FetchItemsMetered(d.replica, addr, "", d.replica.ID(), need)
-		if err != nil {
-			return false, err
+	shipped := false
+	for attempt := 0; ; attempt++ {
+		p, err := c.PullSessionMetered(d.replica, addr, "", d.replica.ID(), d.replica.PropagationRequest())
+		if errors.Is(err, transport.ErrNeedsReconcile) {
+			// The source pruned past our DBVV: reconcile (each fetched batch
+			// WAL-logged before commit), then re-pull once. A second
+			// diversion ends the session rather than looping.
+			if attempt > 0 {
+				return shipped, nil
+			}
+			adopted, rerr := d.reconcileFrom(c, addr)
+			if rerr != nil {
+				return shipped, rerr
+			}
+			shipped = shipped || adopted > 0
+			continue
 		}
+		if err != nil {
+			return shipped, err
+		}
+		if p == nil {
+			return shipped, nil
+		}
+		var items []core.ItemPayload
+		if need := d.replica.NeedFull(p); len(need) > 0 {
+			items, err = c.FetchItemsMetered(d.replica, addr, "", d.replica.ID(), need)
+			if err != nil {
+				return shipped, err
+			}
+		}
+		if err := d.ApplyPropagationWithItems(p, items); err != nil {
+			return shipped, err
+		}
+		d.replica.NoteSessionAck(p.Source, p)
+		return true, nil
 	}
-	return true, d.ApplyPropagationWithItems(p, items)
+}
+
+// reconcileFrom durably runs one complete reconciliation session against
+// addr: the fingerprint phase computes the difference, and each fetched
+// batch is write-ahead logged before it commits, so a crash mid-session
+// replays the already-committed prefix and the next pull resumes cleanly.
+func (d *Replica) reconcileFrom(c *transport.Client, addr string) (int, error) {
+	keys, err := c.ReconcileSession(d.replica, addr, "", 0)
+	if err != nil {
+		return 0, err
+	}
+	adopted := 0
+	for len(keys) > 0 {
+		batch := keys
+		if len(batch) > core.ReconcileFetchBatch {
+			batch = batch[:core.ReconcileFetchBatch]
+		}
+		keys = keys[len(batch):]
+		items, err := c.FetchItemsMetered(d.replica, addr, "", d.replica.ID(), batch)
+		if err != nil {
+			return adopted, err
+		}
+		n, err := d.ApplyReconcileItems(items, -1)
+		if err != nil {
+			return adopted, err
+		}
+		adopted += n
+	}
+	return adopted, nil
 }
 
 // FetchOOB durably copies one item out-of-bound from the server at addr.

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -141,5 +142,50 @@ func TestOpenRejectsCorruptSnapshot(t *testing.T) {
 	}
 	if _, err := Open(dir, 0, 1, Options{NoSync: true}); err == nil {
 		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestPullFromDivertsToReconcileThenCrash(t *testing.T) {
+	src, addr := startSource(t)
+	for i := 0; i < 40; i++ {
+		src.Update(fmt.Sprintf("item/%03d", i), op.NewSet([]byte{byte(i)}))
+	}
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 1, 2, Options{NoSync: true, SnapshotEvery: 1 << 30})
+	if _, err := d.PullFrom(addr); err != nil {
+		t.Fatal(err)
+	}
+	// The source moves on and prunes past our acknowledged DBVV.
+	for i := 0; i < 5; i++ {
+		src.Update(fmt.Sprintf("item/%03d", i*7), op.NewSet([]byte{0xFF, byte(i)}))
+	}
+	src.SetLogCap(2)
+	if src.Prune() == 0 {
+		t.Fatal("setup: source pruned nothing")
+	}
+	if !src.NeedsReconcile(d.Core().DBVV()) {
+		t.Fatal("setup: replica still within the source's log")
+	}
+
+	shipped, err := d.PullFrom(addr)
+	if err != nil || !shipped {
+		t.Fatalf("diverted PullFrom = %v/%v", shipped, err)
+	}
+	if ok, why := core.Converged(src, d.Core()); !ok {
+		t.Fatalf("not converged after divert: %s", why)
+	}
+	if m := d.Core().Metrics(); m.ReconcileSessions == 0 {
+		t.Error("no reconcile session charged")
+	}
+	want := d.Core().Snapshot()
+	d.CloseWithoutSnapshot() // crash: the fetched batches replay from the WAL
+
+	d2 := mustOpen(t, dir, 1, 2, Options{NoSync: true})
+	defer d2.Close()
+	if ok, why := want.Equivalent(d2.Core().Snapshot()); !ok {
+		t.Fatalf("recovered state differs: %s", why)
+	}
+	if err := d2.Core().CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

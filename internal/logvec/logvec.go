@@ -124,6 +124,28 @@ func (c *Component) unlink(rec *Record) {
 	rec.prev, rec.next = nil, nil
 }
 
+// TruncateBefore drops every record with Seq <= floor and returns how many
+// were removed. Because the component is sorted by Seq ascending, the
+// covered records are exactly a prefix: the loop pops from the head and
+// stops at the first surviving record, so the cost is linear in the number
+// of records dropped, never in the component length — and TailAfter stays
+// O(m) afterwards since the suffix structure is untouched.
+//
+// This is the log-pruning primitive: a record (x, m) with m <= floor is
+// safe to forget once every configured peer's acked DBVV covers m, because
+// no future propagation session will need to select it.
+func (c *Component) TruncateBefore(floor uint64) int {
+	n := 0
+	for c.head != nil && c.head.Seq <= floor {
+		rec := c.head
+		c.unlink(rec)
+		delete(c.byKey, rec.Key)
+		c.size--
+		n++
+	}
+	return n
+}
+
 // TailAfter visits, oldest first, every record with Seq > seq — the tail
 // D_k of Figure 2. It walks backwards from the tail to find the boundary,
 // then forward, so its cost is linear in the number of records visited
@@ -222,6 +244,20 @@ func (v *Vector) Len() int {
 	total := 0
 	for _, c := range v.comps {
 		total += c.Len()
+	}
+	return total
+}
+
+// TruncateBefore drops, in every component j, the records covered by
+// floor[j] (Seq <= floor[j]; missing components are treated as zero) and
+// returns the total number removed. floor is any component-wise watermark —
+// in the pruning protocol, the minimum acked DBVV across configured peers.
+func (v *Vector) TruncateBefore(floor []uint64) int {
+	total := 0
+	for j, c := range v.comps {
+		if j < len(floor) && floor[j] > 0 {
+			total += c.TruncateBefore(floor[j])
+		}
 	}
 	return total
 }

@@ -1,0 +1,140 @@
+package logvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTruncateBeforeDropsCoveredPrefix(t *testing.T) {
+	c := NewComponent()
+	for i := uint64(1); i <= 10; i++ {
+		c.Add("k"+itoa(int(i)), i)
+	}
+	if got := c.TruncateBefore(4); got != 4 {
+		t.Fatalf("dropped %d, want 4", got)
+	}
+	if c.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", c.Len())
+	}
+	if c.Head() == nil || c.Head().Seq != 5 {
+		t.Fatalf("head = %+v, want seq 5", c.Head())
+	}
+	// The P_j(x) pointers of dropped records are gone; survivors intact.
+	if c.Lookup("k3") != nil {
+		t.Error("dropped record still has a key pointer")
+	}
+	if c.Lookup("k7") == nil {
+		t.Error("surviving record lost its key pointer")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateBeforeEdgeCases(t *testing.T) {
+	c := NewComponent()
+	if got := c.TruncateBefore(99); got != 0 {
+		t.Fatalf("empty component dropped %d", got)
+	}
+	c.Add("a", 5)
+	c.Add("b", 9)
+	if got := c.TruncateBefore(4); got != 0 {
+		t.Fatalf("floor below head dropped %d", got)
+	}
+	if got := c.TruncateBefore(5); got != 1 {
+		t.Fatalf("floor at head dropped %d, want 1", got)
+	}
+	// Floor at or past the tail empties the component entirely.
+	if got := c.TruncateBefore(100); got != 1 {
+		t.Fatalf("floor past tail dropped %d, want 1", got)
+	}
+	if c.Len() != 0 || c.Head() != nil || c.Tail() != nil {
+		t.Fatalf("component not empty: len=%d", c.Len())
+	}
+	// Add works again after a full truncation.
+	c.Add("c", 101)
+	if c.Len() != 1 || c.Head().Seq != 101 {
+		t.Fatal("component unusable after full truncation")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateBeforeIsPrefixOnly(t *testing.T) {
+	// Supersession moves an item's record to the tail, so a key written
+	// early but rewritten late must survive a floor covering its old seq.
+	c := NewComponent()
+	c.Add("x", 1)
+	c.Add("y", 2)
+	c.Add("x", 3) // supersedes seq 1
+	if got := c.TruncateBefore(2); got != 1 {
+		t.Fatalf("dropped %d, want 1 (only y)", got)
+	}
+	if c.Lookup("x") == nil || c.Lookup("x").Seq != 3 {
+		t.Error("rewritten record did not survive")
+	}
+	if c.Lookup("y") != nil {
+		t.Error("covered record survived")
+	}
+}
+
+func TestVectorTruncateBefore(t *testing.T) {
+	v := NewVector(3)
+	for j := 0; j < 3; j++ {
+		for i := uint64(1); i <= 6; i++ {
+			v.Component(j).Add("k"+itoa(int(i)), i)
+		}
+	}
+	// Per-component floors; a short floor slice treats the rest as zero.
+	if got := v.TruncateBefore([]uint64{6, 2}); got != 8 {
+		t.Fatalf("dropped %d, want 6+2+0", got)
+	}
+	if v.Component(0).Len() != 0 || v.Component(1).Len() != 4 || v.Component(2).Len() != 6 {
+		t.Fatalf("lens = %d,%d,%d", v.Component(0).Len(), v.Component(1).Len(), v.Component(2).Len())
+	}
+	if got := v.TruncateBefore(nil); got != 0 {
+		t.Fatalf("nil floor dropped %d", got)
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateBeforeRandomizedAgainstFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := NewComponent()
+		expect := map[string]uint64{}
+		seq := uint64(0)
+		for i := 0; i < 200; i++ {
+			key := "k" + itoa(rng.Intn(40))
+			seq += uint64(1 + rng.Intn(3))
+			c.Add(key, seq)
+			expect[key] = seq
+		}
+		floor := uint64(rng.Intn(int(seq) + 10))
+		want := 0
+		for key, s := range expect {
+			if s <= floor {
+				want++
+				delete(expect, key)
+			}
+		}
+		if got := c.TruncateBefore(floor); got != want {
+			t.Fatalf("trial %d: dropped %d, want %d (floor %d)", trial, got, want, floor)
+		}
+		if c.Len() != len(expect) {
+			t.Fatalf("trial %d: len %d, want %d", trial, c.Len(), len(expect))
+		}
+		for key, s := range expect {
+			rec := c.Lookup(key)
+			if rec == nil || rec.Seq != s {
+				t.Fatalf("trial %d: survivor %q wrong: %+v want seq %d", trial, key, rec, s)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -54,6 +54,12 @@ type Atomic struct {
 	ChunksApplied         atomic.Uint64
 	PeakPayloadBytes      atomic.Uint64 // gauge: update with StoreMax
 	StreamFirstApplyNanos atomic.Uint64 // gauge: update with StoreMax
+
+	LogRecords          atomic.Uint64 // gauge: current log length, Store after mutations
+	PrunedRecords       atomic.Uint64
+	ReconcileSessions   atomic.Uint64
+	ReconcileRoundTrips atomic.Uint64
+	ReconcileBytes      atomic.Uint64
 }
 
 // StoreMax raises the gauge a to v if v is larger, atomically — the
@@ -105,6 +111,12 @@ func (a *Atomic) Snapshot() Counters {
 		ChunksApplied:         a.ChunksApplied.Load(),
 		PeakPayloadBytes:      a.PeakPayloadBytes.Load(),
 		StreamFirstApplyNanos: a.StreamFirstApplyNanos.Load(),
+
+		LogRecords:          a.LogRecords.Load(),
+		PrunedRecords:       a.PrunedRecords.Load(),
+		ReconcileSessions:   a.ReconcileSessions.Load(),
+		ReconcileRoundTrips: a.ReconcileRoundTrips.Load(),
+		ReconcileBytes:      a.ReconcileBytes.Load(),
 	}
 }
 
@@ -144,4 +156,9 @@ func (a *Atomic) Reset() {
 	a.ChunksApplied.Store(0)
 	a.PeakPayloadBytes.Store(0)
 	a.StreamFirstApplyNanos.Store(0)
+	a.LogRecords.Store(0)
+	a.PrunedRecords.Store(0)
+	a.ReconcileSessions.Store(0)
+	a.ReconcileRoundTrips.Store(0)
+	a.ReconcileBytes.Store(0)
 }

@@ -94,6 +94,18 @@ type Counters struct {
 	ChunksApplied         uint64 // chunks committed by recipients
 	PeakPayloadBytes      uint64 // gauge: largest payload held at once
 	StreamFirstApplyNanos uint64 // gauge: slowest time-to-first-applied-chunk
+
+	// Log lifecycle (acked-peer pruning) and the set-reconciliation
+	// fallback for pulls whose DBVV predates the pruned prefix.
+	// LogRecords is a *gauge*: the current log-vector length, refreshed
+	// after every mutation that changes it; Add sums it across replicas
+	// (each replica reports its own length, the cluster total is the sum)
+	// and Diff passes it through like the other gauges.
+	LogRecords          uint64 // gauge: current log-vector records held
+	PrunedRecords       uint64 // log records dropped by prune passes
+	ReconcileSessions   uint64 // set-reconciliation sessions run (recipient side)
+	ReconcileRoundTrips uint64 // fingerprint-exchange round trips across all sessions
+	ReconcileBytes      uint64 // estimated wire bytes of reconcile control traffic
 }
 
 // Add accumulates o into c.
@@ -131,6 +143,11 @@ func (c *Counters) Add(o *Counters) {
 	c.ChunksApplied += o.ChunksApplied
 	c.PeakPayloadBytes = max(c.PeakPayloadBytes, o.PeakPayloadBytes)
 	c.StreamFirstApplyNanos = max(c.StreamFirstApplyNanos, o.StreamFirstApplyNanos)
+	c.LogRecords += o.LogRecords
+	c.PrunedRecords += o.PrunedRecords
+	c.ReconcileSessions += o.ReconcileSessions
+	c.ReconcileRoundTrips += o.ReconcileRoundTrips
+	c.ReconcileBytes += o.ReconcileBytes
 }
 
 // Diff returns c - base, the overhead incurred since base was snapshotted.
@@ -169,7 +186,12 @@ func (c Counters) Diff(base Counters) Counters {
 	d.StreamSessions -= base.StreamSessions
 	d.ChunksSent -= base.ChunksSent
 	d.ChunksApplied -= base.ChunksApplied
-	// Gauges pass through: the high-water marks of c, not a difference.
+	d.PrunedRecords -= base.PrunedRecords
+	d.ReconcileSessions -= base.ReconcileSessions
+	d.ReconcileRoundTrips -= base.ReconcileRoundTrips
+	d.ReconcileBytes -= base.ReconcileBytes
+	// Gauges pass through: the high-water marks (and LogRecords, the
+	// current log length) of c, not a difference.
 	return d
 }
 
@@ -220,6 +242,11 @@ func (c Counters) String() string {
 		{"chunks-applied", c.ChunksApplied},
 		{"peak-payload", c.PeakPayloadBytes},
 		{"first-apply-ns", c.StreamFirstApplyNanos},
+		{"log-records", c.LogRecords},
+		{"pruned-records", c.PrunedRecords},
+		{"reconcile-sessions", c.ReconcileSessions},
+		{"reconcile-rtts", c.ReconcileRoundTrips},
+		{"reconcile-bytes", c.ReconcileBytes},
 	}
 	var parts []string
 	for _, f := range fields {

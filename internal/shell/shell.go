@@ -65,6 +65,10 @@ func (s *Shell) Exec(line string) (string, error) {
 		return s.cmdSync()
 	case "parts":
 		return s.cmdParts()
+	case "log":
+		return s.cmdLog()
+	case "prune":
+		return s.cmdPrune()
 	case "stats":
 		return s.cmdStats()
 	case "status":
@@ -85,6 +89,8 @@ const helpText = `commands:
   oob <key> <i>        out-of-bound copy of one item from node i
   sync                 ring anti-entropy rounds until all nodes converge
   parts                keyspace partition placement (partitioned clusters)
+  log                  log lengths, acked-peer watermarks and pruned floor
+  prune                run one log-pruning pass on the active node
   stats                overhead counters of the active node
   status               per-node summary and convergence check
   help                 this text`
@@ -266,6 +272,45 @@ func (s *Shell) cmdParts() (string, error) {
 		fmt.Fprintf(&sb, "%s node %d owns %v\n", marker, i, rg.OwnedBy(i))
 	}
 	return strings.TrimRight(sb.String(), "\n"), nil
+}
+
+// cmdLog renders the active node's log-bounding state: per-origin log
+// lengths, the acked-DBVV lower bound held for each peer, the pruned
+// watermark and the pruning configuration.
+func (s *Shell) cmdLog() (string, error) {
+	var sb strings.Builder
+	if pr := s.nodes[s.active].Parted(); pr != nil {
+		for _, ps := range pr.PrunedBefore() {
+			part := pr.Partition(ps.Pid)
+			fmt.Fprintf(&sb, "partition %d: log-records=%d pruned-before=%v\n",
+				ps.Pid, part.LogRecords(), ps.DBVV)
+		}
+		return strings.TrimRight(sb.String(), "\n"), nil
+	}
+	r := s.nodes[s.active].Replica()
+	for k, l := range r.LogComponentLens() {
+		fmt.Fprintf(&sb, "origin %d: %d record(s)\n", k, l)
+	}
+	learned := false
+	for j, v := range r.AckTable() {
+		if v == nil {
+			continue
+		}
+		learned = true
+		fmt.Fprintf(&sb, "acked by node %d: %v\n", j, v)
+	}
+	if !learned {
+		sb.WriteString("acked: (nothing learned yet)\n")
+	}
+	fmt.Fprintf(&sb, "pruned-before: %v\n", r.PrunedBefore())
+	fmt.Fprintf(&sb, "prune-peers: %v  log-cap: %d", r.PrunePeers(), r.LogCap())
+	return sb.String(), nil
+}
+
+// cmdPrune runs one pruning pass on the active node.
+func (s *Shell) cmdPrune() (string, error) {
+	dropped := s.nodes[s.active].PruneOnce()
+	return fmt.Sprintf("pruned %d record(s)", dropped), nil
 }
 
 func (s *Shell) cmdStats() (string, error) {

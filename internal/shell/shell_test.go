@@ -235,3 +235,46 @@ func TestHelpUnknownEmpty(t *testing.T) {
 	execErr(t, s, "get")
 	execErr(t, s, "del")
 }
+
+// The log command renders the bounding state; prune reports what it drops.
+// With two nodes, sync teaches each node the other's acked DBVV (each side
+// serves the other's pull), after which pruning can empty the log.
+func TestLogAndPruneCommands(t *testing.T) {
+	s := newShell(t, 2)
+	if got := exec(t, s, "log"); !strings.Contains(got, "acked: (nothing learned yet)") ||
+		!strings.Contains(got, "pruned-before:") || !strings.Contains(got, "prune-peers: [1]") {
+		t.Errorf("fresh log = %s", got)
+	}
+	for i := 0; i < 3; i++ {
+		exec(t, s, fmt.Sprintf("put key%d v%d", i, i))
+	}
+	if got := exec(t, s, "log"); !strings.Contains(got, "origin 0: 3 record(s)") {
+		t.Errorf("log after writes = %s", got)
+	}
+	if got := exec(t, s, "prune"); got != "pruned 0 record(s)" {
+		t.Errorf("prune before acks = %s", got)
+	}
+	exec(t, s, "sync")
+	exec(t, s, "sync") // second pass carries post-session DBVVs in the requests
+	got := exec(t, s, "prune")
+	if got != "pruned 3 record(s)" {
+		t.Errorf("prune after full acks = %s", got)
+	}
+	after := exec(t, s, "log")
+	if !strings.Contains(after, "origin 0: 0 record(s)") ||
+		!strings.Contains(after, "acked by node 1:") ||
+		strings.Contains(after, "pruned-before: []") {
+		t.Errorf("log after prune = %s", after)
+	}
+}
+
+func TestLogCommandPartitioned(t *testing.T) {
+	s := newPartShell(t, 2, 4, 2)
+	got := exec(t, s, "log")
+	if !strings.Contains(got, "partition 0: log-records=0 pruned-before=") {
+		t.Errorf("partitioned log = %s", got)
+	}
+	if got := exec(t, s, "prune"); got != "pruned 0 record(s)" {
+		t.Errorf("partitioned prune = %s", got)
+	}
+}

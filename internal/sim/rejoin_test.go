@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestLongOfflineRejoinViaReconcile is the bounded-log rejoin scenario: one
+// node goes down, the survivors keep writing and gossiping under a small log
+// cap until their pruned watermarks pass the offline node's DBVV, and the
+// node then rejoins. The normal log-shipping path can no longer serve it —
+// convergence must come through the range-fingerprint reconciliation
+// fallback.
+func TestLongOfflineRejoinViaReconcile(t *testing.T) {
+	// The log vector holds at most one record per item-origin pair, so a
+	// component never exceeds the writer's item count (24/4 = 6 here). The
+	// cap must sit below that for cap-forced pruning to engage while the
+	// offline peer's ack is stuck at its pre-crash DBVV.
+	const (
+		n       = 5
+		offline = n - 1
+		items   = 24
+		logCap  = 4
+	)
+	sys := NewCoreSystemWith(n)
+	sys.ConfigurePruning(logCap)
+	s := New(sys, 3)
+
+	// Ownership: item i is written only at node i%(n-1), so the node that
+	// will go offline owns nothing and all histories stay single-writer.
+	owner := func(item int) int { return item % (n - 1) }
+
+	// Seed shared state and spread it so the offline node is not empty.
+	val := byte(0)
+	for i := 0; i < items; i++ {
+		val++
+		if err := sys.Update(owner(i), workload.Key(i), []byte{val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.RunUntilConverged(RandomPeer, 100); !ok {
+		_, why := sys.Converged()
+		t.Fatalf("no initial convergence: %s", why)
+	}
+
+	// Long absence: continuous writes and gossip among the survivors, with
+	// a pruning pass each round. The log cap forces the floors past the
+	// silent peer even though it never acks.
+	s.Crash(offline)
+	for round := 0; round < 40; round++ {
+		for w := 0; w < 3; w++ {
+			item := (round*3 + w) % items
+			val++
+			if err := sys.Update(owner(item), workload.Key(item), []byte{val}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Step(RandomPeer)
+		for i := 0; i < n; i++ {
+			if s.Alive(i) {
+				sys.Replica(i).Prune()
+			}
+		}
+	}
+
+	// The scenario is only meaningful if the survivors really truncated
+	// past the offline node's knowledge.
+	offDBVV := sys.Replica(offline).DBVV()
+	prunedPast := false
+	for i := 0; i < n; i++ {
+		if i != offline && sys.Replica(i).NeedsReconcile(offDBVV) {
+			prunedPast = true
+		}
+	}
+	if !prunedPast {
+		t.Fatal("survivors did not prune past the offline node's DBVV; scenario void")
+	}
+
+	s.Recover(offline)
+	if _, ok := s.RunUntilConverged(RandomPeer, 100); !ok {
+		_, why := sys.Converged()
+		t.Fatalf("no convergence after rejoin: %s", why)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.NodeMetrics(offline).ReconcileSessions; got == 0 {
+		t.Error("rejoined node converged without a reconciliation session; fallback never engaged")
+	}
+	for i := 0; i < n; i++ {
+		if c := sys.Replica(i).Conflicts(); len(c) != 0 {
+			t.Errorf("node %d: spurious conflicts %v", i, c)
+		}
+	}
+}
+
+// TestSoakLogStaysBounded is the soak acceptance check: under continuous
+// writes with every peer syncing each round and pruning enabled, the total
+// number of log records across the cluster stays under a fixed ceiling
+// instead of growing with the update count.
+func TestSoakLogStaysBounded(t *testing.T) {
+	const (
+		n      = 5
+		logCap = 16
+		rounds = 300
+	)
+	sys := NewCoreSystemWith(n)
+	sys.ConfigurePruning(logCap)
+	s := New(sys, 11)
+
+	// Hard ceiling: after a pruning pass every per-origin log component
+	// holds at most logCap records, and each node has n components.
+	const ceiling = n * n * logCap
+
+	val := byte(0)
+	maxTotal, updates := 0, 0
+	for round := 0; round < rounds; round++ {
+		for w := 0; w < 2; w++ {
+			item := (round*2 + w) % 30
+			val++
+			if err := sys.Update(item%n, workload.Key(item), []byte{val, byte(item)}); err != nil {
+				t.Fatal(err)
+			}
+			updates++
+		}
+		// Random peer selection, not Ring: acks are learned from the pulls
+		// a node serves, and a fixed ring would teach each node about only
+		// its one predecessor, pinning the min-acked floor at zero forever.
+		s.Step(RandomPeer)
+		sys.PruneAll()
+		total := 0
+		for i := 0; i < n; i++ {
+			total += sys.Replica(i).LogRecords()
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if total > ceiling {
+			t.Fatalf("round %d: %d log records across cluster, ceiling %d", round, total, ceiling)
+		}
+	}
+	if maxTotal >= updates {
+		t.Errorf("log grew with the workload: max %d records for %d updates", maxTotal, updates)
+	}
+	t.Logf("soak: %d updates, max %d log records cluster-wide (ceiling %d)", updates, maxTotal, ceiling)
+
+	if sys.TotalMetrics().PrunedRecords == 0 {
+		t.Error("soak never pruned a record; the bound above is vacuous")
+	}
+
+	// Drain and verify nothing was lost to pruning.
+	if _, ok := s.RunUntilConverged(Ring, 4*n); !ok {
+		_, why := sys.Converged()
+		t.Fatalf("no convergence after soak: %s", why)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// With full mutual knowledge every ack reaches every DBVV: one
+	// broadcast round (every pair holds a session, so every node learns
+	// every peer's exact DBVV), then a pass empties the log.
+	s.Step(Broadcast)
+	sys.PruneAll()
+	for i := 0; i < n; i++ {
+		if got := sys.Replica(i).LogRecords(); got != 0 {
+			t.Errorf("node %d: %d log records after full mutual knowledge, want 0", i, got)
+		}
+	}
+}

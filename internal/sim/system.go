@@ -122,6 +122,33 @@ func (s *CoreSystem) CopyOutOfBound(recipient int, key string, source int) bool 
 	return s.replicas[recipient].CopyOutOfBound(key, s.replicas[source])
 }
 
+// ConfigurePruning enables acked-peer log pruning on every replica: each
+// node tracks all others as prune peers and bounds its per-origin log
+// components at logCap records (zero: unbounded, ack-driven only).
+func (s *CoreSystem) ConfigurePruning(logCap int) {
+	n := len(s.replicas)
+	for i, r := range s.replicas {
+		peers := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		r.ConfigurePruning(peers)
+		r.SetLogCap(logCap)
+	}
+}
+
+// PruneAll runs one pruning pass on every replica and returns the total
+// number of log records dropped.
+func (s *CoreSystem) PruneAll() int {
+	dropped := 0
+	for _, r := range s.replicas {
+		dropped += r.Prune()
+	}
+	return dropped
+}
+
 // CheckInvariants verifies every replica's protocol invariants.
 func (s *CoreSystem) CheckInvariants() error {
 	for _, r := range s.replicas {

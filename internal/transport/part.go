@@ -49,8 +49,15 @@ func (s *Server) dispatchParted(req *Request) *Response {
 	case KindPartPropagation:
 		resp.Parts = make([]wire.PartReply, 0, len(req.Parts))
 		for _, ps := range req.Parts {
-			resp.Parts = append(resp.Parts, s.servePartOffer(ps, req.MaxBytes))
+			resp.Parts = append(resp.Parts, s.servePartOffer(ps, req.MaxBytes, req.From))
 		}
+	case KindReconcile:
+		part := pr.Partition(req.Part)
+		if part == nil {
+			resp.Err = fmt.Sprintf("partition %d not replicated here", req.Part)
+			break
+		}
+		resp.Recon = part.ServeReconcile(req.Ranges)
 	case KindOOB:
 		pid := pr.PartitionOf(req.Key)
 		part := pr.Partition(pid)
@@ -95,11 +102,18 @@ func (s *Server) dispatchParted(req *Request) *Response {
 // A clean partition costs exactly one DBVV comparison (the plan's current
 // case, or BuildPropagation's identical-check when uncapped) and ships
 // nothing.
-func (s *Server) servePartOffer(ps core.PartState, maxBytes uint64) wire.PartReply {
+func (s *Server) servePartOffer(ps core.PartState, maxBytes uint64, from int) wire.PartReply {
 	pe := wire.PartReply{Pid: ps.Pid}
 	part := s.parted.Partition(ps.Pid)
 	if part == nil {
 		pe.Unowned = true
+		return pe
+	}
+	part.NoteAck(from, ps.DBVV)
+	if part.NeedsReconcile(ps.DBVV) {
+		// The offered DBVV predates this partition's pruned watermark:
+		// divert to a per-partition reconciliation session.
+		pe.Reconcile = true
 		return pe
 	}
 	if maxBytes > 0 {
@@ -152,7 +166,7 @@ func (c *Client) PullPartDB(recipient *core.Partitioned, addr, db string) (int, 
 		return 0, fmt.Errorf("transport: remote error: %s", resp.Err)
 	}
 	shipped := 0
-	var streams []int
+	var streams, recons []int
 	for _, pe := range resp.Parts {
 		part := recipient.Partition(pe.Pid)
 		if part == nil {
@@ -161,6 +175,8 @@ func (c *Client) PullPartDB(recipient *core.Partitioned, addr, db string) (int, 
 		switch {
 		case pe.Unowned, pe.Current:
 			// Nothing to do for this partition.
+		case pe.Reconcile:
+			recons = append(recons, pe.Pid)
 		case pe.Prop != nil:
 			if err := c.applySession(part, addr, db, pe.Prop); err != nil {
 				return shipped, err
@@ -179,6 +195,23 @@ func (c *Client) PullPartDB(recipient *core.Partitioned, addr, db string) (int, 
 			shipped++
 		}
 	}
+	for _, pid := range recons {
+		part := recipient.Partition(pid)
+		adopted, err := c.reconcileWith(part, addr, db, pid)
+		if err != nil {
+			return shipped, err
+		}
+		// Re-pull the partition over its stream session: the reconciled
+		// DBVV is at or above the watermark, so it now drains normally
+		// (or finds itself current).
+		ok, err := c.pullPartStream(recipient, addr, db, pid)
+		if err != nil {
+			return shipped, err
+		}
+		if ok || adopted > 0 {
+			shipped++
+		}
+	}
 	return shipped, nil
 }
 
@@ -191,14 +224,26 @@ func (c *Client) pullPartStream(recipient *core.Partitioned, addr, db string, pi
 	if part == nil {
 		return false, nil
 	}
-	req := &Request{
-		Kind: KindPartStream,
-		DB:   db,
-		From: recipient.ID(),
-		Part: pid,
-		DBVV: part.PropagationRequest(),
+	shipped := false
+	for attempt := 0; ; attempt++ {
+		req := &Request{
+			Kind: KindPartStream,
+			DB:   db,
+			From: recipient.ID(),
+			Part: pid,
+			DBVV: part.PropagationRequest(),
+		}
+		ok, reconcile, err := c.runStream(part, addr, req)
+		shipped = shipped || ok
+		if err != nil || !reconcile || attempt > 0 {
+			return shipped, err
+		}
+		adopted, err := c.reconcileWith(part, addr, db, pid)
+		if err != nil {
+			return shipped, err
+		}
+		shipped = shipped || adopted > 0
 	}
-	return c.runStream(part, addr, req)
 }
 
 // PullPart is the package-level convenience: one partitioned session

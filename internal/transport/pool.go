@@ -380,6 +380,9 @@ func (c *Client) PullSessionMetered(r *core.Replica, addr, db string, from int, 
 	if resp.Err != "" {
 		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
 	}
+	if resp.Reconcile {
+		return nil, ErrNeedsReconcile
+	}
 	if resp.Current {
 		return nil, nil
 	}
@@ -419,39 +422,59 @@ func (c *Client) FetchItemsMetered(r *core.Replica, addr, db string, from int, k
 // recipient was already current. Measured wire bytes and connection-reuse
 // outcomes are charged to the recipient's counters.
 func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
-	req := &Request{
-		Kind: KindPropagation,
-		From: recipient.ID(),
-		DBVV: recipient.PropagationRequest(),
+	shipped := false
+	for attempt := 0; ; attempt++ {
+		req := &Request{
+			Kind: KindPropagation,
+			From: recipient.ID(),
+			DBVV: recipient.PropagationRequest(),
+		}
+		if !c.opts.DialPerRequest {
+			// Announce the monolithic-response ceiling: above it the source
+			// replies Stream instead of materializing the payload, and the pull
+			// restarts as a chunked session. Legacy gob clients announce nothing
+			// (MaxBytes zero) and keep the unbounded monolithic behavior.
+			req.MaxBytes = DefaultMonolithicCap
+		}
+		var resp Response
+		err := c.do(recipient, addr, req, &resp)
+		if err != nil {
+			return shipped, err
+		}
+		if resp.Err != "" {
+			return shipped, fmt.Errorf("transport: remote error: %s", resp.Err)
+		}
+		if resp.Reconcile {
+			// The source pruned past our DBVV: no log-based session can
+			// serve us. Reconcile, then re-pull once — afterwards our DBVV
+			// reflects every adopted copy, so a second diversion (conflicts
+			// suspend the guarantee, or a racing prune) ends the session
+			// rather than looping; the next scheduled pull tries again.
+			if attempt > 0 {
+				return shipped, nil
+			}
+			adopted, err := c.reconcileWith(recipient, addr, "", 0)
+			if err != nil {
+				return shipped, err
+			}
+			shipped = shipped || adopted > 0
+			continue
+		}
+		if resp.Current {
+			return shipped, nil
+		}
+		if resp.Stream {
+			ok, err := c.PullStreamDB(recipient, addr, "")
+			return shipped || ok, err
+		}
+		if resp.Prop == nil {
+			return shipped, errors.New("transport: malformed propagation response")
+		}
+		if err := c.applySession(recipient, addr, "", resp.Prop); err != nil {
+			return shipped, err
+		}
+		return true, nil
 	}
-	if !c.opts.DialPerRequest {
-		// Announce the monolithic-response ceiling: above it the source
-		// replies Stream instead of materializing the payload, and the pull
-		// restarts as a chunked session. Legacy gob clients announce nothing
-		// (MaxBytes zero) and keep the unbounded monolithic behavior.
-		req.MaxBytes = DefaultMonolithicCap
-	}
-	var resp Response
-	err := c.do(recipient, addr, req, &resp)
-	if err != nil {
-		return false, err
-	}
-	if resp.Err != "" {
-		return false, fmt.Errorf("transport: remote error: %s", resp.Err)
-	}
-	if resp.Current {
-		return false, nil
-	}
-	if resp.Stream {
-		return c.PullStreamDB(recipient, addr, "")
-	}
-	if resp.Prop == nil {
-		return false, errors.New("transport: malformed propagation response")
-	}
-	if err := c.applySession(recipient, addr, "", resp.Prop); err != nil {
-		return false, err
-	}
-	return true, nil
 }
 
 // applySession commits one monolithic propagation payload to the recipient,
@@ -459,6 +482,10 @@ func (c *Client) Pull(recipient *core.Replica, addr string) (bool, error) {
 // versions the recipient lacks: fetch the full copies, re-probing a bounded
 // number of times in case concurrent sessions moved items underneath.
 func (c *Client) applySession(recipient *core.Replica, addr, db string, prop *core.Propagation) error {
+	// The payload's non-empty tails end at the source's own DBVV
+	// components — a safe floor of the source's state for the recipient's
+	// acked table (prune.go).
+	defer recipient.NoteSessionAck(prop.Source, prop)
 	need := recipient.ApplyPropagation(prop)
 	if len(need) == 0 {
 		return nil

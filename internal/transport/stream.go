@@ -60,6 +60,24 @@ func (s *Server) serveStream(bw flushWriter, replica *core.Replica, errmsg strin
 		return bw.Flush()
 	}
 
+	replica.NoteAck(req.From, req.DBVV)
+	if replica.NeedsReconcile(req.DBVV) {
+		// The requester's DBVV predates the pruned log prefix: no chunked
+		// session can serve it. Answer with a reconcile-diverted header and
+		// an empty trailer so the frame alternation stays clean.
+		begin := wire.SessionBegin{Source: replica.ID(), Reconcile: true}
+		*scratch = wire.AppendSessionBegin((*scratch)[:0], &begin)
+		if err := wire.WriteFrame(bw, wire.KindSessionBegin, *scratch); err != nil {
+			return err
+		}
+		end := wire.SessionEnd{}
+		*scratch = wire.AppendSessionEnd((*scratch)[:0], &end)
+		if err := wire.WriteFrame(bw, wire.KindSessionEnd, *scratch); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
 	cur := replica.StartChunkSession(req.DBVV, s.chunkBudget())
 	begin := wire.SessionBegin{Source: replica.ID(), Current: cur == nil}
 	*scratch = wire.AppendSessionBegin((*scratch)[:0], &begin)
@@ -145,46 +163,62 @@ func (c *Client) PullStreamDB(recipient *core.Replica, addr, db string) (bool, e
 	if c.opts.DialPerRequest {
 		return c.Pull(recipient, addr)
 	}
-	req := &Request{Kind: KindStream, DB: db, From: recipient.ID(), DBVV: recipient.PropagationRequest()}
-	return c.runStream(recipient, addr, req)
+	shipped := false
+	for attempt := 0; ; attempt++ {
+		req := &Request{Kind: KindStream, DB: db, From: recipient.ID(), DBVV: recipient.PropagationRequest()}
+		ok, reconcile, err := c.runStream(recipient, addr, req)
+		shipped = shipped || ok
+		if err != nil || !reconcile || attempt > 0 {
+			// A second diversion (conflicts, races) ends the session rather
+			// than looping; the next scheduled pull tries again.
+			return shipped, err
+		}
+		adopted, err := c.reconcileWith(recipient, addr, db, 0)
+		if err != nil {
+			return shipped, err
+		}
+		shipped = shipped || adopted > 0
+	}
 }
 
 // runStream drives one streaming session request (KindStream, or
 // KindPartStream from the partitioned client) against addr with recipient
 // as the sink, retrying once on a fresh dial when a pooled connection turns
 // out stale before yielding a single frame. Requires the framed transport.
-func (c *Client) runStream(recipient *core.Replica, addr string, req *Request) (bool, error) {
+// reconcile reports a reconcile-diverted session: the source pruned past
+// the request's DBVV and shipped nothing.
+func (c *Client) runStream(recipient *core.Replica, addr string, req *Request) (shipped, reconcile bool, err error) {
 	start := time.Now()
 
 	pc, reused, err := c.pool.get(addr)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	for {
 		var st tripStats
 		st.dialed = !reused
 		st.reused = reused
 		sent0, recv0 := pc.cw.n, pc.cr.n
-		shipped, started, err := streamOn(pc, recipient, req, start)
+		shipped, reconcile, started, err := streamOn(pc, recipient, req, start)
 		st.sent, st.recv = pc.cw.n-sent0, pc.cr.n-recv0
 		chargeTrip(recipient, st)
 		if err == nil {
 			c.pool.put(addr, pc)
-			return shipped, nil
+			return shipped, reconcile, nil
 		}
 		pc.conn.Close()
 		if started || !reused {
 			// Frames were already received (partial sessions stay partially
 			// applied; the next pull resumes from the advanced DBVV), or the
 			// dial was fresh: surface the error.
-			return shipped, err
+			return shipped, reconcile, err
 		}
 		// Stale pooled connection that died before yielding a single frame:
 		// retry once on a fresh dial, bypassing the pool.
 		reused = false
 		pc, err = c.pool.dial(addr)
 		if err != nil {
-			return false, err
+			return false, false, err
 		}
 	}
 }
@@ -207,16 +241,17 @@ func chargeTrip(r *core.Replica, st tripStats) {
 // streamOn runs one streaming session on the connection: send the request,
 // then apply the chunk stream. started reports whether any session frame
 // was received (a session that started must not be retried on another
-// connection — its applied prefix belongs to this request's DBVV).
-func streamOn(pc *poolConn, recipient *core.Replica, req *Request, start time.Time) (shipped, started bool, err error) {
+// connection — its applied prefix belongs to this request's DBVV);
+// reconcile reports a reconcile-diverted session header.
+func streamOn(pc *poolConn, recipient *core.Replica, req *Request, start time.Time) (shipped, reconcile, started bool, err error) {
 	buf := wire.GetBuffer()
 	defer wire.PutBuffer(buf)
 	*buf = wire.AppendRequest((*buf)[:0], req)
 	if err := wire.WriteFrame(pc.bw, wire.FrameRequest, *buf); err != nil {
-		return false, false, fmt.Errorf("transport: send request: %w", err)
+		return false, false, false, fmt.Errorf("transport: send request: %w", err)
 	}
 	if err := pc.bw.Flush(); err != nil {
-		return false, false, fmt.Errorf("transport: send request: %w", err)
+		return false, false, false, fmt.Errorf("transport: send request: %w", err)
 	}
 
 	// Pipeline, recipient half: the applier goroutine commits chunk k-1
@@ -237,6 +272,10 @@ func streamOn(pc *poolConn, recipient *core.Replica, req *Request, start time.Ti
 				first = false
 				recipient.RecordStreamFirstApply(time.Since(start))
 			}
+			// Every applied chunk teaches us a floor of the source's own
+			// state (its tails end at the source's DBVV components), feeding
+			// our acked table for pruning.
+			recipient.NoteSessionAck(p.Source, p)
 			select {
 			case free <- p:
 			default:
@@ -252,7 +291,7 @@ func streamOn(pc *poolConn, recipient *core.Replica, req *Request, start time.Ti
 	for {
 		frameType, payload, err := wire.ReadSessionFrame(pc.br, pc.frameBuf)
 		if err != nil {
-			return shipped, started, fmt.Errorf("transport: read session frame: %w", err)
+			return shipped, reconcile, started, fmt.Errorf("transport: read session frame: %w", err)
 		}
 		started = true
 		pc.frameBuf = payload
@@ -265,14 +304,15 @@ func streamOn(pc *poolConn, recipient *core.Replica, req *Request, start time.Ti
 		}
 		chunk, done, err := sr.FeedInto(frameType, payload, spare)
 		if err != nil {
-			return shipped, started, fmt.Errorf("transport: %w", err)
+			return shipped, reconcile, started, fmt.Errorf("transport: %w", err)
 		}
+		reconcile = sr.Begin().Reconcile
 		if chunk != nil {
 			shipped = true
 			chunks <- chunk
 		}
 		if done {
-			return shipped, started, nil
+			return shipped, reconcile, started, nil
 		}
 	}
 }

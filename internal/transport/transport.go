@@ -65,6 +65,10 @@ const (
 	KindPartPropagation = wire.KindPartPropagation
 	// KindPartStream opens a streaming session for one keyspace partition.
 	KindPartStream = wire.KindPartStream
+	// KindReconcile drives one round of range-based set reconciliation —
+	// the catch-up path for recipients whose DBVV predates the source's
+	// pruned-log watermark; see reconcile.go.
+	KindReconcile = wire.KindReconcile
 )
 
 // Resolver maps database names to replicas — the surface a multi-database
@@ -371,6 +375,17 @@ func (s *Server) dispatch(req *Request) (*core.Replica, *Response) {
 	var resp Response
 	switch req.Kind {
 	case KindPropagation:
+		// The request's DBVV is the requester's claim of what it reflects —
+		// a safe lower bound on its state, recorded for acked-peer pruning.
+		replica.NoteAck(req.From, req.DBVV)
+		// Watermark guard: a DBVV below the pruned floor cannot be served
+		// from the log (the covering records are gone); divert the
+		// recipient to a reconciliation session instead of shipping a
+		// session with silent gaps.
+		if replica.NeedsReconcile(req.DBVV) {
+			resp.Reconcile = true
+			return replica, &resp
+		}
 		// Size guard: a monolithic response materializes the whole payload
 		// in memory on both ends. When the requester announced a cap and
 		// the payload estimate exceeds it, divert the session onto the
@@ -399,6 +414,8 @@ func (s *Server) dispatch(req *Request) (*core.Replica, *Response) {
 		resp.OOB = &reply
 	case KindFetch:
 		resp.Items = replica.BuildItems(req.Keys)
+	case KindReconcile:
+		resp.Recon = replica.ServeReconcile(req.Ranges)
 	case KindStream:
 		// Reachable only through the legacy gob front-end; the framed loop
 		// intercepts KindStream before dispatch.

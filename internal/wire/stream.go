@@ -46,6 +46,11 @@ type SessionBegin struct {
 	// Current is true when the recipient's DBVV already dominates the
 	// source's: no chunks follow, only KindSessionEnd.
 	Current bool
+	// Reconcile is true when the recipient's DBVV predates the source's
+	// pruned-log watermark: the log can no longer serve it, no chunks
+	// follow (only KindSessionEnd), and the recipient should run a
+	// KindReconcile exchange before re-pulling.
+	Reconcile bool
 	// Err carries a server-side error description; when non-empty the
 	// session is aborted and no further frames follow.
 	Err string
@@ -63,6 +68,7 @@ type SessionEnd struct {
 const (
 	beginCurrent = 1 << iota
 	beginErr
+	beginReconcile
 )
 
 // AppendSessionBegin appends the binary encoding of b to buf.
@@ -73,6 +79,9 @@ func AppendSessionBegin(buf []byte, b *SessionBegin) []byte {
 	}
 	if b.Err != "" {
 		flags |= beginErr
+	}
+	if b.Reconcile {
+		flags |= beginReconcile
 	}
 	buf = append(buf, flags)
 	buf = binary.AppendVarint(buf, int64(b.Source))
@@ -86,7 +95,10 @@ func AppendSessionBegin(buf []byte, b *SessionBegin) []byte {
 func DecodeSessionBegin(buf []byte, b *SessionBegin) error {
 	d := decoder{buf: buf}
 	flags := d.byte()
-	*b = SessionBegin{Current: flags&beginCurrent != 0}
+	*b = SessionBegin{
+		Current:   flags&beginCurrent != 0,
+		Reconcile: flags&beginReconcile != 0,
+	}
 	b.Source = int(d.varint())
 	if flags&beginErr != 0 {
 		b.Err = d.string()
@@ -250,6 +262,9 @@ func (s *SessionReader) FeedInto(frameType byte, payload []byte, spare *core.Pro
 		}
 		if s.begin.Current {
 			return nil, false, s.fail("chunk in a you-are-current session")
+		}
+		if s.begin.Reconcile {
+			return nil, false, s.fail("chunk in a reconcile-diverted session")
 		}
 		if spare == nil {
 			spare = &core.Propagation{}

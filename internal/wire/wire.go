@@ -101,6 +101,12 @@ const (
 	// keyspace partition (Request.Part); the frame sequence is identical to
 	// KindStream's. Framed connections only.
 	KindPartStream
+	// KindReconcile drives one round of range-based set reconciliation: the
+	// request carries the recipient's unresolved ranges (Request.Ranges),
+	// the response one verdict per range (Response.Recon). Used when the
+	// recipient's DBVV predates the source's pruned-log watermark, so a
+	// log-based session can no longer serve it; see core.ServeReconcile.
+	KindReconcile
 )
 
 // Request is the recipient-to-source message opening an exchange.
@@ -130,9 +136,14 @@ type Request struct {
 	// ascending by pid. Encoded only for that kind, so every other kind's
 	// encoding is byte-identical to the pre-partitioning codec.
 	Parts []core.PartState
-	// Part is the keyspace partition a KindPartStream session drains;
+	// Part is the keyspace partition a KindPartStream session drains (or a
+	// KindReconcile exchange targets, on a partitioned server);
 	// Request.DBVV carries the recipient's DBVV for that partition.
 	Part int
+	// Ranges carries the recipient's unresolved fingerprint ranges
+	// (KindReconcile only). Encoded only for that kind, so every other
+	// kind's encoding is byte-identical to the pre-reconciliation codec.
+	Ranges []core.ReconcileRange
 }
 
 // Response is the source-to-recipient reply.
@@ -153,21 +164,31 @@ type Response struct {
 	// Parts answers a KindPartPropagation request, one entry per offered
 	// partition, in the request's order.
 	Parts []PartReply
+	// Reconcile reports that the request's DBVV predates the source's
+	// pruned-log watermark: a log-based session cannot serve it, and the
+	// recipient should run a KindReconcile exchange before re-pulling.
+	Reconcile bool
+	// Recon carries the per-range verdicts answering a KindReconcile
+	// request, in the request's range order.
+	Recon []core.ReconcileReply
 	// Err carries a server-side error description, empty on success.
 	Err string
 }
 
 // PartReply is the source's verdict for one offered partition of a
-// partitioned propagation session. Exactly one of the four outcomes holds:
+// partitioned propagation session. Exactly one of the five outcomes holds:
 // the source does not replicate the partition (Unowned), the recipient is
-// current (Current), the payload rides inline (Prop), or it exceeded the
-// request's cap and must be pulled over a KindPartStream session (Stream).
+// current (Current), the payload rides inline (Prop), it exceeded the
+// request's cap and must be pulled over a KindPartStream session (Stream),
+// or the partition's DBVV predates the source's pruned watermark and must
+// be reconciled first (Reconcile).
 type PartReply struct {
-	Pid     int
-	Unowned bool
-	Current bool
-	Stream  bool
-	Prop    *core.Propagation
+	Pid       int
+	Unowned   bool
+	Current   bool
+	Stream    bool
+	Reconcile bool
+	Prop      *core.Propagation
 }
 
 // Buffer pooling: encode scratch and frame-read buffers are recycled so the
@@ -299,6 +320,13 @@ func AppendRequest(buf []byte, req *Request) []byte {
 	if req.Kind == KindPartStream {
 		buf = binary.AppendUvarint(buf, uint64(req.Part))
 	}
+	if req.Kind == KindReconcile {
+		buf = binary.AppendUvarint(buf, uint64(len(req.Ranges)))
+		for i := range req.Ranges {
+			buf = appendReconcileRange(buf, &req.Ranges[i])
+		}
+		buf = binary.AppendUvarint(buf, uint64(req.Part))
+	}
 	return buf
 }
 
@@ -330,6 +358,14 @@ func DecodeRequest(buf []byte, req *Request) error {
 	if req.Kind == KindPartStream {
 		req.Part = int(d.uvarint())
 	}
+	req.Ranges = nil
+	if req.Kind == KindReconcile {
+		nranges := d.count()
+		for i := uint64(0); i < nranges && d.err == nil; i++ {
+			req.Ranges = append(req.Ranges, d.reconcileRange())
+		}
+		req.Part = int(d.uvarint())
+	}
 	return d.finish("request")
 }
 
@@ -344,6 +380,15 @@ const (
 	respErr
 	respStream
 	respParts
+	// respReconcile marks a reconcile section: one sub-flag byte
+	// (reconDivert, reconReplies) followed by the replies when present.
+	respReconcile
+)
+
+// Reconcile section sub-flag bits (present only when respReconcile is set).
+const (
+	reconDivert  = 1 << iota // recipient must fall back to reconciliation
+	reconReplies             // per-range replies to a KindReconcile request
 )
 
 // PartReply flag bits.
@@ -352,6 +397,7 @@ const (
 	partCurrent
 	partStream
 	partProp
+	partReconcile
 )
 
 // AppendResponse appends the binary encoding of resp to buf.
@@ -379,6 +425,9 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 	}
 	if resp.Parts != nil {
 		flags |= respParts
+	}
+	if resp.Reconcile || resp.Recon != nil {
+		flags |= respReconcile
 	}
 	buf = append(buf, flags)
 	if resp.Prop != nil {
@@ -411,9 +460,28 @@ func AppendResponse(buf []byte, resp *Response) []byte {
 			if pe.Prop != nil {
 				pf |= partProp
 			}
+			if pe.Reconcile {
+				pf |= partReconcile
+			}
 			buf = append(buf, pf)
 			if pe.Prop != nil {
 				buf = appendPropagation(buf, pe.Prop)
+			}
+		}
+	}
+	if resp.Reconcile || resp.Recon != nil {
+		var rf byte
+		if resp.Reconcile {
+			rf |= reconDivert
+		}
+		if resp.Recon != nil {
+			rf |= reconReplies
+		}
+		buf = append(buf, rf)
+		if resp.Recon != nil {
+			buf = binary.AppendUvarint(buf, uint64(len(resp.Recon)))
+			for i := range resp.Recon {
+				buf = appendReconcileReply(buf, &resp.Recon[i])
 			}
 		}
 	}
@@ -454,16 +522,38 @@ func DecodeResponse(buf []byte, resp *Response) error {
 			pe.Unowned = pf&partUnowned != 0
 			pe.Current = pf&partCurrent != 0
 			pe.Stream = pf&partStream != 0
+			pe.Reconcile = pf&partReconcile != 0
 			if pf&partProp != 0 {
 				pe.Prop = d.propagation()
 			}
 			resp.Parts = append(resp.Parts, pe)
 		}
 	}
+	if flags&respReconcile != 0 {
+		decodeReconSection(&d, resp)
+	}
 	if flags&respErr != 0 {
 		resp.Err = d.string()
 	}
 	return d.finish("response")
+}
+
+// decodeReconSection decodes the reconcile sub-section of a response. Kept
+// out of the hotpath decode body (and out of its inliner): the reply slice
+// allocates, and reconcile frames run only during catch-up, never on the
+// per-propagation path the hotalloc gate protects.
+//
+//go:noinline
+func decodeReconSection(d *decoder, resp *Response) {
+	rf := d.byte()
+	resp.Reconcile = rf&reconDivert != 0
+	if rf&reconReplies != 0 {
+		n := d.count()
+		resp.Recon = make([]core.ReconcileReply, 0, min(n, 1024))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			resp.Recon = append(resp.Recon, d.reconcileReply())
+		}
+	}
 }
 
 // ---- Propagation ----
@@ -650,6 +740,84 @@ func (d *decoder) oob() core.OOBReply {
 	}
 }
 
+// ---- Reconciliation ----
+
+// ReconcileRange flag bits.
+const (
+	rangeHiInf = 1 << iota
+)
+
+// ReconcileReply flag bits.
+const (
+	replyMatch = 1 << iota
+	replyIsLeaf
+)
+
+//epi:hotpath
+func appendReconcileRange(buf []byte, rr *core.ReconcileRange) []byte {
+	var flags byte
+	if rr.HiInf {
+		flags |= rangeHiInf
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, rr.Lo)
+	buf = appendString(buf, rr.Hi)
+	buf = binary.LittleEndian.AppendUint64(buf, rr.Fp)
+	return binary.AppendUvarint(buf, rr.Count)
+}
+
+//epi:hotpath
+func (d *decoder) reconcileRange() core.ReconcileRange {
+	flags := d.byte()
+	return core.ReconcileRange{
+		HiInf: flags&rangeHiInf != 0,
+		Lo:    d.string(),
+		Hi:    d.string(),
+		Fp:    d.u64(),
+		Count: d.uvarint(),
+	}
+}
+
+//epi:hotpath
+func appendReconcileReply(buf []byte, rp *core.ReconcileReply) []byte {
+	var flags byte
+	if rp.Match {
+		flags |= replyMatch
+	}
+	if rp.IsLeaf {
+		flags |= replyIsLeaf
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(rp.Splits)))
+	for i := range rp.Splits {
+		buf = appendReconcileRange(buf, &rp.Splits[i])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rp.Keys)))
+	for i := range rp.Keys {
+		buf = appendString(buf, rp.Keys[i].Key)
+		buf = binary.LittleEndian.AppendUint64(buf, rp.Keys[i].Fp)
+	}
+	return buf
+}
+
+//epi:hotpath
+func (d *decoder) reconcileReply() core.ReconcileReply {
+	flags := d.byte()
+	rp := core.ReconcileReply{
+		Match:  flags&replyMatch != 0,
+		IsLeaf: flags&replyIsLeaf != 0,
+	}
+	nsplits := d.count()
+	for i := uint64(0); i < nsplits && d.err == nil; i++ {
+		rp.Splits = append(rp.Splits, d.reconcileRange())
+	}
+	nkeys := d.count()
+	for i := uint64(0); i < nkeys && d.err == nil; i++ {
+		rp.Keys = append(rp.Keys, core.KeyDigest{Key: d.string(), Fp: d.u64()})
+	}
+	return rp
+}
+
 // ---- primitives ----
 
 func appendString(buf []byte, s string) []byte {
@@ -709,6 +877,22 @@ func (d *decoder) byte() byte {
 	b := d.buf[d.pos]
 	d.pos++
 	return b
+}
+
+// u64 reads a fixed-width little-endian uint64 (range fingerprints, key
+// digests — values with no small-integer bias, where a varint would cost
+// more than it saves).
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf)-d.pos < 8 {
+		d.fail("truncated message")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
 }
 
 func (d *decoder) uvarint() uint64 {
