@@ -18,10 +18,11 @@ vet:
 	$(GO) vet ./...
 
 ## lint: build and run epilint — the protocol analyzers (lockorder and
-## ctlheld interprocedural via lockset summaries, vvalias, atomiccounter)
-## plus the lite standard passes — over the whole repository, with the
-## hotalloc escape/inlining gate on //epi:hotpath functions. See
-## DESIGN.md §4d/§4e.
+## ctlheld interprocedural via lockset summaries, vvalias, atomiccounter,
+## poolsafe buffer-ownership tracking, wirecheck protocol-surface
+## exhaustiveness) plus the lite standard passes — over the whole
+## repository, with the hotalloc escape/inlining/annotation-drift gate on
+## //epi:hotpath functions. See DESIGN.md §4d/§4e/§4i.
 lint:
 	$(GO) run ./cmd/epilint -hotpath ./...
 
@@ -50,10 +51,14 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_07.json
 
-## fuzz-wire: short fuzz pass over the wire codec decoders.
+## fuzz-wire: short fuzz pass over the wire codec decoders. The session
+## and reconcile targets start from the committed seed corpora under
+## internal/wire/testdata/fuzz/; new crashers land beside them and CI
+## uploads them as artifacts.
 fuzz-wire:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeVV -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeRequest -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResponse -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodePropagation -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzSessionFrames -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeReconcileFrames -fuzztime=10s ./internal/wire

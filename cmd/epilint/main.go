@@ -18,6 +18,8 @@
 //	-update         (with -hotpath) rewrite the hotalloc baseline
 //	-github         emit findings as GitHub Actions annotations
 //	                (::error file=...,line=...) alongside the plain lines
+//	-json           emit findings as a JSON array on stdout instead of
+//	                plain lines (exit status still signals findings)
 //
 // With no packages, ./... is linted. Exit status is 1 when diagnostics
 // were reported, 2 on load or usage errors. False positives are
@@ -27,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,8 +46,9 @@ func main() {
 	hotpath := flag.Bool("hotpath", false, "also run the hotalloc escape/inlining gate")
 	update := flag.Bool("update", false, "with -hotpath: rewrite the baseline instead of checking it")
 	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations for findings")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: epilint [-only analyzer,...] [-list] [-summaries] [-suppressions] [-hotpath [-update]] [-github] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: epilint [-only analyzer,...] [-list] [-summaries] [-suppressions] [-hotpath [-update]] [-github] [-json] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,6 +78,9 @@ func main() {
 
 	if *summaries {
 		for _, s := range lint.FormatSummaries(pkgs) {
+			fmt.Println(s)
+		}
+		for _, s := range lint.FormatPoolSummaries(pkgs) {
 			fmt.Println(s)
 		}
 		return
@@ -125,9 +132,39 @@ func main() {
 		}
 	}
 
-	for _, d := range diags {
-		fmt.Println(d)
-		if *github {
+	if *jsonOut {
+		// Machine-readable findings for CI tooling and editors. Always an
+		// array (([]) when clean) so consumers never special-case emptiness.
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *github {
+		for _, d := range diags {
 			// GitHub Actions annotation: surfaces the finding inline on the
 			// PR diff. The message field must be single-line.
 			msg := strings.ReplaceAll(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message), "\n", " ")

@@ -54,7 +54,8 @@ type Program struct {
 	fns    map[string]*funcInfo
 	passes map[*Package]*Pass
 
-	sums map[string]*summary
+	sums     map[string]*summary
+	poolSums map[string]*poolSummary
 }
 
 // newProgram indexes the declared functions of pkgs.

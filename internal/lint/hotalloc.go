@@ -275,6 +275,36 @@ func CheckHotAlloc(observed []HotFunc, baselinePath string) ([]Diagnostic, error
 			report(hf, "hotpath function %s gains a heap escape: %s", hf.Sym, e)
 		}
 	}
+	// Drift: a baseline entry whose function no longer exists or no longer
+	// carries //epi:hotpath is a stale budget — it would silently absorb a
+	// future regression under the same symbol. Reported at the baseline
+	// file's own line so the fix (delete the entry or restore the
+	// annotation, then re-baseline) is obvious.
+	seen := map[string]bool{}
+	for _, hf := range observed {
+		seen[hf.Sym] = true
+	}
+	stale := make([]string, 0, len(base))
+	for sym := range base {
+		if !seen[sym] {
+			stale = append(stale, sym)
+		}
+	}
+	sort.Strings(stale)
+	for _, sym := range stale {
+		line := 0
+		for i, l := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(l, "func ") && strings.TrimSpace(strings.TrimPrefix(l, "func ")) == sym {
+				line = i + 1
+				break
+			}
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "hotalloc",
+			Pos:      token.Position{Filename: baselinePath, Line: line},
+			Message: fmt.Sprintf("baseline entry %s matches no //epi:hotpath function; delete it or restore the annotation, then run `go run ./cmd/epilint -hotpath -update ./...`", sym),
+		})
+	}
 	return diags, nil
 }
 

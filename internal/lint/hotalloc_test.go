@@ -88,6 +88,7 @@ func TestCheckHotAlloc(t *testing.T) {
 	observed = []HotFunc{
 		{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true,
 			Escapes: []string{"x escapes to heap", "x escapes to heap"}},
+		{Sym: "p.WasInline", File: "p/f.go", Line: 20, Inline: true},
 	}
 	diags, err = CheckHotAlloc(observed, baseline)
 	if err != nil {
@@ -99,9 +100,28 @@ func TestCheckHotAlloc(t *testing.T) {
 
 	// Shedding an escape or gaining inlinability is not a finding — the
 	// ratchet only tightens on -update.
-	observed = []HotFunc{{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true}}
+	observed = []HotFunc{
+		{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true},
+		{Sym: "p.WasInline", File: "p/f.go", Line: 20, Inline: true},
+	}
 	if diags, err = CheckHotAlloc(observed, baseline); err != nil || len(diags) != 0 {
 		t.Fatalf("improvement flagged: diags=%v err=%v", diags, err)
+	}
+
+	// Drift: a baseline entry whose function no longer exists (or lost its
+	// //epi:hotpath annotation) is a stale budget, reported at the
+	// baseline file's own func line.
+	observed = []HotFunc{{Sym: "p.Stable", File: "p/f.go", Line: 10, Inline: true}}
+	diags, err = CheckHotAlloc(observed, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 ||
+		!strings.Contains(diags[0].Message, "baseline entry p.WasInline matches no //epi:hotpath function") {
+		t.Fatalf("annotation drift: got %v", diags)
+	}
+	if diags[0].Pos.Filename != baseline || diags[0].Pos.Line == 0 {
+		t.Fatalf("drift diagnostic should point into the baseline file: %v", diags[0].Pos)
 	}
 
 	if _, err := CheckHotAlloc(observed, filepath.Join(dir, "missing")); err == nil ||

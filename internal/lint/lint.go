@@ -233,6 +233,8 @@ func All() []*Analyzer {
 		VVAlias,
 		CtlHeld,
 		AtomicCounter,
+		PoolSafe,
+		WireCheck,
 		CopyLocks,
 		UnusedWrite,
 		Nilness,

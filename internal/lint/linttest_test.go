@@ -100,6 +100,8 @@ func TestLockOrderFixtures(t *testing.T)     { checkFixture(t, "lockorder", Lock
 func TestVVAliasFixtures(t *testing.T)       { checkFixture(t, "vvalias", VVAlias) }
 func TestCtlHeldFixtures(t *testing.T)       { checkFixture(t, "ctlheld", CtlHeld) }
 func TestAtomicCounterFixtures(t *testing.T) { checkFixture(t, "atomiccounter", AtomicCounter) }
+func TestPoolSafeFixtures(t *testing.T)      { checkFixture(t, "poolsafe", PoolSafe) }
+func TestWireCheckFixtures(t *testing.T)     { checkFixture(t, "wirecheck", WireCheck) }
 
 // The lite standard passes share one fixture package.
 func TestStdFixtures(t *testing.T) { checkFixture(t, "std", CopyLocks, UnusedWrite, Nilness) }

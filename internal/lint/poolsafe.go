@@ -1,0 +1,1021 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// poolsafe: the ownership discipline of recycled memory. PRs 5–7 made the
+// hot path allocation-free by recycling buffers and chunk shells —
+// wire.GetBuffer/PutBuffer, ChunkSession.Recycle, SessionReader.FeedInto,
+// arena-backed decode — which created a bug class no test reliably trips:
+// silent corruption through a buffer the pool has already handed to
+// someone else. The analyzer enforces three rules, interprocedurally:
+//
+//  1. use-after-put: once a value flows into a pool sink (PutBuffer,
+//     Recycle, FeedInto's spare, sync.Pool.Put — directly or through a
+//     helper whose summary consumes the parameter), any later read or
+//     write of it, or of an alias, is a finding with a `(via …)` witness
+//     naming the helper chain;
+//  2. double-put: returning the same value to the pool twice along any
+//     path, including an explicit put racing a deferred one;
+//  3. escaping aliases: an alias of a pooled value that is stored outside
+//     the owning frame, sent on a channel, captured by a spawned
+//     goroutine, or returned — while this function also returns the value
+//     to the pool — outlives the recycle and must be copied first. A
+//     function that takes from the pool and neither puts back, hands off,
+//     nor returns leaks the buffer (which is how deleting a PutBuffer
+//     guard fails the gate).
+//
+// The analysis is flow-sensitive within a function (branches union,
+// early-exit branches do not leak their releases past the join, loops
+// walk twice) and summary-based across functions: per-function pool
+// summaries — which receiver/parameter roots are consumed, which results
+// alias a parameter, whether a result is freshly pool-owned — are
+// computed bottom-up to a fixpoint on the PR 4 call-graph machinery and
+// re-bound at each call site. A call that both consumes a parameter and
+// returns an alias of it (FeedInto, DecodeSessionChunkInto) hands a
+// *fresh* ownership back: the argument dies, the result lives.
+//
+// Deliberate live views are suppressed with //lint:ignore poolsafe
+// <reason>. Approximations: aliases are tracked through plain
+// assignment, deref, slicing, indexing, append, and summary-declared
+// result aliasing — not through stores into the heap; a sink argument
+// that is a struct field path is not tracked (putting a field never
+// condemns the whole struct); calls the program cannot see into count as
+// ownership hand-offs, never as puts.
+
+// PoolSafe is the buffer-ownership analyzer.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc: "track pool-owned buffers and chunk shells interprocedurally: no use " +
+		"after PutBuffer/Recycle/FeedInto (with (via …) witness through helpers), " +
+		"no double put along any path, no escaping alias of a value this frame " +
+		"returns to the pool, no pool take that is never given back",
+	Run: runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	sums := pass.Prog.poolSummaries()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := pass.Prog.fns[symbolOf(obj)]
+			if fi == nil {
+				continue
+			}
+			w := newPoolWalker(pass, pass.Prog, sums, pass.Reportf)
+			w.walkFunc(fi)
+		}
+	}
+}
+
+// poolWitness is where (and through whom) a root was consumed.
+type poolWitness struct {
+	via string
+	pos token.Pos
+}
+
+// poolSummary is the pool-ownership abstract of one function.
+type poolSummary struct {
+	consumes     map[int]poolWitness // root index → first witness
+	returnsAlias map[int]bool        // root index → a result may alias it
+	returnsFresh bool                // a result is freshly pool-owned
+}
+
+func (sm *poolSummary) size() int {
+	n := len(sm.consumes) + len(sm.returnsAlias)
+	if sm.returnsFresh {
+		n++
+	}
+	return n
+}
+
+// poolSummaries computes (once per Program) the fixpoint of every known
+// function's pool summary, mirroring the lockset fixpoint: sets only
+// grow, the lattice is finite, recursion converges.
+func (prog *Program) poolSummaries() map[string]*poolSummary {
+	if prog.poolSums != nil {
+		return prog.poolSums
+	}
+	sums := make(map[string]*poolSummary, len(prog.fns))
+	for sym := range prog.fns {
+		sums[sym] = &poolSummary{consumes: map[int]poolWitness{}, returnsAlias: map[int]bool{}}
+	}
+	syms := make([]string, 0, len(prog.fns))
+	for sym := range prog.fns {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	const maxRounds = 12
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, sym := range syms {
+			fi := prog.fns[sym]
+			w := newPoolWalker(prog.passes[fi.pkg], prog, sums, nil)
+			next := w.walkFunc(fi)
+			if next.size() != sums[sym].size() {
+				changed = true
+			}
+			sums[sym] = next
+		}
+		if !changed {
+			break
+		}
+	}
+	prog.poolSums = sums
+	return sums
+}
+
+// poolIntrinsic is the pool contract of a callee known by name: the
+// repository's pool entry points plus sync.Pool itself, so the analyzer
+// needs no annotations and fixtures can define their own pools.
+type poolIntrinsic struct {
+	consumeArg int // argument index given to the pool; -1 = none
+	fresh      bool
+}
+
+func poolIntrinsicOf(pass *Pass, call *ast.CallExpr) (poolIntrinsic, bool) {
+	fn, ok := calleeObject(pass, call).(*types.Func)
+	if !ok {
+		return poolIntrinsic{}, false
+	}
+	switch symbolOf(fn) {
+	case "sync.Pool.Put":
+		return poolIntrinsic{consumeArg: 0}, true
+	case "sync.Pool.Get":
+		return poolIntrinsic{consumeArg: -1, fresh: true}, true
+	}
+	switch fn.Name() {
+	case "GetBuffer":
+		return poolIntrinsic{consumeArg: -1, fresh: true}, true
+	case "PutBuffer":
+		return poolIntrinsic{consumeArg: 0}, true
+	case "Recycle":
+		return poolIntrinsic{consumeArg: 0}, true
+	case "FeedInto":
+		// FeedInto(frameType, payload, spare): the spare shell's ownership
+		// transfers in; the decoded chunk that comes back is a fresh one.
+		return poolIntrinsic{consumeArg: 2, fresh: true}, true
+	case "DecodeSessionChunkInto":
+		return poolIntrinsic{consumeArg: 1, fresh: true}, true
+	}
+	return poolIntrinsic{}, false
+}
+
+// poolEscape is a recorded way an alias may outlive this frame; it is a
+// finding only if the frame also returns the value to the pool.
+type poolEscape struct {
+	pos  token.Pos
+	what string
+}
+
+// poolGroup is one alias group: every variable known to share the same
+// underlying pool-owned memory points at the same group.
+type poolGroup struct {
+	name        string // first variable bound, for messages
+	pooled      bool   // born from a pool source
+	srcPos      token.Pos
+	released    bool // given to a sink on some walked path
+	relVia      string
+	relPos      token.Pos
+	deferredPut bool // a deferred call gives it to a sink at exit
+	putAnywhere bool // released or deferred-released somewhere in the frame
+	handedOff   bool // passed to a call the analysis cannot see into
+	returned    bool
+	roots       map[int]bool // receiver/param roots aliased (summary facts)
+	escapes     []poolEscape
+}
+
+func (g *poolGroup) display() string {
+	if g.name != "" {
+		return g.name
+	}
+	return "pooled value"
+}
+
+type poolWalker struct {
+	pass     *Pass
+	prog     *Program
+	sums     map[string]*poolSummary
+	state    map[types.Object]*poolGroup
+	groups   []*poolGroup
+	sum      *poolSummary
+	report   func(pos token.Pos, format string, args ...any)
+	reported map[token.Pos]bool
+}
+
+func newPoolWalker(pass *Pass, prog *Program, sums map[string]*poolSummary,
+	report func(pos token.Pos, format string, args ...any)) *poolWalker {
+	return &poolWalker{
+		pass:     pass,
+		prog:     prog,
+		sums:     sums,
+		state:    map[types.Object]*poolGroup{},
+		report:   report,
+		reported: map[token.Pos]bool{},
+	}
+}
+
+func (w *poolWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.report == nil || w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.report(pos, format, args...)
+}
+
+// walkFunc analyzes one function body and returns its pool summary.
+// Receiver and parameters start as alias groups tagged with their root
+// indices so sinks on them become `consumes` facts.
+func (w *poolWalker) walkFunc(fi *funcInfo) *poolSummary {
+	w.sum = &poolSummary{consumes: map[int]poolWitness{}, returnsAlias: map[int]bool{}}
+	if fi.recvObj != nil {
+		g := &poolGroup{name: fi.recvObj.Name(), roots: map[int]bool{rootRecv: true}}
+		w.state[fi.recvObj] = g
+		w.groups = append(w.groups, g)
+	}
+	for i, p := range fi.paramObjs {
+		if p == nil {
+			continue
+		}
+		g := &poolGroup{name: p.Name(), roots: map[int]bool{i + 1: true}}
+		w.state[p] = g
+		w.groups = append(w.groups, g)
+	}
+	w.walkStmt(fi.decl.Body)
+	w.finish()
+	return w.sum
+}
+
+// finish flushes escape findings for groups the frame returns to the
+// pool, records consume facts, and reports pool leaks.
+func (w *poolWalker) finish() {
+	for _, g := range w.groups {
+		if g.putAnywhere {
+			for _, e := range g.escapes {
+				w.reportf(e.pos, "alias of pooled %s %s, but this function also returns it to the pool — copy it first or move the put", g.display(), e.what)
+			}
+			for root := range g.roots {
+				if _, ok := w.sum.consumes[root]; !ok {
+					w.sum.consumes[root] = poolWitness{via: g.relVia, pos: g.relPos}
+				}
+			}
+		}
+		if g.pooled && !g.putAnywhere && !g.handedOff && !g.returned && len(g.escapes) == 0 {
+			w.reportf(g.srcPos, "%s is taken from the pool but never returned to it, handed off, or kept — the pooled buffer leaks", g.display())
+		}
+	}
+}
+
+// --- statements ---
+
+func (w *poolWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.walkStmt(st)
+		}
+	case *ast.ExprStmt:
+		w.evalExpr(s.X)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var g *poolGroup
+					if i < len(vs.Values) {
+						g = w.evalExpr(vs.Values[i])
+					}
+					w.bindIdent(name, g, true)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.evalExpr(s.Cond)
+		w.walkBranch(s.Body)
+		if s.Else != nil {
+			w.walkBranch(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.evalExpr(s.Cond)
+		}
+		for i := 0; i < 2; i++ { // loops walk twice: catches put-then-next-iteration use
+			w.walkStmt(s.Body)
+			if s.Post != nil {
+				w.walkStmt(s.Post)
+			}
+		}
+	case *ast.RangeStmt:
+		w.evalExpr(s.X)
+		for i := 0; i < 2; i++ {
+			w.bindRangeVars(s)
+			w.walkStmt(s.Body)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.evalExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			w.walkBranch(c)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init)
+		}
+		w.walkStmt(s.Assign)
+		for _, c := range s.Body.List {
+			w.walkBranch(c)
+		}
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.evalExpr(e)
+		}
+		for _, st := range s.Body {
+			w.walkStmt(st)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.walkBranch(c)
+		}
+	case *ast.CommClause:
+		if s.Comm != nil {
+			w.walkStmt(s.Comm)
+		}
+		for _, st := range s.Body {
+			w.walkStmt(st)
+		}
+	case *ast.ReturnStmt:
+		w.handleReturn(s)
+	case *ast.SendStmt:
+		w.evalExpr(s.Chan)
+		if g := w.evalExpr(s.Value); g != nil {
+			w.escape(g, "is sent on a channel", s.Value.Pos())
+		}
+	case *ast.DeferStmt:
+		w.handleDefer(s.Call)
+	case *ast.GoStmt:
+		w.handleGo(s.Call)
+	case *ast.IncDecStmt:
+		w.evalExpr(s.X)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	}
+}
+
+// walkBranch walks one arm of a conditional; if the arm cannot fall
+// through (it returns, breaks, or panics), its releases are rolled back
+// so the early-exit `if err { Put(buf); return }` idiom does not condemn
+// the fall-through path.
+func (w *poolWalker) walkBranch(body ast.Stmt) {
+	saved := w.snapshot()
+	w.walkStmt(body)
+	if stmtTerminates(body) {
+		w.restore(saved)
+	}
+}
+
+type poolMark struct {
+	g           *poolGroup
+	released    bool
+	relVia      string
+	relPos      token.Pos
+	deferredPut bool
+}
+
+func (w *poolWalker) snapshot() []poolMark {
+	marks := make([]poolMark, 0, len(w.groups))
+	for _, g := range w.groups {
+		marks = append(marks, poolMark{g: g, released: g.released, relVia: g.relVia, relPos: g.relPos, deferredPut: g.deferredPut})
+	}
+	return marks
+}
+
+func (w *poolWalker) restore(marks []poolMark) {
+	for _, m := range marks {
+		m.g.released, m.g.relVia, m.g.relPos, m.g.deferredPut = m.released, m.relVia, m.relPos, m.deferredPut
+	}
+}
+
+// stmtTerminates reports whether control cannot fall out of s.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Exit", "Fatal", "Fatalf", "Goexit":
+					return true
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return stmtTerminates(s.List[n-1])
+		}
+	case *ast.CaseClause:
+		if n := len(s.Body); n > 0 {
+			return stmtTerminates(s.Body[n-1])
+		}
+	case *ast.IfStmt:
+		return s.Else != nil && stmtTerminates(s.Body) && stmtTerminates(s.Else)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	}
+	return false
+}
+
+func (w *poolWalker) bindRangeVars(s *ast.RangeStmt) {
+	for _, e := range []ast.Expr{s.Key, s.Value} {
+		if id, ok := e.(*ast.Ident); ok && e != nil {
+			w.bindIdent(id, nil, s.Tok == token.DEFINE)
+		}
+	}
+}
+
+func (w *poolWalker) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// compound (+=, |=, …): pure uses on both sides
+		for _, e := range s.Rhs {
+			w.evalExpr(e)
+		}
+		for _, e := range s.Lhs {
+			w.evalExpr(e)
+		}
+		return
+	}
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		// multi-value: the result group (if any) binds to the reference-
+		// typed targets — FeedInto's chunk, not its bool and error.
+		g := w.evalExpr(s.Rhs[0])
+		for _, l := range s.Lhs {
+			lg := g
+			if lg != nil && !isRefType(w.pass.TypeOf(l)) {
+				lg = nil
+			}
+			w.bindLHS(l, lg, s.Tok == token.DEFINE)
+		}
+		return
+	}
+	for i, r := range s.Rhs {
+		g := w.evalExpr(r)
+		if i < len(s.Lhs) {
+			w.bindLHS(s.Lhs[i], g, s.Tok == token.DEFINE)
+		}
+	}
+}
+
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func (w *poolWalker) bindLHS(l ast.Expr, g *poolGroup, define bool) {
+	l = unparen(l)
+	if id, ok := l.(*ast.Ident); ok {
+		w.bindIdent(id, g, define)
+		return
+	}
+	// A store through memory: writing through a released pointer is a use
+	// (evalExpr reports it); storing an alias of pooled memory anywhere
+	// but back into its own group may outlive the put.
+	lg := w.evalExpr(l)
+	if g != nil && g != lg {
+		w.escape(g, "is stored outside the owning frame", l.Pos())
+	}
+}
+
+func (w *poolWalker) bindIdent(id *ast.Ident, g *poolGroup, define bool) {
+	if id.Name == "_" {
+		return
+	}
+	var obj types.Object
+	if define {
+		obj = w.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		obj = w.pass.Info.Uses[id]
+	}
+	if obj == nil {
+		obj = w.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return
+	}
+	if g == nil {
+		delete(w.state, obj)
+		return
+	}
+	if g.name == "" {
+		g.name = id.Name
+	}
+	w.state[obj] = g
+}
+
+func (w *poolWalker) handleReturn(s *ast.ReturnStmt) {
+	for _, e := range s.Results {
+		g := w.evalExpr(e)
+		if g == nil {
+			continue
+		}
+		for root := range g.roots {
+			w.sum.returnsAlias[root] = true
+		}
+		if g.pooled {
+			w.sum.returnsFresh = true
+		}
+		if g.deferredPut {
+			w.reportf(e.Pos(), "%s is returned while a deferred call returns it to the pool — the caller receives a recycled buffer", g.display())
+			continue
+		}
+		g.returned = true
+		w.escape(g, "is returned to the caller", e.Pos())
+	}
+}
+
+func (w *poolWalker) handleDefer(call *ast.CallExpr) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// defer func() { … Put(buf) … }(): scan for sinks over the outer
+		// frame's groups; the closure body's own locals are its business.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if in, ok := poolIntrinsicOf(w.pass, c); ok && in.consumeArg >= 0 && in.consumeArg < len(c.Args) {
+				w.deferRelease(w.groupOfQuiet(c.Args[in.consumeArg]), c.Pos(), "")
+			}
+			return true
+		})
+		return
+	}
+	if in, ok := poolIntrinsicOf(w.pass, call); ok {
+		for i, a := range call.Args {
+			if i != in.consumeArg {
+				w.evalExpr(a)
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			w.evalExpr(sel.X)
+		}
+		if in.consumeArg >= 0 && in.consumeArg < len(call.Args) {
+			w.deferRelease(w.groupOfQuiet(call.Args[in.consumeArg]), call.Pos(), "")
+		}
+		return
+	}
+	if fi := w.prog.lookup(w.pass, call); fi != nil {
+		if sm := w.sums[symbolOf(fi.obj)]; sm != nil && len(sm.consumes) > 0 {
+			for _, a := range call.Args {
+				w.evalExpr(a)
+			}
+			for root, wit := range sm.consumes {
+				obj := bindRoot(w.pass, call, root)
+				if obj == nil {
+					continue
+				}
+				w.deferRelease(w.state[obj], call.Pos(), viaJoin(fi.shortName(), wit.via))
+			}
+			return
+		}
+	}
+	w.evalExpr(call)
+}
+
+func (w *poolWalker) deferRelease(g *poolGroup, pos token.Pos, via string) {
+	if g == nil {
+		return
+	}
+	if g.deferredPut || g.released {
+		w.reportf(pos, "%s is returned to the pool twice (a put already covers it)%s", g.display(), viaSuffix(via))
+		return
+	}
+	g.deferredPut = true
+	g.putAnywhere = true
+	if g.relVia == "" {
+		g.relVia = via
+	}
+}
+
+func (w *poolWalker) handleGo(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		if g := w.evalExpr(a); g != nil {
+			w.escape(g, "is passed to a spawned goroutine", a.Pos())
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// Captured aliases run concurrently with whatever put this frame
+		// performs; the body itself is checked with a fresh frame.
+		seen := map[*poolGroup]bool{}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := w.pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if g := w.state[obj]; g != nil && !seen[g] {
+				seen[g] = true
+				if g.released {
+					w.reportf(id.Pos(), "%s is used by a goroutine after being returned to the pool%s", g.display(), viaSuffix(g.relVia))
+				} else {
+					w.escape(g, "is captured by a spawned goroutine", id.Pos())
+				}
+			}
+			return true
+		})
+		sub := newPoolWalker(w.pass, w.prog, w.sums, w.report)
+		sub.reported = w.reported
+		sub.walkStmt(lit.Body)
+		sub.finish()
+	}
+}
+
+// escape records a way g may outlive this frame; finish() turns it into
+// a finding only if the frame also returns g to the pool.
+func (w *poolWalker) escape(g *poolGroup, what string, pos token.Pos) {
+	for _, e := range g.escapes {
+		if e.pos == pos {
+			return
+		}
+	}
+	g.escapes = append(g.escapes, poolEscape{pos: pos, what: what})
+}
+
+// --- expressions ---
+
+// evalExpr walks an expression for its pool effects and returns the alias
+// group its value may belong to. Reading an identifier whose group was
+// released is the core use-after-put check.
+func (w *poolWalker) evalExpr(e ast.Expr) *poolGroup {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.Uses[e]
+		if obj == nil {
+			obj = w.pass.Info.Defs[e]
+		}
+		if obj == nil {
+			return nil
+		}
+		g := w.state[obj]
+		if g != nil && g.released {
+			w.reportf(e.Pos(), "%s is used after being returned to the pool%s", e.Name, viaSuffix(g.relVia))
+		}
+		return g
+	case *ast.ParenExpr:
+		return w.evalExpr(e.X)
+	case *ast.StarExpr:
+		return w.evalExpr(e.X)
+	case *ast.SelectorExpr:
+		return w.evalExpr(e.X)
+	case *ast.SliceExpr:
+		for _, idx := range []ast.Expr{e.Low, e.High, e.Max} {
+			if idx != nil {
+				w.evalExpr(idx)
+			}
+		}
+		return w.evalExpr(e.X)
+	case *ast.IndexExpr:
+		w.evalExpr(e.Index)
+		return w.evalExpr(e.X)
+	case *ast.TypeAssertExpr:
+		return w.evalExpr(e.X)
+	case *ast.UnaryExpr:
+		g := w.evalExpr(e.X)
+		if e.Op == token.ARROW {
+			return nil
+		}
+		return g
+	case *ast.BinaryExpr:
+		w.evalExpr(e.X)
+		w.evalExpr(e.Y)
+		return nil
+	case *ast.CallExpr:
+		return w.evalCall(e)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if g := w.evalExpr(elt); g != nil {
+				w.escape(g, "is stored in a composite literal", elt.Pos())
+			}
+		}
+		return nil
+	case *ast.FuncLit:
+		sub := newPoolWalker(w.pass, w.prog, w.sums, w.report)
+		sub.reported = w.reported
+		sub.walkStmt(e.Body)
+		sub.finish()
+		return nil
+	}
+	return nil
+}
+
+func (w *poolWalker) evalCall(call *ast.CallExpr) *poolGroup {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && w.pass.Info.Uses[id] == nil && w.pass.Info.Defs[id] == nil {
+		// unresolved — shouldn't happen in typechecked code
+		for _, a := range call.Args {
+			w.evalExpr(a)
+		}
+		return nil
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := w.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				var g *poolGroup
+				for i, a := range call.Args {
+					ag := w.evalExpr(a)
+					if i == 0 {
+						g = ag // append's result aliases (or grows) its base
+					}
+				}
+				return g
+			default:
+				for _, a := range call.Args {
+					w.evalExpr(a)
+				}
+				return nil
+			}
+		}
+		if _, isType := w.pass.Info.Uses[id].(*types.TypeName); isType {
+			// conversion: string(buf) and friends copy; pointer casts are
+			// out of scope
+			for _, a := range call.Args {
+				w.evalExpr(a)
+			}
+			return nil
+		}
+	}
+
+	if in, ok := poolIntrinsicOf(w.pass, call); ok {
+		for i, a := range call.Args {
+			if i != in.consumeArg {
+				w.evalExpr(a)
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			w.evalExpr(sel.X)
+		}
+		if in.consumeArg >= 0 && in.consumeArg < len(call.Args) {
+			w.release(call.Args[in.consumeArg], call.Pos(), "")
+		}
+		if in.fresh {
+			return w.freshGroup(call.Pos())
+		}
+		return nil
+	}
+
+	if fi := w.prog.lookup(w.pass, call); fi != nil {
+		sm := w.sums[symbolOf(fi.obj)]
+		if sm != nil && (len(sm.consumes) > 0 || len(sm.returnsAlias) > 0 || sm.returnsFresh) {
+			consumedArg := map[int]bool{}
+			for root := range sm.consumes {
+				if root >= 1 {
+					consumedArg[root-1] = true
+				}
+			}
+			for i, a := range call.Args {
+				if !consumedArg[i] {
+					w.evalExpr(a)
+				}
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if _, recvConsumed := sm.consumes[rootRecv]; !recvConsumed {
+					w.evalExpr(sel.X)
+				}
+			}
+			// Resolve the result alias before applying consumption: a
+			// callee that consumes a root AND returns an alias of it hands
+			// fresh ownership back (FeedInto's contract).
+			var result *poolGroup
+			for root := range sm.returnsAlias {
+				if _, alsoConsumed := sm.consumes[root]; alsoConsumed {
+					result = w.freshGroup(call.Pos())
+					continue
+				}
+				if obj := bindRoot(w.pass, call, root); obj != nil {
+					if g := w.state[obj]; g != nil && result == nil {
+						result = g
+					}
+				}
+			}
+			roots := make([]int, 0, len(sm.consumes))
+			for root := range sm.consumes {
+				roots = append(roots, root)
+			}
+			sort.Ints(roots)
+			for _, root := range roots {
+				wit := sm.consumes[root]
+				via := viaJoin(fi.shortName(), wit.via)
+				switch {
+				case root == rootRecv:
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+						w.release(sel.X, call.Pos(), via)
+					}
+				case root >= 1 && root-1 < len(call.Args):
+					w.release(call.Args[root-1], call.Pos(), via)
+				}
+			}
+			if sm.returnsFresh && result == nil {
+				result = w.freshGroup(call.Pos())
+			}
+			return result
+		}
+		// Known callee with no pool facts: arguments are read, not taken.
+		for _, a := range call.Args {
+			w.evalExpr(a)
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			w.evalExpr(sel.X)
+		}
+		return nil
+	}
+
+	// A call the program cannot see into: whatever it receives may be
+	// kept — an ownership hand-off, never a put.
+	for _, a := range call.Args {
+		if g := w.evalExpr(a); g != nil {
+			g.handedOff = true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if g := w.evalExpr(sel.X); g != nil {
+			g.handedOff = true
+		}
+	}
+	return nil
+}
+
+func (w *poolWalker) freshGroup(pos token.Pos) *poolGroup {
+	g := &poolGroup{pooled: true, srcPos: pos}
+	w.groups = append(w.groups, g)
+	return g
+}
+
+// release gives the value of arg to a pool sink: double puts are
+// findings, and a previously untracked local becomes a released group so
+// later uses of it are caught (chunk shells from Next() have no source
+// marker — the Recycle call itself is what starts their afterlife).
+func (w *poolWalker) release(arg ast.Expr, pos token.Pos, via string) {
+	g, obj := w.groupAndObjOf(arg)
+	if g == nil {
+		if obj == nil || !isLocalVar(obj) {
+			return
+		}
+		g = &poolGroup{name: obj.Name()}
+		w.state[obj] = g
+		w.groups = append(w.groups, g)
+	}
+	if g.released || g.deferredPut {
+		w.reportf(pos, "%s is returned to the pool twice%s", g.display(), viaSuffix(via))
+		return
+	}
+	g.released = true
+	g.relPos = pos
+	g.relVia = via
+	g.putAnywhere = true
+}
+
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return obj.Parent() != nil && obj.Parent() != obj.Pkg().Scope() && obj.Parent() != types.Universe
+}
+
+// groupOfQuiet resolves the alias group of a sink argument without
+// reporting uses. Field paths (c.buf) deliberately resolve to nothing:
+// putting a struct's field never condemns the struct.
+func (w *poolWalker) groupOfQuiet(e ast.Expr) *poolGroup {
+	g, _ := w.groupAndObjOf(e)
+	return g
+}
+
+func (w *poolWalker) groupAndObjOf(e ast.Expr) (*poolGroup, types.Object) {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			obj := w.pass.Info.Uses[t]
+			if obj == nil {
+				obj = w.pass.Info.Defs[t]
+			}
+			if obj == nil {
+				return nil, nil
+			}
+			return w.state[obj], obj
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			if t.Op != token.AND {
+				return nil, nil
+			}
+			e = t.X
+		case *ast.CallExpr:
+			return w.evalCall(t), nil
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// FormatPoolSummaries renders the non-empty pool-ownership summaries —
+// part of the `epilint -summaries` debugging view.
+func FormatPoolSummaries(pkgs []*Package) []string {
+	prog := newProgram(pkgs)
+	sums := prog.poolSummaries()
+	syms := make([]string, 0, len(sums))
+	for sym, sm := range sums {
+		if sm.size() == 0 {
+			continue
+		}
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	out := make([]string, 0, len(syms))
+	for _, sym := range syms {
+		sm := sums[sym]
+		line := sym + "\n  pool:"
+		roots := make([]int, 0, len(sm.consumes))
+		for root := range sm.consumes {
+			roots = append(roots, root)
+		}
+		sort.Ints(roots)
+		for _, root := range roots {
+			line += " consumes " + rootName(root)
+			if via := sm.consumes[root].via; via != "" {
+				line += " (via " + via + ")"
+			}
+			line += ";"
+		}
+		aroots := make([]int, 0, len(sm.returnsAlias))
+		for root := range sm.returnsAlias {
+			aroots = append(aroots, root)
+		}
+		sort.Ints(aroots)
+		for _, root := range aroots {
+			line += " returns alias of " + rootName(root) + ";"
+		}
+		if sm.returnsFresh {
+			line += " returns pooled;"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func rootName(root int) string {
+	switch {
+	case root == rootRecv:
+		return "recv"
+	case root >= 1:
+		return fmt.Sprintf("param %d", root-1)
+	}
+	return "other"
+}

@@ -1,0 +1,189 @@
+// Package fixture seeds the poolsafe ownership violations: use after a
+// value flows into a pool sink (directly and through a helper with a
+// (via …) witness), double puts along straight-line, branched, deferred
+// and looping paths, aliases escaping a frame that also recycles the
+// value, and a pool take that never flows back. The negative cases pin
+// the deliberate idioms the hot path relies on: put-and-early-return,
+// self-store via append, ownership-transfer returns, rebinding, and the
+// FeedInto consume-spare/return-fresh contract.
+package fixture
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// GetBuffer and PutBuffer mirror the wire package's pool entry points;
+// poolsafe recognizes them by name so the fixture needs no imports.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+func PutBuffer(b *[]byte) { bufPool.Put(b) }
+
+func tooBig(b *[]byte) bool { return cap(*b) > 1<<20 }
+
+func touch(b []byte) int { return len(b) }
+
+// release is the interprocedural sink: its summary consumes param 0.
+func release(b *[]byte) { PutBuffer(b) }
+
+// --- use-after-put ------------------------------------------------------
+
+func useAfterPut() {
+	buf := GetBuffer()
+	PutBuffer(buf)
+	_ = len(*buf) // want `buf is used after being returned to the pool`
+}
+
+func useAfterHelperPut() int {
+	buf := GetBuffer()
+	release(buf)
+	return touch(*buf) // want `buf is used after being returned to the pool \(via release\)`
+}
+
+// --- double put ---------------------------------------------------------
+
+func doublePut() {
+	buf := GetBuffer()
+	PutBuffer(buf)
+	PutBuffer(buf) // want `buf is returned to the pool twice`
+}
+
+func deferredDoublePut() {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if tooBig(buf) {
+		PutBuffer(buf) // want `buf is returned to the pool twice`
+	}
+}
+
+func loopDoublePut(frames [][]byte) {
+	buf := GetBuffer()
+	for range frames {
+		PutBuffer(buf) // want `buf is returned to the pool twice`
+	}
+}
+
+// --- escaping aliases of a value this frame recycles --------------------
+
+type cache struct{ last []byte }
+
+func storeEscape(c *cache) {
+	buf := GetBuffer()
+	c.last = *buf // want `alias of pooled buf is stored outside the owning frame, but this function also returns it to the pool`
+	PutBuffer(buf)
+}
+
+func sendEscape(ch chan []byte) {
+	buf := GetBuffer()
+	ch <- *buf // want `alias of pooled buf is sent on a channel, but this function also returns it to the pool`
+	PutBuffer(buf)
+}
+
+func goroutineEscape(done chan struct{}) {
+	buf := GetBuffer()
+	go func() {
+		_ = len(*buf) // want `alias of pooled buf is captured by a spawned goroutine, but this function also returns it to the pool`
+		close(done)
+	}()
+	PutBuffer(buf)
+}
+
+func returnRecycled() []byte {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	return *buf // want `buf is returned while a deferred call returns it to the pool`
+}
+
+// --- leaks --------------------------------------------------------------
+
+func leak() {
+	buf := GetBuffer() // want `buf is taken from the pool but never returned to it`
+	_ = len(*buf)
+}
+
+// --- chunk-shell recycling (Recycle / FeedInto contracts) ---------------
+
+type chunk struct{ items []int }
+
+type session struct{ free chan *chunk }
+
+func (s *session) next() *chunk { return <-s.free }
+
+func (s *session) Recycle(p *chunk) {
+	select {
+	case s.free <- p:
+	default:
+	}
+}
+
+func useAfterRecycle(s *session) {
+	p := s.next()
+	s.Recycle(p)
+	p.items = nil // want `p is used after being returned to the pool`
+}
+
+type reader struct{ state int }
+
+// FeedInto mirrors the SessionReader contract: the spare shell's
+// ownership transfers in, a fresh decoded chunk comes back out.
+func (r *reader) FeedInto(frameType byte, payload []byte, spare *chunk) (*chunk, error) {
+	spare.items = spare.items[:0]
+	return spare, nil
+}
+
+func feedSpareReuse(r *reader, payload []byte) *chunk {
+	spare := &chunk{}
+	c, err := r.FeedInto(0, payload, spare)
+	if err != nil {
+		return nil
+	}
+	spare.items = nil // want `spare is used after being returned to the pool`
+	return c
+}
+
+// --- negatives: the idioms the hot path relies on -----------------------
+
+// put on the early-exit arm does not condemn the fall-through path
+func cleanEarlyReturn(n int) int {
+	buf := GetBuffer()
+	if n < 0 {
+		PutBuffer(buf)
+		return 0
+	}
+	*buf = append((*buf)[:0], byte(n)) // self-store via append: not an escape
+	out := len(*buf)
+	PutBuffer(buf)
+	return out
+}
+
+// ownership-transfer return: no put in this frame, so the alias is fine
+func newOwned() *[]byte {
+	buf := GetBuffer()
+	*buf = (*buf)[:0]
+	return buf
+}
+
+// rebinding starts a new lifetime
+func rebind() {
+	buf := GetBuffer()
+	PutBuffer(buf)
+	buf = GetBuffer()
+	PutBuffer(buf)
+}
+
+// the FeedInto result is fresh ownership, usable after the call
+func feedFresh(r *reader, payload []byte, out chan<- *chunk) {
+	spare := &chunk{}
+	c, err := r.FeedInto(0, payload, spare)
+	if err != nil {
+		return
+	}
+	out <- c
+}
+
+// a deliberate live view, suppressed with a reason
+func deliberateLiveView(c *cache) {
+	buf := GetBuffer()
+	//lint:ignore poolsafe the caller copies the view before the next pull
+	c.last = *buf
+	PutBuffer(buf)
+}

@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// wirecheck: protocol-surface exhaustiveness. The wire protocol is at
+// ~10 kinds and still growing (reconciliation and Byzantine-resilience
+// work will add more); every kind that ships must carry five legs, and
+// forgetting one is a silent interoperability or coverage hole that no
+// test trips until a peer does. The analyzer discovers every package-
+// level `Kind*` constant in the package that declares `AppendRequest`
+// and verifies, for each:
+//
+//   - request kinds (declared with the named `Kind` type):
+//     (1) an encoder leg — something constructs a request with it
+//     (`Kind: KindX` or `.Kind = KindX`);
+//     (2) a dispatch leg — a case clause or ==/!= comparison routes it
+//     outside the codec functions;
+//     (3) a fuzz leg — a `Fuzz*` driver references it (test files are
+//     parsed on the side, since the loader builds non-test packages);
+//     (4) codec/size symmetry — a kind-gated arm in any of
+//     AppendRequest / DecodeRequest / RequestWireSize must appear in
+//     all three, so encoding, decoding, and accounting never drift;
+//     (5) a gob leg — a dispatch arm (or the default rejection) in a
+//     function reachable from the legacy gob front end, reported with
+//     the call-path witness `(via handleGob → dispatch)` when absent;
+//
+//   - frame kinds (untyped constants — the session framing):
+//     a writer (`WriteFrame(…, KindX, …)`), a reader arm, a fuzz leg,
+//     and the `Append<X>`/`Decode<X>` codec pair. Frame kinds have no
+//     gob leg: sessions exist only on framed connections, and the gob
+//     path's divert/rejection is checked through the request kinds.
+//
+// A missing leg is reported at the constant's declaration, naming the
+// kind and the absent leg.
+
+// WireCheck is the protocol-surface exhaustiveness analyzer.
+var WireCheck = &Analyzer{
+	Name: "wirecheck",
+	Doc: "every wire.Kind* constant carries its full protocol surface: encoder, " +
+		"dispatch arm, Fuzz* driver membership, AppendRequest/DecodeRequest/" +
+		"RequestWireSize symmetry, and a gob-fallback or explicit-rejection path " +
+		"(writer/reader/codec-pair legs for untyped session frame kinds)",
+	Run: runWireCheck,
+}
+
+type wireKind struct {
+	name  string
+	typed bool // carries the named Kind type → request kind
+	pos   token.Pos
+}
+
+// wireKindUses accumulates every way one kind constant is referenced
+// across the whole program.
+type wireKindUses struct {
+	encode      bool
+	dispatch    bool
+	gobDispatch bool
+	written     bool
+	fuzz        bool
+	codecArms   map[string]bool // membership in the codec trio's bodies
+}
+
+var codecTrio = [...]string{"AppendRequest", "DecodeRequest", "RequestWireSize"}
+
+func runWireCheck(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	// The protocol home is the package that declares AppendRequest; every
+	// other package (transport's aliased constants included) is scanned
+	// for uses but declares no surface of its own.
+	if _, ok := pass.Pkg.Scope().Lookup("AppendRequest").(*types.Func); !ok {
+		return
+	}
+	kinds := discoverWireKinds(pass.Pkg)
+	if len(kinds) == 0 {
+		return
+	}
+	names := map[string]bool{}
+	for _, k := range kinds {
+		names[k.name] = true
+	}
+
+	reach := gobReachable(pass.Prog)
+	uses, gobHub := scanWireKindUses(pass.Prog, names, reach)
+	for name, ok := range testFuzzRefs(kindsDir(pass), names) {
+		if ok {
+			uses[name].fuzz = true
+		}
+	}
+
+	for _, k := range kinds {
+		u := uses[k.name]
+		if k.typed {
+			if !u.encode {
+				pass.Reportf(k.pos, "wire kind %s has no encoder leg: nothing constructs a request with Kind: %s", k.name, k.name)
+			}
+			if !u.dispatch {
+				pass.Reportf(k.pos, "wire kind %s has no dispatch leg: no case or comparison routes it outside the codec", k.name)
+			}
+			if !u.fuzz {
+				pass.Reportf(k.pos, "wire kind %s is not exercised by any Fuzz* driver", k.name)
+			}
+			if n := len(u.codecArms); n > 0 && n < len(codecTrio) {
+				var present, missing []string
+				for _, fn := range codecTrio {
+					if u.codecArms[fn] {
+						present = append(present, fn)
+					} else {
+						missing = append(missing, fn)
+					}
+				}
+				pass.Reportf(k.pos, "wire kind %s: kind-gated codec arms out of sync: present in %s, missing from %s",
+					k.name, strings.Join(present, "/"), strings.Join(missing, "/"))
+			}
+			if !u.gobDispatch {
+				pass.Reportf(k.pos, "wire kind %s has no gob-fallback or explicit-rejection arm%s", k.name, viaSuffix(gobHub))
+			}
+			continue
+		}
+		if !u.written {
+			pass.Reportf(k.pos, "frame kind %s is never written: no WriteFrame call sends it", k.name)
+		}
+		if !u.dispatch {
+			pass.Reportf(k.pos, "frame kind %s has no reader arm: no case or comparison consumes it", k.name)
+		}
+		if !u.fuzz {
+			pass.Reportf(k.pos, "frame kind %s is not exercised by any Fuzz* driver", k.name)
+		}
+		suffix := strings.TrimPrefix(k.name, "Kind")
+		var missing []string
+		for _, half := range []string{"Append" + suffix, "Decode" + suffix} {
+			if _, ok := pass.Pkg.Scope().Lookup(half).(*types.Func); !ok {
+				missing = append(missing, half)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(k.pos, "frame kind %s has no codec pair: missing %s", k.name, strings.Join(missing, "/"))
+		}
+	}
+}
+
+func discoverWireKinds(pkg *types.Package) []wireKind {
+	scope := pkg.Scope()
+	var kinds []wireKind
+	for _, nm := range scope.Names() {
+		if !strings.HasPrefix(nm, "Kind") || nm == "Kind" {
+			continue
+		}
+		c, ok := scope.Lookup(nm).(*types.Const)
+		if !ok {
+			continue
+		}
+		typed := false
+		if named, ok := c.Type().(*types.Named); ok && named.Obj().Name() == "Kind" {
+			typed = true
+		}
+		kinds = append(kinds, wireKind{name: nm, typed: typed, pos: c.Pos()})
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].pos < kinds[j].pos })
+	return kinds
+}
+
+func kindsDir(pass *Pass) string {
+	for _, pkg := range pass.Prog.pkgs {
+		if pkg.Types == pass.Pkg {
+			return pkg.Dir
+		}
+	}
+	return ""
+}
+
+// kindRefName returns the Kind* constant an expression names, or "".
+// Matching is by name, not object identity: transport re-declares the
+// constants as aliases (`KindPropagation = wire.KindPropagation`) and
+// typed/untyped kinds share raw values, so names are the one namespace
+// the whole protocol agrees on.
+func kindRefName(e ast.Expr, names map[string]bool) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		if names[e.Name] {
+			return e.Name
+		}
+	case *ast.SelectorExpr:
+		if names[e.Sel.Name] {
+			return e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// scanWireKindUses classifies every reference to a kind constant across
+// all loaded packages. Only function bodies are scanned, so the alias
+// re-declarations in transport's const block never count as uses. It
+// also returns the gob hub witness: the call path to the gob-reachable
+// function holding the most dispatch arms.
+func scanWireKindUses(prog *Program, names map[string]bool, reach map[string]string) (map[string]*wireKindUses, string) {
+	uses := map[string]*wireKindUses{}
+	for nm := range names {
+		uses[nm] = &wireKindUses{codecArms: map[string]bool{}}
+	}
+	hubCount := map[string]int{}
+	codec := map[string]bool{}
+	for _, fn := range codecTrio {
+		codec[fn] = true
+	}
+
+	for _, pkg := range prog.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fname := fd.Name.Name
+				var sym string
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					sym = symbolOf(obj)
+				}
+				isFuzz := strings.HasPrefix(fname, "Fuzz")
+				dispatchUse := func(nm string) {
+					if isFuzz {
+						return
+					}
+					if codec[fname] {
+						uses[nm].codecArms[fname] = true
+						return
+					}
+					if strings.HasPrefix(fname, "Append") || strings.HasPrefix(fname, "Decode") || strings.HasSuffix(fname, "WireSize") {
+						return
+					}
+					uses[nm].dispatch = true
+					if _, ok := reach[sym]; ok {
+						uses[nm].gobDispatch = true
+						hubCount[sym]++
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.Ident:
+						if isFuzz && names[n.Name] {
+							uses[n.Name].fuzz = true
+						}
+					case *ast.KeyValueExpr:
+						if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Kind" {
+							if nm := kindRefName(n.Value, names); nm != "" {
+								uses[nm].encode = true
+							}
+						}
+					case *ast.AssignStmt:
+						for i, l := range n.Lhs {
+							sel, ok := l.(*ast.SelectorExpr)
+							if !ok || sel.Sel.Name != "Kind" || i >= len(n.Rhs) {
+								continue
+							}
+							if nm := kindRefName(n.Rhs[i], names); nm != "" {
+								uses[nm].encode = true
+							}
+						}
+					case *ast.CaseClause:
+						for _, e := range n.List {
+							if nm := kindRefName(e, names); nm != "" {
+								dispatchUse(nm)
+							}
+						}
+					case *ast.BinaryExpr:
+						if n.Op == token.EQL || n.Op == token.NEQ {
+							for _, e := range []ast.Expr{n.X, n.Y} {
+								if nm := kindRefName(e, names); nm != "" {
+									dispatchUse(nm)
+								}
+							}
+						}
+					case *ast.CallExpr:
+						var callee string
+						switch fun := unparen(n.Fun).(type) {
+						case *ast.Ident:
+							callee = fun.Name
+						case *ast.SelectorExpr:
+							callee = fun.Sel.Name
+						}
+						if strings.Contains(callee, "WriteFrame") {
+							for _, a := range n.Args {
+								if nm := kindRefName(a, names); nm != "" {
+									uses[nm].written = true
+								}
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	hub := ""
+	best := -1
+	hubs := make([]string, 0, len(hubCount))
+	for sym := range hubCount {
+		hubs = append(hubs, sym)
+	}
+	sort.Strings(hubs)
+	for _, sym := range hubs {
+		if hubCount[sym] > best {
+			best, hub = hubCount[sym], reach[sym]
+		}
+	}
+	return uses, hub
+}
+
+// gobReachable computes the set of functions reachable from the legacy
+// gob front ends — any function whose body references encoding/gob —
+// each mapped to its call-path witness from the root.
+func gobReachable(prog *Program) map[string]string {
+	var roots []string
+	for _, pkg := range prog.pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				usesGob := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || usesGob {
+						return !usesGob
+					}
+					if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "encoding/gob" {
+						usesGob = true
+					}
+					return true
+				})
+				if !usesGob {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, symbolOf(obj))
+				}
+			}
+		}
+	}
+	sort.Strings(roots)
+
+	reach := map[string]string{}
+	queue := make([]string, 0, len(roots))
+	for _, sym := range roots {
+		if fi := prog.fns[sym]; fi != nil {
+			if _, ok := reach[sym]; !ok {
+				reach[sym] = fi.shortName()
+				queue = append(queue, sym)
+			}
+		}
+	}
+	const maxDepth = 8
+	for depth := 0; depth < maxDepth && len(queue) > 0; depth++ {
+		var next []string
+		for _, sym := range queue {
+			fi := prog.fns[sym]
+			pass := prog.passes[fi.pkg]
+			ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := prog.lookup(pass, call)
+				if callee == nil {
+					return true
+				}
+				csym := symbolOf(callee.obj)
+				if _, ok := reach[csym]; ok {
+					return true
+				}
+				reach[csym] = reach[sym] + " → " + callee.shortName()
+				next = append(next, csym)
+				return true
+			})
+		}
+		queue = next
+	}
+	return reach
+}
+
+// testFuzzRefs parses the protocol package's _test.go files (which the
+// offline loader does not build) and records which kind names appear
+// inside Fuzz* functions.
+func testFuzzRefs(dir string, names map[string]bool) map[string]bool {
+	refs := map[string]bool{}
+	if dir == "" {
+		return refs
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return refs
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && names[id.Name] {
+					refs[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return refs
+}

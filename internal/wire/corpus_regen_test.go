@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Seed corpora for the session-frame and reconcile-frame fuzz drivers are
+// committed under testdata/fuzz/ so the CI fuzz smoke (and every plain
+// `go test` run, which executes corpus entries as seed cases) always
+// exercises real frames instead of starting from an empty corpus. The
+// corpus duplicates the drivers' f.Add seeds on purpose: the drivers keep
+// their inline seeds so wirecheck's fuzz leg sees the kind constants, and
+// the files below survive for crasher triage and CI artifact upload.
+//
+// Regenerate after a codec change:
+//
+//	WIRE_REGEN_CORPUS=1 go test ./internal/wire -run TestRegenerateSeedCorpora
+func TestRegenerateSeedCorpora(t *testing.T) {
+	if os.Getenv("WIRE_REGEN_CORPUS") == "" {
+		t.Skip("set WIRE_REGEN_CORPUS=1 to rewrite the testdata/fuzz seed corpora")
+	}
+	write := func(fuzzName string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzSessionFrames", sessionFrameSeeds())
+	write("FuzzDecodeReconcileFrames", reconcileFrameSeeds())
+}
+
+// TestSeedCorporaPresent keeps the committed corpus from silently
+// disappearing: both drivers must have at least one on-disk seed.
+func TestSeedCorporaPresent(t *testing.T) {
+	for _, fuzzName := range []string{"FuzzSessionFrames", "FuzzDecodeReconcileFrames"} {
+		entries, err := os.ReadDir(filepath.Join("testdata", "fuzz", fuzzName))
+		if err != nil || len(entries) == 0 {
+			t.Errorf("no committed seed corpus for %s (err %v); run WIRE_REGEN_CORPUS=1 go test -run TestRegenerateSeedCorpora ./internal/wire", fuzzName, err)
+		}
+	}
+}
+
+func sessionFrameSeeds() [][]byte {
+	var valid bytes.Buffer
+	WriteFrame(&valid, KindSessionBegin, AppendSessionBegin(nil, &SessionBegin{Source: 0}))
+	records := uint64(0)
+	for i := 0; i < 2; i++ {
+		p := sampleChunk(uint64(i))
+		records += uint64(p.RecordCount())
+		WriteFrame(&valid, KindSessionChunk, AppendSessionChunk(nil, uint64(i), p))
+	}
+	WriteFrame(&valid, KindSessionEnd, AppendSessionEnd(nil, &SessionEnd{Chunks: 2, Records: records}))
+
+	var divert bytes.Buffer
+	WriteFrame(&divert, KindSessionBegin, AppendSessionBegin(nil, &SessionBegin{Source: 1, Reconcile: true}))
+	WriteFrame(&divert, KindSessionEnd, AppendSessionEnd(nil, &SessionEnd{}))
+
+	return [][]byte{
+		valid.Bytes(),
+		valid.Bytes()[:valid.Len()/2], // truncated mid-chunk
+		divert.Bytes(),                // reconcile-diverted empty session
+		{KindSessionBegin, 0},
+		{KindSessionChunk, 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+}
+
+func reconcileFrameSeeds() [][]byte {
+	return [][]byte{
+		AppendRequest(nil, &Request{Kind: KindReconcile, From: 1, Ranges: sampleRanges()}),
+		AppendRequest(nil, &Request{Kind: KindReconcile, Part: 3}),
+		AppendResponse(nil, &Response{Reconcile: true}),
+		AppendResponse(nil, &Response{Recon: []core.ReconcileReply{
+			{Match: true},
+			{IsLeaf: true, Keys: []core.KeyDigest{{Key: "k", Fp: 9}}},
+			{Splits: sampleRanges()},
+		}}),
+		AppendResponse(nil, &Response{Parts: []PartReply{{Pid: 1, Reconcile: true}}}),
+		{0xEB, 0x01, byte(KindReconcile)},
+	}
+}

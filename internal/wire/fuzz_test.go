@@ -37,7 +37,9 @@ func FuzzDecodeVV(f *testing.F) {
 
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add(AppendRequest(nil, &Request{Kind: KindPropagation, From: 1, DBVV: vv.VV{3, 1}}))
+	f.Add(AppendRequest(nil, &Request{Kind: KindOOB, From: 2, DB: "db", Key: "k"}))
 	f.Add(AppendRequest(nil, &Request{Kind: KindFetch, DB: "db", Keys: []string{"a", "b"}}))
+	f.Add(AppendRequest(nil, &Request{Kind: KindStream, From: 1, DBVV: vv.VV{2, 0, 5}, MaxBytes: 1 << 18}))
 	f.Add(AppendRequest(nil, &Request{Kind: KindPartPropagation, From: 2,
 		Parts: []core.PartState{{Pid: 0, DBVV: vv.VV{1}}, {Pid: 7, DBVV: vv.VV{0, 4}}}}))
 	f.Add(AppendRequest(nil, &Request{Kind: KindPartStream, From: 1, Part: 9, DBVV: vv.VV{2, 2}}))

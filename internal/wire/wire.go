@@ -369,6 +369,62 @@ func DecodeRequest(buf []byte, req *Request) error {
 	return d.finish("request")
 }
 
+// RequestWireSize is the exact encoded size of req, term for term with
+// AppendRequest — including the kind-gated partition and reconcile
+// sections — so transport accounting and session planning can budget a
+// request without encoding it. wirecheck enforces that every kind-gated
+// arm here stays in sync with AppendRequest/DecodeRequest, and the
+// exactness test pins the sum against the codec across every kind.
+//
+//epi:hotpath
+func RequestWireSize(req *Request) uint64 {
+	size := 1 + varintSize(int64(req.From)) + stringSize(len(req.DB)) +
+		uint64(req.DBVV.BinarySize()) + stringSize(len(req.Key)) +
+		uvarintSize(uint64(len(req.Keys)))
+	for _, k := range req.Keys {
+		size += stringSize(len(k))
+	}
+	size += uvarintSize(req.MaxBytes)
+	if req.Kind == KindPartPropagation {
+		size += uvarintSize(uint64(len(req.Parts)))
+		for i := range req.Parts {
+			size += uvarintSize(uint64(req.Parts[i].Pid)) + uint64(req.Parts[i].DBVV.BinarySize())
+		}
+	}
+	if req.Kind == KindPartStream {
+		size += uvarintSize(uint64(req.Part))
+	}
+	if req.Kind == KindReconcile {
+		size += uvarintSize(uint64(len(req.Ranges)))
+		for i := range req.Ranges {
+			rr := &req.Ranges[i]
+			size += 1 + stringSize(len(rr.Lo)) + stringSize(len(rr.Hi)) + 8 + uvarintSize(rr.Count)
+		}
+		size += uvarintSize(uint64(req.Part))
+	}
+	return size
+}
+
+// stringSize is the encoded size of a length-prefixed string of n bytes.
+func stringSize(n int) uint64 {
+	return uvarintSize(uint64(n)) + uint64(n)
+}
+
+// uvarintSize is the byte length of binary.AppendUvarint(x).
+func uvarintSize(x uint64) uint64 {
+	n := uint64(1)
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintSize is the byte length of binary.AppendVarint(x) (zigzag).
+func varintSize(x int64) uint64 {
+	return uvarintSize(uint64(x)<<1 ^ uint64(x>>63))
+}
+
 // ---- Response ----
 
 // Response flag bits.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/op"
+	"repro/internal/vv"
 )
 
 // buildSession populates a two-node pair so that the source holds m
@@ -87,5 +88,27 @@ func TestPlanPropagationThresholdTracksEncoding(t *testing.T) {
 				t.Fatalf("m=%d: cap 10%% below actual %d chose %v, want stream", m, actual, plan)
 			}
 		})
+	}
+}
+
+// RequestWireSize mirrors AppendRequest term for term, including the
+// kind-gated partition and reconcile sections (wirecheck's codec/size
+// symmetry leg); it must be exact — not estimated — for every kind.
+func TestRequestWireSizeExactAcrossKinds(t *testing.T) {
+	reqs := []*Request{
+		{Kind: KindPropagation, From: 1, DBVV: vv.VV{3, 1}},
+		{Kind: KindOOB, From: 2, DB: "db", Key: "some/key"},
+		{Kind: KindFetch, DB: "db", Keys: []string{"a", "a-much-longer-key-name"}},
+		{Kind: KindStream, From: 128, DBVV: vv.VV{1 << 40, 0, 7}, MaxBytes: 1 << 20},
+		{Kind: KindPartPropagation, From: 2,
+			Parts: []core.PartState{{Pid: 0, DBVV: vv.VV{1}}, {Pid: 300, DBVV: vv.VV{0, 4}}}},
+		{Kind: KindPartStream, From: 1, Part: 9, DBVV: vv.VV{2, 2}},
+		{Kind: KindReconcile, From: 3, Part: 2, Ranges: sampleRanges()},
+	}
+	for _, req := range reqs {
+		encoded := uint64(len(AppendRequest(nil, req)))
+		if got := RequestWireSize(req); got != encoded {
+			t.Errorf("kind %d: RequestWireSize = %d, encoded = %d", req.Kind, got, encoded)
+		}
 	}
 }
