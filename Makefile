@@ -20,11 +20,14 @@ vet:
 ## lint: build and run epilint — the protocol analyzers (lockorder and
 ## ctlheld interprocedural via lockset summaries, vvalias, atomiccounter,
 ## poolsafe buffer-ownership tracking, wirecheck protocol-surface
-## exhaustiveness) plus the lite standard passes — over the whole
-## repository, with the hotalloc escape/inlining/annotation-drift gate on
-## //epi:hotpath functions. See DESIGN.md §4d/§4e/§4i.
+## exhaustiveness, guarded field-granular lock-guard verification with
+## its annotation-coverage gate, monocheck monotone protocol state) plus
+## the lite standard passes — over the whole repository, with the
+## hotalloc escape/inlining/annotation-drift gate on //epi:hotpath
+## functions and the sharing-annotation escape ratchet against
+## internal/lint/annotations.baseline. See DESIGN.md §4d/§4e/§4i/§4j.
 lint:
-	$(GO) run ./cmd/epilint -hotpath ./...
+	$(GO) run ./cmd/epilint -hotpath -annotations ./...
 
 build:
 	$(GO) build ./...

@@ -11,15 +11,24 @@
 //
 //	-only a,b       run only the named analyzers
 //	-list           list available analyzers and exit
-//	-summaries      print the computed lockset summaries and exit
+//	-summaries      print the computed lockset, pool and guard-resolution
+//	                summaries and exit
+//	-timing         print per-analyzer wall-clock timings to stderr
 //	-suppressions   audit //lint:ignore directives and exit (fails on
 //	                directives without a reason)
 //	-hotpath        also run the hotalloc gate over //epi:hotpath functions
-//	-update         (with -hotpath) rewrite the hotalloc baseline
+//	-annotations    also print the sharing-annotation sweep counts and
+//	                check //epi:notshared///epi:init escapes against
+//	                internal/lint/annotations.baseline (the escape
+//	                ratchet: a new escape without a re-baseline fails)
+//	-update         (with -hotpath / -annotations) rewrite that baseline
 //	-github         emit findings as GitHub Actions annotations
 //	                (::error file=...,line=...) alongside the plain lines
 //	-json           emit findings as a JSON array on stdout instead of
 //	                plain lines (exit status still signals findings)
+//	-jsonfile F     also write the findings JSON array to file F — the CI
+//	                artifact path, composable with -github's stdout
+//	                annotations
 //
 // With no packages, ./... is linted. Exit status is 1 when diagnostics
 // were reported, 2 on load or usage errors. False positives are
@@ -41,14 +50,17 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
-	summaries := flag.Bool("summaries", false, "print the computed lockset summaries and exit")
+	summaries := flag.Bool("summaries", false, "print the computed lockset and guard-resolution summaries and exit")
+	timing := flag.Bool("timing", false, "print per-analyzer wall-clock timings to stderr")
 	suppressions := flag.Bool("suppressions", false, "audit //lint:ignore directives and exit")
 	hotpath := flag.Bool("hotpath", false, "also run the hotalloc escape/inlining gate")
-	update := flag.Bool("update", false, "with -hotpath: rewrite the baseline instead of checking it")
+	annotations := flag.Bool("annotations", false, "also check the sharing-annotation escape ratchet")
+	update := flag.Bool("update", false, "with -hotpath/-annotations: rewrite the baseline instead of checking it")
 	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations for findings")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	jsonFile := flag.String("jsonfile", "", "also write the findings JSON array to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: epilint [-only analyzer,...] [-list] [-summaries] [-suppressions] [-hotpath [-update]] [-github] [-json] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: epilint [-only analyzer,...] [-list] [-summaries] [-suppressions] [-hotpath] [-annotations] [-update] [-github] [-json] [-jsonfile F] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,11 +88,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One Program spans the whole invocation: Run, -summaries and -timing
+	// all share its load, typecheck and summary caches, so the packages are
+	// loaded and the call graph built exactly once per process.
+	prog := lint.NewProgram(pkgs)
+
 	if *summaries {
-		for _, s := range lint.FormatSummaries(pkgs) {
+		for _, s := range lint.FormatSummaries(prog) {
 			fmt.Println(s)
 		}
-		for _, s := range lint.FormatPoolSummaries(pkgs) {
+		for _, s := range lint.FormatPoolSummaries(prog) {
+			fmt.Println(s)
+		}
+		for _, s := range lint.FormatGuardSummaries(prog) {
 			fmt.Println(s)
 		}
 		return
@@ -103,7 +123,12 @@ func main() {
 		return
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags, timings := lint.RunTimed(prog, analyzers)
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "epilint: %-14s %6.1fms\n", t.Name, t.Millis)
+		}
+	}
 
 	if *hotpath {
 		observed, err := lint.ObserveHotPaths(pkgs)
@@ -132,16 +157,43 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
-		// Machine-readable findings for CI tooling and editors. Always an
-		// array (([]) when clean) so consumers never special-case emptiness.
-		type finding struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Message  string `json:"message"`
+	if *annotations {
+		st := lint.Annotations(prog)
+		// The counts go to stderr so -json output on stdout stays a pure
+		// findings array for tooling.
+		fmt.Fprintf(os.Stderr, "epilint: annotations: guard=%d atomic=%d immutable=%d notshared=%d monotone=%d escapes=%d\n",
+			st.Guarded, st.Atomic, st.Immutable, st.NotShared, st.Monotone, len(st.Escapes))
+		baseline, err := lint.AnnoBaselinePath(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+		if *update {
+			if err := os.WriteFile(baseline, lint.FormatAnnoBaseline(st), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fmt.Printf("epilint: wrote %s (%d escapes)\n", baseline, len(st.Escapes))
+		} else {
+			anno, err := lint.CheckAnnoBaseline(st, baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			diags = append(diags, anno...)
+		}
+	}
+
+	// Machine-readable findings for CI tooling and editors. Always an
+	// array ([] when clean) so consumers never special-case emptiness.
+	type finding struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	encodeJSON := func(w interface{ Write([]byte) (int, error) }) error {
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, finding{
@@ -152,9 +204,25 @@ func main() {
 				Message:  d.Message,
 			})
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		return enc.Encode(out)
+	}
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err == nil {
+			err = encodeJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *jsonOut {
+		if err := encodeJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -121,6 +121,11 @@ func startNodes(n int, interval, pruneEvery time.Duration, dataDir string, parti
 
 func printStats(ns []*cluster.Node) {
 	for i, n := range ns {
+		// Background anti-entropy loops are still running here: Metrics()
+		// snapshots the replica's counters with per-field atomic loads (the
+		// Replica.met field is //epi:guard atomic, verified by epilint's
+		// guarded analyzer), so concurrent reads are safe; the snapshot is
+		// not a single cut across fields, which monitoring tolerates.
 		m := n.Metrics()
 		ps := n.PoolStats()
 		var items, logRecords int

@@ -23,6 +23,8 @@ import (
 )
 
 // Config configures one node.
+//
+//epi:notshared config value copied into the node at Start
 type Config struct {
 	// ID is this server's identifier, 0 <= ID < Servers.
 	ID int
@@ -71,19 +73,19 @@ type Config struct {
 // Node is one live server: a replica, its TCP server and its anti-entropy
 // scheduler.
 type Node struct {
-	cfg     Config
-	replica *core.Replica     // nil on partitioned nodes
-	parted  *core.Partitioned // non-nil when Partitions > 1
-	dur     *durable.Replica  // non-nil when DataDir is set
-	server  *transport.Server
-	client  *transport.Client // pooled: sessions reuse warm peer connections
+	cfg     Config            //epi:immutable
+	replica *core.Replica     //epi:immutable nil on partitioned nodes
+	parted  *core.Partitioned //epi:immutable non-nil when Partitions > 1
+	dur     *durable.Replica  //epi:immutable non-nil when DataDir is set
+	server  *transport.Server //epi:immutable
+	client  *transport.Client //epi:immutable pooled: sessions reuse warm peer connections
 
 	mu    sync.Mutex
-	peers []string
+	peers []string //epi:guard mu
 
-	stop chan struct{}
-	done chan struct{}
-	rng  *rand.Rand
+	stop chan struct{} //epi:immutable closed once by Stop; channels synchronize themselves
+	done chan struct{} //epi:immutable closed once by the loop goroutine
+	rng  *rand.Rand    //epi:guard mu peer selection happens under the peers lock
 }
 
 // Start creates the replica, begins serving, and (when configured with an

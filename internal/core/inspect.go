@@ -11,6 +11,8 @@ import (
 
 // ItemState is a point-in-time copy of one data item's replica state, for
 // tests, tools and the simulator.
+//
+//epi:notshared value type inside a Snapshot; deep-copied from the store
 type ItemState struct {
 	Key      string
 	Value    []byte
@@ -21,6 +23,8 @@ type ItemState struct {
 }
 
 // Snapshot is a deep copy of a replica's externally observable state.
+//
+//epi:notshared value snapshot built under the full read sweep and returned to one caller
 type Snapshot struct {
 	ID         int
 	DBVV       vv.VV

@@ -9,6 +9,8 @@ import (
 // auxiliary copy if it has one (never older than its regular copy, §5.2),
 // otherwise the regular copy. Found is false when the source has never
 // seen the item, in which case the other fields are zero.
+//
+//epi:notshared value reply built under one shard read lock and returned to one caller
 type OOBReply struct {
 	Key   string
 	Value []byte

@@ -43,16 +43,16 @@ var ErrNotOwner = errors.New("core: node does not replicate the key's partition"
 // Each owned partition is a full, independent Replica; non-owned slots are
 // nil. All methods are safe for concurrent use.
 type Partitioned struct {
-	id   int
-	ring *ring.Ring
+	id   int        //epi:immutable
+	ring *ring.Ring //epi:immutable
 	// parts is indexed by partition id; nil marks a partition this node
 	// does not replicate. The slice and its pointers are immutable after
 	// construction — all mutability lives inside each Replica.
-	parts []*Replica
+	parts []*Replica //epi:immutable
 
 	// met holds node-level accounting that has no single home partition:
 	// measured transport traffic (AddWireStats). Folded into Metrics.
-	met metrics.Atomic
+	met metrics.Atomic //epi:guard atomic
 }
 
 // NewPartitioned returns the initial state of node id in a cluster of
@@ -141,6 +141,8 @@ func (pr *Partitioned) ReadIVV(key string) (vv.VV, bool) {
 
 // PartState is one entry of a partitioned session's negotiation: the
 // recipient's DBVV for one partition it replicates.
+//
+//epi:notshared value snapshot of one partition returned to one caller
 type PartState struct {
 	Pid  int
 	DBVV vv.VV

@@ -28,6 +28,7 @@ const (
 	persistVersion = 2
 )
 
+//epi:notshared gob codec value assembled or decoded by one goroutine
 type persistItem struct {
 	Key      string
 	Value    []byte
@@ -39,23 +40,27 @@ type persistItem struct {
 	Deltas []persistDelta
 }
 
+//epi:notshared gob codec value assembled or decoded by one goroutine
 type persistDelta struct {
 	Op     op.Op
 	Pre    vv.VV
 	Origin int
 }
 
+//epi:notshared gob codec value assembled or decoded by one goroutine
 type persistLogRec struct {
 	Key string
 	Seq uint64
 }
 
+//epi:notshared gob codec value assembled or decoded by one goroutine
 type persistAuxRec struct {
 	Key string
 	Pre vv.VV
 	Op  op.Op
 }
 
+//epi:notshared gob codec value assembled or decoded by one goroutine
 type persistState struct {
 	Magic   uint32
 	Version uint16
@@ -143,6 +148,8 @@ func (r *Replica) WriteState(w io.Writer) error {
 
 // ReadState reconstructs a replica from a snapshot written by WriteState.
 // Options (conflict handlers) are applied as in NewReplica.
+//
+//epi:init durable recovery installs snapshot state into an unpublished replica
 func ReadState(rd io.Reader, opts ...Option) (*Replica, error) {
 	var st persistState
 	if err := gob.NewDecoder(rd).Decode(&st); err != nil {

@@ -11,6 +11,8 @@ import (
 // TailRecord is one log record shipped during propagation: item Key was
 // updated by the origin server owning the enclosing tail, and Seq is the
 // origin's update sequence number (§4.2). Constant size per record.
+//
+//epi:notshared value record inside a Propagation; snapshotted under the build sweep
 type TailRecord struct {
 	Key string
 	Seq uint64
@@ -26,6 +28,8 @@ type TailRecord struct {
 //     whose copy sits anywhere on the chain's path applies the matching
 //     suffix; recipients further behind fetch the full copy in a second
 //     round.
+//
+//epi:notshared value payload inside a Propagation; carries clones or transferred buffers
 type ItemPayload struct {
 	Key   string
 	Value []byte
@@ -41,6 +45,8 @@ type ItemPayload struct {
 }
 
 // DeltaLink is one update of a shipped delta chain.
+//
+//epi:notshared value link inside an ItemPayload chain
 type DeltaLink struct {
 	Op     op.Op
 	Origin int
@@ -49,6 +55,8 @@ type DeltaLink struct {
 // Propagation is the reply message of SendPropagation (Fig. 2): the tail
 // vector D (one tail of records per origin server) and the item set S with
 // per-item IVVs. A nil Propagation means "you-are-current".
+//
+//epi:notshared single-owner message: built by one replica, shipped, then consumed by the recipient (Owned transfers buffer ownership)
 type Propagation struct {
 	Source int
 	Tails  [][]TailRecord // indexed by origin server k

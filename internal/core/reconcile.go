@@ -74,6 +74,8 @@ const (
 // the sender's fingerprint and item count over it. HiInf marks an
 // unbounded upper end (the range runs to the end of the key space); the
 // initial request is the single range ["", +inf).
+//
+//epi:notshared wire message value exchanged by one reconciliation session
 type ReconcileRange struct {
 	Lo    string
 	Hi    string
@@ -85,6 +87,8 @@ type ReconcileRange struct {
 // KeyDigest identifies one item version: the key plus the digest of its
 // (key, IVV) pair. Two replicas hold the same copy of the item iff the
 // digests are equal.
+//
+//epi:notshared wire message value exchanged by one reconciliation session
 type KeyDigest struct {
 	Key string
 	Fp  uint64
@@ -95,6 +99,8 @@ type KeyDigest struct {
 // range is settled), Splits (sub-ranges with the server's fingerprints,
 // for the client to recurse on), or Keys (a leaf: the server's per-key
 // digests over the range, possibly empty).
+//
+//epi:notshared wire message value exchanged by one reconciliation session
 type ReconcileReply struct {
 	Match  bool
 	Splits []ReconcileRange
@@ -187,6 +193,8 @@ func putUvarint(buf []byte, x uint64) int {
 // fingerprints are XORs of item digests, so they compose over any
 // partition of a range and are insensitive to order — the
 // range-summarizable property the recursion relies on.
+//
+//epi:notshared per-session view built under the read sweep and used by one goroutine
 type digestView struct {
 	keys []string
 	fps  []uint64
@@ -299,6 +307,8 @@ func (r *Replica) ServeReconcile(ranges []ReconcileRange) []ReconcileReply {
 // nil the fingerprint phase is over and NeedKeys lists the keys whose
 // copies differ, to be fetched as full items and committed with
 // ApplyReconcileItems. Not safe for concurrent use.
+//
+//epi:notshared session cursor documented not safe for concurrent use; driven by one goroutine
 type Reconciler struct {
 	r        *Replica
 	pending  []ReconcileRange

@@ -41,6 +41,8 @@ import (
 
 // Conflict describes a detected inconsistency between two replicas of a
 // data item (correctness criterion 1, §2.1).
+//
+//epi:notshared value type handed to the conflict handler; each report is an independent copy
 type Conflict struct {
 	Key    string
 	Local  vv.VV  // the detecting node's vector for the item
@@ -66,6 +68,8 @@ type ConflictHandler func(Conflict)
 type Option func(*Replica)
 
 // WithConflictHandler installs h in place of the default conflict recorder.
+//
+//epi:init option closure runs inside NewReplica before the replica is published
 func WithConflictHandler(h ConflictHandler) Option {
 	return func(r *Replica) { r.onConflict = h }
 }
@@ -85,6 +89,8 @@ func WithDeltaPropagation() Option { return WithDeltaPropagationDepth(1) }
 // behind apply the matching chain suffix instead of fetching the full
 // value. Depth 1 is WithDeltaPropagation; larger depths trade a little
 // memory for a higher delta hit rate under sparse gossip (experiment E11).
+//
+//epi:init option closure runs inside NewReplica before the replica is published
 func WithDeltaPropagationDepth(depth int) Option {
 	return func(r *Replica) {
 		if depth < 1 {
@@ -98,45 +104,48 @@ func WithDeltaPropagationDepth(depth int) Option {
 // Replica is one node's replica of the whole database plus all protocol
 // state: DBVV, log vector, auxiliary log and metrics.
 type Replica struct {
-	id int // this server's identifier, 0 <= id < n; immutable
+	id int //epi:immutable this server's identifier, 0 <= id < n
 
 	// ctl is the control-plane mutex: it guards dbvv, logs, aux and n —
 	// the small protocol state whose mutations must remain atomic node
 	// actions (§2.1). Acquired after any shard locks, never before.
-	ctl  sync.Mutex
-	n    int            // number of servers replicating the database
-	dbvv vv.VV          // database version vector V_i (§4.1)
-	logs *logvec.Vector // log vector L_i (§4.2)
-	aux  *auxlog.Log    // auxiliary log AUX_i (§4.4)
+	ctl sync.Mutex
+	// n only grows (Grow); dbvv components only advance — every write goes
+	// through Inc/Extended, or AccumulateDelta which folds accepted IVV
+	// entries in without ever lowering a component.
+	n    int            //epi:guard ctl
+	dbvv vv.VV          //epi:guard ctl //epi:monotone merge=Inc,Extended,AccumulateDelta
+	logs *logvec.Vector //epi:guard ctl
+	aux  *auxlog.Log    //epi:guard ctl
 
 	// Log-pruning state (see prune.go), all ctl-guarded. acked[j] is a
 	// conservative lower bound on peer j's DBVV (nil: nothing learned);
 	// prunePeers is the peer set whose min ack gates pruning; logCap
 	// bounds each log component regardless of acks (0 = uncapped);
 	// pruned is the watermark: records at or below it may be gone.
-	acked      []vv.VV
-	prunePeers []int
-	logCap     int
-	pruned     vv.VV
+	acked      []vv.VV //epi:guard ctl //epi:monotone merge=noteAckLocked
+	prunePeers []int   //epi:guard ctl
+	logCap     int     //epi:guard ctl
+	pruned     vv.VV   //epi:guard ctl //epi:monotone merge=Merge,Extended
 
 	// store is the data plane: items with IVVs and aux copies, sharded by
 	// key hash with per-shard RWMutexes.
-	store *store.Store
+	store *store.Store //epi:immutable
 
 	// met needs no lock at all: every field is an atomic.
-	met metrics.Atomic
+	met metrics.Atomic //epi:guard atomic
 
 	// confMu is a leaf mutex guarding the conflict list and handler
 	// invocation; acquired last, with shard and/or control locks held.
 	confMu     sync.Mutex
-	onConflict ConflictHandler
-	conflicts  []Conflict
+	onConflict ConflictHandler //epi:guard confMu
+	conflicts  []Conflict      //epi:guard confMu
 
 	// deltaMode enables record-shipping propagation (WithDeltaPropagation);
 	// deltaDepth bounds the retained per-item delta chain. Immutable after
 	// construction/restore.
-	deltaMode  bool
-	deltaDepth int
+	deltaMode  bool //epi:immutable
+	deltaDepth int  //epi:immutable
 }
 
 // NewReplica returns the initial replica state for server id of n servers:

@@ -88,6 +88,8 @@ const primeChunkBytes = 16 << 10
 // ChunkSession is a source-side cursor over one streaming propagation
 // session. Obtain one with StartChunkSession and drain it with Next; it is
 // not safe for concurrent use (drive it from one goroutine).
+//
+//epi:notshared session cursor documented not safe for concurrent use; driven by one goroutine
 type ChunkSession struct {
 	r        *Replica
 	floor    vv.VV // recipient DBVV at session start

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/op"
@@ -41,6 +42,7 @@ const (
 	recPrune
 )
 
+//epi:notshared gob codec value assembled or decoded by one goroutine
 type walRecord struct {
 	Kind  uint8
 	Key   string
@@ -61,6 +63,8 @@ type walRecord struct {
 }
 
 // Options configures a durable replica.
+//
+//epi:notshared options value copied at Open
 type Options struct {
 	// SnapshotEvery snapshots after this many logged actions (then resets
 	// the WAL). Zero means 1024.
@@ -71,16 +75,25 @@ type Options struct {
 	CoreOptions []core.Option
 }
 
-// Replica is a crash-recoverable core.Replica rooted in a directory.
+// Replica is a crash-recoverable core.Replica rooted in a directory. All
+// durable mutation methods are safe for concurrent use: wmu serializes the
+// log-then-apply pair of every action, so the WAL order always matches the
+// apply order — the property replay's exactness depends on. (Reads through
+// Core() hit the underlying replica's own locks and never need wmu.)
 type Replica struct {
-	dir  string
-	opts Options
+	dir  string  //epi:immutable
+	opts Options //epi:immutable
 
-	replica *core.Replica
-	log     *wal.WAL
-	since   int // logged actions since last snapshot
+	// wmu is the write-ahead ordering lock: held across "append record,
+	// apply action" so no two actions can log in one order and apply in
+	// the other. Outermost — the underlying replica's locks are taken and
+	// released inside it.
+	wmu     sync.Mutex
+	replica *core.Replica //epi:immutable
+	log     *wal.WAL      //epi:guard wmu
+	since   int           //epi:guard wmu logged actions since last snapshot
 
-	client *transport.Client // nil: use transport.DefaultClient (see net.go)
+	client *transport.Client //epi:immutable nil: use transport.DefaultClient (see net.go)
 }
 
 // Open creates or recovers the durable replica in dir for server id of n.
@@ -123,6 +136,8 @@ func Open(dir string, id, n int, opts Options) (*Replica, error) {
 }
 
 // replay re-applies every logged action to the restored snapshot.
+//
+//epi:init recovery runs inside Open before the replica is published
 func (d *Replica) replay() error {
 	return d.log.Replay(func(payload []byte) error {
 		var rec walRecord
@@ -155,7 +170,8 @@ func (d *Replica) replay() error {
 	})
 }
 
-func (d *Replica) append(rec walRecord) error {
+//epi:requires wmu
+func (d *Replica) appendLocked(rec walRecord) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
 		return fmt.Errorf("durable: encode wal record: %w", err)
@@ -165,7 +181,7 @@ func (d *Replica) append(rec walRecord) error {
 	}
 	d.since++
 	if d.since >= d.opts.SnapshotEvery {
-		return d.Snapshot()
+		return d.snapshotLocked()
 	}
 	return nil
 }
@@ -179,7 +195,9 @@ func (d *Replica) Update(key string, o op.Op) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
-	if err := d.append(walRecord{Kind: recUpdate, Key: key, Op: o}); err != nil {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.appendLocked(walRecord{Kind: recUpdate, Key: key, Op: o}); err != nil {
 		return err
 	}
 	return d.replica.Update(key, o)
@@ -204,7 +222,9 @@ func (d *Replica) ApplyPropagationWithItems(p *core.Propagation, items []core.It
 	if p == nil {
 		return nil
 	}
-	if err := d.append(walRecord{Kind: recPropagation, Prop: p, Items: items}); err != nil {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.appendLocked(walRecord{Kind: recPropagation, Prop: p, Items: items}); err != nil {
 		return err
 	}
 	d.replica.ApplyPropagationWithItems(p, items)
@@ -213,7 +233,9 @@ func (d *Replica) ApplyPropagationWithItems(p *core.Propagation, items []core.It
 
 // ApplyOOB durably adopts an out-of-bound reply.
 func (d *Replica) ApplyOOB(reply core.OOBReply, source int) (bool, error) {
-	if err := d.append(walRecord{Kind: recOOB, OOB: &reply, Source: source}); err != nil {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.appendLocked(walRecord{Kind: recOOB, OOB: &reply, Source: source}); err != nil {
 		return false, err
 	}
 	return d.replica.ApplyOOB(reply, source), nil
@@ -227,7 +249,9 @@ func (d *Replica) ApplyReconcileItems(items []core.ItemPayload, source int) (int
 	if len(items) == 0 {
 		return 0, nil
 	}
-	if err := d.append(walRecord{Kind: recReconcile, Items: items, Source: source}); err != nil {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.appendLocked(walRecord{Kind: recReconcile, Items: items, Source: source}); err != nil {
 		return 0, err
 	}
 	return d.replica.ApplyReconcileItems(items, source), nil
@@ -237,13 +261,15 @@ func (d *Replica) ApplyReconcileItems(items []core.ItemPayload, source int) (int
 // peer set, log cap) are logged so replay reproduces the same floor against
 // the rebuilt log, then the pass runs. Returns the records dropped.
 func (d *Replica) Prune() (int, error) {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
 	rec := walRecord{
 		Kind:       recPrune,
 		Acked:      d.replica.AckTable(),
 		PrunePeers: d.replica.PrunePeers(),
 		LogCap:     d.replica.LogCap(),
 	}
-	if err := d.append(rec); err != nil {
+	if err := d.appendLocked(rec); err != nil {
 		return 0, err
 	}
 	return d.replica.Prune(), nil
@@ -267,6 +293,13 @@ func (d *Replica) AntiEntropyFrom(source *core.Replica) (bool, error) {
 
 // Snapshot writes the full replica state atomically and resets the WAL.
 func (d *Replica) Snapshot() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.snapshotLocked()
+}
+
+//epi:requires wmu
+func (d *Replica) snapshotLocked() error {
 	tmp := filepath.Join(d.dir, snapshotFile+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -296,11 +329,17 @@ func (d *Replica) Snapshot() error {
 }
 
 // WALRecords returns the number of actions logged since the last snapshot.
-func (d *Replica) WALRecords() int { return d.log.Records() }
+func (d *Replica) WALRecords() int {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.log.Records()
+}
 
 // Close snapshots and releases the WAL.
 func (d *Replica) Close() error {
-	if err := d.Snapshot(); err != nil {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.snapshotLocked(); err != nil {
 		d.log.Close()
 		return err
 	}
@@ -309,4 +348,8 @@ func (d *Replica) Close() error {
 
 // CloseWithoutSnapshot releases the WAL without snapshotting — recovery
 // will replay the log. Used by crash tests; real shutdowns prefer Close.
-func (d *Replica) CloseWithoutSnapshot() error { return d.log.Close() }
+func (d *Replica) CloseWithoutSnapshot() error {
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	return d.log.Close()
+}

@@ -12,6 +12,8 @@ import (
 // connections and metering are shared with the node). The default is the
 // package-wide transport.DefaultClient. Not safe to call concurrently with
 // in-flight sessions.
+//
+//epi:init setup-phase wiring, documented not concurrent with sessions
 func (d *Replica) SetClient(c *transport.Client) { d.client = c }
 
 // transportClient returns the client to run sessions through.

@@ -1,0 +1,126 @@
+package lint
+
+// The annotation-coverage ratchet: //epi:notshared and //epi:init are the
+// escape hatches of the sharing-annotation sweep (§4j) — each one is a
+// spot the analyzers take on faith. The committed baseline
+// (internal/lint/annotations.baseline) lists every current escape by
+// symbol; `epilint -annotations` fails when a new escape appears that the
+// baseline does not budget, so the honest list in DESIGN.md §4j cannot
+// grow without a deliberate re-baseline (`-annotations -update`) in the
+// same change. Stale entries are findings too — a budget for a symbol
+// that no longer escapes would silently absorb a future one.
+//
+// Matching is by symbol, not by reason text: rewording a reason is free,
+// adding an escape is not.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AnnoBaselinePath locates the committed escape baseline from any
+// directory inside the module.
+func AnnoBaselinePath(fromDir string) (string, error) {
+	root, err := moduleRoot(fromDir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(root, "internal", "lint", "annotations.baseline"), nil
+}
+
+// FormatAnnoBaseline renders the baseline file from a sweep: one
+// "symbol — reason" line per escape, plus a count line that is itself
+// part of the ratchet (CheckAnnoBaseline compares it, so the sweep
+// cannot silently shrink either).
+func FormatAnnoBaseline(st AnnotationStats) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# //epi:notshared and //epi:init escapes budgeted by the annotation sweep.\n")
+	fmt.Fprintf(&b, "# Regenerate with `go run ./cmd/epilint -annotations -update ./...`.\n")
+	fmt.Fprintf(&b, "# counts: guard=%d atomic=%d immutable=%d notshared=%d monotone=%d\n",
+		st.Guarded, st.Atomic, st.Immutable, st.NotShared, st.Monotone)
+	for _, e := range st.Escapes {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	return []byte(b.String())
+}
+
+// escapeSym extracts the symbol half of a "symbol — reason" escape line,
+// including any "(type)"/"(init)" qualifier.
+func escapeSym(line string) string {
+	if sym, _, ok := strings.Cut(line, " — "); ok {
+		return strings.TrimSpace(sym)
+	}
+	return strings.TrimSpace(line)
+}
+
+// CheckAnnoBaseline compares the sweep against the committed baseline and
+// reports unbudgeted escapes and stale budget entries.
+func CheckAnnoBaseline(st AnnotationStats, baselinePath string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: annotation baseline %s: %v (run `go run ./cmd/epilint -annotations -update ./...` to create it)", baselinePath, err)
+	}
+	budget := map[string]int{} // symbol → baseline line number
+	countsLine := 0
+	baseCounts := ""
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if c, ok := strings.CutPrefix(line, "# counts: "); ok {
+			baseCounts, countsLine = c, i+1
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		budget[escapeSym(line)] = i + 1
+	}
+
+	var diags []Diagnostic
+	rel := baselinePath
+	if r, err := filepath.Rel(".", baselinePath); err == nil {
+		rel = r
+	}
+
+	// The count line ratchets every annotation kind, not just the
+	// escapes: deleting (say) a //epi:monotone annotation from a field
+	// that also carries //epi:guard leaves the coverage gate satisfied
+	// and removes no escape — only the count comparison notices that the
+	// sweep quietly shrank.
+	if counts := fmt.Sprintf("guard=%d atomic=%d immutable=%d notshared=%d monotone=%d",
+		st.Guarded, st.Atomic, st.Immutable, st.NotShared, st.Monotone); counts != baseCounts {
+		d := Diagnostic{Analyzer: "annocover",
+			Message: fmt.Sprintf("annotation counts drifted from the baseline (now %s, baseline %s); if deliberate, run `go run ./cmd/epilint -annotations -update ./...`", counts, baseCounts)}
+		d.Pos.Filename = rel
+		d.Pos.Line = countsLine
+		diags = append(diags, d)
+	}
+	seen := map[string]bool{}
+	for _, e := range st.Escapes {
+		sym := escapeSym(e)
+		seen[sym] = true
+		if _, ok := budget[sym]; !ok {
+			d := Diagnostic{Analyzer: "annocover",
+				Message: fmt.Sprintf("new sharing-annotation escape %s is not in the baseline; justify it and run `go run ./cmd/epilint -annotations -update ./...`", e)}
+			d.Pos.Filename = rel
+			diags = append(diags, d)
+		}
+	}
+	stale := make([]string, 0)
+	for sym := range budget {
+		if !seen[sym] {
+			stale = append(stale, sym)
+		}
+	}
+	sort.Strings(stale)
+	for _, sym := range stale {
+		d := Diagnostic{Analyzer: "annocover",
+			Message: fmt.Sprintf("baseline entry %s no longer escapes; delete it (re-run with -update) so the budget cannot absorb a future escape", sym)}
+		d.Pos.Filename = rel
+		d.Pos.Line = budget[sym]
+		diags = append(diags, d)
+	}
+	return diags, nil
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnnoBaselineRatchet exercises the escape ratchet in both
+// directions: a freshly written baseline is clean, a new escape not in
+// the baseline is a finding, and a baseline entry that no longer escapes
+// (stale budget) is a finding too.
+func TestAnnoBaselineRatchet(t *testing.T) {
+	st := AnnotationStats{
+		Guarded:   2,
+		NotShared: 2,
+		Escapes: []string{
+			"p.T.a — scratch",
+			"p.U (type) — value type",
+			"p.F (init) — recovery",
+		},
+	}
+	path := filepath.Join(t.TempDir(), "annotations.baseline")
+	if err := os.WriteFile(path, FormatAnnoBaseline(st), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if diags, err := CheckAnnoBaseline(st, path); err != nil || len(diags) != 0 {
+		t.Fatalf("round-trip not clean: diags=%v err=%v", diags, err)
+	}
+
+	grown := st
+	grown.Escapes = append(append([]string{}, st.Escapes...), "p.T.b — new escape")
+	diags, err := CheckAnnoBaseline(grown, path)
+	if err != nil || len(diags) != 1 || !strings.Contains(diags[0].Message, "p.T.b") ||
+		!strings.Contains(diags[0].Message, "not in the baseline") {
+		t.Fatalf("new escape not caught: diags=%v err=%v", diags, err)
+	}
+
+	shrunk := st
+	shrunk.Escapes = st.Escapes[:2] // drop the init escape
+	diags, err = CheckAnnoBaseline(shrunk, path)
+	if err != nil || len(diags) != 1 || !strings.Contains(diags[0].Message, "p.F (init)") ||
+		!strings.Contains(diags[0].Message, "no longer escapes") {
+		t.Fatalf("stale budget not caught: diags=%v err=%v", diags, err)
+	}
+
+	// Deleting an annotation that leaves no escape behind (e.g. the
+	// //epi:monotone half of a guard+monotone field) is caught by the
+	// count line.
+	lessMono := st
+	lessMono.Monotone = st.Monotone + 1
+	diags, err = CheckAnnoBaseline(lessMono, path)
+	if err != nil || len(diags) != 1 || !strings.Contains(diags[0].Message, "counts drifted") {
+		t.Fatalf("count drift not caught: diags=%v err=%v", diags, err)
+	}
+
+	// Rewording a reason is free — matching is by symbol.
+	reworded := st
+	reworded.Escapes = append([]string{}, st.Escapes...)
+	reworded.Escapes[0] = "p.T.a — different words, same escape"
+	if diags, err := CheckAnnoBaseline(reworded, path); err != nil || len(diags) != 0 {
+		t.Fatalf("reworded reason flagged: diags=%v err=%v", diags, err)
+	}
+}

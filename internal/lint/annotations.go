@@ -1,0 +1,552 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The field-annotation vocabulary shared by the guarded and monocheck
+// analyzers (DESIGN.md §4j). Every directive lives in an ordinary Go
+// comment — the field's doc comment or end-of-line comment for field
+// directives, the type's doc comment for type directives, the function's
+// doc comment for function directives:
+//
+//	//epi:guard <lockpath>          field is read/written only under the
+//	                                named lock (write lock for writes,
+//	                                read lock suffices for reads)
+//	//epi:guard atomic              field is accessed only through
+//	                                sync/atomic (or is an atomic value
+//	                                type / metrics.Atomic)
+//	//epi:immutable                 field is set before publication and
+//	                                never written afterwards
+//	//epi:notshared <reason>        field (or, on the type, the whole
+//	                                struct) is not shared between
+//	                                goroutines; the reason is mandatory
+//	//epi:monotone merge=<Fn,...>   field is version-vector-like protocol
+//	                                state that only ever advances, and may
+//	                                be mutated only through the named
+//	                                merge/advance functions
+//	//epi:requires <lockpath> [read]  function precondition: the caller
+//	                                holds the named lock (read form:
+//	                                a read lock suffices)
+//	//epi:init <reason>             function installs state before
+//	                                publication or during durable
+//	                                recovery; guard/immutable/monotone
+//	                                write checks are suspended inside
+//
+// A <lockpath> is resolved to the lock classes the §4e lockset engine
+// abstracts: its final element names the mutex field ("ctl", "confMu",
+// "mu"; "shard" is an alias for "mu", the per-shard lock class), and its
+// first element selects the owner slot — the receiver by default, a
+// parameter when the path is rooted at a parameter name ("p.mu").
+
+// guardClass is the lock-identity class a guard annotation resolves to.
+// Classes mirror lockwalk's lockKind vocabulary, widened with arbitrary
+// mutex field names so non-protocol mutexes (transport.Pool.mu,
+// cluster.Node state) participate too.
+const (
+	guardCtl   = "ctl"
+	guardConf  = "confMu"
+	guardShard = "mu" // per-shard lock class: LockKey/LockAll/shards[i].mu
+)
+
+// normalizeGuardClass maps a lockpath to its class: the final path
+// element, with "shard" aliased to the shard class.
+func normalizeGuardClass(path string) string {
+	elem := path
+	if i := strings.LastIndexByte(elem, '.'); i >= 0 {
+		elem = elem[i+1:]
+	}
+	if j := strings.IndexByte(elem, '['); j >= 0 {
+		elem = elem[:j]
+	}
+	if elem == "shard" {
+		return guardShard
+	}
+	return elem
+}
+
+// fieldAnno is the parsed annotation state of one struct field.
+type fieldAnno struct {
+	// Exactly one of the coverage annotations:
+	guard     string // guard class ("" when not lock-guarded)
+	guardPath string // the raw lockpath as written (diagnostics, drift)
+	atomic    bool
+	immutable bool
+	notShared bool
+	reason    string // notshared reason
+
+	// Orthogonal monotone discipline (monocheck):
+	monotone bool
+	mergeFns []string
+
+	pkg *Package // the package the annotated declaration lives in
+	pos token.Pos
+}
+
+// covered reports whether the field carries exactly one coverage
+// annotation; n is how many it carries.
+func (a *fieldAnno) coverageCount() int {
+	n := 0
+	if a.guard != "" {
+		n++
+	}
+	if a.atomic {
+		n++
+	}
+	if a.immutable {
+		n++
+	}
+	if a.notShared {
+		n++
+	}
+	return n
+}
+
+// funcAnno is the parsed annotation state of one function.
+type funcAnno struct {
+	requires []reqAnno
+	init     bool
+	initWhy  string
+	pkg      *Package
+	pos      token.Pos
+}
+
+// reqAnno is one declared //epi:requires precondition.
+type reqAnno struct {
+	class string
+	root  string // "" = receiver; else the parameter name the path roots at
+	read  bool   // a read lock satisfies the precondition
+	pos   token.Pos
+}
+
+// annoTable is the program-wide annotation index, built once per Program.
+type annoTable struct {
+	// fields is keyed by field symbol "pkgpath.Type.Field".
+	fields map[string]*fieldAnno
+	// notSharedTypes is keyed by type symbol "pkgpath.Type": a type-level
+	// //epi:notshared exempting every field.
+	notSharedTypes map[string]string // symbol → reason
+	// funcs is keyed by the same symbol symbolOf renders.
+	funcs map[string]*funcAnno
+	// badDirectives collects malformed //epi: directives (reasonless
+	// notshared/init escapes included — an escape must say why).
+	badDirectives []badDirective
+}
+
+type badDirective struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// fieldSymbol renders a field object program-wide: "pkgpath.Type.Field".
+func fieldSymbol(owner *types.Named, field string) string {
+	path := ""
+	if owner.Obj().Pkg() != nil {
+		path = owner.Obj().Pkg().Path()
+	}
+	return path + "." + owner.Obj().Name() + "." + field
+}
+
+// typeSymbol renders a named type program-wide: "pkgpath.Type".
+func typeSymbol(obj types.Object) string {
+	path := ""
+	if obj.Pkg() != nil {
+		path = obj.Pkg().Path()
+	}
+	return path + "." + obj.Name()
+}
+
+// epiDir is one parsed //epi: directive.
+type epiDir struct {
+	verb string
+	rest string
+}
+
+// epiDirective splits a comment into an //epi: directive verb and its
+// argument string, or returns "" when the comment is not a directive.
+// For comments carrying several directives, only the first is returned —
+// use epiDirectives for the full list.
+func epiDirective(c *ast.Comment) (verb, rest string) {
+	ds := epiDirectives(c)
+	if len(ds) == 0 {
+		return "", ""
+	}
+	return ds[0].verb, ds[0].rest
+}
+
+// epiDirectives parses every //epi: directive in one comment. Several can
+// share a line (`x vv.VV //epi:guard ctl //epi:monotone merge=Inc`): a
+// struct field has only one end-of-line comment slot, and the guard and
+// monotone disciplines are orthogonal.
+func epiDirectives(c *ast.Comment) []epiDir {
+	text := strings.TrimPrefix(c.Text, "//")
+	if !strings.HasPrefix(text, "epi:") {
+		return nil
+	}
+	var out []epiDir
+	for _, chunk := range strings.Split(text, "//epi:") {
+		chunk = strings.TrimSpace(strings.TrimPrefix(chunk, "epi:"))
+		if chunk == "" {
+			continue
+		}
+		d := epiDir{verb: chunk}
+		if i := strings.IndexAny(chunk, " \t"); i >= 0 {
+			d.verb, d.rest = chunk[:i], strings.TrimSpace(chunk[i+1:])
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// annotations builds (once per Program) the annotation table over every
+// loaded package. Only source-loaded packages contribute — a package seen
+// purely as export data has no comments, which is why the full-tree lint
+// run loads ./... .
+func (prog *Program) annotations() *annoTable {
+	if prog.annos != nil {
+		return prog.annos
+	}
+	tab := &annoTable{
+		fields:         map[string]*fieldAnno{},
+		notSharedTypes: map[string]string{},
+		funcs:          map[string]*funcAnno{},
+	}
+	for _, pkg := range prog.pkgs {
+		collectAnnotations(pkg, tab)
+	}
+	prog.annos = tab
+	return tab
+}
+
+func collectAnnotations(pkg *Package, tab *annoTable) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(d.Specs) == 1 {
+						doc = d.Doc
+					}
+					collectTypeAnnotations(pkg, ts, doc, tab)
+				}
+			case *ast.FuncDecl:
+				if a := parseFuncAnno(pkg, d, tab); a != nil {
+					obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if ok {
+						tab.funcs[symbolOf(obj)] = a
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectTypeAnnotations parses the type-level and per-field directives of
+// one struct type declaration.
+func collectTypeAnnotations(pkg *Package, ts *ast.TypeSpec, doc *ast.CommentGroup, tab *annoTable) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	obj := pkg.Info.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	tsym := typeSymbol(obj)
+	if doc != nil {
+		for _, c := range doc.List {
+			for _, d := range epiDirectives(c) {
+				if d.verb == "notshared" {
+					if d.rest == "" {
+						tab.badDirectives = append(tab.badDirectives, badDirective{pkg, c.Pos(), "//epi:notshared needs a reason: say why this type never crosses a goroutine boundary"})
+					}
+					tab.notSharedTypes[tsym] = d.rest
+				}
+			}
+		}
+	}
+	named, _ := obj.Type().(*types.Named)
+	if named == nil {
+		return
+	}
+	for _, field := range st.Fields.List {
+		anno := parseFieldAnno(pkg, field, tab)
+		if anno == nil {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: keyed by its type name.
+			name := embeddedFieldName(field.Type)
+			if name != "" {
+				tab.fields[fieldSymbol(named, name)] = anno
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			tab.fields[fieldSymbol(named, name.Name)] = anno
+		}
+	}
+}
+
+func embeddedFieldName(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedFieldName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// parseFieldAnno parses the //epi: directives attached to one struct field
+// (doc comment lines plus the end-of-line comment), or nil when it has
+// none.
+func parseFieldAnno(pkg *Package, field *ast.Field, tab *annoTable) *fieldAnno {
+	var comments []*ast.Comment
+	if field.Doc != nil {
+		comments = append(comments, field.Doc.List...)
+	}
+	if field.Comment != nil {
+		comments = append(comments, field.Comment.List...)
+	}
+	var anno *fieldAnno
+	ensure := func(pos token.Pos) *fieldAnno {
+		if anno == nil {
+			anno = &fieldAnno{pkg: pkg, pos: pos}
+		}
+		return anno
+	}
+	for _, c := range comments {
+		for _, d := range epiDirectives(c) {
+			switch d.verb {
+			case "guard":
+				a := ensure(c.Pos())
+				if d.rest == "" {
+					tab.badDirectives = append(tab.badDirectives, badDirective{pkg, c.Pos(), "//epi:guard needs a lockpath (or 'atomic')"})
+					continue
+				}
+				// Only the first token is the lockpath; the rest is prose
+				// (`//epi:guard mu peer selection happens under ...`).
+				path := strings.Fields(d.rest)[0]
+				if path == "atomic" {
+					a.atomic = true
+				} else {
+					a.guard = normalizeGuardClass(path)
+					a.guardPath = path
+				}
+			case "immutable":
+				ensure(c.Pos()).immutable = true
+			case "notshared":
+				a := ensure(c.Pos())
+				a.notShared = true
+				a.reason = d.rest
+				if d.rest == "" {
+					tab.badDirectives = append(tab.badDirectives, badDirective{pkg, c.Pos(), "//epi:notshared needs a reason: say why this field never crosses a goroutine boundary"})
+				}
+			case "monotone":
+				a := ensure(c.Pos())
+				a.monotone = true
+				for _, kv := range strings.Fields(d.rest) {
+					if fns, ok := strings.CutPrefix(kv, "merge="); ok {
+						for _, fn := range strings.Split(fns, ",") {
+							if fn = strings.TrimSpace(fn); fn != "" {
+								a.mergeFns = append(a.mergeFns, fn)
+							}
+						}
+					}
+				}
+				if len(a.mergeFns) == 0 {
+					tab.badDirectives = append(tab.badDirectives, badDirective{pkg, c.Pos(), "//epi:monotone needs merge=<Fn,...> naming its advance functions"})
+				}
+			}
+		}
+	}
+	return anno
+}
+
+// parseFuncAnno parses a function's //epi:requires and //epi:init
+// directives, or nil when it has none.
+func parseFuncAnno(pkg *Package, fd *ast.FuncDecl, tab *annoTable) *funcAnno {
+	if fd.Doc == nil {
+		return nil
+	}
+	var anno *funcAnno
+	for _, c := range fd.Doc.List {
+		for _, d := range epiDirectives(c) {
+			switch d.verb {
+			case "requires":
+				if anno == nil {
+					anno = &funcAnno{pkg: pkg, pos: c.Pos()}
+				}
+				fields := strings.Fields(d.rest)
+				if len(fields) == 0 {
+					tab.badDirectives = append(tab.badDirectives, badDirective{pkg, c.Pos(), "//epi:requires needs a lockpath"})
+					continue
+				}
+				req := reqAnno{class: normalizeGuardClass(fields[0]), pos: c.Pos()}
+				if i := strings.IndexByte(fields[0], '.'); i >= 0 {
+					req.root = fields[0][:i]
+				}
+				if len(fields) > 1 && fields[1] == "read" {
+					req.read = true
+				}
+				anno.requires = append(anno.requires, req)
+			case "init":
+				if anno == nil {
+					anno = &funcAnno{pkg: pkg, pos: c.Pos()}
+				}
+				anno.init = true
+				anno.initWhy = d.rest
+				if d.rest == "" {
+					tab.badDirectives = append(tab.badDirectives, badDirective{pkg, c.Pos(), "//epi:init needs a reason: say why writes before publication are safe here"})
+				}
+			}
+		}
+	}
+	return anno
+}
+
+// AnnotationStats summarizes the annotation sweep for the CI coverage
+// step: how many fields carry each annotation, and every //epi:notshared
+// and //epi:init escape with its reason. Sorted for stable output.
+type AnnotationStats struct {
+	Guarded   int
+	Atomic    int
+	Immutable int
+	NotShared int
+	Monotone  int
+	Escapes   []string // "symbol — reason" lines for notshared/init
+}
+
+// Annotations computes the sweep statistics over pkgs.
+func Annotations(prog *Program) AnnotationStats {
+	tab := prog.annotations()
+	var st AnnotationStats
+	syms := make([]string, 0, len(tab.fields))
+	for sym := range tab.fields {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		a := tab.fields[sym]
+		switch {
+		case a.guard != "":
+			st.Guarded++
+		case a.atomic:
+			st.Atomic++
+		case a.immutable:
+			st.Immutable++
+		case a.notShared:
+			st.NotShared++
+			st.Escapes = append(st.Escapes, sym+" — "+a.reason)
+		}
+		if a.monotone {
+			st.Monotone++
+		}
+	}
+	tsyms := make([]string, 0, len(tab.notSharedTypes))
+	for sym := range tab.notSharedTypes {
+		tsyms = append(tsyms, sym)
+	}
+	sort.Strings(tsyms)
+	for _, sym := range tsyms {
+		st.NotShared++
+		st.Escapes = append(st.Escapes, sym+" (type) — "+tab.notSharedTypes[sym])
+	}
+	fsyms := make([]string, 0, len(tab.funcs))
+	for sym := range tab.funcs {
+		fsyms = append(fsyms, sym)
+	}
+	sort.Strings(fsyms)
+	for _, sym := range fsyms {
+		if a := tab.funcs[sym]; a.init {
+			st.Escapes = append(st.Escapes, sym+" (init) — "+a.initWhy)
+		}
+	}
+	return st
+}
+
+// FormatGuardSummaries renders the guard-resolution tables — the
+// `epilint -summaries` view of the annotation sweep: every annotated
+// field with its sharing discipline (and monotone merge set), and every
+// function-level //epi:requires / //epi:init contract. Reading it answers
+// "which lock does the analyzer think protects this field" without
+// re-deriving the annotation table by hand.
+func FormatGuardSummaries(prog *Program) []string {
+	tab := prog.annotations()
+	var out []string
+
+	fsyms := make([]string, 0, len(tab.fields))
+	for sym := range tab.fields {
+		fsyms = append(fsyms, sym)
+	}
+	sort.Strings(fsyms)
+	if len(fsyms) > 0 {
+		out = append(out, "guarded fields:")
+	}
+	for _, sym := range fsyms {
+		a := tab.fields[sym]
+		var disc string
+		switch {
+		case a.guard != "":
+			disc = "guard " + a.guard
+		case a.atomic:
+			disc = "atomic"
+		case a.immutable:
+			disc = "immutable"
+		case a.notShared:
+			disc = "notshared (" + a.reason + ")"
+		default:
+			disc = "(monotone only)"
+		}
+		line := "  " + sym + ": " + disc
+		if a.monotone {
+			line += "; monotone merge=" + strings.Join(a.mergeFns, ",")
+		}
+		out = append(out, line)
+	}
+
+	funcSyms := make([]string, 0, len(tab.funcs))
+	for sym := range tab.funcs {
+		funcSyms = append(funcSyms, sym)
+	}
+	sort.Strings(funcSyms)
+	var fn []string
+	for _, sym := range funcSyms {
+		a := tab.funcs[sym]
+		var parts []string
+		for _, req := range a.requires {
+			r := "requires " + req.class
+			if req.read {
+				r += " (read)"
+			}
+			parts = append(parts, r)
+		}
+		if a.init {
+			parts = append(parts, "init — "+a.initWhy)
+		}
+		if len(parts) > 0 {
+			fn = append(fn, "  "+sym+": "+strings.Join(parts, "; "))
+		}
+	}
+	if len(fn) > 0 {
+		out = append(out, "function contracts:")
+		out = append(out, fn...)
+	}
+	return out
+}

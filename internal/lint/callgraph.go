@@ -56,6 +56,18 @@ type Program struct {
 
 	sums     map[string]*summary
 	poolSums map[string]*poolSummary
+
+	// PR 9 caches: the field-annotation table, the mutation summaries, and
+	// the whole-program results of the guarded/monocheck analyses, bucketed
+	// by the package each finding anchors in (both analyzers are
+	// program-global — obligations propagate across packages — so the work
+	// runs once and each per-package pass only reports its bucket).
+	annos      *annoTable
+	mutSums    map[string]*mutSummary
+	calledSyms map[string]bool
+	structMu   map[string]map[string]bool
+	guardRes   map[*Package][]guardFinding
+	monoRes    map[*Package][]guardFinding
 }
 
 // newProgram indexes the declared functions of pkgs.
@@ -185,10 +197,10 @@ func bindRoot(pass *Pass, call *ast.CallExpr, root int) types.Object {
 }
 
 // FormatSummaries renders the computed lockset summaries of every
-// function in pkgs whose summary is non-empty — the `epilint -summaries`
-// debugging view.
-func FormatSummaries(pkgs []*Package) []string {
-	prog := newProgram(pkgs)
+// function whose summary is non-empty — the `epilint -summaries`
+// debugging view. It takes the shared Program so the driver computes the
+// summaries once for linting and printing alike.
+func FormatSummaries(prog *Program) []string {
 	sums := prog.summaries()
 	syms := make([]string, 0, len(sums))
 	for sym, sm := range sums {

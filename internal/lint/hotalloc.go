@@ -302,7 +302,7 @@ func CheckHotAlloc(observed []HotFunc, baselinePath string) ([]Diagnostic, error
 		diags = append(diags, Diagnostic{
 			Analyzer: "hotalloc",
 			Pos:      token.Position{Filename: baselinePath, Line: line},
-			Message: fmt.Sprintf("baseline entry %s matches no //epi:hotpath function; delete it or restore the annotation, then run `go run ./cmd/epilint -hotpath -update ./...`", sym),
+			Message:  fmt.Sprintf("baseline entry %s matches no //epi:hotpath function; delete it or restore the annotation, then run `go run ./cmd/epilint -hotpath -update ./...`", sym),
 		})
 	}
 	return diags, nil

@@ -54,7 +54,7 @@ func TestSummariesOnFixture(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load fixture: %v", err)
 	}
-	out := strings.Join(FormatSummaries([]*Package{pkg}), "\n")
+	out := strings.Join(FormatSummaries(newProgram([]*Package{pkg})), "\n")
 	for _, want := range []string{
 		// A lock helper's net exit effect, rooted at its parameter.
 		"acquireCtl\n  acquires: control mutex [param 0]\n  exit-holds: control mutex [param 0]",

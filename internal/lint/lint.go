@@ -36,6 +36,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one static check, shaped like x/tools' analysis.Analyzer so
@@ -94,13 +95,33 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 // A directive without a reason string suppresses nothing and is itself
 // reported — the suppression budget stays auditable (-suppressions).
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	prog := newProgram(pkgs)
+	diags, _ := RunTimed(newProgram(pkgs), analyzers)
+	return diags
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost over a whole Run — the
+// `epilint -timing` view. The interprocedural caches (lockset summaries,
+// annotations, mutation summaries, guard/monotone results) are computed
+// lazily inside whichever analyzer touches them first, so that analyzer's
+// bucket absorbs the shared cost; the order in All() keeps that stable.
+type AnalyzerTiming struct {
+	Name   string
+	Millis float64
+}
+
+// RunTimed is Run over an existing Program: callers that also need the
+// -summaries or -timing views build the Program once and share the loaded
+// packages, typechecked info, and every interprocedural cache across all
+// of them (satellite: one load per invocation, measured by
+// TestSingleLoad).
+func RunTimed(prog *Program, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerTiming) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	elapsed := make([]float64, len(analyzers))
+	for _, pkg := range prog.pkgs {
 		sups := collectSuppressions(pkg)
 		ignores := buildIgnoreSet(sups)
 		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -110,7 +131,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Prog:     prog,
 				diags:    &pkgDiags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[i] += float64(time.Since(start)) / float64(time.Millisecond)
 		}
 		for _, d := range pkgDiags {
 			if !ignores.matches(d) {
@@ -137,8 +160,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for i, a := range analyzers {
+		timings[i] = AnalyzerTiming{Name: a.Name, Millis: elapsed[i]}
+	}
+	return diags, timings
 }
+
+// NewProgram exposes the shared whole-program view so cmd/epilint can
+// build it once and feed Run, -summaries, and -timing from the same
+// loaded packages.
+func NewProgram(pkgs []*Package) *Program { return newProgram(pkgs) }
 
 // Suppression is one //lint:ignore directive found in a package.
 type Suppression struct {
@@ -238,6 +270,8 @@ func All() []*Analyzer {
 		CopyLocks,
 		UnusedWrite,
 		Nilness,
+		Guarded,
+		MonoCheck,
 	}
 }
 

@@ -102,6 +102,8 @@ func TestCtlHeldFixtures(t *testing.T)       { checkFixture(t, "ctlheld", CtlHel
 func TestAtomicCounterFixtures(t *testing.T) { checkFixture(t, "atomiccounter", AtomicCounter) }
 func TestPoolSafeFixtures(t *testing.T)      { checkFixture(t, "poolsafe", PoolSafe) }
 func TestWireCheckFixtures(t *testing.T)     { checkFixture(t, "wirecheck", WireCheck) }
+func TestGuardedFixtures(t *testing.T)       { checkFixture(t, "guarded", Guarded) }
+func TestMonoCheckFixtures(t *testing.T)     { checkFixture(t, "monocheck", MonoCheck) }
 
 // The lite standard passes share one fixture package.
 func TestStdFixtures(t *testing.T) { checkFixture(t, "std", CopyLocks, UnusedWrite, Nilness) }

@@ -67,9 +67,16 @@ func newExportImporter(fset *token.FileSet, exports map[string]string) *exportIm
 	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup), exports: exports}
 }
 
+// goListCalls counts goList invocations. It exists for the single-load
+// test: the shared-Program refactor's contract is that one epilint
+// invocation runs `go list` exactly once (loading dominates wall-clock),
+// and the counter keeps that property from regressing silently.
+var goListCalls int
+
 // goList runs `go list -e -export -deps -json` in dir for the given
 // patterns and returns the decoded package records.
 func goList(dir string, patterns []string) ([]listPkg, error) {
+	goListCalls++
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
 		"-json=ImportPath,Export,Dir,GoFiles,DepOnly,Error",

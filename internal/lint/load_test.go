@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestSingleLoad pins the shared-Program contract: one Load feeds one
+// Program, and running the full analyzer suite plus every -summaries
+// renderer over that Program performs no further `go list` invocations.
+// Loading dominates epilint's wall-clock, so an analyzer or formatter
+// quietly rebuilding its own package set is a real performance
+// regression, not a cosmetic one.
+func TestSingleLoad(t *testing.T) {
+	root, err := moduleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	before := goListCalls
+	pkgs, err := Load(root, "./internal/store")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	prog := NewProgram(pkgs)
+	if diags, _ := RunTimed(prog, All()); len(diags) > 0 {
+		t.Errorf("store not clean: %v", diags)
+	}
+	_ = FormatSummaries(prog)
+	_ = FormatPoolSummaries(prog)
+	_ = FormatGuardSummaries(prog)
+	if got := goListCalls - before; got != 1 {
+		t.Errorf("goList ran %d times for one invocation, want 1", got)
+	}
+}

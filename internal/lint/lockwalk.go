@@ -31,6 +31,11 @@ const (
 	lockShardAll                 // all-shard sweep: LockAll/RLockAll
 	lockCtl                      // the control-plane mutex field `ctl`
 	lockConf                     // the conflict-leaf mutex field `confMu`
+	lockOther                    // any other sync mutex, identified by its field
+	//                              name in the op key; tracked only when a
+	//                              walker opts in with trackOther (the guarded
+	//                              analyzer) — the protocol-order analyzers
+	//                              never see this kind
 )
 
 func (k lockKind) String() string {
@@ -41,6 +46,8 @@ func (k lockKind) String() string {
 		return "all-shard sweep"
 	case lockCtl:
 		return "control mutex"
+	case lockOther:
+		return "mutex"
 	default:
 		return "conflict-leaf mutex"
 	}
@@ -95,7 +102,7 @@ func (s *lockState) release(op lockOp) bool {
 		if h.kind != op.kind {
 			continue
 		}
-		if op.kind == lockShard && h.key != op.key && h.key != "" && op.key != "" {
+		if (op.kind == lockShard || op.kind == lockOther) && h.key != op.key && h.key != "" && op.key != "" {
 			continue
 		}
 		if op.root != nil && h.root == op.root {
@@ -173,6 +180,26 @@ type lockWalker struct {
 	// lexical — the PR 3 behavior.
 	resolve func(call *ast.CallExpr) *boundSummary
 
+	// trackOther additionally tracks Lock/Unlock on sync mutexes outside
+	// the protocol vocabulary (transport.Pool.mu, cluster state mutexes) as
+	// lockOther ops keyed by the mutex field name. Off by default: the
+	// order analyzers reason only about the protocol locks. The guarded
+	// analyzer turns it on — a field annotation may name any mutex.
+	trackOther bool
+
+	// litUnderCalleeLocks walks function-literal arguments of a
+	// summary-resolved call with the callee's acquired locks added to the
+	// held set — the ForEachShard shape, where the helper takes the lock
+	// around the callback it is handed. Off by default (the order
+	// analyzers walk literals under the caller's own locks only, the PR 4
+	// behavior); the guarded analyzer turns it on so accesses inside such
+	// callbacks see the lock the helper provably wraps them in.
+	litUnderCalleeLocks bool
+
+	// initialHeld seeds the held set at function entry — the declared
+	// //epi:requires preconditions of the function under walk.
+	initialHeld []heldLock
+
 	// onAcquire fires for each recognized lock acquisition, with the set
 	// held immediately before it.
 	onAcquire func(op lockOp, held []heldLock)
@@ -189,6 +216,12 @@ type lockWalker struct {
 	// onGo fires for each go statement whose spawned body (func literal or
 	// summary-known callee) acquires protocol locks.
 	onGo func(call *ast.CallExpr, acquires []boundLock, held []heldLock)
+	// onExpr fires for every expression visited, with the held set at that
+	// point — the guarded analyzer's field-access probe.
+	onExpr func(expr ast.Expr, held []heldLock)
+	// onAssign fires for assignment and inc/dec statements before their
+	// operands are walked, with the held set at that point.
+	onAssign func(stmt ast.Stmt, held []heldLock)
 
 	// deferredReleases accumulates releases scheduled by defer statements
 	// (deferred unlocks stay held for the lexical window, but run before
@@ -207,7 +240,7 @@ func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
 // (the fall-through or final-return state; deferred releases have NOT
 // been applied — see deferredReleases).
 func (w *lockWalker) walkFuncState(body *ast.BlockStmt) *lockState {
-	st := &lockState{}
+	st := &lockState{held: append([]heldLock(nil), w.initialHeld...)}
 	if body != nil {
 		w.walkStmts(body.List, st)
 	}
@@ -235,12 +268,20 @@ func (w *lockWalker) walkStmt(stmt ast.Stmt, st *lockState) bool {
 			}
 		}
 	case *ast.AssignStmt:
+		if w.onAssign != nil {
+			w.onAssign(s, st.held)
+		}
 		for _, e := range s.Rhs {
 			w.walkExpr(e, st, false)
 		}
 		for _, e := range s.Lhs {
 			w.walkExpr(e, st, false)
 		}
+	case *ast.IncDecStmt:
+		if w.onAssign != nil {
+			w.onAssign(s, st.held)
+		}
+		w.walkExpr(s.X, st, false)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -505,11 +546,37 @@ func (w *lockWalker) walkCases(body *ast.BlockStmt, st *lockState) {
 // skipCall suppresses the call hooks for the outermost call (used for
 // deferred calls, which run later).
 func (w *lockWalker) walkExpr(expr ast.Expr, st *lockState, skipCall bool) {
+	if expr != nil && w.onExpr != nil {
+		w.onExpr(expr, st.held)
+	}
 	switch e := expr.(type) {
 	case nil:
 	case *ast.CallExpr:
+		// With litUnderCalleeLocks, function-literal arguments of a
+		// summary-resolved call are deferred past the non-literal args and
+		// walked with the callee's acquired locks joined in: the
+		// ForEachShard shape, where the callee wraps the callback in a
+		// lock it takes itself.
+		var deferredLits []*ast.FuncLit
 		for _, arg := range e.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok && w.litUnderCalleeLocks {
+				deferredLits = append(deferredLits, lit)
+				continue
+			}
 			w.walkExpr(arg, st, false)
+		}
+		if len(deferredLits) > 0 {
+			litSt := st.clone()
+			if w.resolve != nil {
+				if bs := w.resolve(e); bs != nil {
+					for _, l := range bs.acquires {
+						litSt.acquire(lockOp{kind: l.kind, write: l.write, root: l.root, via: viaJoin(bs.callee.shortName(), l.via), pos: l.pos})
+					}
+				}
+			}
+			for _, lit := range deferredLits {
+				w.walkStmts(lit.Body.List, litSt.clone())
+			}
 		}
 		if lit, ok := e.Fun.(*ast.FuncLit); ok {
 			// A func literal invoked in place runs under the current locks.
@@ -720,6 +787,13 @@ func (w *lockWalker) classifyLockCall(call *ast.CallExpr) []lockOp {
 				// single-shard acquisition.
 				key, ok = shardVarMutex(pass, sel.X)
 				if !ok {
+					if w.trackOther {
+						// Some non-protocol mutex: outside the order
+						// discipline, but a legitimate //epi:guard target.
+						op.kind = lockOther
+						op.key = field
+						return []lockOp{op}
+					}
 					return nil // some unrelated mutex: outside the protocol's order
 				}
 				op.kind = lockShard

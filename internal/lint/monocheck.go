@@ -1,0 +1,512 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MonoCheck is the monotone protocol-state analyzer (DESIGN.md §4j). The
+// paper's correctness argument leans on several structures only ever
+// growing: the DBVV dominates every acknowledged update, log frontiers
+// advance, acked tables record progress, PrunedBefore rises. A field
+// annotated //epi:monotone merge=<Fn,...> may therefore only change
+// through its designated merge functions. The analyzer enforces two
+// halves of that contract:
+//
+//  1. Confinement — outside the merge functions (and //epi:init
+//     construction), the field is read-only: no raw stores or deletes, no
+//     receiver-mutating method outside the merge set, no passing it into
+//     a callee that mutates it (per the §4j mutation summaries), no
+//     mutation through a local alias, and no returning the raw reference
+//     for callers to mutate behind the annotation's back.
+//
+//  2. Never-lower — each merge function is itself verified: stores into
+//     non-fresh state must be shaped so no component can decrease
+//     (++/+=/|=, a store guarded by an ordering comparison or absent-key
+//     check on the stored location, or installing the result of another
+//     merge-shaped call). Anything else is reported as a possible
+//     lowering.
+var MonoCheck = &Analyzer{
+	Name: "monocheck",
+	Doc:  "//epi:monotone fields change only through their merge functions, which must never lower a component",
+	Run:  runMonoCheck,
+}
+
+func runMonoCheck(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	pkg := pass.Prog.packageFor(pass.Pkg)
+	if pkg == nil {
+		return
+	}
+	for _, f := range pass.Prog.monoResults()[pkg] {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// monoResults runs the whole monotone analysis once per Program.
+func (prog *Program) monoResults() map[*Package][]guardFinding {
+	if prog.monoRes != nil {
+		return prog.monoRes
+	}
+	res := map[*Package][]guardFinding{}
+	report := func(pkg *Package, pos token.Pos, format string, args ...any) {
+		res[pkg] = append(res[pkg], guardFinding{pos, fmt.Sprintf(format, args...)})
+	}
+	tab := prog.annotations()
+	prog.mutSummaries()
+
+	// The union of every field's merge-function names: these functions get
+	// the never-lower verification, and their names double as the allowed
+	// install shapes inside other merge functions.
+	mergeNames := map[string]bool{}
+	for _, a := range tab.fields {
+		for _, fn := range a.mergeFns {
+			mergeNames[fn] = true
+		}
+	}
+
+	syms := make([]string, 0, len(prog.fns))
+	for sym := range prog.fns {
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		fi := prog.fns[sym]
+		if prog.fnIsInit(tab, fi) {
+			continue
+		}
+		prog.checkMonoConfinement(fi, tab, report)
+		if mergeNames[fi.obj.Name()] {
+			prog.checkNeverLower(fi, mergeNames, report)
+		}
+	}
+
+	prog.monoRes = res
+	return res
+}
+
+// monotoneField resolves a selector to its //epi:monotone annotation.
+func monotoneField(pass *Pass, expr ast.Expr, tab *annoTable) (string, *fieldAnno, *ast.SelectorExpr) {
+	sel := baseSelector(unparen(stripAddr(unparen(expr))))
+	if sel == nil {
+		return "", nil, nil
+	}
+	sym, a := annotatedField(pass, sel, tab)
+	if a == nil || !a.monotone {
+		return "", nil, nil
+	}
+	return sym, a, sel
+}
+
+func inMergeSet(name string, a *fieldAnno) bool {
+	for _, fn := range a.mergeFns {
+		if fn == name {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeList(a *fieldAnno) string {
+	if len(a.mergeFns) == 0 {
+		return "<none declared>"
+	}
+	return strings.Join(a.mergeFns, ", ")
+}
+
+// checkMonoConfinement enforces half 1 over one function body.
+func (prog *Program) checkMonoConfinement(fi *funcInfo, tab *annoTable, report func(*Package, token.Pos, string, ...any)) {
+	pass := prog.passes[fi.pkg]
+	fnName := fi.obj.Name()
+	fresh := freshLocalSet(pass, fi.decl.Body)
+
+	ownerFresh := func(sel *ast.SelectorExpr) bool {
+		root := rootObjOf(pass, sel.X)
+		return root != nil && fresh[root]
+	}
+
+	// Taint pass: locals bound to a reference-typed view of a monotone
+	// field (v := r.dbvv aliases the same map storage). Two rounds so an
+	// alias of an alias resolves.
+	taint := map[types.Object]string{}
+	for round := 0; round < 2; round++ {
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil || !aliasingType(obj.Type()) {
+					continue
+				}
+				if sym, a, sel := monotoneField(pass, as.Rhs[i], tab); a != nil {
+					if !inMergeSet(fnName, a) && !ownerFresh(sel) {
+						taint[obj] = sym
+					}
+					continue
+				}
+				if rid, ok := unparen(as.Rhs[i]).(*ast.Ident); ok {
+					if sym, tainted := taint[pass.Info.Uses[rid]]; tainted {
+						taint[obj] = sym
+					}
+				}
+			}
+			return true
+		})
+	}
+	taintedIdent := func(expr ast.Expr) (string, bool) {
+		id := rootIdent(unparen(stripAddr(unparen(expr))))
+		if id == nil {
+			return "", false
+		}
+		sym, ok := taint[pass.Info.Uses[id]]
+		return sym, ok
+	}
+
+	checkStore := func(lhs ast.Expr, rhs ast.Expr, pos token.Pos) {
+		if sym, a, sel := monotoneField(pass, lhs, tab); a != nil {
+			if inMergeSet(fnName, a) || ownerFresh(sel) {
+				return
+			}
+			// x.f = x.f.Merge(...) — installing a merge result is the
+			// sanctioned read-modify-write shape.
+			if rhs != nil {
+				if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+					if cs, ok := call.Fun.(*ast.SelectorExpr); ok && inMergeSet(cs.Sel.Name, a) {
+						return
+					}
+					if cid, ok := call.Fun.(*ast.Ident); ok && inMergeSet(cid.Name, a) {
+						return
+					}
+				}
+			}
+			report(fi.pkg, pos, "monotone field %s written outside its merge functions: raw stores can lower protocol state — route the update through %s", sym, mergeList(a))
+			return
+		}
+		if sym, ok := taintedIdent(lhs); ok {
+			report(fi.pkg, pos, "write through an alias of monotone field %s: the local shares storage with the field, so this bypasses its merge functions", sym)
+		}
+	}
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				var rhs ast.Expr
+				if len(s.Lhs) == len(s.Rhs) {
+					rhs = s.Rhs[i]
+				}
+				checkStore(lhs, rhs, lhs.Pos())
+			}
+		case *ast.IncDecStmt:
+			checkStore(s.X, nil, s.X.Pos())
+		case *ast.CallExpr:
+			prog.checkMonoCall(fi, pass, tab, s, fnName, ownerFresh, taintedIdent, report)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				sym, a, sel := monotoneField(pass, r, tab)
+				if a == nil || !aliasingType(pass.TypeOf(r)) {
+					continue
+				}
+				if inMergeSet(fnName, a) || ownerFresh(sel) {
+					continue
+				}
+				// Only the bare reference escapes; r.dbvv.Clone() or an
+				// indexed component is fine (sel must BE the result).
+				if unparen(r) != sel {
+					continue
+				}
+				report(fi.pkg, r.Pos(), "monotone field %s returned as a raw alias: callers could mutate protocol state without its merge functions (return a clone, or //lint:ignore monocheck <why the caller is trusted>)", sym)
+			}
+		}
+		return true
+	})
+}
+
+// checkMonoCall enforces the call-shaped mutations: delete builtin,
+// non-merge receiver methods, and argument passes into mutating callees.
+func (prog *Program) checkMonoCall(fi *funcInfo, pass *Pass, tab *annoTable, call *ast.CallExpr, fnName string, ownerFresh func(*ast.SelectorExpr) bool, taintedIdent func(ast.Expr) (string, bool), report func(*Package, token.Pos, string, ...any)) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) >= 1 {
+		if sym, a, sel := monotoneField(pass, call.Args[0], tab); a != nil && !inMergeSet(fnName, a) && !ownerFresh(sel) {
+			report(fi.pkg, call.Pos(), "delete() on monotone field %s: removing a component lowers the frontier; only its merge functions (%s) may restructure it", sym, mergeList(a))
+		} else if sym, ok := taintedIdent(call.Args[0]); ok {
+			report(fi.pkg, call.Pos(), "delete() through an alias of monotone field %s bypasses its merge functions", sym)
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sym, a, fsel := monotoneField(pass, sel.X, tab); a != nil && !inMergeSet(fnName, a) && !ownerFresh(fsel) {
+			if !inMergeSet(sel.Sel.Name, a) {
+				if mutated, via := prog.callMutatesExpr(pass, call, sel.X); mutated {
+					report(fi.pkg, call.Pos(), "monotone field %s mutated through %s, which is not one of its merge functions (%s) — mutation path: %s", sym, sel.Sel.Name, mergeList(a), via)
+				}
+			}
+		} else if sym, ok := taintedIdent(sel.X); ok && !inMergeSet(sel.Sel.Name, mustAnno(tab, sym)) {
+			if mutated, via := prog.callMutatesExpr(pass, call, sel.X); mutated {
+				report(fi.pkg, call.Pos(), "alias of monotone field %s mutated through %s (via %s): this bypasses its merge functions", sym, sel.Sel.Name, via)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		stripped := stripAddr(unparen(arg))
+		sym, a, fsel := monotoneField(pass, stripped, tab)
+		if a == nil || inMergeSet(fnName, a) || ownerFresh(fsel) {
+			if a == nil {
+				if tsym, ok := taintedIdent(stripped); ok {
+					if mutated, via := prog.callMutatesExpr(pass, call, stripped); mutated {
+						report(fi.pkg, arg.Pos(), "alias of monotone field %s passed to a callee that mutates it (via %s)", tsym, via)
+					}
+				}
+			}
+			continue
+		}
+		if callee := prog.lookup(pass, call); callee != nil && inMergeSet(callee.obj.Name(), a) {
+			continue
+		}
+		if mutated, via := prog.callMutatesExpr(pass, call, stripped); mutated {
+			report(fi.pkg, arg.Pos(), "monotone field %s passed to a callee that mutates it (via %s): only its merge functions (%s) may write it", sym, via, mergeList(a))
+		}
+	}
+}
+
+// mustAnno fetches the annotation behind a taint symbol (always present:
+// taints are only seeded from annotated fields).
+func mustAnno(tab *annoTable, sym string) *fieldAnno {
+	if a := tab.fields[sym]; a != nil {
+		return a
+	}
+	return &fieldAnno{}
+}
+
+// aliasingType reports whether values of t share storage when copied —
+// the shapes a local alias can mutate through.
+func aliasingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// checkNeverLower verifies half 2 over one merge function: every store
+// into non-fresh state must be shaped so no component can decrease.
+func (prog *Program) checkNeverLower(fi *funcInfo, mergeNames map[string]bool, report func(*Package, token.Pos, string, ...any)) {
+	pass := prog.passes[fi.pkg]
+	am := buildAliases(pass, fi)
+	fresh := freshLocalSet(pass, fi.decl.Body)
+
+	nonFresh := func(lhs ast.Expr) bool {
+		if am.slotOfExpr(pass, lhs) == rootOther {
+			return false // local / fresh / unknown: not caller-visible state
+		}
+		if id := rootIdent(lhs); id != nil {
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj != nil && fresh[obj] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var walkStmt func(stmt ast.Stmt, conds []ast.Expr)
+	walkBody := func(list []ast.Stmt, conds []ast.Expr) {
+		for _, s := range list {
+			walkStmt(s, conds)
+		}
+	}
+	checkAssign := func(s *ast.AssignStmt, conds []ast.Expr) {
+		if s.Tok == token.DEFINE {
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if !nonFresh(lhs) {
+				continue
+			}
+			var rhs ast.Expr
+			if len(s.Lhs) == len(s.Rhs) {
+				rhs = s.Rhs[i]
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.SHL_ASSIGN:
+				// += / |= / <<= on unsigned components only grow.
+			case token.ASSIGN:
+				if !monotoneStoreOK(pass, lhs, rhs, conds, mergeNames) {
+					report(fi.pkg, lhs.Pos(), "merge function %s stores to %s without a monotone guard: the store may lower a component (guard it with an ordering comparison, or install a merge result)", fi.obj.Name(), types.ExprString(lhs))
+				}
+			default:
+				report(fi.pkg, lhs.Pos(), "merge function %s applies %s to %s: the operation can lower a monotone component", fi.obj.Name(), s.Tok, types.ExprString(lhs))
+			}
+		}
+	}
+	walkStmt = func(stmt ast.Stmt, conds []ast.Expr) {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			checkAssign(s, conds)
+		case *ast.IncDecStmt:
+			if s.Tok == token.DEC && nonFresh(s.X) {
+				report(fi.pkg, s.X.Pos(), "merge function %s decrements %s: monotone components never decrease", fi.obj.Name(), types.ExprString(s.X))
+			}
+		case *ast.BlockStmt:
+			walkBody(s.List, conds)
+		case *ast.IfStmt:
+			thenConds := append(append([]ast.Expr(nil), conds...), s.Cond)
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				// if _, ok := m[i]; !ok { m[i] = v } — the comma-ok index
+				// joins the guard set so absent-key installs verify.
+				for _, r := range init.Rhs {
+					if idx, isIdx := unparen(r).(*ast.IndexExpr); isIdx {
+						thenConds = append(thenConds, idx)
+					}
+				}
+				walkStmt(s.Init, conds)
+			} else if s.Init != nil {
+				walkStmt(s.Init, conds)
+			}
+			walkStmt(s.Body, thenConds)
+			if s.Else != nil {
+				walkStmt(s.Else, conds)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walkStmt(s.Init, conds)
+			}
+			walkStmt(s.Body, conds)
+		case *ast.RangeStmt:
+			walkStmt(s.Body, conds)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body, conds)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body, conds)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkBody(cc.Body, conds)
+				}
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, conds)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Bodies of spawned/deferred literals still store to the same
+			// state: walk them with no guards assumed.
+			var call *ast.CallExpr
+			if d, ok := stmt.(*ast.DeferStmt); ok {
+				call = d.Call
+			} else {
+				call = stmt.(*ast.GoStmt).Call
+			}
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				walkBody(lit.Body.List, nil)
+			}
+		}
+	}
+	walkBody(fi.decl.Body.List, nil)
+}
+
+// installNames are call shapes always accepted as the RHS of a whole-value
+// install in a merge function, beyond the declared merge sets: the
+// conventional copy-and-grow constructors.
+var installNames = map[string]bool{
+	"Extended": true, "Merged": true, "Merge": true, "Clone": true,
+	"Union": true, "Max": true, "max": true,
+}
+
+// monotoneStoreOK decides whether a plain `lhs = rhs` inside a merge
+// function is monotone-safe.
+func monotoneStoreOK(pass *Pass, lhs, rhs ast.Expr, conds []ast.Expr, mergeNames map[string]bool) bool {
+	if rhs != nil {
+		switch r := unparen(rhs).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.CallExpr:
+			name := ""
+			switch f := r.Fun.(type) {
+			case *ast.Ident:
+				name = f.Name
+			case *ast.SelectorExpr:
+				name = f.Sel.Name
+			}
+			if name == "append" || name == "make" || name == "new" {
+				return true
+			}
+			if mergeNames[name] || installNames[name] {
+				return true
+			}
+		}
+	}
+	lhsStr := types.ExprString(lhs)
+	rhsStr := ""
+	if rhs != nil {
+		rhsStr = types.ExprString(rhs)
+	}
+	for _, cond := range conds {
+		if condGuardsStore(cond, lhsStr, rhsStr) {
+			return true
+		}
+	}
+	return false
+}
+
+// condGuardsStore reports whether an active guard condition mentions the
+// stored location (or the stored value) under an ordering comparison or
+// nil/absence check. The match is textual (types.ExprString): the guard
+// `if v > r.dbvv[i]` licenses `r.dbvv[i] = v`.
+func condGuardsStore(cond ast.Expr, lhsStr, rhsStr string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				x, y := types.ExprString(e.X), types.ExprString(e.Y)
+				if x == lhsStr || y == lhsStr || (rhsStr != "" && (x == rhsStr || y == rhsStr)) {
+					found = true
+				}
+			case token.EQL, token.NEQ:
+				x, y := types.ExprString(e.X), types.ExprString(e.Y)
+				if (x == lhsStr && y == "nil") || (y == lhsStr && x == "nil") {
+					found = true
+				}
+			}
+		case *ast.IndexExpr:
+			// A comma-ok index planted by the IfStmt walker: absent-key
+			// install of the same location.
+			if types.ExprString(e) == lhsStr {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Mutation summaries: for each known function, which of its abstract root
+// slots (receiver, parameters — the same namespace the lockset summaries
+// use) the function may mutate, directly or through its callees. The
+// guarded analyzer uses them to decide whether a method call or argument
+// pass on an annotated field is a write access (it.IVV.Inc(i) writes,
+// it.IVV.Clone() reads); monocheck uses them to catch aliased mutation of
+// monotone state that sidesteps the designated merge functions.
+//
+// A slot counts as mutated when the body:
+//   - stores into an lvalue reached from it (index, selector, or star
+//     path), or inc/decs one,
+//   - deletes from a map reached from it, or copy()s into it,
+//   - passes it (or its address) into a slot a callee's summary mutates,
+//     or calls a receiver-mutating method on it,
+//   - passes its address to a callee with no known body (conservative:
+//     the pointer escapes to code we cannot see).
+//
+// Reassigning a parameter's own header (`v = append(v, x)`) is NOT a
+// mutation of the caller's slot: the callee works on a copied header, and
+// the grow-in-place aliasing subtlety is vvalias's department. Locals that
+// alias a slot (`sh := &s.shards[i]`) are tracked intra-procedurally.
+//
+// Like the lockset fixpoint, the lattice is finite (slots per function)
+// and only grows; 12 rounds is far beyond the deepest real chain.
+
+// mutSummary records the mutated root slots of one function, with a call
+// witness per slot ("" = mutated directly in the body).
+type mutSummary struct {
+	roots map[int]string
+}
+
+func (m *mutSummary) mark(slot int, via string) bool {
+	if slot == rootOther {
+		return false
+	}
+	if _, ok := m.roots[slot]; ok {
+		return false
+	}
+	m.roots[slot] = via
+	return true
+}
+
+// mutSummaries computes (once per Program) the mutation summary fixpoint.
+func (prog *Program) mutSummaries() map[string]*mutSummary {
+	if prog.mutSums != nil {
+		return prog.mutSums
+	}
+	sums := make(map[string]*mutSummary, len(prog.fns))
+	syms := make([]string, 0, len(prog.fns))
+	for sym := range prog.fns {
+		sums[sym] = &mutSummary{roots: map[int]string{}}
+		syms = append(syms, sym)
+	}
+	sort.Strings(syms)
+	const maxRounds = 12
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, sym := range syms {
+			if prog.computeMutSummary(prog.fns[sym], sums[sym], sums) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	prog.mutSums = sums
+	return sums
+}
+
+// aliasMap maps local objects to the root slot they alias, seeded from the
+// receiver and parameters and grown through alias-preserving assignments.
+type aliasMap map[types.Object]int
+
+// slotOfExpr resolves the root slot an lvalue or argument expression is
+// reached from, unwrapping the alias-preserving shapes.
+func (am aliasMap) slotOfExpr(pass *Pass, expr ast.Expr) int {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Info.Defs[e]
+			}
+			if slot, ok := am[obj]; ok {
+				return slot
+			}
+			return rootOther
+		case *ast.SelectorExpr:
+			// A package-qualified name (wire.Kind) is not a path from a root.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+					return rootOther
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return rootOther
+			}
+			expr = e.X
+		default:
+			return rootOther
+		}
+	}
+}
+
+// buildAliases collects the intra-procedural alias map: two passes so an
+// alias of an alias (`sh := &s.shards[i]; items := sh.items`) resolves.
+func buildAliases(pass *Pass, fi *funcInfo) aliasMap {
+	am := aliasMap{}
+	if fi.recvObj != nil {
+		am[fi.recvObj] = rootRecv
+	}
+	for i, p := range fi.paramObjs {
+		am[p] = i + 1
+	}
+	for round := 0; round < 2; round++ {
+		collectAliasPass(pass, fi, am)
+	}
+	return am
+}
+
+func collectAliasPass(pass *Pass, fi *funcInfo, am aliasMap) {
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if slot := am.slotOfExpr(pass, as.Rhs[i]); slot != rootOther {
+				am[obj] = slot
+			}
+		}
+		return true
+	})
+}
+
+// computeMutSummary folds one round of fi's body into sm, returning
+// whether sm grew.
+func (prog *Program) computeMutSummary(fi *funcInfo, sm *mutSummary, sums map[string]*mutSummary) bool {
+	pass := prog.passes[fi.pkg]
+	am := buildAliases(pass, fi)
+	grew := false
+	mark := func(slot int, via string) {
+		if sm.mark(slot, via) {
+			grew = true
+		}
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // header/local reassignment, not a slot mutation
+				}
+				mark(am.slotOfExpr(pass, lhs), "")
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := s.X.(*ast.Ident); !isIdent {
+				mark(am.slotOfExpr(pass, s.X), "")
+			}
+		case *ast.CallExpr:
+			prog.markCallMutations(pass, fi, am, s, sums, mark)
+		}
+		return true
+	})
+	return grew
+}
+
+// markCallMutations applies the mutation effects of one call: builtins
+// (delete, copy), receiver-mutating methods, and mutated argument slots.
+func (prog *Program) markCallMutations(pass *Pass, fi *funcInfo, am aliasMap, call *ast.CallExpr, sums map[string]*mutSummary, mark func(int, string)) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "delete", "copy":
+			if len(call.Args) >= 1 {
+				mark(am.slotOfExpr(pass, call.Args[0]), "")
+			}
+			return
+		}
+	}
+	callee := prog.lookup(pass, call)
+	if callee == nil {
+		// Unknown body: a pointer argument may be mutated behind it.
+		for _, arg := range call.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				mark(am.slotOfExpr(pass, u.X), "")
+			}
+		}
+		return
+	}
+	csum := sums[symbolOf(callee.obj)]
+	if csum == nil || len(csum.roots) == 0 {
+		return
+	}
+	name := callee.shortName()
+	for slot, via := range csum.roots {
+		switch {
+		case slot == rootRecv:
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				mark(am.slotOfExpr(pass, sel.X), viaJoin(name, via))
+			}
+		case slot >= 1 && slot-1 < len(call.Args):
+			mark(am.slotOfExpr(pass, call.Args[slot-1]), viaJoin(name, via))
+		}
+	}
+}
+
+// callMutatesExpr reports whether the given call mutates the value of
+// expr (appearing as the call's receiver or one of its arguments), with a
+// witness path. Used by guarded (write classification of annotated-field
+// accesses) and monocheck (aliased mutation of monotone state).
+func (prog *Program) callMutatesExpr(pass *Pass, call *ast.CallExpr, expr ast.Expr) (bool, string) {
+	callee := prog.lookup(pass, call)
+	if callee == nil {
+		return false, ""
+	}
+	sum := prog.mutSummaries()[symbolOf(callee.obj)]
+	if sum == nil || len(sum.roots) == 0 {
+		return false, ""
+	}
+	name := callee.shortName()
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if via, mutated := sum.roots[rootRecv]; mutated && sameExprTree(sel.X, expr) {
+			return true, viaJoin(name, via)
+		}
+	}
+	for i, arg := range call.Args {
+		if via, mutated := sum.roots[i+1]; mutated && sameExprTree(stripAddr(arg), expr) {
+			return true, viaJoin(name, via)
+		}
+	}
+	return false, ""
+}
+
+func stripAddr(expr ast.Expr) ast.Expr {
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return u.X
+	}
+	return expr
+}
+
+// sameExprTree reports whether a and b are the same AST node (the
+// analyzers compare the very expressions they walked, not structural
+// equality).
+func sameExprTree(a, b ast.Expr) bool { return a == b }

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnnotationGateNonVacuous proves the coverage gate is live: it copies
+// the gate fixture into a scratch package, checks the annotated field is
+// accepted, then deletes that one annotation and requires the gate to fire
+// on the now-uncovered field. A gate that passes both ways is decoration.
+//
+// The scratch package must live under testdata/ (not t.TempDir) because
+// LoadDir resolves the enclosing module from the directory's path.
+func TestAnnotationGateNonVacuous(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "guarded", "gate.go"))
+	if err != nil {
+		t.Fatalf("read gate fixture: %v", err)
+	}
+	const anno = "//epi:guard mu"
+	if !strings.Contains(string(src), anno) {
+		t.Fatalf("gate fixture no longer contains %q; non-vacuity test needs updating", anno)
+	}
+
+	dir := filepath.Join("testdata", "nonvacuity")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	copyPath := filepath.Join(dir, "gate.go")
+
+	gateFindings := func(label string) []string {
+		t.Helper()
+		pkg, err := LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: load scratch fixture: %v", label, err)
+		}
+		var msgs []string
+		for _, d := range Run([]*Package{pkg}, []*Analyzer{Guarded}) {
+			msgs = append(msgs, d.Message)
+		}
+		return msgs
+	}
+
+	// Verbatim copy: the annotated field must not trip the gate.
+	if err := os.WriteFile(copyPath, src, 0o644); err != nil {
+		t.Fatalf("write copy: %v", err)
+	}
+	for _, m := range gateFindings("verbatim") {
+		if strings.Contains(m, "Gated.good") {
+			t.Errorf("verbatim copy: unexpected finding on the annotated field: %s", m)
+		}
+	}
+
+	// Delete exactly one annotation; the gate must now flag the field.
+	stripped := strings.Replace(string(src), anno, "", 1)
+	if err := os.WriteFile(copyPath, []byte(stripped), 0o644); err != nil {
+		t.Fatalf("write stripped copy: %v", err)
+	}
+	fired := false
+	for _, m := range gateFindings("stripped") {
+		if strings.Contains(m, "Gated.good") && strings.Contains(m, "no sharing annotation") {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("deleted //epi:guard annotation but the coverage gate did not fire on Gated.good")
+	}
+}

@@ -966,9 +966,9 @@ func (w *poolWalker) groupAndObjOf(e ast.Expr) (*poolGroup, types.Object) {
 }
 
 // FormatPoolSummaries renders the non-empty pool-ownership summaries —
-// part of the `epilint -summaries` debugging view.
-func FormatPoolSummaries(pkgs []*Package) []string {
-	prog := newProgram(pkgs)
+// part of the `epilint -summaries` debugging view, over the shared
+// Program.
+func FormatPoolSummaries(prog *Program) []string {
 	sums := prog.poolSummaries()
 	syms := make([]string, 0, len(sums))
 	for sym, sm := range sums {

@@ -1,0 +1,126 @@
+// Fixtures for the guarded analyzer: field-granular lock-guard
+// verification. This file is NOT under the coverage gate (see gate.go for
+// the gated cases), so only annotated fields are checked here.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// S carries one field per guard discipline under test.
+type S struct {
+	mu  sync.RWMutex
+	ctl sync.Mutex
+
+	data int    //epi:guard mu
+	gw   uint64 //epi:guard mu
+	nCtl int    //epi:guard ctl
+
+	cnt uint64        //epi:guard atomic
+	box atomic.Uint64 //epi:guard atomic
+
+	id int //epi:immutable
+
+	dr int         //epi:guard gonemu // want `does not resolve`
+	y  int         //epi:notshared scratch value, never crosses a goroutine
+	m  map[int]int //epi:monotone // want `naming its advance functions`
+}
+
+// --- plain guarded accesses ---
+
+func (s *S) ReadNoLock() int {
+	return s.data // want `read of field .*\.data .* guard mu not held`
+}
+
+func (s *S) WriteNoLock(v int) {
+	s.data = v // want `guard mu \(write\) not held`
+}
+
+func (s *S) WriteUnderRLock(v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.data = v // want `guard mu is held for read only; writes need the exclusive lock`
+}
+
+func (s *S) ReadLocked() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data
+}
+
+func (s *S) WriteLocked(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = v
+}
+
+// --- interprocedural: unexported helper, witness at the call site ---
+
+func (s *S) bump() { s.data++ }
+
+func (s *S) ViaHelper() {
+	s.bump() // want `write to field .*\.data .* not held \(via .*bump\)`
+}
+
+func (s *S) ViaHelperLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+// --- declared //epi:requires contracts ---
+
+//epi:requires ctl
+func (s *S) mustCtl() { s.nCtl++ }
+
+func (s *S) CallsWithoutCtl() {
+	s.mustCtl() // want `call to .*mustCtl .* guard ctl \(write\) not held`
+}
+
+func (s *S) CallsWithCtl() {
+	s.ctl.Lock()
+	defer s.ctl.Unlock()
+	s.mustCtl()
+}
+
+// --- atomic discipline ---
+
+func (s *S) BumpPlain() {
+	s.cnt++ // want `accessed plainly`
+}
+
+func (s *S) BumpAtomic() {
+	atomic.AddUint64(&s.cnt, 1)
+}
+
+func (s *S) ReplaceBox() {
+	s.box = atomic.Uint64{} // want `atomic value field .* reassigned plainly`
+}
+
+func (s *S) UseBox() {
+	s.box.Add(1)
+}
+
+func (s *S) MixedAtomic() uint64 {
+	return atomic.LoadUint64(&s.gw) // want `lock-guarded .* but accessed through sync/atomic`
+}
+
+// --- immutable fields ---
+
+func (s *S) Rename(v int) {
+	s.id = v // want `write to //epi:immutable field`
+}
+
+func NewS() *S {
+	s := &S{id: 7}
+	s.id = 8 // fresh object: construction, not mutation
+	return s
+}
+
+// Rebuild installs restored state before the struct is republished.
+//
+//epi:init recovery installs restored state before publication
+func Rebuild(s *S) {
+	s.id = 9
+}

@@ -1,0 +1,24 @@
+package fixture
+
+// This file opts into the annotation-coverage gate — every package-level
+// struct declared here must annotate each field's sharing discipline.
+//
+//epi:coverage
+
+import "sync"
+
+// Gated exercises the coverage gate itself.
+type Gated struct {
+	mu   sync.Mutex
+	good int //epi:guard mu
+	bad  int // want `field Gated.bad of shared struct has no sharing annotation`
+	dual int //epi:guard mu //epi:immutable // want `conflicting sharing annotations`
+}
+
+// Exempt is excused from the gate wholesale.
+//
+//epi:notshared request-scoped scratch value, never crosses a goroutine
+type Exempt struct {
+	a int
+	b string
+}

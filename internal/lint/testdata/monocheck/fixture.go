@@ -1,0 +1,134 @@
+// Fixtures for the monocheck analyzer: //epi:monotone fields change only
+// through their declared merge functions, which themselves must never
+// lower a component.
+package fixture
+
+// Vec is a map-shaped frontier, the fixture stand-in for a version vector.
+type Vec map[int]uint64
+
+// Clone copies the vector.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	for i, x := range v {
+		out[i] = x
+	}
+	return out
+}
+
+// Merged returns the component-wise maximum of v and o.
+func (v Vec) Merged(o Vec) Vec {
+	out := v.Clone()
+	for i, x := range o {
+		if x > out[i] {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+// Bump mutates one component in place — deliberately NOT a merge function.
+func (v Vec) Bump(i int) { v[i]++ }
+
+// scribble mutates its argument — a callee the analyzer must see through.
+func scribble(v Vec) { v[9] = 9 }
+
+// R owns the monotone protocol state under test.
+type R struct {
+	front Vec    //epi:monotone merge=Advance,AdoptMissing,Merged,BadStore,BadSub,BadDec
+	high  uint64 //epi:monotone merge=Raise
+}
+
+// --- confinement: mutations outside the merge set ---
+
+func (r *R) Clobber(v Vec) {
+	r.front = v // want `monotone field .* written outside its merge functions`
+}
+
+func (r *R) Drop(i int) {
+	delete(r.front, i) // want `delete\(\) on monotone field`
+}
+
+func (r *R) Poke(i int) {
+	r.front.Bump(i) // want `mutated through Bump, which is not one of its merge functions`
+}
+
+func (r *R) Sneak() {
+	m := r.front
+	m[0] = 1 // want `write through an alias of monotone field`
+}
+
+func (r *R) Leak() {
+	scribble(r.front) // want `passed to a callee that mutates it`
+}
+
+func (r *R) Frontier() Vec {
+	return r.front // want `returned as a raw alias`
+}
+
+func (r *R) Reset() {
+	r.high = 0 // want `written outside its merge functions`
+}
+
+// Absorb installs a merge result — the sanctioned read-modify-write shape.
+func (r *R) Absorb(o *R) {
+	r.front = r.front.Merged(o.front)
+}
+
+// FrontierCopy hands out a clone, not the live reference.
+func (r *R) FrontierCopy() Vec {
+	return r.front.Clone()
+}
+
+// NewR builds fresh state: stores into an unpublished object are free.
+func NewR(seed Vec) *R {
+	r := &R{}
+	r.front = seed.Clone()
+	r.high = 1
+	return r
+}
+
+// Restore installs recovered state before the replica is republished.
+//
+//epi:init durable recovery installs restored state before publication
+func (r *R) Restore(v Vec, h uint64) {
+	r.front = v
+	r.high = h
+}
+
+// --- never-lower verification of the merge functions themselves ---
+
+// Advance is the well-formed merge: ordering-guarded store.
+func (r *R) Advance(i int, v uint64) {
+	if v > r.front[i] {
+		r.front[i] = v
+	}
+}
+
+// AdoptMissing installs only absent components (comma-ok guard).
+func (r *R) AdoptMissing(i int, v uint64) {
+	if _, ok := r.front[i]; !ok {
+		r.front[i] = v
+	}
+}
+
+// Raise is the well-formed scalar merge.
+func (r *R) Raise(v uint64) {
+	if v > r.high {
+		r.high = v
+	}
+}
+
+// BadStore is declared a merge function but stores unguarded.
+func (r *R) BadStore(i int, v uint64) {
+	r.front[i] = v // want `stores to .* without a monotone guard`
+}
+
+// BadSub is declared a merge function but can subtract.
+func (r *R) BadSub(i int, v uint64) {
+	r.front[i] -= v // want `applies -= to .* the operation can lower`
+}
+
+// BadDec is declared a merge function but decrements.
+func (r *R) BadDec(i int) {
+	r.front[i]-- // want `decrements .* monotone components never decrease`
+}

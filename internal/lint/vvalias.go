@@ -26,8 +26,11 @@ import (
 //     so its result must be assigned back to the same vector, never to a
 //     different one;
 //   - returning a bare VV field of the receiver leaks internal mutable
-//     state; accessors that intentionally share (documented
-//     caller-holds-lock contracts) carry a //lint:ignore vvalias line.
+//     state; accessors that intentionally share under a caller-holds-lock
+//     contract declare it with //epi:requires <lock> — the guarded
+//     analyzer then proves every caller actually holds the lock, which is
+//     strictly stronger than the lexical //lint:ignore this check used to
+//     require.
 //
 // The vv package itself — the one place aliasing is the implementation —
 // is exempt.
@@ -63,10 +66,24 @@ type vvChecker struct {
 	// recv holds the method receiver, whose bare VV fields must not be
 	// returned.
 	recv map[types.Object]bool
+	// lockContract is set when the function declares //epi:requires: a
+	// live-view return is then part of a statically verified
+	// caller-holds-lock contract (guarded proves every caller holds the
+	// lock), not an accidental leak.
+	lockContract bool
 }
 
 func checkFuncVVAlias(pass *Pass, fn *ast.FuncDecl) {
 	c := &vvChecker{pass: pass, foreign: map[types.Object]bool{}, recv: map[types.Object]bool{}}
+	if fn.Doc != nil {
+		for _, cm := range fn.Doc.List {
+			for _, d := range epiDirectives(cm) {
+				if d.verb == "requires" {
+					c.lockContract = true
+				}
+			}
+		}
+	}
 	if fn.Type.Params != nil {
 		for _, field := range fn.Type.Params.List {
 			for _, name := range field.Names {
@@ -122,7 +139,7 @@ func (c *vvChecker) walkStmt(stmt ast.Stmt) {
 		for _, res := range s.Results {
 			if c.isForeignVV(res) {
 				c.pass.Reportf(res.Pos(), "returns caller-owned version vector %s without Clone(); the caller and this function would share its backing array", types.ExprString(res))
-			} else if c.isRecvVV(res) {
+			} else if c.isRecvVV(res) && !c.lockContract {
 				c.pass.Reportf(res.Pos(), "returns live version vector %s of the receiver without Clone(); internal state escapes to the caller", types.ExprString(res))
 			}
 			c.walkExpr(res)

@@ -23,8 +23,8 @@ import (
 // Server hosts one node's replicas of many databases.
 type Server struct {
 	mu  sync.Mutex
-	id  int
-	dbs map[string]*core.Replica
+	id  int                      //epi:immutable
+	dbs map[string]*core.Replica //epi:guard mu
 }
 
 // NewServer returns an empty server with the given node id.
@@ -115,6 +115,8 @@ func (s *Server) Read(db, key string) ([]byte, bool) {
 }
 
 // SessionStats summarizes one multi-database anti-entropy run.
+//
+//epi:notshared per-session tally value returned to one caller
 type SessionStats struct {
 	Databases int // databases both sides carry
 	Shipped   int // databases where data moved

@@ -17,6 +17,8 @@ func (s *Server) Serve(addr string) (*transport.Server, error) {
 }
 
 // PullStats summarizes one multi-database pull over TCP.
+//
+//epi:notshared per-pull tally value returned to one caller
 type PullStats struct {
 	Shipped int // databases where data moved
 	Skipped int // databases already current (O(1) each)

@@ -16,8 +16,11 @@ import (
 )
 
 // PartSystem is a simulated cluster of partitioned nodes on one ring.
+// Single-goroutine like the rest of the sim harness.
+//
+//epi:coverage
 type PartSystem struct {
-	nodes []*core.Partitioned
+	nodes []*core.Partitioned //epi:notshared fixed at construction; single-goroutine harness
 }
 
 // NewPartSystem returns n fresh partitioned nodes over a ring of the given

@@ -38,10 +38,15 @@ type System interface {
 	Converged() (bool, string)
 }
 
-// CoreSystem adapts a set of core.Replica to the System interface.
+// CoreSystem adapts a set of core.Replica to the System interface. Like
+// the rest of the sim harness it is single-goroutine: the replica slice is
+// fixed at construction and every poke goes through the replica's locked
+// API.
+//
+//epi:coverage
 type CoreSystem struct {
-	replicas []*core.Replica
-	opts     []core.Option
+	replicas []*core.Replica //epi:notshared fixed at construction; single-goroutine harness
+	opts     []core.Option   //epi:notshared fixed at construction
 }
 
 // NewCoreSystem returns n fresh replicas of the paper's protocol.

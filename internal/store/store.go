@@ -28,8 +28,8 @@ import (
 // requests are served from it while the regular copy continues to take part
 // in scheduled update propagation.
 type AuxCopy struct {
-	Value []byte
-	IVV   vv.VV
+	Value []byte //epi:guard mu
+	IVV   vv.VV  //epi:guard mu
 }
 
 // Delta retains the single most recent update to an item's regular copy as
@@ -39,6 +39,10 @@ type AuxCopy struct {
 // retained delta is valid only while the item's IVV is exactly Pre plus one
 // update by Origin; any other IVV movement (full adoption, further local
 // update) replaces or clears it.
+//
+// the shard lock; payload chains carry independent copies
+//
+//epi:notshared value type: the store keeps deltas behind Item.Deltas under
 type Delta struct {
 	Op     op.Op
 	Pre    vv.VV // IVV immediately before the update
@@ -87,29 +91,38 @@ func ChainValid(chain []Delta, ivv vv.VV) bool {
 // Item fields are protected by the item's shard lock: every mutation holds
 // the shard write lock, every read at least the shard read lock.
 type Item struct {
-	Key   string
-	Value []byte
-	IVV   vv.VV
+	Key   string //epi:immutable
+	Value []byte //epi:guard mu
+	IVV   vv.VV  //epi:guard mu
 
 	// Aux is non-nil while the item has an out-of-bound auxiliary copy.
-	Aux *AuxCopy
+	Aux *AuxCopy //epi:guard mu
 
 	// Deltas, when non-empty and chain-valid, retains the most recent
 	// updates (oldest first, bounded by the replica's configured depth) for
 	// the record-shipping propagation variant.
-	Deltas []Delta
+	Deltas []Delta //epi:guard mu
 
-	selected bool
+	// selected is serialized by the replica's control mutex, not the shard
+	// lock: BuildPropagation flips it while holding only READ shard locks
+	// (rlockAll), and concurrent builders are kept apart by ctl alone.
+	selected bool //epi:guard ctl
 }
 
 // Selected reports the IsSelected flag.
+//
+//epi:requires ctl read
 func (it *Item) Selected() bool { return it.selected }
 
 // SetSelected sets the IsSelected flag.
+//
+//epi:requires ctl
 func (it *Item) SetSelected(v bool) { it.selected = v }
 
 // CurrentValue returns the value user operations observe: the auxiliary
 // copy if one exists, else the regular copy (§5.3).
+//
+//epi:requires mu read
 func (it *Item) CurrentValue() []byte {
 	if it.Aux != nil {
 		return it.Aux.Value
@@ -120,13 +133,16 @@ func (it *Item) CurrentValue() []byte {
 // CurrentIVV returns the version vector matching CurrentValue. The
 // returned vector is the item's live state, not a copy: callers run under
 // the item's shard lock and must Clone() before the lock is released
-// (every current caller does — see core/oob.go).
+// (every current caller does — see core/oob.go). The //epi:requires
+// contract below is what licenses the live view: vvalias exempts
+// lock-contract accessors because the guarded analyzer proves every
+// caller actually holds the shard lock here.
+//
+//epi:requires mu read
 func (it *Item) CurrentIVV() vv.VV {
 	if it.Aux != nil {
-		//lint:ignore vvalias intentional live view; documented caller-holds-lock contract
 		return it.Aux.IVV
 	}
-	//lint:ignore vvalias intentional live view; documented caller-holds-lock contract
 	return it.IVV
 }
 
@@ -138,15 +154,15 @@ const ShardCount = 32
 
 type shard struct {
 	mu    sync.RWMutex
-	items map[string]*Item
+	items map[string]*Item //epi:guard mu
 }
 
 // Store is one node's replica of the whole database, sharded by key hash.
 type Store struct {
 	// n is the number of servers replicating the database. Written only
 	// under all shard write locks (Grow); read under any shard lock.
-	n      int
-	shards [ShardCount]shard
+	n      int               //epi:guard mu
+	shards [ShardCount]shard //epi:immutable
 }
 
 // New returns an empty store for a database replicated across n servers.
@@ -206,11 +222,15 @@ func (s *Store) UnlockAll() {
 
 // Servers returns the number of servers n the store was created for.
 // Caller holds at least one shard lock (or owns the store exclusively).
+//
+//epi:requires mu read
 func (s *Store) Servers() int { return s.n }
 
 // Grow raises the server count; newly created items get version vectors of
 // the new length. Existing items keep their shorter vectors (missing
 // components are implicitly zero). Caller holds all shard write locks.
+//
+//epi:requires mu
 func (s *Store) Grow(n int) {
 	if n > s.n {
 		s.n = n
@@ -219,6 +239,8 @@ func (s *Store) Grow(n int) {
 
 // Len returns the number of data items present. Caller holds all shard
 // locks (read suffices).
+//
+//epi:requires mu read
 func (s *Store) Len() int {
 	n := 0
 	for i := range s.shards {
@@ -229,12 +251,16 @@ func (s *Store) Len() int {
 
 // Get returns the item for key, or nil if the store has never seen it.
 // Caller holds key's shard lock (read suffices).
+//
+//epi:requires mu read
 func (s *Store) Get(key string) *Item { return s.shardOf(key).items[key] }
 
 // Ensure returns the item for key, creating a fresh zero-valued item (empty
 // value, zero IVV) if it does not exist yet. The paper's model has a fixed
 // item universe; items materialize on first touch with the initial state
 // every node agrees on. Caller holds key's shard write lock.
+//
+//epi:requires mu
 func (s *Store) Ensure(key string) *Item {
 	sh := s.shardOf(key)
 	if it, ok := sh.items[key]; ok {
@@ -250,6 +276,8 @@ func (s *Store) Ensure(key string) *Item {
 // zero-valued item under version-vector comparison (a nil vector reads as
 // all-zeros) but free of the fresh-IVV allocation that adopting a shipped
 // copy would immediately discard. Caller holds key's shard write lock.
+//
+//epi:requires mu
 func (s *Store) EnsureLean(key string) *Item {
 	sh := s.shardOf(key)
 	if it, ok := sh.items[key]; ok {
@@ -263,6 +291,8 @@ func (s *Store) EnsureLean(key string) *Item {
 // Keys returns all item keys in sorted order. Intended for tests, snapshots
 // and tools — not used on protocol hot paths. Caller holds all shard locks
 // (read suffices).
+//
+//epi:requires mu read
 func (s *Store) Keys() []string {
 	keys := make([]string, 0, s.Len())
 	for i := range s.shards {
@@ -277,6 +307,8 @@ func (s *Store) Keys() []string {
 // ForEach calls fn for every item in unspecified order. Mutating the item
 // is allowed when the caller holds the shard write locks; adding or
 // removing items is not. Caller holds all shard locks.
+//
+//epi:requires mu read
 func (s *Store) ForEach(fn func(*Item)) {
 	for i := range s.shards {
 		for _, it := range s.shards[i].items {
@@ -301,6 +333,8 @@ func (s *Store) ForEachShard(fn func(items map[string]*Item)) {
 
 // AuxCount returns the number of items currently holding auxiliary copies.
 // Caller holds all shard locks (read suffices).
+//
+//epi:requires mu read
 func (s *Store) AuxCount() int {
 	n := 0
 	for i := range s.shards {

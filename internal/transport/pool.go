@@ -25,6 +25,8 @@ import (
 
 // PoolOptions tunes a connection pool. The zero value selects sensible
 // defaults.
+//
+//epi:notshared options value copied into the pool at construction
 type PoolOptions struct {
 	// MaxIdlePerHost bounds the idle connections retained per peer
 	// address. Default 4.
@@ -50,6 +52,8 @@ func (o PoolOptions) withDefaults() PoolOptions {
 }
 
 // PoolStats is a snapshot of a pool's lifetime counters.
+//
+//epi:notshared snapshot value returned to one caller
 type PoolStats struct {
 	// Dials counts TCP connections established.
 	Dials uint64
@@ -63,15 +67,15 @@ type PoolStats struct {
 
 // Pool maintains persistent framed connections to peer servers.
 type Pool struct {
-	opts PoolOptions
+	opts PoolOptions //epi:immutable
 
 	mu     sync.Mutex
-	hosts  map[string][]*poolConn
-	closed bool
+	hosts  map[string][]*poolConn //epi:guard mu
+	closed bool                   //epi:guard mu
 
-	dials   atomic.Uint64
-	reused  atomic.Uint64
-	retired atomic.Uint64
+	dials   atomic.Uint64 //epi:guard atomic
+	reused  atomic.Uint64 //epi:guard atomic
+	retired atomic.Uint64 //epi:guard atomic
 }
 
 // NewPool returns an empty pool.
@@ -101,6 +105,8 @@ func (p *Pool) Close() {
 
 // poolConn is one persistent framed connection, owned by exactly one
 // exchange at a time (checkout via get, return via put).
+//
+//epi:notshared owned by exactly one exchange at a time: checkout via get, return via put
 type poolConn struct {
 	conn     net.Conn
 	cr       countingReader
@@ -222,6 +228,8 @@ func (pc *poolConn) exchange(req *Request, resp *Response) error {
 }
 
 // tripStats reports the measured cost of one exchange.
+//
+//epi:notshared per-exchange value local to one roundTrip call
 type tripStats struct {
 	sent, recv uint64
 	dialed     bool
@@ -266,6 +274,8 @@ func (p *Pool) roundTrip(addr string, req *Request, resp *Response) (tripStats, 
 }
 
 // Options configures a Client.
+//
+//epi:notshared options value copied into the client at construction
 type Options struct {
 	// DialPerRequest bypasses the pool and the binary codec: every
 	// exchange dials a fresh connection and speaks one-shot gob, exactly
@@ -279,8 +289,8 @@ type Options struct {
 // peer servers over pooled persistent connections (or legacy one-shot gob
 // when configured). Methods are safe for concurrent use.
 type Client struct {
-	opts Options
-	pool *Pool
+	opts Options //epi:immutable
+	pool *Pool   //epi:immutable
 }
 
 // NewClient returns a client with its own connection pool.

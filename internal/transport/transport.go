@@ -80,22 +80,22 @@ type Resolver interface {
 // Server serves propagation and out-of-bound requests for one replica, or
 // for many databases when a Resolver is attached.
 type Server struct {
-	replica  *core.Replica
-	resolver Resolver
+	replica  *core.Replica //epi:immutable
+	resolver Resolver      //epi:immutable
 	// parted, when non-nil, makes this a partitioned server: partitioned
 	// sessions negotiate against it, and single-key exchanges (OOB, fetch)
 	// are routed to the owning partition's replica via its ring. replica
 	// and resolver are nil on a partitioned server.
-	parted *core.Partitioned
-	ln     net.Listener
+	parted *core.Partitioned //epi:immutable
+	ln     net.Listener      //epi:immutable
 
 	// chunkBytes is the streamed-session chunk budget; 0 means
 	// core.DefaultChunkBytes. See SetChunkBytes.
-	chunkBytes atomic.Uint64
+	chunkBytes atomic.Uint64 //epi:guard atomic
 
 	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
+	closed bool                  //epi:guard mu
+	conns  map[net.Conn]struct{} //epi:guard mu
 	wg     sync.WaitGroup
 }
 
@@ -201,6 +201,8 @@ func (s *Server) acceptLoop() {
 
 // countingReader meters bytes read from the underlying reader. One counter
 // per connection, owned by the connection's goroutine.
+//
+//epi:notshared one counter per connection, owned by the connection goroutine (or the exchange holding the poolConn)
 type countingReader struct {
 	r io.Reader
 	n uint64
@@ -213,6 +215,8 @@ func (c *countingReader) Read(p []byte) (int, error) {
 }
 
 // countingWriter meters bytes written to the underlying writer.
+//
+//epi:notshared one counter per connection, owned by the connection goroutine (or the exchange holding the poolConn)
 type countingWriter struct {
 	w io.Writer
 	n uint64
