@@ -48,11 +48,11 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkParallelReadUpdate|BenchmarkBuildPropagation|BenchmarkApplyPropagation' -benchtime=100x ./internal/core
 	$(GO) test -run=NONE -bench=BenchmarkTransportRoundTrip -benchtime=100x -benchmem ./internal/transport
 
-## bench-json: run the tracked experiment benchmarks (E1/E2/E16/E17/E18)
-## and write machine-readable results to BENCH_07.json, the perf-trajectory
+## bench-json: run the tracked experiment benchmarks (E1/E2/E16/E17/E18/E19/E20)
+## and write machine-readable results to BENCH_08.json, the perf-trajectory
 ## artifact CI uploads per run.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_07.json
+	$(GO) run ./cmd/benchjson -out BENCH_08.json
 
 ## fuzz-wire: short fuzz pass over the wire codec decoders. The session
 ## and reconcile targets start from the committed seed corpora under
@@ -65,3 +65,5 @@ fuzz-wire:
 	$(GO) test -run=NONE -fuzz=FuzzDecodePropagation -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzSessionFrames -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeReconcileFrames -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeWALRecord -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzRecovery -fuzztime=10s ./internal/wal

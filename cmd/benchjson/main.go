@@ -28,13 +28,16 @@ type run struct {
 
 // runs lists the tracked experiments: E1 (identical replicas), E2
 // (propagation cost), E16 (parallel read/update), E17 (streaming catch-up
-// vs monolithic) and E18 (partitioned vs full-replication sessions).
+// vs monolithic), E18 (partitioned vs full-replication sessions), E19
+// (bounded-log reconcile catch-up) and E20 (group-commit durable write
+// throughput vs the per-record-fsync baseline).
 var runs = []run{
 	{Pkg: "./", Bench: "BenchmarkE1IdenticalReplicas|BenchmarkE2PropagationCost$", Benchtime: "100x"},
 	{Pkg: "./internal/core", Bench: "BenchmarkParallelReadUpdate", Benchtime: "100x"},
 	{Pkg: "./internal/transport", Bench: "BenchmarkE17StreamingCatchup", Benchtime: "5x"},
 	{Pkg: "./internal/cluster", Bench: "BenchmarkE18PartitionedSession", Benchtime: "5x"},
 	{Pkg: "./internal/cluster", Bench: "BenchmarkE19ReconcileCatchup", Benchtime: "5x"},
+	{Pkg: "./internal/durable", Bench: "BenchmarkE20GroupCommit|BenchmarkE20PerRecordFsync", Benchtime: "300x"},
 }
 
 // result is one benchmark line: its name (procs suffix stripped), iteration
@@ -53,7 +56,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_07.json", "output JSON path")
+	out := flag.String("out", "BENCH_08.json", "output JSON path")
 	flag.Parse()
 
 	rep := report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}

@@ -14,10 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/durable"
 	"repro/internal/op"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -34,10 +37,13 @@ func main() {
 		placement  = flag.Int("placement", 0, "replicas per partition (0 = every node; only with -partitions > 1)")
 		logCap     = flag.Int("logcap", 0, "per-origin log record cap: pruning passes laggard acks and laggards catch up via reconciliation (0 = ack-gated only)")
 		pruneEvery = flag.Duration("prune", 0, "background log-pruning period (0 = no background pass)")
+		noSync     = flag.Bool("nosync", false, "disable WAL fsync on durable nodes (faster, loses the tail on a machine crash)")
+		commitDly  = flag.Duration("commit-delay", 0, "group-commit leader linger: trade ack latency for larger batches (durable nodes only)")
 	)
 	flag.Parse()
 
-	ns, err := startNodes(*nodes, *interval, *pruneEvery, *dataDir, *partitions, *placement, *logCap)
+	dopts := durable.Options{NoSync: *noSync, CommitDelay: *commitDly}
+	ns, err := startNodes(*nodes, *interval, *pruneEvery, *dataDir, *partitions, *placement, *logCap, dopts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +91,7 @@ func main() {
 // startNodes brings up a full-mesh cluster with the complete lifecycle
 // config: optional durability under dataDir, optional keyspace
 // partitioning, and optional log bounding (cap + background prune pass).
-func startNodes(n int, interval, pruneEvery time.Duration, dataDir string, partitions, placement, logCap int) ([]*cluster.Node, error) {
+func startNodes(n int, interval, pruneEvery time.Duration, dataDir string, partitions, placement, logCap int, dopts durable.Options) ([]*cluster.Node, error) {
 	nodes := make([]*cluster.Node, n)
 	for i := 0; i < n; i++ {
 		cfg := cluster.Config{
@@ -95,6 +101,7 @@ func startNodes(n int, interval, pruneEvery time.Duration, dataDir string, parti
 		}
 		if dataDir != "" {
 			cfg.DataDir = fmt.Sprintf("%s/node-%d", dataDir, i)
+			cfg.DurableOptions = dopts
 		}
 		node, err := cluster.Start(cfg)
 		if err != nil {
@@ -147,9 +154,38 @@ func printStats(ns []*cluster.Node) {
 			m.WireBytesSent, m.WireBytesRecv, ps.Dials, ps.Reused)
 		fmt.Printf("node %d: pruned=%d reconcile-sessions=%d reconcile-trips=%d reconcile-bytes=%d\n",
 			i, m.PrunedRecords, m.ReconcileSessions, m.ReconcileRoundTrips, m.ReconcileBytes)
+		if st, ok := n.WALStats(); ok {
+			fmt.Printf("node %d: wal fsyncs=%d batches=%d batched-records=%d waiters=%d max-batch=%d hist=%s\n",
+				i, st.Fsyncs, st.Batches, st.BatchedRecords, st.Waiters, st.MaxBatch, histString(st.BatchHist))
+		}
 		if err := check(); err != nil {
 			log.Fatalf("node %d invariants: %v", i, err)
 		}
 	}
 	fmt.Println("all invariants hold")
+}
+
+// histString renders the committer's batch-size histogram as
+// "1:12 2-3:4 4-7:1", skipping empty buckets (bucket k covers rounds of
+// [2^k, 2^(k+1)) records; the last bucket is open-ended).
+func histString(hist [wal.BatchBuckets]uint64) string {
+	var parts []string
+	for k, v := range hist {
+		if v == 0 {
+			continue
+		}
+		lo := uint64(1) << k
+		switch {
+		case k == len(hist)-1:
+			parts = append(parts, fmt.Sprintf("%d+:%d", lo, v))
+		case lo == (lo<<1)-1:
+			parts = append(parts, fmt.Sprintf("%d:%d", lo, v))
+		default:
+			parts = append(parts, fmt.Sprintf("%d-%d:%d", lo, (lo<<1)-1, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }

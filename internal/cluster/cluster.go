@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Config configures one node.
@@ -76,7 +77,8 @@ type Node struct {
 	cfg     Config            //epi:immutable
 	replica *core.Replica     //epi:immutable nil on partitioned nodes
 	parted  *core.Partitioned //epi:immutable non-nil when Partitions > 1
-	dur     *durable.Replica  //epi:immutable non-nil when DataDir is set
+	dur     *durable.Replica  //epi:immutable non-nil when DataDir is set, unpartitioned
+	dpart   *durable.Partitioned //epi:immutable non-nil when DataDir is set with Partitions > 1
 	server  *transport.Server //epi:immutable
 	client  *transport.Client //epi:immutable pooled: sessions reuse warm peer connections
 
@@ -110,22 +112,32 @@ func Start(cfg Config) (*Node, error) {
 	}
 	switch {
 	case cfg.Partitions > 1:
-		// The write-ahead log formats one replica's state; per-partition
-		// logging is a separate change. Fail loudly rather than silently
-		// dropping durability.
-		if cfg.DataDir != "" {
-			return nil, fmt.Errorf("cluster: durable partitioned nodes are not supported (Partitions=%d with DataDir)", cfg.Partitions)
-		}
 		placement := cfg.Placement
 		if placement == 0 {
 			placement = cfg.Servers
 		}
-		n.parted = core.NewPartitioned(cfg.ID, cfg.Servers, cfg.Partitions, placement)
+		if cfg.DataDir != "" {
+			// Durable partitioned node: one WAL + snapshot chain per owned
+			// partition under DataDir/part-NNNN/, all sharing one group
+			// committer so concurrent partitions amortize into shared fsyncs.
+			dp, err := durable.OpenPartitioned(cfg.DataDir, cfg.ID, cfg.Servers, cfg.Partitions, placement, cfg.DurableOptions)
+			if err != nil {
+				return nil, err
+			}
+			dp.SetClient(n.client)
+			n.dpart = dp
+			n.parted = dp.Parted()
+		} else {
+			n.parted = core.NewPartitioned(cfg.ID, cfg.Servers, cfg.Partitions, placement)
+		}
 		// Each partition's pruning is gated by its own ring owners — the
 		// only peers whose sessions can ever need its records.
 		n.parted.ConfigurePruning(cfg.LogCap)
 		srv, err := transport.ListenPart(n.parted, cfg.Addr)
 		if err != nil {
+			if n.dpart != nil {
+				n.dpart.Close()
+			}
 			return nil, err
 		}
 		n.server = srv
@@ -172,12 +184,23 @@ func (n *Node) Replica() *core.Replica { return n.replica }
 func (n *Node) Parted() *core.Partitioned { return n.parted }
 
 // Metrics returns the node's protocol counters — the replica's, or the
-// aggregate across partitions on a partitioned node.
+// aggregate across partitions on a partitioned node. On a durable node the
+// WAL* and GroupCommitWaiters fields are filled from the group committer's
+// accounting at call time; the hot durable write path never charges a
+// Counters value itself.
 func (n *Node) Metrics() metrics.Counters {
+	var m metrics.Counters
 	if n.parted != nil {
-		return n.parted.Metrics()
+		m = n.parted.Metrics()
+	} else {
+		m = n.replica.Metrics()
 	}
-	return n.replica.Metrics()
+	if st, ok := n.WALStats(); ok {
+		m.WALFsyncs = st.Fsyncs
+		m.WALBatchedRecords = st.BatchedRecords
+		m.GroupCommitWaiters = st.Waiters
+	}
+	return m
 }
 
 // Addr returns the node's TCP address.
@@ -193,6 +216,9 @@ func (n *Node) SetPeers(addrs []string) {
 // Update applies a user update locally (write-ahead logged when the node
 // is durable).
 func (n *Node) Update(key string, o op.Op) error {
+	if n.dpart != nil {
+		return n.dpart.Update(key, o)
+	}
 	if n.parted != nil {
 		return n.parted.Update(key, o)
 	}
@@ -230,6 +256,10 @@ func (n *Node) PullOnce() (string, error) {
 // same peer ride one warm framed connection, and concurrent sessions to
 // distinct peers proceed in parallel over their own connections.
 func (n *Node) PullFrom(addr string) (bool, error) {
+	if n.dpart != nil {
+		shipped, err := n.dpart.PullFrom(addr)
+		return shipped > 0, err
+	}
 	if n.parted != nil {
 		shipped, err := n.client.PullPart(n.parted, addr)
 		return shipped > 0, err
@@ -265,6 +295,9 @@ func (n *Node) SetChunkBytes(b uint64) { n.server.SetChunkBytes(b) }
 
 // FetchOOB copies one item out-of-bound from a specific peer.
 func (n *Node) FetchOOB(addr, key string) (bool, error) {
+	if n.dpart != nil {
+		return n.dpart.FetchOOB(addr, key)
+	}
 	if n.parted != nil {
 		part := n.parted.Partition(n.parted.PartitionOf(key))
 		if part == nil {
@@ -281,6 +314,20 @@ func (n *Node) FetchOOB(addr, key string) (bool, error) {
 // PoolStats returns the node's transport connection-pool counters.
 func (n *Node) PoolStats() transport.PoolStats { return n.client.PoolStats() }
 
+// WALStats returns the durable layer's group-commit accounting (fsyncs,
+// batches, batch-size histogram); ok is false on a non-durable node. On a
+// durable partitioned node the counters cover the shared committer, i.e.
+// the whole node across partitions.
+func (n *Node) WALStats() (st wal.CommitterStats, ok bool) {
+	if n.dpart != nil {
+		return n.dpart.WALStats(), true
+	}
+	if n.dur != nil {
+		return n.dur.WALStats(), true
+	}
+	return wal.CommitterStats{}, false
+}
+
 // Close stops the anti-entropy loop, the pooled client and the server,
 // snapshotting durable state.
 func (n *Node) Close() error {
@@ -293,6 +340,11 @@ func (n *Node) Close() error {
 			err = derr
 		}
 	}
+	if n.dpart != nil {
+		if derr := n.dpart.Close(); derr != nil && err == nil {
+			err = derr
+		}
+	}
 	return err
 }
 
@@ -300,6 +352,12 @@ func (n *Node) Close() error {
 // partitioned node), returning the number of records dropped. Durable nodes
 // write-ahead log the pass so the watermark survives restarts.
 func (n *Node) PruneOnce() int {
+	if n.dpart != nil {
+		// A WAL append failure leaves that partition's pass unrun; the next
+		// tick retries.
+		dropped, _ := n.dpart.Prune()
+		return dropped
+	}
 	if n.parted != nil {
 		return n.parted.Prune()
 	}
@@ -379,7 +437,13 @@ func (n *Node) Bootstrap() (int, error) {
 	n.mu.Unlock()
 	total := 0
 	for _, addr := range peers {
-		shipped, err := n.client.PullPart(n.parted, addr)
+		var shipped int
+		var err error
+		if n.dpart != nil {
+			shipped, err = n.dpart.PullFrom(addr)
+		} else {
+			shipped, err = n.client.PullPart(n.parted, addr)
+		}
 		total += shipped
 		if err != nil {
 			return total, err

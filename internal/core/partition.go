@@ -78,6 +78,50 @@ func NewPartitioned(id, servers, partitions, placement int, opts ...Option) *Par
 	return pr
 }
 
+// RestorePartitioned rebuilds node id's partitioned state from recovered
+// per-partition replicas (a durable layer's crash recovery). The ring is
+// reconstructed from the cluster shape exactly as NewPartitioned builds it;
+// every recovered entry must be a partition the ring places on this node and
+// must span the same id/servers, and owned partitions without a recovered
+// replica start empty with opts. The recovered map is read once and not
+// retained.
+func RestorePartitioned(id, servers, partitions, placement int, recovered map[int]*Replica, opts ...Option) (*Partitioned, error) {
+	if servers <= 0 || id < 0 || id >= servers {
+		return nil, fmt.Errorf("core: invalid node id %d of %d", id, servers)
+	}
+	rg := ring.New(servers, partitions, placement)
+	pr := &Partitioned{
+		id:    id,
+		ring:  rg,
+		parts: make([]*Replica, partitions),
+	}
+	installed := 0
+	for _, pid := range rg.OwnedBy(id) {
+		r, ok := recovered[pid]
+		if !ok {
+			pr.parts[pid] = NewReplica(id, servers, opts...)
+			continue
+		}
+		if r == nil {
+			return nil, fmt.Errorf("core: recovered partition %d is nil", pid)
+		}
+		if r.ID() != id || r.Servers() != servers {
+			return nil, fmt.Errorf("core: recovered partition %d holds replica %d/%d, want %d/%d",
+				pid, r.ID(), r.Servers(), id, servers)
+		}
+		pr.parts[pid] = r
+		installed++
+	}
+	if installed != len(recovered) {
+		for pid := range recovered {
+			if !rg.Owns(id, pid) {
+				return nil, fmt.Errorf("core: recovered partition %d is not placed on node %d by the ring", pid, id)
+			}
+		}
+	}
+	return pr, nil
+}
+
 // ID returns the node identifier.
 func (pr *Partitioned) ID() int { return pr.id }
 

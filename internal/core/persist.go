@@ -84,12 +84,36 @@ type persistState struct {
 	LogCap     int
 }
 
+// State is a captured, self-contained copy of a replica's complete
+// protocol state: every buffer and vector is cloned, so encoding it
+// happens entirely outside the replica's locks. The durable layer
+// captures under its write-ahead ordering lock and serializes after
+// releasing it, so writers pause only for the clone, not for the gob
+// encode and disk I/O of a snapshot.
+//
+//epi:notshared captured clone owned by the snapshotting goroutine
+type State struct {
+	st persistState
+}
+
+// Encode serializes the captured state to w (the WriteState format).
+func (s *State) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&s.st)
+}
+
 // WriteState serializes the replica's complete protocol state to w. The
 // replica remains usable; the snapshot is consistent — it is cloned under
 // the all-shard read sweep plus the control mutex, so concurrent reads
 // proceed and updates wait only for the clone, not for the encoding, which
 // happens after the locks are released.
 func (r *Replica) WriteState(w io.Writer) error {
+	return r.CaptureState().Encode(w)
+}
+
+// CaptureState clones the replica's complete protocol state under the
+// all-shard read sweep plus the control mutex and returns it for encoding
+// outside the locks.
+func (r *Replica) CaptureState() *State {
 	r.rlockAll()
 	st := persistState{
 		Magic:   persistMagic,
@@ -143,7 +167,7 @@ func (r *Replica) WriteState(w io.Writer) error {
 	}
 	r.runlockAll()
 
-	return gob.NewEncoder(w).Encode(&st)
+	return &State{st: st}
 }
 
 // ReadState reconstructs a replica from a snapshot written by WriteState.

@@ -1,10 +1,17 @@
 // Package durable makes a replica crash-recoverable: every state-mutating
 // protocol action — user update, accepted propagation, adopted out-of-bound
-// copy — is written to a write-ahead log before it is applied, and the full
-// replica state is periodically snapshotted so the log stays short.
+// copy — is written to a write-ahead log before it is acknowledged, and the
+// full replica state is periodically snapshotted so the log stays short.
 // Recovery loads the last snapshot and replays the log; because every
 // protocol action is deterministic given the state it is applied to, replay
 // reproduces the pre-crash replica exactly.
+//
+// Writes go through group commit (internal/wal): an action stages its
+// encoded record and applies under the write-ahead ordering lock (so log
+// order always equals apply order), then waits for the commit notification
+// outside it. Concurrent writers batch into one fsync instead of queueing
+// behind one flush each; no action is acknowledged before its record is on
+// stable storage.
 //
 // Durability matters more for this protocol than for a plain KV store: a
 // replica that forgot its DBVV or log vector after a restart could neither
@@ -20,17 +27,30 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/op"
 	"repro/internal/transport"
 	"repro/internal/vv"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 const (
-	snapshotFile = "snapshot.bin"
-	walDir       = "wal"
+	// legacySnapshotFile is the pre-floor snapshot name: it supersedes the
+	// whole log (the writer reset the WAL after publishing it), so it
+	// recovers with floor 0 — replay everything present.
+	legacySnapshotFile = "snapshot.bin"
+	// Floor-named snapshots: snapshot-NNNNNNNN.bin supersedes every WAL
+	// segment below NNNNNNNN. Publishing a snapshot and discarding the
+	// superseded segments are two steps; naming the floor into the file
+	// makes a crash between them safe (recovery discards, then replays
+	// only segments at or above the floor — never a pre-snapshot record
+	// onto post-snapshot state).
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".bin"
+	walDir         = "wal"
 )
 
 // Record kinds in the WAL.
@@ -42,7 +62,11 @@ const (
 	recPrune
 )
 
-//epi:notshared gob codec value assembled or decoded by one goroutine
+// walRecord is the legacy gob encoding of a log entry, kept so data
+// directories written before the varint codec (wire.WALRecord) replay.
+// New records are never written in this form.
+//
+//epi:notshared gob codec value decoded by one goroutine
 type walRecord struct {
 	Kind  uint8
 	Key   string
@@ -66,32 +90,63 @@ type walRecord struct {
 //
 //epi:notshared options value copied at Open
 type Options struct {
-	// SnapshotEvery snapshots after this many logged actions (then resets
-	// the WAL). Zero means 1024.
+	// SnapshotEvery snapshots after this many logged actions (then drops
+	// the superseded log prefix). Zero means 1024.
 	SnapshotEvery int
 	// NoSync disables fsync on the WAL (tests/benchmarks).
 	NoSync bool
+	// Committer, when non-nil, is a shared group committer — the
+	// per-partition replicas of one node stage into one commit stream so k
+	// partitions still amortize into one fsync sequence. Nil gives the
+	// replica's WAL a private committer.
+	Committer *wal.Committer
+	// CommitDelay is how long a commit leader lingers before sealing its
+	// batch (larger batches, higher ack latency). Used when Committer is
+	// nil.
+	CommitDelay time.Duration
+	// NoGroupCommit restores the historical write path — stage and wait
+	// for the fsync inside the ordering lock, serializing writers one
+	// flush each. It exists as the honest baseline for the group-commit
+	// experiment (E20) and has no other use.
+	NoGroupCommit bool
 	// Core options (conflict handlers) applied at create and recover.
 	CoreOptions []core.Option
 }
 
 // Replica is a crash-recoverable core.Replica rooted in a directory. All
 // durable mutation methods are safe for concurrent use: wmu serializes the
-// log-then-apply pair of every action, so the WAL order always matches the
-// apply order — the property replay's exactness depends on. (Reads through
-// Core() hit the underlying replica's own locks and never need wmu.)
+// stage-then-apply pair of every action, so the WAL order always matches
+// the apply order — the property replay's exactness depends on. The wait
+// for the commit notification happens after wmu is released, which is what
+// lets concurrent actions share a flush. (Reads through Core() hit the
+// underlying replica's own locks and never need wmu.)
+//
+// An action is applied in memory before its record is durable; its
+// acknowledgement still waits for the fsync, so a crash loses nothing a
+// caller was told succeeded (the in-memory lead is exactly the state a
+// crash wipes anyway).
 type Replica struct {
 	dir  string  //epi:immutable
 	opts Options //epi:immutable
 
-	// wmu is the write-ahead ordering lock: held across "append record,
+	// wmu is the write-ahead ordering lock: held across "stage record,
 	// apply action" so no two actions can log in one order and apply in
 	// the other. Outermost — the underlying replica's locks are taken and
 	// released inside it.
-	wmu     sync.Mutex
+	wmu      sync.Mutex
+	snapCond *sync.Cond    //epi:immutable signals snapping falling; waits on wmu
 	replica *core.Replica //epi:immutable
-	log     *wal.WAL      //epi:guard wmu
-	since   int           //epi:guard wmu logged actions since last snapshot
+	// log is set once at Open; the WAL synchronizes its own state (staging
+	// under its committer's mutex, file I/O under the leader handoff), so
+	// only the stage/apply *ordering* needs wmu, not the pointer itself.
+	log    *wal.WAL //epi:immutable
+	since  int      //epi:guard wmu logged actions since last snapshot cut
+	encBuf   []byte        //epi:guard wmu record-encode scratch (Stage copies)
+	// snapping marks a captured snapshot not yet published: the capture
+	// happened under wmu, the serialize+sync+rename runs outside it, and
+	// no second capture may start until the first publishes.
+	snapping bool  //epi:guard wmu
+	snapErr  error //epi:guard wmu first failed background snapshot publish
 
 	client *transport.Client //epi:immutable nil: use transport.DefaultClient (see net.go)
 }
@@ -106,43 +161,102 @@ func Open(dir string, id, n int, opts Options) (*Replica, error) {
 		return nil, fmt.Errorf("durable: mkdir: %w", err)
 	}
 
-	var replica *core.Replica
-	snapPath := filepath.Join(dir, snapshotFile)
-	if data, err := os.ReadFile(snapPath); err == nil {
-		replica, err = core.ReadState(bytes.NewReader(data), opts.CoreOptions...)
-		if err != nil {
-			return nil, fmt.Errorf("durable: restore snapshot: %w", err)
-		}
-	} else if os.IsNotExist(err) {
-		replica = core.NewReplica(id, n, opts.CoreOptions...)
-	} else {
-		return nil, fmt.Errorf("durable: read snapshot: %w", err)
+	replica, floor, err := restoreSnapshot(dir, id, n, opts)
+	if err != nil {
+		return nil, err
 	}
 	if replica.ID() != id || replica.Servers() != n {
 		return nil, fmt.Errorf("durable: directory holds replica %d/%d, asked for %d/%d",
 			replica.ID(), replica.Servers(), id, n)
 	}
 
-	log, err := wal.Open(filepath.Join(dir, walDir), wal.Options{NoSync: opts.NoSync})
+	log, err := wal.Open(filepath.Join(dir, walDir), wal.Options{
+		NoSync:      opts.NoSync,
+		Committer:   opts.Committer,
+		CommitDelay: opts.CommitDelay,
+	})
 	if err != nil {
 		return nil, err
 	}
+	if floor > 0 {
+		// A crash may have landed between publishing the snapshot and
+		// discarding the segments it superseded; finish the discard so
+		// replay cannot re-apply pre-snapshot records.
+		if err := log.DiscardBefore(floor); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
 	d := &Replica{dir: dir, opts: opts, replica: replica, log: log}
-	if err := d.replay(); err != nil {
+	d.snapCond = sync.NewCond(&d.wmu)
+	if err := d.replay(floor); err != nil {
 		log.Close()
 		return nil, err
 	}
 	return d, nil
 }
 
-// replay re-applies every logged action to the restored snapshot.
+// restoreSnapshot loads the newest snapshot in dir (preferring floor-named
+// files over the legacy floor-0 name) or builds a fresh replica, returning
+// the WAL floor replay must start from.
+func restoreSnapshot(dir string, id, n int, opts Options) (*core.Replica, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: readdir: %w", err)
+	}
+	path := ""
+	var floor uint64
+	for _, e := range entries {
+		var f uint64
+		if _, err := fmt.Sscanf(e.Name(), snapshotPrefix+"%08d"+snapshotSuffix, &f); err != nil {
+			continue
+		}
+		if f >= floor {
+			floor, path = f, filepath.Join(dir, e.Name())
+		}
+	}
+	if path == "" {
+		path = filepath.Join(dir, legacySnapshotFile)
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return core.NewReplica(id, n, opts.CoreOptions...), floor, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	replica, err := core.ReadState(bytes.NewReader(data), opts.CoreOptions...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("durable: restore snapshot %s: %w", filepath.Base(path), err)
+	}
+	return replica, floor, nil
+}
+
+// replay re-applies every logged action at or above floor to the restored
+// snapshot. Records are decoded with the varint codec (wire.WALRecord) or,
+// for directories written before it, gob — the leading byte tells them
+// apart (a gob stream can never start with wire.WALMagic).
 //
 //epi:init recovery runs inside Open before the replica is published
-func (d *Replica) replay() error {
-	return d.log.Replay(func(payload []byte) error {
-		var rec walRecord
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return fmt.Errorf("durable: decode wal record: %w", err)
+func (d *Replica) replay(floor uint64) error {
+	var rec wire.WALRecord
+	return d.log.ReplayFrom(floor, func(payload []byte) error {
+		if len(payload) > 0 && payload[0] == wire.WALMagic {
+			if err := wire.DecodeWALRecord(payload, &rec); err != nil {
+				return fmt.Errorf("durable: decode wal record: %w", err)
+			}
+		} else {
+			var legacy walRecord
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&legacy); err != nil {
+				return fmt.Errorf("durable: decode legacy wal record: %w", err)
+			}
+			rec = wire.WALRecord{
+				Kind: legacy.Kind, Key: legacy.Key,
+				Op: legacy.Op, HasOp: legacy.Kind == recUpdate,
+				Prop: legacy.Prop, Items: legacy.Items,
+				OOB: legacy.OOB, Source: legacy.Source,
+				Acked: legacy.Acked, PrunePeers: legacy.PrunePeers, LogCap: legacy.LogCap,
+			}
 		}
 		switch rec.Kind {
 		case recUpdate:
@@ -170,37 +284,167 @@ func (d *Replica) replay() error {
 	})
 }
 
+// stageLocked encodes rec and stages it for group commit, returning the
+// ticket the action's acknowledgement must wait on.
+//
 //epi:requires wmu
-func (d *Replica) appendLocked(rec walRecord) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
-		return fmt.Errorf("durable: encode wal record: %w", err)
-	}
-	if err := d.log.Append(buf.Bytes()); err != nil {
-		return err
+//epi:hotpath
+func (d *Replica) stageLocked(rec *wire.WALRecord) (wal.Ticket, error) {
+	d.encBuf = wire.AppendWALRecord(d.encBuf[:0], rec)
+	t, err := d.log.Stage(d.encBuf)
+	if err != nil {
+		return wal.Ticket{}, err
 	}
 	d.since++
-	if d.since >= d.opts.SnapshotEvery {
-		return d.snapshotLocked()
+	return t, nil
+}
+
+// pendingSnap is a snapshot captured under wmu, to be serialized and
+// published outside it.
+//
+//epi:notshared owned by the capturing goroutine once returned
+type pendingSnap struct {
+	state *core.State
+	floor uint64
+}
+
+// maybeCaptureLocked captures a snapshot when the log has grown past the
+// configured threshold and no capture is already in flight.
+//
+//epi:requires wmu
+func (d *Replica) maybeCaptureLocked() *pendingSnap {
+	if d.since < d.opts.SnapshotEvery || d.snapping {
+		return nil
 	}
-	return nil
+	snap, _ := d.captureLocked()
+	return snap
+}
+
+// captureLocked cuts the WAL at the current point and clones the replica
+// state as of the cut. Everything staged so far is flushed to stable
+// storage by the cut, so the snapshot supersedes exactly the segments
+// below the returned floor. Writers resume as soon as this returns; the
+// expensive serialize+sync+publish runs outside wmu (publishSnap).
+//
+//epi:requires wmu
+func (d *Replica) captureLocked() (*pendingSnap, error) {
+	cut, err := d.log.CutForSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	d.snapping = true
+	d.since = 0
+	return &pendingSnap{state: d.replica.CaptureState(), floor: cut.Floor}, nil
+}
+
+// publishSnap serializes, syncs and atomically publishes a captured
+// snapshot, then discards the WAL segments it superseded. Runs outside
+// wmu; only one publish is in flight at a time (the snapping flag).
+func (d *Replica) publishSnap(s *pendingSnap) error {
+	err := d.writeSnapFile(s)
+	d.wmu.Lock()
+	d.snapping = false
+	d.wmu.Unlock()
+	d.snapCond.Broadcast()
+	return err
+}
+
+func (d *Replica) writeSnapFile(s *pendingSnap) error {
+	name := fmt.Sprintf("%s%08d%s", snapshotPrefix, s.floor, snapshotSuffix)
+	// One fixed temp name: the snapping flag keeps publishes one at a
+	// time, and a stale temp from a crash is harmlessly overwritten.
+	tmp := filepath.Join(d.dir, "snapshot.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: create snapshot: %w", err)
+	}
+	if err := s.state.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	if !d.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("durable: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, name)); err != nil {
+		return fmt.Errorf("durable: publish snapshot: %w", err)
+	}
+	// The snapshot is durable and named with its floor: everything below
+	// it — older snapshots, the legacy name, superseded segments — is now
+	// garbage. A crash anywhere in this cleanup recovers correctly (Open
+	// picks the highest floor and re-discards).
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("durable: readdir after publish: %w", err)
+	}
+	for _, e := range entries {
+		var f uint64
+		if _, err := fmt.Sscanf(e.Name(), snapshotPrefix+"%08d"+snapshotSuffix, &f); err == nil && f < s.floor {
+			os.Remove(filepath.Join(d.dir, e.Name()))
+		}
+	}
+	os.Remove(filepath.Join(d.dir, legacySnapshotFile))
+	return d.log.DiscardBefore(s.floor)
+}
+
+// finish completes a durable action begun under wmu: release the ordering
+// lock, wait for the group commit covering the staged record, and publish
+// any snapshot the action triggered. With NoGroupCommit the wait happens
+// before the lock is released, reproducing the historical serialized
+// write path exactly.
+func (d *Replica) finish(t wal.Ticket, snap *pendingSnap) error {
+	var err error
+	if d.opts.NoGroupCommit {
+		err = t.Wait()
+		d.wmu.Unlock()
+	} else {
+		d.wmu.Unlock()
+		err = t.Wait()
+	}
+	if snap != nil {
+		// A failed background publish does not fail the action (its record
+		// is durable); it is reported through Close (snapErr).
+		if perr := d.publishSnap(snap); perr != nil {
+			d.wmu.Lock()
+			if d.snapErr == nil {
+				d.snapErr = perr
+			}
+			d.wmu.Unlock()
+		}
+	}
+	return err
 }
 
 // Core exposes the underlying replica for reads and inspection. Mutations
 // must go through the durable methods below or they will be lost on crash.
 func (d *Replica) Core() *core.Replica { return d.replica }
 
-// Update durably applies a user update: logged, then applied.
+// Update durably applies a user update: staged, applied, acknowledged
+// after the covering group commit.
 func (d *Replica) Update(key string, o op.Op) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	if err := d.appendLocked(walRecord{Kind: recUpdate, Key: key, Op: o}); err != nil {
+	t, err := d.stageLocked(&wire.WALRecord{Kind: recUpdate, Key: key, Op: o, HasOp: true})
+	if err != nil {
+		d.wmu.Unlock()
 		return err
 	}
-	return d.replica.Update(key, o)
+	aerr := d.replica.Update(key, o)
+	snap := d.maybeCaptureLocked()
+	if err := d.finish(t, snap); err != nil {
+		return err
+	}
+	return aerr
 }
 
 // ApplyPropagation durably applies a propagation message. In delta mode,
@@ -223,26 +467,34 @@ func (d *Replica) ApplyPropagationWithItems(p *core.Propagation, items []core.It
 		return nil
 	}
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	if err := d.appendLocked(walRecord{Kind: recPropagation, Prop: p, Items: items}); err != nil {
+	t, err := d.stageLocked(&wire.WALRecord{Kind: recPropagation, Prop: p, Items: items})
+	if err != nil {
+		d.wmu.Unlock()
 		return err
 	}
 	d.replica.ApplyPropagationWithItems(p, items)
-	return nil
+	snap := d.maybeCaptureLocked()
+	return d.finish(t, snap)
 }
 
 // ApplyOOB durably adopts an out-of-bound reply.
 func (d *Replica) ApplyOOB(reply core.OOBReply, source int) (bool, error) {
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	if err := d.appendLocked(walRecord{Kind: recOOB, OOB: &reply, Source: source}); err != nil {
+	t, err := d.stageLocked(&wire.WALRecord{Kind: recOOB, OOB: &reply, Source: source})
+	if err != nil {
+		d.wmu.Unlock()
 		return false, err
 	}
-	return d.replica.ApplyOOB(reply, source), nil
+	adopted := d.replica.ApplyOOB(reply, source)
+	snap := d.maybeCaptureLocked()
+	if err := d.finish(t, snap); err != nil {
+		return false, err
+	}
+	return adopted, nil
 }
 
 // ApplyReconcileItems durably commits the fetched difference of a set-
-// reconciliation session: logged, then applied (which also raises the
+// reconciliation session: staged, then applied (which also raises the
 // pruned watermark when anything is adopted — see core). Returns the number
 // of items adopted.
 func (d *Replica) ApplyReconcileItems(items []core.ItemPayload, source int) (int, error) {
@@ -250,11 +502,17 @@ func (d *Replica) ApplyReconcileItems(items []core.ItemPayload, source int) (int
 		return 0, nil
 	}
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	if err := d.appendLocked(walRecord{Kind: recReconcile, Items: items, Source: source}); err != nil {
+	t, err := d.stageLocked(&wire.WALRecord{Kind: recReconcile, Items: items, Source: source})
+	if err != nil {
+		d.wmu.Unlock()
 		return 0, err
 	}
-	return d.replica.ApplyReconcileItems(items, source), nil
+	adopted := d.replica.ApplyReconcileItems(items, source)
+	snap := d.maybeCaptureLocked()
+	if err := d.finish(t, snap); err != nil {
+		return 0, err
+	}
+	return adopted, nil
 }
 
 // Prune durably runs one log-pruning pass: the pass's inputs (ack table,
@@ -262,17 +520,22 @@ func (d *Replica) ApplyReconcileItems(items []core.ItemPayload, source int) (int
 // the rebuilt log, then the pass runs. Returns the records dropped.
 func (d *Replica) Prune() (int, error) {
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	rec := walRecord{
+	t, err := d.stageLocked(&wire.WALRecord{
 		Kind:       recPrune,
 		Acked:      d.replica.AckTable(),
 		PrunePeers: d.replica.PrunePeers(),
 		LogCap:     d.replica.LogCap(),
-	}
-	if err := d.appendLocked(rec); err != nil {
+	})
+	if err != nil {
+		d.wmu.Unlock()
 		return 0, err
 	}
-	return d.replica.Prune(), nil
+	dropped := d.replica.Prune()
+	snap := d.maybeCaptureLocked()
+	if err := d.finish(t, snap); err != nil {
+		return 0, err
+	}
+	return dropped, nil
 }
 
 // AntiEntropyFrom durably performs one propagation session pulling from an
@@ -291,44 +554,30 @@ func (d *Replica) AntiEntropyFrom(source *core.Replica) (bool, error) {
 	return true, d.ApplyPropagationWithItems(p, items)
 }
 
-// Snapshot writes the full replica state atomically and resets the WAL.
+// Snapshot writes the full replica state and drops the superseded log
+// prefix. Writers pause only for the in-memory capture; the serialize,
+// sync and publish run after wmu is released.
 func (d *Replica) Snapshot() error {
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	return d.snapshotLocked()
-}
-
-//epi:requires wmu
-func (d *Replica) snapshotLocked() error {
-	tmp := filepath.Join(d.dir, snapshotFile+".tmp")
-	f, err := os.Create(tmp)
+	for d.snapping {
+		d.snapCond.Wait()
+	}
+	snap, err := d.captureLocked()
+	d.wmu.Unlock()
 	if err != nil {
-		return fmt.Errorf("durable: create snapshot: %w", err)
+		return err
 	}
-	if err := d.replica.WriteState(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("durable: write snapshot: %w", err)
-	}
-	if !d.opts.NoSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return fmt.Errorf("durable: sync snapshot: %w", err)
-		}
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("durable: close snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotFile)); err != nil {
-		return fmt.Errorf("durable: publish snapshot: %w", err)
-	}
-	d.since = 0
-	return d.log.Reset()
+	return d.publishSnap(snap)
 }
 
-// WALRecords returns the number of actions logged since the last snapshot.
+// WALStats returns the group committer's accounting (fsyncs, batches,
+// batch-size histogram) for this replica's log.
+func (d *Replica) WALStats() wal.CommitterStats {
+	return d.log.Committer().Stats()
+}
+
+// WALRecords returns the number of actions in the log (those not yet
+// superseded by a snapshot).
 func (d *Replica) WALRecords() int {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
@@ -338,12 +587,26 @@ func (d *Replica) WALRecords() int {
 // Close snapshots and releases the WAL.
 func (d *Replica) Close() error {
 	d.wmu.Lock()
-	defer d.wmu.Unlock()
-	if err := d.snapshotLocked(); err != nil {
-		d.log.Close()
-		return err
+	for d.snapping {
+		d.snapCond.Wait()
 	}
-	return d.log.Close()
+	snap, err := d.captureLocked()
+	firstErr := d.snapErr
+	d.wmu.Unlock()
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if snap != nil {
+		if err := d.publishSnap(snap); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.wmu.Lock()
+	defer d.wmu.Unlock()
+	if err := d.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // CloseWithoutSnapshot releases the WAL without snapshotting — recovery
@@ -351,5 +614,8 @@ func (d *Replica) Close() error {
 func (d *Replica) CloseWithoutSnapshot() error {
 	d.wmu.Lock()
 	defer d.wmu.Unlock()
+	for d.snapping {
+		d.snapCond.Wait()
+	}
 	return d.log.Close()
 }

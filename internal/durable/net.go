@@ -42,7 +42,7 @@ func (d *Replica) PullFrom(addr string) (bool, error) {
 			if attempt > 0 {
 				return shipped, nil
 			}
-			adopted, rerr := d.reconcileFrom(c, addr)
+			adopted, rerr := d.reconcileFrom(c, addr, 0)
 			if rerr != nil {
 				return shipped, rerr
 			}
@@ -74,8 +74,10 @@ func (d *Replica) PullFrom(addr string) (bool, error) {
 // addr: the fingerprint phase computes the difference, and each fetched
 // batch is write-ahead logged before it commits, so a crash mid-session
 // replays the already-committed prefix and the next pull resumes cleanly.
-func (d *Replica) reconcileFrom(c *transport.Client, addr string) (int, error) {
-	keys, err := c.ReconcileSession(d.replica, addr, "", 0)
+// pid names the keyspace partition on a partitioned server (0 on an
+// unpartitioned one).
+func (d *Replica) reconcileFrom(c *transport.Client, addr string, pid int) (int, error) {
+	keys, err := c.ReconcileSession(d.replica, addr, "", pid)
 	if err != nil {
 		return 0, err
 	}

@@ -114,7 +114,7 @@ func TestSnapshotFailurePropagates(t *testing.T) {
 	d.Update("x", op.NewSet([]byte("v")))
 	// Squat a directory on the snapshot temp path so os.Create fails
 	// (chmod-based denial does not bind when tests run as root).
-	blocker := filepath.Join(dir, snapshotFile+".tmp")
+	blocker := filepath.Join(dir, "snapshot.tmp")
 	if err := os.Mkdir(blocker, 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +127,8 @@ func TestSnapshotFailurePropagates(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
-		t.Errorf("snapshot missing after recovery of permissions: %v", err)
+	if latestSnapshotPath(dir) == "" {
+		t.Error("snapshot missing after recovery of permissions")
 	}
 }
 
@@ -137,7 +137,11 @@ func TestOpenRejectsCorruptSnapshot(t *testing.T) {
 	d := mustOpen(t, dir, 0, 1, Options{NoSync: true})
 	d.Update("x", op.NewSet([]byte("v")))
 	d.Close()
-	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("garbage"), 0o644); err != nil {
+	snap := latestSnapshotPath(dir)
+	if snap == "" {
+		t.Fatal("no snapshot to corrupt")
+	}
+	if err := os.WriteFile(snap, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, 0, 1, Options{NoSync: true}); err == nil {

@@ -106,6 +106,16 @@ type Counters struct {
 	ReconcileSessions   uint64 // set-reconciliation sessions run (recipient side)
 	ReconcileRoundTrips uint64 // fingerprint-exchange round trips across all sessions
 	ReconcileBytes      uint64 // estimated wire bytes of reconcile control traffic
+
+	// Durability (group-commit WAL). Copied from the wal.Committer's own
+	// accounting when a durable node reports metrics — the hot write path
+	// never touches a Counters value. WALFsyncs counts physical flushes,
+	// WALBatchedRecords the records those flushes covered (their ratio is
+	// the amortization factor), and GroupCommitWaiters the stage calls that
+	// found a round already forming (i.e. writes that shared a flush).
+	WALFsyncs          uint64 // physical fsync calls on WAL segments
+	WALBatchedRecords  uint64 // records made durable across all flushes
+	GroupCommitWaiters uint64 // stage calls that joined an already-pending batch
 }
 
 // Add accumulates o into c.
@@ -148,6 +158,9 @@ func (c *Counters) Add(o *Counters) {
 	c.ReconcileSessions += o.ReconcileSessions
 	c.ReconcileRoundTrips += o.ReconcileRoundTrips
 	c.ReconcileBytes += o.ReconcileBytes
+	c.WALFsyncs += o.WALFsyncs
+	c.WALBatchedRecords += o.WALBatchedRecords
+	c.GroupCommitWaiters += o.GroupCommitWaiters
 }
 
 // Diff returns c - base, the overhead incurred since base was snapshotted.
@@ -190,6 +203,9 @@ func (c Counters) Diff(base Counters) Counters {
 	d.ReconcileSessions -= base.ReconcileSessions
 	d.ReconcileRoundTrips -= base.ReconcileRoundTrips
 	d.ReconcileBytes -= base.ReconcileBytes
+	d.WALFsyncs -= base.WALFsyncs
+	d.WALBatchedRecords -= base.WALBatchedRecords
+	d.GroupCommitWaiters -= base.GroupCommitWaiters
 	// Gauges pass through: the high-water marks (and LogRecords, the
 	// current log length) of c, not a difference.
 	return d
@@ -247,6 +263,9 @@ func (c Counters) String() string {
 		{"reconcile-sessions", c.ReconcileSessions},
 		{"reconcile-rtts", c.ReconcileRoundTrips},
 		{"reconcile-bytes", c.ReconcileBytes},
+		{"wal-fsyncs", c.WALFsyncs},
+		{"wal-batched-recs", c.WALBatchedRecords},
+		{"gc-waiters", c.GroupCommitWaiters},
 	}
 	var parts []string
 	for _, f := range fields {

@@ -142,32 +142,54 @@ func (c *Client) PullPart(recipient *core.Partitioned, addr string) (int, error)
 	return c.PullPartDB(recipient, addr, "")
 }
 
-// PullPartDB is PullPart against a named database of a multi-database
-// server.
-func (c *Client) PullPartDB(recipient *core.Partitioned, addr, db string) (int, error) {
-	req := &Request{
-		Kind:  KindPartPropagation,
-		DB:    db,
-		From:  recipient.ID(),
-		Parts: recipient.PartRequest(),
+// PullPartOffers runs just the negotiation round of a partitioned session:
+// offer the given (partition, DBVV) pairs to the server at addr and return
+// its per-partition replies WITHOUT applying anything. Callers that need
+// custom apply semantics (the durable layer write-ahead logs each payload
+// before committing it) drive the replies themselves. A nil offers slice
+// offers every partition the recipient replicates; maxBytes is the inline
+// payload ceiling per partition — zero announces no cap, so the server
+// always answers a dirty partition inline rather than diverting it to a
+// streaming session. Wire cost is charged to the recipient's node counters.
+func (c *Client) PullPartOffers(recipient *core.Partitioned, addr, db string, offers []core.PartState, maxBytes uint64) ([]wire.PartReply, error) {
+	if offers == nil {
+		offers = recipient.PartRequest()
 	}
-	if !c.opts.DialPerRequest {
-		// Announce the per-partition monolithic ceiling; the legacy gob path
-		// has no session framing, so it keeps unbounded inline payloads.
-		req.MaxBytes = DefaultMonolithicCap
+	req := &Request{
+		Kind:     KindPartPropagation,
+		DB:       db,
+		From:     recipient.ID(),
+		Parts:    offers,
+		MaxBytes: maxBytes,
 	}
 	var resp Response
 	st, err := c.roundTrip(addr, req, &resp)
 	recipient.AddWireStats(st.sent, st.recv, boolCount(st.dialed), boolCount(st.reused))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if resp.Err != "" {
-		return 0, fmt.Errorf("transport: remote error: %s", resp.Err)
+		return nil, fmt.Errorf("transport: remote error: %s", resp.Err)
+	}
+	return resp.Parts, nil
+}
+
+// PullPartDB is PullPart against a named database of a multi-database
+// server.
+func (c *Client) PullPartDB(recipient *core.Partitioned, addr, db string) (int, error) {
+	var maxBytes uint64
+	if !c.opts.DialPerRequest {
+		// Announce the per-partition monolithic ceiling; the legacy gob path
+		// has no session framing, so it keeps unbounded inline payloads.
+		maxBytes = DefaultMonolithicCap
+	}
+	parts, err := c.PullPartOffers(recipient, addr, db, nil, maxBytes)
+	if err != nil {
+		return 0, err
 	}
 	shipped := 0
 	var streams, recons []int
-	for _, pe := range resp.Parts {
+	for _, pe := range parts {
 		part := recipient.Partition(pe.Pid)
 		if part == nil {
 			continue // defensive: the server answered a partition we never offered

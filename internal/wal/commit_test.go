@@ -1,0 +1,380 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitConcurrent hammers one WAL from many goroutines with
+// fsync enabled: every acknowledged record must survive replay, and the
+// committer must have amortized the writers into fewer fsyncs than
+// records (the whole point of group commit).
+func TestGroupCommitConcurrent(t *testing.T) {
+	w := open(t, t.TempDir(), Options{})
+	defer w.Close()
+
+	const writers = 8
+	const perWriter = 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := w.Append([]byte(fmt.Sprintf("w%d-%d", g, i))); err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := len(replayAll(t, w)); got != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", got, writers*perWriter)
+	}
+	st := w.Committer().Stats()
+	if st.BatchedRecords != writers*perWriter {
+		t.Errorf("BatchedRecords = %d, want %d", st.BatchedRecords, writers*perWriter)
+	}
+	if st.Fsyncs == 0 || st.Fsyncs > st.BatchedRecords {
+		t.Errorf("Fsyncs = %d (records %d)", st.Fsyncs, st.BatchedRecords)
+	}
+	if st.Fsyncs == st.BatchedRecords {
+		t.Logf("no batching observed (%d fsyncs for %d records) — legal but unexpected under %d writers", st.Fsyncs, st.BatchedRecords, writers)
+	}
+	var hist uint64
+	for _, n := range st.BatchHist {
+		hist += n
+	}
+	if hist != st.Batches {
+		t.Errorf("BatchHist sums to %d, Batches = %d", hist, st.Batches)
+	}
+}
+
+// TestStageWaitOrder stages several records before any Wait: the batch
+// must land in stage order, in one round.
+func TestStageWaitOrder(t *testing.T) {
+	w := open(t, t.TempDir(), Options{})
+	defer w.Close()
+
+	var tickets []Ticket
+	for i := 0; i < 5; i++ {
+		tk, err := w.Stage([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	for _, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := replayAll(t, w)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d", len(got))
+	}
+	for i, p := range got {
+		if string(p) != fmt.Sprintf("r%d", i) {
+			t.Fatalf("record %d = %q: stage order not preserved", i, p)
+		}
+	}
+	st := w.Committer().Stats()
+	if st.Batches != 1 || st.Fsyncs != 1 {
+		t.Errorf("5 pre-staged records: Batches=%d Fsyncs=%d, want one round, one sync", st.Batches, st.Fsyncs)
+	}
+	if st.MaxBatch != 5 || st.Waiters != 4 {
+		t.Errorf("MaxBatch=%d Waiters=%d, want 5 and 4", st.MaxBatch, st.Waiters)
+	}
+}
+
+// TestSharedCommitterTwoWALs runs two logs (the per-partition shape) on
+// one committer: records staged on both before a round flush together —
+// two fsyncs (one per dirty file) for all of them, and each log replays
+// only its own records.
+func TestSharedCommitterTwoWALs(t *testing.T) {
+	com := NewCommitter(0)
+	dir := t.TempDir()
+	a := open(t, filepath.Join(dir, "a"), Options{Committer: com})
+	defer a.Close()
+	b := open(t, filepath.Join(dir, "b"), Options{Committer: com})
+	defer b.Close()
+
+	ta1, _ := a.Stage([]byte("a1"))
+	tb1, _ := b.Stage([]byte("b1"))
+	ta2, _ := a.Stage([]byte("a2"))
+	for _, tk := range []Ticket{ta1, tb1, ta2} {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := replayAll(t, a); len(got) != 2 || string(got[0]) != "a1" || string(got[1]) != "a2" {
+		t.Fatalf("a replay = %q", got)
+	}
+	if got := replayAll(t, b); len(got) != 1 || string(got[0]) != "b1" {
+		t.Fatalf("b replay = %q", got)
+	}
+	st := com.Stats()
+	if st.Batches != 1 || st.Fsyncs != 2 {
+		t.Errorf("Batches=%d Fsyncs=%d, want 1 round syncing 2 dirty files", st.Batches, st.Fsyncs)
+	}
+	if a.Records() != 2 || b.Records() != 1 {
+		t.Errorf("Records a=%d b=%d", a.Records(), b.Records())
+	}
+}
+
+// TestCommitDelayLinger checks the delay knob batches sequential writers
+// that arrive within the linger window.
+func TestCommitDelayLinger(t *testing.T) {
+	w := open(t, t.TempDir(), Options{NoSync: true, CommitDelay: 20 * time.Millisecond})
+	defer w.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if err := w.Append([]byte(fmt.Sprintf("g%d", g))); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Committer().Stats()
+	if st.Batches == 0 || st.BatchedRecords != 4 {
+		t.Fatalf("stats after linger: %+v", st)
+	}
+	if len(replayAll(t, w)) != 4 {
+		t.Fatal("record lost under linger")
+	}
+}
+
+// TestTornBatchTailTruncates simulates a crash mid-group-commit: a
+// multi-record batch whose tail was only partially written. Open must
+// keep every complete record, drop the torn suffix, and accept appends;
+// no record whose Wait returned may be among the dropped.
+func TestTornBatchTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{})
+
+	// A durable (acked) prefix, then a 3-record batch in one round.
+	if err := w.Append([]byte("acked-0")); err != nil {
+		t.Fatal(err)
+	}
+	var tks []Ticket
+	for i := 0; i < 3; i++ {
+		tk, err := w.Stage([]byte(fmt.Sprintf("batch-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	for _, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Crash: the last record of the batch loses its payload tail. The
+	// batch was written with one write call, but the kernel/disk may
+	// persist any prefix — model the worst complete-prefix outcome.
+	path := filepath.Join(dir, "wal-00000001.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := open(t, dir, Options{})
+	defer w2.Close()
+	got := replayAll(t, w2)
+	want := []string{"acked-0", "batch-0", "batch-1"}
+	if len(got) != len(want) {
+		t.Fatalf("replay after torn batch = %d records (%q), want %d", len(got), got, len(want))
+	}
+	for i, p := range got {
+		if string(p) != want[i] {
+			t.Errorf("record %d = %q, want %q", i, p, want[i])
+		}
+	}
+	if w2.Records() != len(want) {
+		t.Errorf("Records = %d, want %d", w2.Records(), len(want))
+	}
+	// The log stays usable after truncation.
+	if err := w2.Append([]byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, w2); string(got[len(got)-1]) != "post-crash" {
+		t.Fatalf("post-crash append not last: %q", got)
+	}
+}
+
+// TestTornMidBatchDropsSuffixOnly tears the batch in its middle record:
+// everything after the tear is dropped even if the trailing bytes happen
+// to be intact on disk (prefix semantics).
+func TestTornMidBatchDropsSuffixOnly(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{NoSync: true})
+	var tks []Ticket
+	for i := 0; i < 3; i++ {
+		tk, _ := w.Stage([]byte(fmt.Sprintf("batch-%d", i)))
+		tks = append(tks, tk)
+	}
+	for _, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Corrupt the middle record's payload in place.
+	path := filepath.Join(dir, "wal-00000001.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec0 := headerSize + len("batch-0")
+	data[rec0+headerSize] ^= 0xFF // first payload byte of batch-1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := open(t, dir, Options{NoSync: true})
+	defer w2.Close()
+	got := replayAll(t, w2)
+	if len(got) != 1 || string(got[0]) != "batch-0" {
+		t.Fatalf("replay = %q, want only the intact prefix", got)
+	}
+}
+
+// TestCutForSnapshot checks the snapshot cut protocol: records staged
+// before the cut live below the floor, records after it at or above, and
+// DiscardBefore(floor) removes exactly the superseded segments.
+func TestCutForSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{NoSync: true})
+	defer w.Close()
+
+	for i := 0; i < 3; i++ {
+		w.Append([]byte(fmt.Sprintf("pre-%d", i)))
+	}
+	cut, err := w.CutForSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Floor != 2 {
+		t.Fatalf("Floor = %d, want 2 (fresh segment after the cut)", cut.Floor)
+	}
+	w.Append([]byte("post-0"))
+
+	// Full replay sees everything; floor replay only post-cut records.
+	if got := replayAll(t, w); len(got) != 4 {
+		t.Fatalf("full replay = %d", len(got))
+	}
+	var post []string
+	if err := w.ReplayFrom(cut.Floor, func(p []byte) error {
+		post = append(post, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(post) != 1 || post[0] != "post-0" {
+		t.Fatalf("floor replay = %q", post)
+	}
+
+	if err := w.DiscardBefore(cut.Floor); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, w); len(got) != 1 || string(got[0]) != "post-0" {
+		t.Fatalf("replay after discard = %q", got)
+	}
+	if w.Records() != 1 {
+		t.Errorf("Records after discard = %d", w.Records())
+	}
+
+	// Reopen: only post-cut state remains.
+	w.Close()
+	w2 := open(t, dir, Options{NoSync: true})
+	defer w2.Close()
+	if got := replayAll(t, w2); len(got) != 1 || string(got[0]) != "post-0" {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+// TestStickyWriteError closes the segment file out from under the WAL:
+// the affected round's tickets fail and so does every later append, but
+// records committed before the failure still replay.
+func TestStickyWriteError(t *testing.T) {
+	dir := t.TempDir()
+	w := open(t, dir, Options{NoSync: true})
+	w.Append([]byte("durable"))
+	w.active.Close() // induce the failure
+	if err := w.Append([]byte("doomed")); err == nil {
+		t.Fatal("append over closed file succeeded")
+	}
+	if err := w.Append([]byte("also-doomed")); err == nil {
+		t.Fatal("sticky error not sticky")
+	}
+	w.active = nil // avoid double close
+	w.Close()
+
+	w2 := open(t, dir, Options{NoSync: true})
+	defer w2.Close()
+	if got := replayAll(t, w2); len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("replay = %q", got)
+	}
+}
+
+// TestBatchBucket pins the histogram bucketing.
+func TestBatchBucket(t *testing.T) {
+	cases := []struct {
+		records uint64
+		bucket  int
+	}{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {127, 6}, {128, 7}, {1 << 20, 7}}
+	for _, c := range cases {
+		if got := batchBucket(c.records); got != c.bucket {
+			t.Errorf("batchBucket(%d) = %d, want %d", c.records, got, c.bucket)
+		}
+	}
+}
+
+// TestReplayBufferReused verifies the documented contract: the payload
+// slice passed to the callback is reused, so a retained slice is
+// overwritten by the next record.
+func TestReplayBufferReused(t *testing.T) {
+	w := open(t, t.TempDir(), Options{NoSync: true})
+	defer w.Close()
+	w.Append([]byte("aaaa"))
+	w.Append([]byte("bbbb"))
+	var retained []byte
+	w.Replay(func(p []byte) error {
+		if retained == nil {
+			retained = p // deliberately violate the contract
+		}
+		return nil
+	})
+	if string(retained) == "aaaa" {
+		t.Fatal("replay allocated per record; expected buffer reuse (update the doc if this is intentional)")
+	}
+}
+
+// TestFrameRoundTrip pins the frame layout appendFrame produces against
+// what the replay scanner parses.
+func TestFrameRoundTrip(t *testing.T) {
+	frame := appendFrame(nil, []byte("payload"))
+	if len(frame) != headerSize+7 {
+		t.Fatalf("frame length = %d", len(frame))
+	}
+	if binary.LittleEndian.Uint32(frame[0:4]) != 7 {
+		t.Fatal("length field wrong")
+	}
+}

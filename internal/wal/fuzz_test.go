@@ -23,6 +23,27 @@ func FuzzRecovery(f *testing.F) {
 	if data, err := os.ReadFile(filepath.Join(dir, "wal-00000001.log")); err == nil {
 		f.Add(data)
 	}
+	// A multi-record group-commit batch (one write call, several frames)
+	// as seed, plus the same batch with a torn tail — the crash shape
+	// group commit makes common.
+	bdir := f.TempDir()
+	bw, err := Open(bdir, Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	t1, _ := bw.Stage([]byte("batch-a"))
+	bw.Stage([]byte("batch-b"))
+	bw.Stage([]byte("batch-c"))
+	if err := t1.Wait(); err != nil {
+		f.Fatal(err)
+	}
+	bw.Close()
+	if data, err := os.ReadFile(filepath.Join(bdir, "wal-00000001.log")); err == nil {
+		f.Add(data)
+		if len(data) > 4 {
+			f.Add(data[:len(data)-4])
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()

@@ -3,11 +3,21 @@
 // appended (length- and CRC-framed) before it is applied, so a crashed
 // replica recovers by replaying the log over its last snapshot.
 //
+// Appends go through group commit (see commit.go): records are staged into
+// an in-memory batch and a single committer writes the batch with one
+// write call and one fsync, so concurrent writers share a flush instead of
+// queueing behind one fsync each. One Committer may serve several WALs —
+// a partitioned durable node runs one log per partition but a single
+// commit stream.
+//
 // Layout: a directory of segment files named wal-00000001.log,
-// wal-00000002.log, ... Records never span segments. A torn or corrupt
-// record (partial write at crash) terminates replay of its segment; the log
-// is truncated there on open, which matches the usual
-// last-write-may-be-lost contract of crash-consistent logs.
+// wal-00000002.log, ... Records never span segments (a batch is written
+// whole into the active segment, which may therefore overshoot the
+// rotation threshold by one batch). A torn or corrupt record (partial
+// write at crash) terminates replay of its segment; the log is truncated
+// there on open, which matches the usual last-write-may-be-lost contract
+// of crash-consistent logs — group commit keeps that contract, because no
+// writer is acknowledged before the fsync covering its record returns.
 package wal
 
 import (
@@ -20,7 +30,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
+
+//epi:coverage
 
 const (
 	segmentPrefix = "wal-"
@@ -29,6 +42,8 @@ const (
 )
 
 // Options configures a WAL.
+//
+//epi:notshared options value copied at Open
 type Options struct {
 	// SegmentBytes rotates to a new segment once the active one exceeds
 	// this size. Zero means 4 MiB.
@@ -36,18 +51,65 @@ type Options struct {
 	// NoSync skips fsync after appends (faster, loses the usual durability
 	// guarantee; useful for tests and benchmarks).
 	NoSync bool
+	// Committer, when non-nil, is a shared group committer: several WALs
+	// staging into one committer amortize their flushes into one commit
+	// stream. Nil gives the WAL a private committer.
+	Committer *Committer
+	// CommitDelay is how long a commit leader lingers before sealing its
+	// batch (see NewCommitter). Used only when Committer is nil.
+	CommitDelay time.Duration
 }
 
-// WAL is a segmented append-only log. Not safe for concurrent use; the
-// owning replica serializes access.
+// WAL is a segmented append-only log. Stage/Wait/Append are safe for
+// concurrent use; Open, Replay, Reset, Cut and Close are management
+// operations the owning replica serializes (the durable layer calls them
+// under its write-ahead ordering lock).
 type WAL struct {
-	dir  string
-	opts Options
+	dir  string     //epi:immutable
+	opts Options    //epi:immutable
+	com  *Committer //epi:immutable the committer synchronizes its own state
 
-	active     *os.File
+	// Staging state, guarded by the committer's mutex: the open batch of
+	// framed records not yet handed to a commit round.
+	pend     []byte //epi:guard mu
+	pendRecs int    //epi:guard mu
+	closed   bool   //epi:guard mu
+	// Committed-record accounting, updated by the round leader under the
+	// committer's mutex after the I/O completes.
+	records int            //epi:guard mu valid records on disk
+	segRecs map[uint64]int //epi:guard mu per-segment record counts
+
+	// File state: the active segment and its write cursor. Between commit
+	// rounds nothing touches these; during a round they belong to the
+	// leader (the committing flag is the handoff, see commit.go), and the
+	// management operations above quiesce the committer first.
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	active *os.File
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
 	activeSize int64
-	activeSeq  uint64
-	records    int
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	activeSeq uint64
+
+	// Per-round scratch, populated by takePending under the committer's
+	// mutex and consumed by commitTaken in the I/O section.
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	writeBuf []byte
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	writeRecs int
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	syncsTaken uint64
+	// wroteRecs/wroteSeq report what commitTaken actually landed (and in
+	// which segment) back to the leader's accounting section.
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	wroteRecs int
+	//epi:notshared owned by the single round leader; handoff via the committer's committing flag
+	wroteSeq uint64
+
+	// Sticky failure: once a batch write or sync fails, every ticket from
+	// that epoch on reports the error — the log can no longer promise
+	// prefix durability past the failure point.
+	err      error  //epi:guard mu
+	errEpoch uint64 //epi:guard mu
 }
 
 // ErrCorrupt reports a framing violation detected mid-segment during
@@ -56,8 +118,13 @@ type WAL struct {
 // the files underneath an open WAL.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+var errClosed = errors.New("wal: closed")
+
 // Open opens (or creates) the log in dir, verifies and truncates a torn
-// tail, and positions for appending.
+// tail, and positions for appending. A torn tail may be the incomplete
+// suffix of a multi-record group-commit batch: the scan keeps every
+// complete record and drops only the torn one and everything after it,
+// none of which was ever acknowledged (acks follow the batch fsync).
 func Open(dir string, opts Options) (*WAL, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = 4 << 20
@@ -65,7 +132,10 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
 	}
-	w := &WAL{dir: dir, opts: opts}
+	w := &WAL{dir: dir, opts: opts, com: opts.Committer, segRecs: make(map[uint64]int)}
+	if w.com == nil {
+		w.com = NewCommitter(opts.CommitDelay)
+	}
 
 	segs, err := w.segments()
 	if err != nil {
@@ -86,6 +156,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 			return nil, err
 		}
 		w.records += n
+		w.segRecs[seq] = n
 		if i == len(segs)-1 {
 			if err := os.Truncate(path, valid); err != nil {
 				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
@@ -163,6 +234,17 @@ func scanSegment(path string) (valid int64, records int, err error) {
 	}
 }
 
+// appendFrame appends one framed record — length, crc, payload — to buf.
+//
+//epi:hotpath
+func appendFrame(buf, payload []byte) []byte {
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, header[:]...)
+	return append(buf, payload...)
+}
+
 func (w *WAL) rotate(seq uint64) error {
 	if w.active != nil {
 		if err := w.active.Close(); err != nil {
@@ -179,44 +261,148 @@ func (w *WAL) rotate(seq uint64) error {
 	return nil
 }
 
-// Append writes one record and (unless NoSync) syncs it to stable storage.
-func (w *WAL) Append(payload []byte) error {
+// takePending moves the open batch into the round leader's scratch. Called
+// by the leader under the committer's mutex while sealing a round.
+//
+//epi:requires mu
+func (w *WAL) takePending() {
+	w.writeBuf, w.pend = w.pend, w.writeBuf[:0]
+	w.writeRecs, w.pendRecs = w.pendRecs, 0
+}
+
+// commitTaken writes the taken batch to the active segment with one write
+// call and (unless NoSync) one fsync. Runs in the round leader's I/O
+// section; a failure latches the WAL's sticky error at the sealed epoch.
+func (w *WAL) commitTaken(epoch uint64) {
+	w.syncsTaken = 0
+	w.wroteRecs = 0
+	if w.writeRecs == 0 {
+		return
+	}
+	fail := func(err error) {
+		if w.err == nil {
+			w.err = err
+			w.errEpoch = epoch
+		}
+	}
 	if w.active == nil {
-		return errors.New("wal: closed")
+		fail(errClosed)
+		return
 	}
 	if w.activeSize >= w.opts.SegmentBytes {
 		if err := w.rotate(w.activeSeq + 1); err != nil {
-			return err
+			fail(err)
+			return
 		}
 	}
-	var header [headerSize]byte
-	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.active.Write(header[:]); err != nil {
-		return fmt.Errorf("wal: write header: %w", err)
+	if _, err := w.active.Write(w.writeBuf); err != nil {
+		fail(fmt.Errorf("wal: write batch: %w", err))
+		return
 	}
-	if _, err := w.active.Write(payload); err != nil {
-		return fmt.Errorf("wal: write payload: %w", err)
-	}
-	w.activeSize += headerSize + int64(len(payload))
-	w.records++
+	w.activeSize += int64(len(w.writeBuf))
+	// Written (recoverable by a reopen scan) even if the sync below fails.
+	w.wroteRecs = w.writeRecs
+	w.wroteSeq = w.activeSeq
 	if !w.opts.NoSync {
 		if err := w.active.Sync(); err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+			fail(fmt.Errorf("wal: sync: %w", err))
+			return
 		}
+		w.syncsTaken = 1
+	}
+}
+
+// errFor returns the sticky error as seen by a ticket from epoch.
+//
+//epi:requires mu
+func (w *WAL) errFor(epoch uint64) error {
+	if w.err != nil && epoch >= w.errEpoch {
+		return w.err
+	}
+	return nil
+}
+
+// Append stages one record and waits for its group commit: the record is
+// on stable storage (batched with any concurrent appends into one fsync)
+// when Append returns. Safe for concurrent use.
+func (w *WAL) Append(payload []byte) error {
+	t, err := w.Stage(payload)
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+// Cut marks a snapshot boundary: everything staged so far is flushed to
+// stable storage, and the log rotates to a fresh segment so records
+// staged after the cut land beyond it. The returned floor is the first
+// segment sequence holding post-cut records; a snapshot capturing the
+// state as of the cut supersedes every earlier segment, which
+// DiscardBefore removes once the snapshot is durable. Callers serialize
+// Cut against staging (the durable layer holds its ordering lock).
+type Cut struct {
+	// Floor is the first segment whose records post-date the cut.
+	Floor uint64 //epi:immutable
+}
+
+// CutForSnapshot flushes the open batch and rotates, returning the cut.
+func (w *WAL) CutForSnapshot() (Cut, error) {
+	if err := w.Flush(); err != nil {
+		return Cut{}, err
+	}
+	// No staged records remain and the caller blocks new stages, so no
+	// commit round can touch this WAL's file state until we return.
+	if err := w.rotate(w.activeSeq + 1); err != nil {
+		return Cut{}, err
+	}
+	return Cut{Floor: w.activeSeq}, nil
+}
+
+// DiscardBefore removes every segment before floor — records a durable
+// snapshot has superseded. Safe to call with stale segments already gone.
+func (w *WAL) DiscardBefore(floor uint64) error {
+	segs, err := w.segments()
+	if err != nil {
+		return err
+	}
+	c := w.com
+	for _, seq := range segs {
+		if seq >= floor {
+			continue
+		}
+		if err := os.Remove(w.segmentPath(seq)); err != nil {
+			return fmt.Errorf("wal: remove segment %d: %w", seq, err)
+		}
+		c.mu.Lock()
+		w.records -= w.segRecs[seq]
+		delete(w.segRecs, seq)
+		c.mu.Unlock()
 	}
 	return nil
 }
 
 // Replay calls fn for every valid record in order, across all segments.
-// Replay of an open WAL sees everything appended so far.
+// Replay of an open WAL sees everything committed so far (quiesce with
+// Flush first if records may still be staged). The payload slice is
+// reused between calls — the callback must not retain it past its return
+// (decode or copy before returning).
 func (w *WAL) Replay(fn func(payload []byte) error) error {
+	return w.ReplayFrom(0, fn)
+}
+
+// ReplayFrom is Replay restricted to segments with sequence >= floor —
+// the records a snapshot taken at that cut has not superseded.
+func (w *WAL) ReplayFrom(floor uint64, fn func(payload []byte) error) error {
 	segs, err := w.segments()
 	if err != nil {
 		return err
 	}
 	var header [headerSize]byte
+	var buf []byte
 	for _, seq := range segs {
+		if seq < floor {
+			continue
+		}
 		f, err := os.Open(w.segmentPath(seq))
 		if err != nil {
 			return fmt.Errorf("wal: open segment %d: %w", seq, err)
@@ -230,7 +416,10 @@ func (w *WAL) Replay(fn func(payload []byte) error) error {
 			if length > 1<<30 {
 				break
 			}
-			buf := make([]byte, length)
+			if cap(buf) < int(length) {
+				buf = make([]byte, length)
+			}
+			buf = buf[:length]
 			if _, err := io.ReadFull(f, buf); err != nil {
 				break
 			}
@@ -247,12 +436,24 @@ func (w *WAL) Replay(fn func(payload []byte) error) error {
 	return nil
 }
 
-// Records returns the number of valid records currently in the log.
-func (w *WAL) Records() int { return w.records }
+// Records returns the number of valid records currently in the log,
+// including records staged but not yet committed.
+func (w *WAL) Records() int {
+	c := w.com
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return w.records + w.pendRecs
+}
+
+// Committer returns the WAL's group committer (shared or private), whose
+// Stats expose the fsync/batch accounting.
+func (w *WAL) Committer() *Committer { return w.com }
 
 // Reset discards all segments and starts a fresh one — called after a
-// snapshot has captured the state the log protected.
+// snapshot has captured the state the log protected. Callers serialize
+// Reset against staging.
 func (w *WAL) Reset() error {
+	w.quiesce()
 	segs, err := w.segments()
 	if err != nil {
 		return err
@@ -268,18 +469,29 @@ func (w *WAL) Reset() error {
 			return fmt.Errorf("wal: remove segment %d: %w", seq, err)
 		}
 	}
+	c := w.com
+	c.mu.Lock()
 	w.records = 0
+	w.segRecs = make(map[uint64]int)
+	c.mu.Unlock()
 	return w.rotate(1)
 }
 
-// Close syncs and closes the active segment.
+// Close flushes staged records, syncs and closes the active segment.
+// Callers serialize Close against staging.
 func (w *WAL) Close() error {
+	firstErr := w.Flush()
+	c := w.com
+	c.mu.Lock()
+	w.closed = true
+	c.mu.Unlock()
 	if w.active == nil {
-		return nil
+		return firstErr
 	}
-	var firstErr error
 	if !w.opts.NoSync {
-		firstErr = w.active.Sync()
+		if err := w.active.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if err := w.active.Close(); err != nil && firstErr == nil {
 		firstErr = err
